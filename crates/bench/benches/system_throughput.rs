@@ -1,0 +1,34 @@
+//! Criterion bench: full-system simulation speed (cycles per second for the
+//! 32-core baseline running workload-2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noclat::{System, SystemConfig};
+use noclat_workloads::workload;
+
+fn system_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.sample_size(10);
+    group.bench_function("baseline_32core_2k_cycles", |b| {
+        let apps = workload(2).apps();
+        let mut sys = System::new(SystemConfig::baseline_32(), &apps).expect("valid");
+        sys.run(5_000); // warm
+        b.iter(|| {
+            sys.run(2_000);
+            sys.now()
+        })
+    });
+    group.bench_function("schemes_32core_2k_cycles", |b| {
+        let apps = workload(2).apps();
+        let mut sys =
+            System::new(SystemConfig::baseline_32().with_both_schemes(), &apps).expect("valid");
+        sys.run(5_000);
+        b.iter(|| {
+            sys.run(2_000);
+            sys.now()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, system_step);
+criterion_main!(benches);

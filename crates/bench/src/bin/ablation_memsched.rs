@@ -1,0 +1,34 @@
+//! Ablation — FR-FCFS vs FCFS memory scheduling under the combined schemes.
+//!
+//! FR-FCFS is the paper's (and industry's) baseline; FCFS destroys row
+//! locality and shows how much the schemes depend on a competent scheduler
+//! downstream.
+
+use noclat::{MemSchedPolicy, SystemConfig};
+use noclat_bench::{banner, lengths_from_args, pct, run_with_ws, w, AloneTable};
+
+fn main() {
+    banner(
+        "Ablation: FR-FCFS vs FCFS memory scheduling (workload-8)",
+        "Baseline WS and Scheme-1+2 gains per scheduler.",
+    );
+    let lengths = lengths_from_args();
+    let mut alone = AloneTable::new();
+    let apps = w(8).apps();
+    for sched in [MemSchedPolicy::FrFcfs, MemSchedPolicy::Fcfs] {
+        let mut hw = SystemConfig::baseline_32();
+        hw.mem.scheduler = sched;
+        let table = alone.table(&hw, &apps, lengths);
+        let (rb, base) = run_with_ws(&hw, &apps, &table, lengths);
+        let (_, both) = run_with_ws(&hw.clone().with_both_schemes(), &apps, &table, lengths);
+        let hit_rate: f64 = (0..rb.system.num_controllers())
+            .map(|m| rb.system.controller_stats(m).row_hit_rate())
+            .sum::<f64>()
+            / rb.system.num_controllers() as f64;
+        println!(
+            "{sched:?}: base WS {base:.3}, row-hit rate {:.2}, Scheme-1+2 {}",
+            hit_rate,
+            pct(both / base)
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Ablation — which parts of the prioritization machinery matter?
+//!
+//! Compares Scheme-1+2 with: (a) pipeline bypassing disabled (arbitration
+//! priority only), (b) the starvation age guard reduced to zero (strict
+//! priority), and (c) Scheme-2 alone. Workload-8 (memory-intensive) is the
+//! most sensitive to all three.
+
+use noclat::SystemConfig;
+use noclat_bench::{banner, lengths_from_args, pct, run_with_ws, w, AloneTable};
+
+fn main() {
+    banner(
+        "Ablation: prioritization machinery (workload-8)",
+        "Normalized WS of Scheme-1+2 variants against the unprioritized baseline.",
+    );
+    let lengths = lengths_from_args();
+    let mut alone = AloneTable::new();
+    let apps = w(8).apps();
+    let hw = SystemConfig::baseline_32();
+    let table = alone.table(&hw, &apps, lengths);
+    let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
+
+    let full = hw.clone().with_both_schemes();
+    let (_, ws_full) = run_with_ws(&full, &apps, &table, lengths);
+
+    let mut no_bypass = full.clone();
+    no_bypass.noc.bypass_enabled = false;
+    let (_, ws_nb) = run_with_ws(&no_bypass, &apps, &table, lengths);
+
+    let mut strict = full.clone();
+    strict.noc.starvation_age_guard = 0;
+    let (_, ws_strict) = run_with_ws(&strict, &apps, &table, lengths);
+
+    let s2_only = hw.clone().with_scheme2();
+    let (_, ws_s2) = run_with_ws(&s2_only, &apps, &table, lengths);
+
+    let s1_only = hw.clone().with_scheme1();
+    let (_, ws_s1) = run_with_ws(&s1_only, &apps, &table, lengths);
+
+    println!("baseline WS                    : {base:.3}");
+    println!("Scheme-1 only                  : {}", pct(ws_s1 / base));
+    println!("Scheme-2 only                  : {}", pct(ws_s2 / base));
+    println!("Scheme-1+2 (full)              : {}", pct(ws_full / base));
+    println!("Scheme-1+2, no bypassing       : {}", pct(ws_nb / base));
+    println!("Scheme-1+2, zero age guard     : {}", pct(ws_strict / base));
+}

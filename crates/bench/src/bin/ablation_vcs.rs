@@ -1,0 +1,25 @@
+//! Ablation — virtual channel count sweep (2/4/8 VCs per port) under the
+//! combined schemes. More VCs reduce head-of-line blocking, which shrinks
+//! the queueing the schemes can jump.
+
+use noclat::SystemConfig;
+use noclat_bench::{banner, lengths_from_args, pct, run_with_ws, w, AloneTable};
+
+fn main() {
+    banner(
+        "Ablation: VCs per port (workload-2)",
+        "Baseline WS and Scheme-1+2 gains per VC count.",
+    );
+    let lengths = lengths_from_args();
+    let apps = w(2).apps();
+    for vcs in [2usize, 4, 8] {
+        let mut hw = SystemConfig::baseline_32();
+        hw.noc.vcs_per_port = vcs;
+        // Alone runs depend on the NoC too; rebuild the table per config.
+        let mut alone = AloneTable::new();
+        let table = alone.table(&hw, &apps, lengths);
+        let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
+        let (_, both) = run_with_ws(&hw.clone().with_both_schemes(), &apps, &table, lengths);
+        println!("{vcs} VCs/port: base WS {base:.3}, Scheme-1+2 {}", pct(both / base));
+    }
+}

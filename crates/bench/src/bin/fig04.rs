@@ -1,0 +1,47 @@
+//! Figure 4 — average round-trip delays of off-chip accesses issued by the
+//! core running milc in workload-2, broken into the five path components of
+//! Figure 2, bucketed by total delay range.
+//!
+//! Paper shape to reproduce: the memory component (queueing + DRAM access)
+//! grows steeply with the delay range, and the network components also grow,
+//! so late accesses are late because of both memory queueing and network
+//! contention.
+
+use noclat::{run_mix, SystemConfig};
+use noclat_bench::{banner, core_of, lengths_from_args};
+use noclat_workloads::{workload, SpecApp};
+
+fn main() {
+    banner(
+        "Figure 4: Per-range breakdown of off-chip access delay (milc, workload-2)",
+        "Columns: delay range start | count | L1->L2 | L2->Mem | Mem | Mem->L2 | L2->L1",
+    );
+    let lengths = lengths_from_args();
+    let r = run_mix(&SystemConfig::baseline_32(), &workload(2).apps(), lengths);
+    let core = core_of(&r, SpecApp::Milc).expect("workload-2 contains milc");
+    println!("milc runs on core {core}\n");
+    println!(
+        "{:>7} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "range", "count", "L1->L2", "L2->Mem", "Mem", "Mem->L2", "L2->L1", "total"
+    );
+    for (range, row) in r.system.tracker().app(core).breakdown() {
+        let a = row.averages();
+        println!(
+            "{:>7} {:>6} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0}",
+            range,
+            row.count,
+            a[0],
+            a[1],
+            a[2],
+            a[3],
+            a[4],
+            a.iter().sum::<f64>()
+        );
+    }
+    let app = r.system.tracker().app(core);
+    println!(
+        "\nmilc off-chip accesses: {}  mean round-trip: {:.0} cycles (paper: ~350)",
+        app.total.count(),
+        app.total.mean()
+    );
+}

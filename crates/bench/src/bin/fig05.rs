@@ -1,0 +1,39 @@
+//! Figure 5 — latency distribution (PDF) of the off-chip memory accesses
+//! issued by the core running milc in workload-2.
+//!
+//! Paper shape to reproduce: most accesses cluster around the average, with
+//! a small but heavy tail of very slow accesses (the "late" accesses
+//! Scheme-1 targets).
+
+use noclat::{run_mix, SystemConfig};
+use noclat_bench::{banner, core_of, lengths_from_args};
+use noclat_workloads::{workload, SpecApp};
+
+fn main() {
+    banner(
+        "Figure 5: Latency distribution of milc's off-chip accesses (workload-2)",
+        "Columns: delay bin center | fraction of accesses | bar",
+    );
+    let lengths = lengths_from_args();
+    let r = run_mix(&SystemConfig::baseline_32(), &workload(2).apps(), lengths);
+    let core = core_of(&r, SpecApp::Milc).expect("workload-2 contains milc");
+    let h = &r.system.tracker().app(core).total;
+    for (center, frac) in h.pdf_points() {
+        if frac > 0.0005 {
+            let bar = "#".repeat((frac * 400.0).round() as usize);
+            println!("{center:>6}  {frac:>7.4}  {bar}");
+        }
+    }
+    println!(
+        "\nmean {:.0} cycles, p90 {} cycles, p99 {} cycles, max {} cycles",
+        h.mean(),
+        h.percentile(0.90),
+        h.percentile(0.99),
+        h.max()
+    );
+    let tail = 1.0 - h.cdf_at((1.7 * h.mean()) as u64);
+    println!(
+        "fraction of accesses beyond 1.7 x mean: {:.1}% (paper: ~10% beyond 600 with mean ~350)",
+        tail * 100.0
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 6 — average idleness of the banks of one memory controller
+//! (baseline, no prioritization).
+//!
+//! Paper shape to reproduce: idleness differs noticeably across banks — at
+//! any time some banks sit idle while others serve queues (Motivation 2).
+
+use noclat::{run_mix, SystemConfig};
+use noclat_bench::{banner, lengths_from_args};
+use noclat_workloads::workload;
+
+fn main() {
+    banner(
+        "Figure 6: Average idleness of the banks of memory controller 0 (workload-2)",
+        "A bank is idle when its queue is empty at a sampling instant.",
+    );
+    let lengths = lengths_from_args();
+    let r = run_mix(&SystemConfig::baseline_32(), &workload(2).apps(), lengths);
+    let idleness = r.system.idleness(0).per_bank_idleness();
+    println!("{:>5} {:>9}  bar", "bank", "idleness");
+    for (b, idl) in idleness.iter().enumerate() {
+        let bar = "#".repeat((idl * 50.0).round() as usize);
+        println!("{b:>5} {idl:>9.3}  {bar}");
+    }
+    let min = idleness.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = idleness.iter().copied().fold(0.0, f64::max);
+    println!(
+        "\nspread across banks: min {min:.3}, max {max:.3}, overall {:.3}",
+        r.system.idleness(0).overall()
+    );
+}

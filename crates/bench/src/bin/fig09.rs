@@ -1,0 +1,45 @@
+//! Figure 9 — two delay distributions for milc (workload-2): the round-trip
+//! delays of complete accesses (dashed curve in the paper) and the so-far
+//! delays observed right after the memory controller (solid curve), with the
+//! Scheme-1 threshold marked.
+//!
+//! Paper shape to reproduce: the so-far distribution sits left of the
+//! round-trip distribution; the threshold `1.2 × Delay_avg` cuts off the
+//! so-far tail (the accesses Scheme-1 expedites).
+
+use noclat::{run_mix, SystemConfig};
+use noclat_bench::{banner, core_of, lengths_from_args};
+use noclat_workloads::{workload, SpecApp};
+
+fn main() {
+    banner(
+        "Figure 9: Round-trip vs so-far delay distributions (milc, workload-2)",
+        "Columns: bin center | round-trip fraction | so-far fraction",
+    );
+    let lengths = lengths_from_args();
+    let cfg = SystemConfig::baseline_32();
+    let r = run_mix(&cfg, &workload(2).apps(), lengths);
+    let core = core_of(&r, SpecApp::Milc).expect("workload-2 contains milc");
+    let app = r.system.tracker().app(core);
+    let rt = app.total.pdf_points();
+    let sf = app.so_far.pdf_points();
+    let n = rt.len().max(sf.len());
+    println!("{:>6} {:>11} {:>9}", "center", "round-trip", "so-far");
+    for i in 0..n {
+        let (c1, f1) = rt.get(i).copied().unwrap_or((i as u64 * 25 + 12, 0.0));
+        let (_, f2) = sf.get(i).copied().unwrap_or((0, 0.0));
+        if f1 > 0.0005 || f2 > 0.0005 {
+            println!("{c1:>6} {f1:>11.4} {f2:>9.4}");
+        }
+    }
+    let delay_avg = app.total.mean();
+    let threshold = cfg.scheme1.threshold_factor * delay_avg;
+    println!("\nDelay_avg (round-trip)       : {delay_avg:.0} cycles");
+    println!("Delay_so-far_avg             : {:.0} cycles", app.so_far.mean());
+    println!(
+        "threshold {} x Delay_avg     : {threshold:.0} cycles",
+        cfg.scheme1.threshold_factor
+    );
+    let late = 1.0 - app.so_far.cdf_at(threshold as u64);
+    println!("so-far fraction beyond it    : {:.1}% (these become 'late')", late * 100.0);
+}

@@ -1,0 +1,54 @@
+//! Figure 11 — normalized weighted speedup of Scheme-1 and Scheme-1+2 over
+//! the no-prioritization baseline, for all 18 workloads, grouped into the
+//! paper's three panels (mixed / memory-intensive / memory-non-intensive).
+//!
+//! Paper shape to reproduce: Scheme-1+2 ≥ Scheme-1; memory-intensive
+//! workloads gain the most, non-intensive the least; one or two workloads
+//! may dip slightly below 1.0 under Scheme-1 alone (the paper saw this for
+//! workloads 2 and 9).
+
+use noclat_bench::{banner, lengths_from_args, normalized_ws, pct, w, AloneTable};
+use noclat::SystemConfig;
+use noclat_sim::stats::geomean;
+use noclat_workloads::{indices_of, WorkloadKind};
+
+fn main() {
+    banner(
+        "Figure 11: Normalized weighted speedup, 18 workloads, 32-core system",
+        "Bars: Scheme-1 and Scheme-1+Scheme-2, normalized to the baseline.",
+    );
+    let lengths = lengths_from_args();
+    let hw = SystemConfig::baseline_32();
+    let mut alone = AloneTable::new();
+    for kind in [
+        WorkloadKind::Mixed,
+        WorkloadKind::MemIntensive,
+        WorkloadKind::MemNonIntensive,
+    ] {
+        println!("\n--- {kind:?} ---");
+        println!("{:>12} {:>9} {:>10} {:>12}", "workload", "base WS", "Scheme-1", "Scheme-1+2");
+        let mut s1s = Vec::new();
+        let mut boths = Vec::new();
+        for i in indices_of(kind) {
+            let workload = w(i);
+            let nws = normalized_ws(&hw, &workload, &mut alone, lengths);
+            println!(
+                "{:>12} {:>9.3} {:>10.3} {:>12.3}",
+                workload.name(),
+                nws.base,
+                nws.s1,
+                nws.both
+            );
+            s1s.push(nws.s1);
+            boths.push(nws.both);
+        }
+        let g1 = geomean(&s1s).unwrap_or(1.0);
+        let g2 = geomean(&boths).unwrap_or(1.0);
+        println!(
+            "{:>12} {:>9} {:>10} {:>12}   (Scheme-1 {}, Scheme-1+2 {})",
+            "geomean", "", format!("{g1:.3}"), format!("{g2:.3}"), pct(g1), pct(g2)
+        );
+    }
+    println!("\nPaper: up to +13% (mixed), +15% (intensive), +1% (non-intensive) for Scheme-1+2.");
+    println!("See EXPERIMENTS.md for the magnitude discussion.");
+}

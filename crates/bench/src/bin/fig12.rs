@@ -1,0 +1,79 @@
+//! Figure 12 — (a) CDFs of the off-chip access latencies of the first 8
+//! applications in workload-1 under the baseline, (b) the same CDFs with
+//! Scheme-1 enabled, and (c) the latency PDF of lbm before/after Scheme-1.
+//!
+//! Paper shape to reproduce: Scheme-1 shifts the CDF tails left (paper: the
+//! 90th percentile drops from ~700 to ~600 cycles) and moves PDF mass out of
+//! the high-delay region.
+
+use noclat::{run_mix, MixResult, SystemConfig};
+use noclat_bench::{banner, core_of, lengths_from_args};
+use noclat_workloads::{workload, SpecApp};
+
+fn cdf_row(r: &MixResult, cores: &[usize], x: u64) -> Vec<f64> {
+    cores
+        .iter()
+        .map(|&c| r.system.tracker().app(c).total.cdf_at(x))
+        .collect()
+}
+
+fn print_cdfs(label: &str, r: &MixResult, cores: &[usize]) {
+    println!("\n--- {label} ---");
+    print!("{:>6}", "x");
+    for &c in cores {
+        print!(" {:>9}", format!("core{c}"));
+    }
+    println!();
+    for x in (100..=1600).step_by(100) {
+        print!("{x:>6}");
+        for f in cdf_row(r, cores, x) {
+            print!(" {f:>9.3}");
+        }
+        println!();
+    }
+    // The paper's headline: the x where 90% of accesses complete.
+    let mut p90s = Vec::new();
+    for &c in cores {
+        p90s.push(r.system.tracker().app(c).total.percentile(0.90));
+    }
+    let avg_p90 = p90s.iter().sum::<u64>() as f64 / p90s.len() as f64;
+    println!("average 90th percentile across these apps: {avg_p90:.0} cycles");
+}
+
+fn main() {
+    banner(
+        "Figure 12: CDFs of off-chip latency, first 8 apps of workload-1; PDF of lbm",
+        "(a) baseline, (b) Scheme-1, (c) lbm PDF before/after.",
+    );
+    let lengths = lengths_from_args();
+    let apps = workload(1).apps();
+    let base = run_mix(&SystemConfig::baseline_32(), &apps, lengths);
+    let s1 = run_mix(&SystemConfig::baseline_32().with_scheme1(), &apps, lengths);
+    let cores: Vec<usize> = (0..8).collect();
+    print_cdfs("(a) baseline CDFs", &base, &cores);
+    print_cdfs("(b) Scheme-1 CDFs", &s1, &cores);
+
+    let lbm = core_of(&base, SpecApp::Lbm).expect("workload-1 contains lbm");
+    println!("\n--- (c) lbm latency PDF, baseline vs Scheme-1 (core {lbm}) ---");
+    println!("{:>6} {:>9} {:>9}", "center", "base", "scheme1");
+    let pb = base.system.tracker().app(lbm).total.pdf_points();
+    let ps = s1.system.tracker().app(lbm).total.pdf_points();
+    for i in 0..pb.len().max(ps.len()) {
+        let (c, f1) = pb.get(i).copied().unwrap_or((i as u64 * 25 + 12, 0.0));
+        let (_, f2) = ps.get(i).copied().unwrap_or((0, 0.0));
+        if f1 > 0.001 || f2 > 0.001 {
+            println!("{c:>6} {f1:>9.4} {f2:>9.4}");
+        }
+    }
+    let hb = &base.system.tracker().app(lbm).total;
+    let hs = &s1.system.tracker().app(lbm).total;
+    println!(
+        "\nlbm p90: {} -> {} cycles; p99: {} -> {}; tail (>1.7x mean): {:.1}% -> {:.1}%",
+        hb.percentile(0.90),
+        hs.percentile(0.90),
+        hb.percentile(0.99),
+        hs.percentile(0.99),
+        (1.0 - hb.cdf_at((1.7 * hb.mean()) as u64)) * 100.0,
+        (1.0 - hs.cdf_at((1.7 * hb.mean()) as u64)) * 100.0,
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 14 — average bank idleness over the course of execution,
+//! default vs Scheme-2.
+//!
+//! Paper shape to reproduce: the Scheme-2 curve sits below the default curve
+//! across the run. As with Figure 13, the paper's workload-1 and the
+//! higher-pressure workload-8 are both reported.
+
+use noclat::{run_mix, MixResult, RunLengths, SystemConfig};
+use noclat_bench::{banner, lengths_from_args};
+use noclat_workloads::workload;
+
+fn report(widx: usize, base: &MixResult, s2: &MixResult) {
+    println!("\n--- workload-{widx} (10k-cycle intervals, controller 0) ---");
+    let tb = base.system.idleness(0).idleness_over_time();
+    let ts = s2.system.idleness(0).idleness_over_time();
+    println!("{:>10} {:>9} {:>9}", "interval", "default", "scheme2");
+    for i in 0..tb.len().min(ts.len()) {
+        println!("{:>10} {:>9.3} {:>9.3}", i, tb[i], ts[i]);
+    }
+    let below = tb.iter().zip(&ts).filter(|(b, s)| s <= b).count();
+    println!(
+        "Scheme-2 at or below default in {below}/{} intervals",
+        tb.len().min(ts.len())
+    );
+}
+
+fn run_for(widx: usize, lengths: RunLengths) {
+    let apps = workload(widx).apps();
+    let base = run_mix(&SystemConfig::baseline_32(), &apps, lengths);
+    let s2 = run_mix(&SystemConfig::baseline_32().with_scheme2(), &apps, lengths);
+    report(widx, &base, &s2);
+}
+
+fn main() {
+    banner(
+        "Figure 14: Average bank idleness over time, default vs Scheme-2",
+        "One row per 10k-cycle interval, averaged across controller 0's banks.",
+    );
+    let lengths = lengths_from_args();
+    run_for(1, lengths);
+    run_for(8, lengths);
+}

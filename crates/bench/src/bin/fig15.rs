@@ -1,0 +1,51 @@
+//! Figure 15 — normalized weighted speedups on the 16-core system (4x4
+//! mesh, 2 memory controllers), using the first half of each workload.
+//!
+//! Paper shape to reproduce: gains are positive but smaller than on the
+//! 32-core system (the network contributes less to round-trip latency in a
+//! smaller mesh). Paper averages: ~8% (mixed), ~11% (intensive), ~1.5%
+//! (non-intensive) for Scheme-1+2.
+
+use noclat::SystemConfig;
+use noclat_bench::{banner, lengths_from_args, pct, run_with_ws, w, AloneTable};
+use noclat_sim::stats::geomean;
+use noclat_workloads::{indices_of, WorkloadKind};
+
+fn main() {
+    banner(
+        "Figure 15: Normalized weighted speedup on the 16-core (4x4) system",
+        "First half of each Table-2 workload; 2 memory controllers.",
+    );
+    let lengths = lengths_from_args();
+    let hw = SystemConfig::baseline_16();
+    let mut alone = AloneTable::new();
+    for kind in [
+        WorkloadKind::Mixed,
+        WorkloadKind::MemIntensive,
+        WorkloadKind::MemNonIntensive,
+    ] {
+        println!("\n--- {kind:?} ---");
+        println!("{:>12} {:>9} {:>10} {:>12}", "workload", "base WS", "Scheme-1", "Scheme-1+2");
+        let mut s1s = Vec::new();
+        let mut boths = Vec::new();
+        for i in indices_of(kind) {
+            let apps = w(i).first_half();
+            let table = alone.table(&hw, &apps, lengths);
+            let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
+            let (_, s1) = run_with_ws(&hw.clone().with_scheme1(), &apps, &table, lengths);
+            let (_, both) = run_with_ws(&hw.clone().with_both_schemes(), &apps, &table, lengths);
+            println!(
+                "{:>12} {:>9.3} {:>10.3} {:>12.3}",
+                w(i).name(),
+                base,
+                s1 / base,
+                both / base
+            );
+            s1s.push(s1 / base);
+            boths.push(both / base);
+        }
+        let g1 = geomean(&s1s).unwrap_or(1.0);
+        let g2 = geomean(&boths).unwrap_or(1.0);
+        println!("{:>12} geomean: Scheme-1 {}, Scheme-1+2 {}", "", pct(g1), pct(g2));
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 16a — sensitivity of the combined schemes to the Scheme-1
+//! lateness threshold: {1.0, 1.2, 1.4} x Delay_avg, workloads 1-6.
+//!
+//! Paper shape to reproduce: 1.2x is the sweet spot; 1.4x marks too few
+//! messages, 1.0x marks too many (prioritizing everything hurts the rest).
+
+use noclat::SystemConfig;
+use noclat_bench::{banner, lengths_from_args, run_with_ws, w, AloneTable};
+use noclat_sim::stats::geomean;
+
+fn main() {
+    banner(
+        "Figure 16a: Threshold sensitivity (workloads 1-6, Scheme-1+2)",
+        "Normalized WS for thresholds 1.0x, 1.2x and 1.4x Delay_avg.",
+    );
+    let lengths = lengths_from_args();
+    let mut alone = AloneTable::new();
+    println!(
+        "{:>12} {:>8} {:>8} {:>8}",
+        "workload", "1.0x", "1.2x", "1.4x"
+    );
+    let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for i in 1..=6 {
+        let apps = w(i).apps();
+        let hw = SystemConfig::baseline_32();
+        let table = alone.table(&hw, &apps, lengths);
+        let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
+        let mut row = Vec::new();
+        for (k, factor) in [1.0, 1.2, 1.4].into_iter().enumerate() {
+            let mut cfg = hw.clone().with_both_schemes();
+            cfg.scheme1.threshold_factor = factor;
+            let (_, ws) = run_with_ws(&cfg, &apps, &table, lengths);
+            row.push(ws / base);
+            cols[k].push(ws / base);
+        }
+        println!(
+            "{:>12} {:>8.3} {:>8.3} {:>8.3}",
+            w(i).name(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+    println!(
+        "{:>12} {:>8.3} {:>8.3} {:>8.3}",
+        "geomean",
+        geomean(&cols[0]).unwrap_or(1.0),
+        geomean(&cols[1]).unwrap_or(1.0),
+        geomean(&cols[2]).unwrap_or(1.0)
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 16b — sensitivity of the combined schemes to Scheme-2's bank
+//! history window T: {100, 200, 400} cycles, workloads 1-6.
+//!
+//! Paper shape to reproduce: T=200 is best on average; T=400 expedites too
+//! few requests, T=100 misjudges idle banks.
+
+use noclat::SystemConfig;
+use noclat_bench::{banner, lengths_from_args, run_with_ws, w, AloneTable};
+use noclat_sim::stats::geomean;
+
+fn main() {
+    banner(
+        "Figure 16b: Bank-history-length sensitivity (workloads 1-6, Scheme-1+2)",
+        "Normalized WS for T = 100, 200 and 400 cycles.",
+    );
+    let lengths = lengths_from_args();
+    let mut alone = AloneTable::new();
+    println!("{:>12} {:>8} {:>8} {:>8}", "workload", "T=100", "T=200", "T=400");
+    let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for i in 1..=6 {
+        let apps = w(i).apps();
+        let hw = SystemConfig::baseline_32();
+        let table = alone.table(&hw, &apps, lengths);
+        let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
+        let mut row = Vec::new();
+        for (k, t) in [100u64, 200, 400].into_iter().enumerate() {
+            let mut cfg = hw.clone().with_both_schemes();
+            cfg.scheme2.history_window = t;
+            let (_, ws) = run_with_ws(&cfg, &apps, &table, lengths);
+            row.push(ws / base);
+            cols[k].push(ws / base);
+        }
+        println!(
+            "{:>12} {:>8.3} {:>8.3} {:>8.3}",
+            w(i).name(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+    println!(
+        "{:>12} {:>8.3} {:>8.3} {:>8.3}",
+        "geomean",
+        geomean(&cols[0]).unwrap_or(1.0),
+        geomean(&cols[1]).unwrap_or(1.0),
+        geomean(&cols[2]).unwrap_or(1.0)
+    );
+}

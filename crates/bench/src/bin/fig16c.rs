@@ -1,0 +1,41 @@
+//! Figure 16c — impact of the number of memory controllers (2 vs 4) on the
+//! combined schemes, mixed workloads 1-6.
+//!
+//! Paper shape to reproduce: with fewer controllers, pressure per controller
+//! rises, there are more late accesses for Scheme-1 to catch, and combined
+//! gains are slightly higher (with exceptions, e.g. the paper's w-2/w-3).
+
+use noclat::SystemConfig;
+use noclat_bench::{banner, lengths_from_args, run_with_ws, w, AloneTable};
+use noclat_sim::stats::geomean;
+
+fn main() {
+    banner(
+        "Figure 16c: 2 vs 4 memory controllers (workloads 1-6, Scheme-1+2)",
+        "Normalized WS per controller count.",
+    );
+    let lengths = lengths_from_args();
+    let mut alone = AloneTable::new();
+    println!("{:>12} {:>8} {:>8}", "workload", "4 MCs", "2 MCs");
+    let mut cols: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for i in 1..=6 {
+        let apps = w(i).apps();
+        let mut row = Vec::new();
+        for (k, mcs) in [4usize, 2].into_iter().enumerate() {
+            let mut hw = SystemConfig::baseline_32();
+            hw.mem.num_controllers = mcs;
+            let table = alone.table(&hw, &apps, lengths);
+            let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
+            let (_, ws) = run_with_ws(&hw.clone().with_both_schemes(), &apps, &table, lengths);
+            row.push(ws / base);
+            cols[k].push(ws / base);
+        }
+        println!("{:>12} {:>8.3} {:>8.3}", w(i).name(), row[0], row[1]);
+    }
+    println!(
+        "{:>12} {:>8.3} {:>8.3}",
+        "geomean",
+        geomean(&cols[0]).unwrap_or(1.0),
+        geomean(&cols[1]).unwrap_or(1.0)
+    );
+}

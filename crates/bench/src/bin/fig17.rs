@@ -1,0 +1,47 @@
+//! Figure 17 — the combined schemes on 2-stage vs 5-stage router pipelines,
+//! workloads 1-6.
+//!
+//! Paper shape to reproduce: gains persist with 2-stage routers but shrink
+//! by 25-40% (shallower pipelines leave less network latency to save, and
+//! pipeline bypassing has nothing left to skip).
+
+use noclat::{RouterPipeline, SystemConfig};
+use noclat_bench::{banner, lengths_from_args, run_with_ws, w, AloneTable};
+use noclat_sim::stats::geomean;
+
+fn main() {
+    banner(
+        "Figure 17: 5-stage vs 2-stage router pipelines (workloads 1-6, Scheme-1+2)",
+        "Normalized WS per pipeline depth.",
+    );
+    let lengths = lengths_from_args();
+    let mut alone = AloneTable::new();
+    println!("{:>12} {:>9} {:>9}", "workload", "5-stage", "2-stage");
+    let mut cols: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for i in 1..=6 {
+        let apps = w(i).apps();
+        let mut row = Vec::new();
+        for (k, pipe) in [RouterPipeline::FiveStage, RouterPipeline::TwoStage]
+            .into_iter()
+            .enumerate()
+        {
+            let mut hw = SystemConfig::baseline_32();
+            hw.noc.pipeline = pipe;
+            let table = alone.table(&hw, &apps, lengths);
+            let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
+            let (_, ws) = run_with_ws(&hw.clone().with_both_schemes(), &apps, &table, lengths);
+            row.push(ws / base);
+            cols[k].push(ws / base);
+        }
+        println!("{:>12} {:>9.3} {:>9.3}", w(i).name(), row[0], row[1]);
+    }
+    let g5 = geomean(&cols[0]).unwrap_or(1.0);
+    let g2 = geomean(&cols[1]).unwrap_or(1.0);
+    println!("{:>12} {:>9.3} {:>9.3}", "geomean", g5, g2);
+    if g5 > 1.0 {
+        println!(
+            "\n2-stage gains are {:.0}% of the 5-stage gains (paper: 60-75%)",
+            (g2 - 1.0) / (g5 - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Network congestion heat-map (beyond the paper): flits forwarded per
+//! router for one workload, under X-Y and Y-X routing.
+//!
+//! The request traffic of an S-NUCA system converges on the corner memory
+//! controllers; the heat-map makes the resulting hot rows/columns visible,
+//! and shows how the routing algorithm moves them.
+
+use noclat::{run_mix, MixResult, SystemConfig};
+use noclat_bench::{banner, lengths_from_args};
+use noclat_sim::config::RoutingAlgorithm;
+use noclat_workloads::workload;
+
+fn print_heat(label: &str, r: &MixResult, width: usize, height: usize) {
+    let heat = r.system.forwarding_heat();
+    let max = *heat.iter().max().unwrap_or(&1) as f64;
+    println!("\n--- {label} (flits forwarded per router; # = load) ---");
+    for y in 0..height {
+        let mut row = String::new();
+        for x in 0..width {
+            let v = heat[y * width + x] as f64 / max.max(1.0);
+            let glyph = match (v * 9.0) as u32 {
+                0 => " .",
+                1..=2 => " -",
+                3..=4 => " +",
+                5..=6 => " *",
+                _ => " #",
+            };
+            row.push_str(glyph);
+        }
+        println!("  {row}");
+    }
+    println!(
+        "  max router forwarded {} flits; total {}",
+        max as u64,
+        heat.iter().sum::<u64>()
+    );
+}
+
+fn main() {
+    banner(
+        "Network heat-map (extension): router forwarding load, X-Y vs Y-X",
+        "Workload-8 (memory-intensive); corners host the memory controllers.",
+    );
+    let lengths = lengths_from_args();
+    let apps = workload(8).apps();
+    for (label, algo) in [("X-Y routing", RoutingAlgorithm::XY), ("Y-X routing", RoutingAlgorithm::YX)] {
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.noc.routing = algo;
+        let r = run_mix(&cfg, &apps, lengths);
+        print_heat(label, &r, 8, 4);
+    }
+}

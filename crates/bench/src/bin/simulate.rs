@@ -1,0 +1,142 @@
+//! General-purpose CLI front end for the simulator.
+//!
+//! ```text
+//! simulate [--workload N] [--scheme none|s1|s2|both] [--cores 16|32]
+//!          [--warmup CYCLES] [--measure CYCLES] [--seed SEED]
+//!          [--routing xy|yx] [--sched frfcfs|frfcfs-cap|fcfs]
+//! ```
+//!
+//! Prints a full report: per-application IPC and off-chip behaviour,
+//! latency distribution summary, controller and network statistics.
+
+use noclat::{run_mix, MemSchedPolicy, RunLengths, SystemConfig, SystemReport};
+use noclat_sim::config::RoutingAlgorithm;
+use noclat_workloads::workload;
+
+struct Args {
+    workload: usize,
+    scheme: String,
+    cores: usize,
+    warmup: u64,
+    measure: u64,
+    seed: Option<u64>,
+    routing: String,
+    sched: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: 2,
+        scheme: "both".into(),
+        cores: 32,
+        warmup: 20_000,
+        measure: 150_000,
+        seed: None,
+        routing: "xy".into(),
+        sched: "frfcfs".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1).ok_or_else(|| format!("{key} needs a value"))
+        };
+        match key {
+            "--workload" => args.workload = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--scheme" => args.scheme = value(i)?.clone(),
+            "--cores" => args.cores = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--warmup" => args.warmup = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--measure" => args.measure = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = Some(value(i)?.parse().map_err(|e| format!("{e}"))?),
+            "--routing" => args.routing = value(i)?.clone(),
+            "--sched" => args.sched = value(i)?.clone(),
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: simulate [--workload 1..18] [--scheme none|s1|s2|both] \
+         [--cores 16|32] [--warmup N] [--measure N] [--seed N] \
+         [--routing xy|yx] [--sched frfcfs|frfcfs-cap|fcfs]"
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}");
+            }
+            usage();
+            std::process::exit(if e == "help" { 0 } else { 2 });
+        }
+    };
+    let mut cfg = match args.cores {
+        32 => SystemConfig::baseline_32(),
+        16 => SystemConfig::baseline_16(),
+        n => {
+            eprintln!("error: unsupported core count {n} (16 or 32)");
+            std::process::exit(2);
+        }
+    };
+    match args.scheme.as_str() {
+        "none" => {}
+        "s1" => cfg.scheme1.enabled = true,
+        "s2" => cfg.scheme2.enabled = true,
+        "both" => cfg = cfg.with_both_schemes(),
+        other => {
+            eprintln!("error: unknown scheme {other}");
+            std::process::exit(2);
+        }
+    }
+    cfg.noc.routing = match args.routing.as_str() {
+        "xy" => RoutingAlgorithm::XY,
+        "yx" => RoutingAlgorithm::YX,
+        other => {
+            eprintln!("error: unknown routing {other}");
+            std::process::exit(2);
+        }
+    };
+    cfg.mem.scheduler = match args.sched.as_str() {
+        "frfcfs" => MemSchedPolicy::FrFcfs,
+        "frfcfs-cap" => MemSchedPolicy::FrFcfsCap(4),
+        "fcfs" => MemSchedPolicy::Fcfs,
+        other => {
+            eprintln!("error: unknown scheduler {other}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+
+    let w = workload(args.workload);
+    let apps = if args.cores == 16 {
+        w.first_half()
+    } else {
+        w.apps()
+    };
+    println!(
+        "simulating {} ({:?}) on {} cores, scheme={}, routing={}, sched={}, {}+{} cycles",
+        w.name(), w.kind, args.cores, args.scheme, args.routing, args.sched,
+        args.warmup, args.measure
+    );
+    let t0 = std::time::Instant::now();
+    let r = run_mix(
+        &cfg,
+        &apps,
+        RunLengths {
+            warmup: args.warmup,
+            measure: args.measure,
+        },
+    );
+    println!("simulated in {:?}\n", t0.elapsed());
+    println!("{}", SystemReport::from_result(&r));
+}

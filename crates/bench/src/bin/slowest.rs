@@ -1,0 +1,49 @@
+//! Slowest-transaction dissection (extension): the paper's Figure-3
+//! narrative made concrete — for one workload, print the slowest off-chip
+//! accesses of the run with their five-path breakdowns, under the baseline
+//! and under Scheme-1.
+
+use noclat::{run_mix, MixResult, SystemConfig};
+use noclat_bench::{banner, lengths_from_args};
+use noclat_workloads::workload;
+
+fn print_slowest(label: &str, r: &MixResult, k: usize) {
+    println!("\n--- {label}: {k} slowest off-chip accesses ---");
+    println!(
+        "{:>5} {:>12} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "core", "app", "total", "L1->L2", "L2->Mem", "Mem", "Mem->L2", "L2->L1"
+    );
+    for rec in r.system.slowest_transactions().iter().take(k) {
+        let s = rec.times.segments();
+        println!(
+            "{:>5} {:>12} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            rec.core,
+            r.per_app[rec.core].app.name(),
+            rec.total(),
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            s[4]
+        );
+    }
+}
+
+fn main() {
+    banner(
+        "Slowest transactions (extension): where do late accesses lose time?",
+        "Workload-8; baseline vs Scheme-1.",
+    );
+    let lengths = lengths_from_args();
+    let apps = workload(8).apps();
+    let base = run_mix(&SystemConfig::baseline_32(), &apps, lengths);
+    print_slowest("baseline", &base, 15);
+    let s1 = run_mix(&SystemConfig::baseline_32().with_scheme1(), &apps, lengths);
+    print_slowest("Scheme-1", &s1, 15);
+    let worst = |r: &MixResult| r.system.slowest_transactions()[0].total();
+    println!(
+        "\nworst-case access: {} -> {} cycles",
+        worst(&base),
+        worst(&s1)
+    );
+}

@@ -1,0 +1,31 @@
+//! Table 2 — the 18 multiprogrammed workloads, exactly as listed in the
+//! paper (instance counts in parentheses).
+
+use noclat_bench::banner;
+use noclat_workloads::{all_workloads, WorkloadKind};
+
+fn main() {
+    banner(
+        "Table 2: Workloads used in the 32-core experiments",
+        "18 mixes of SPEC CPU2006 applications (instance counts in parentheses).",
+    );
+    let mut current = None;
+    for w in all_workloads() {
+        if current != Some(w.kind) {
+            current = Some(w.kind);
+            let label = match w.kind {
+                WorkloadKind::Mixed => "MIXED",
+                WorkloadKind::MemIntensive => "MEM-INTENSIVE",
+                WorkloadKind::MemNonIntensive => "MEM-NON-INTENSIVE",
+            };
+            println!("\n--- {label} ---");
+        }
+        let desc: Vec<String> = w
+            .entries
+            .iter()
+            .map(|(app, n)| format!("{}({n})", app.name()))
+            .collect();
+        println!("{:12} {}", w.name(), desc.join(", "));
+        assert_eq!(w.num_apps(), 32);
+    }
+}

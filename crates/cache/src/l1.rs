@@ -1,0 +1,225 @@
+//! Private L1 data cache: direct-mapped, 32 KB, 64 B lines (Table 1).
+//!
+//! The tag array is exact; allocation happens at access time (the enclosing
+//! transaction machinery accounts for the fill latency), and dirty evictions
+//! are surfaced to the caller so it can generate writeback traffic.
+
+use noclat_sim::stats::Counter;
+
+/// Result of an L1 access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Access {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been allocated; if the victim was dirty,
+    /// its line-aligned address must be written back to L2.
+    Miss {
+        /// Dirty victim to write back, if any.
+        writeback: Option<u64>,
+    },
+}
+
+/// L1 hit/miss statistics.
+#[derive(Debug, Clone, Default)]
+pub struct L1Stats {
+    /// Hits.
+    pub hits: Counter,
+    /// Misses.
+    pub misses: Counter,
+    /// Dirty victims written back.
+    pub writebacks: Counter,
+}
+
+impl L1Stats {
+    /// Miss ratio over all accesses (0 when no accesses).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits.get() + self.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses.get() as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+}
+
+/// A direct-mapped write-back L1 cache.
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    line_bytes: u64,
+    sets: Vec<Option<Line>>,
+    stats: L1Stats,
+}
+
+impl L1Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes` is a multiple of `line_bytes` and
+    /// `line_bytes` is a power of two.
+    #[must_use]
+    pub fn new(size_bytes: usize, line_bytes: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(
+            size_bytes % line_bytes == 0 && size_bytes >= line_bytes,
+            "capacity must be a whole number of lines"
+        );
+        L1Cache {
+            line_bytes: line_bytes as u64,
+            sets: vec![None; size_bytes / line_bytes],
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// Statistics.
+    #[must_use]
+    pub fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+
+    /// Number of sets (= lines, direct-mapped).
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn split(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Line-aligned address reconstructed from a set and tag.
+    fn addr_of(&self, set: usize, tag: u64) -> u64 {
+        (tag * self.sets.len() as u64 + set as u64) * self.line_bytes
+    }
+
+    /// Accesses `addr`; allocates on miss and reports any dirty victim.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> L1Access {
+        let (set, tag) = self.split(addr);
+        if let Some(line) = &mut self.sets[set] {
+            if line.tag == tag {
+                line.dirty |= is_write;
+                self.stats.hits.inc();
+                return L1Access::Hit;
+            }
+        }
+        let writeback = self.sets[set]
+            .filter(|l| l.dirty)
+            .map(|l| self.addr_of(set, l.tag));
+        self.sets[set] = Some(Line {
+            tag,
+            dirty: is_write,
+        });
+        self.stats.misses.inc();
+        if writeback.is_some() {
+            self.stats.writebacks.inc();
+        }
+        L1Access::Miss { writeback }
+    }
+
+    /// Whether `addr` is currently resident (no side effects).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.split(addr);
+        self.sets[set].is_some_and(|l| l.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> L1Cache {
+        L1Cache::new(32 * 1024, 64)
+    }
+
+    #[test]
+    fn table1_geometry() {
+        assert_eq!(cache().num_sets(), 512);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache();
+        assert_eq!(c.access(0x1000, false), L1Access::Miss { writeback: None });
+        assert_eq!(c.access(0x1000, false), L1Access::Hit);
+        assert_eq!(c.access(0x103f, false), L1Access::Hit, "same line");
+        assert_eq!(c.stats().hits.get(), 2);
+        assert_eq!(c.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut c = cache();
+        let stride = 512 * 64; // maps to the same set
+        assert!(matches!(c.access(0, false), L1Access::Miss { .. }));
+        assert!(matches!(c.access(stride, false), L1Access::Miss { .. }));
+        // The first line was clean: no writeback, and it is gone.
+        assert!(!c.probe(0));
+        assert!(c.probe(stride));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_victim_address() {
+        let mut c = cache();
+        let stride = 512 * 64;
+        c.access(64, true); // dirty line at set 1
+        match c.access(64 + stride, false) {
+            L1Access::Miss { writeback } => assert_eq!(writeback, Some(64)),
+            other => panic!("expected a miss, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = cache();
+        let stride = 512 * 64;
+        c.access(0, false);
+        assert_eq!(
+            c.access(stride, false),
+            L1Access::Miss { writeback: None }
+        );
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = cache();
+        let stride = 512 * 64;
+        c.access(0, false);
+        c.access(0, true); // dirty via write hit
+        match c.access(stride, false) {
+            L1Access::Miss { writeback } => assert_eq!(writeback, Some(0)),
+            other => panic!("expected a miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_has_no_side_effects() {
+        let mut c = cache();
+        c.access(0, false);
+        let before = (c.stats().hits.get(), c.stats().misses.get());
+        assert!(c.probe(0));
+        assert!(!c.probe(0x9999_0000));
+        assert_eq!((c.stats().hits.get(), c.stats().misses.get()), before);
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let mut c = cache();
+        c.access(0, false);
+        c.access(0, false);
+        c.access(64, false);
+        c.access(64, false);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,272 @@
+//! One bank of the shared S-NUCA L2: 512 KB, 16-way, 64 B lines, LRU
+//! (Table 1). The full L2 is 32 such banks, one per tile, with lines
+//! statically interleaved across banks by address (see
+//! [`crate::snuca::SnucaMap`]).
+
+use noclat_sim::stats::Counter;
+
+/// Result of an L2 bank access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Access {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been allocated; an off-chip fill is
+    /// required, and a dirty victim (if any) must be written back to memory.
+    Miss {
+        /// Dirty victim to write back to memory, if any.
+        writeback: Option<u64>,
+    },
+}
+
+/// L2 bank statistics.
+#[derive(Debug, Clone, Default)]
+pub struct L2Stats {
+    /// Hits.
+    pub hits: Counter,
+    /// Misses.
+    pub misses: Counter,
+    /// Dirty victims written back to memory.
+    pub writebacks: Counter,
+}
+
+impl L2Stats {
+    /// Miss ratio over all accesses (0 when no accesses).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits.get() + self.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses.get() as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// A set-associative write-back L2 bank with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct L2Bank {
+    line_bytes: u64,
+    num_sets: usize,
+    associativity: usize,
+    /// S-NUCA interleaving factor: this bank holds every `interleave`-th
+    /// line. Set indices are computed from the *bank-local* line number so
+    /// the whole tag array is used.
+    interleave: u64,
+    /// This bank's position within the interleaving (`line % interleave`).
+    bank_index: u64,
+    /// `sets[set]` holds up to `associativity` ways.
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+    stats: L2Stats,
+}
+
+impl L2Bank {
+    /// Creates an empty stand-alone bank (no interleaving).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the geometry divides evenly and `line_bytes` is a power
+    /// of two.
+    #[must_use]
+    pub fn new(size_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
+        Self::new_interleaved(size_bytes, line_bytes, associativity, 1, 0)
+    }
+
+    /// Creates bank `bank_index` of an S-NUCA array of `interleave` banks:
+    /// it receives exactly the lines with `line % interleave == bank_index`
+    /// and indexes its sets by the bank-local line number.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the geometry divides evenly, `line_bytes` is a power of
+    /// two, and `bank_index < interleave`.
+    #[must_use]
+    pub fn new_interleaved(
+        size_bytes: usize,
+        line_bytes: usize,
+        associativity: usize,
+        interleave: usize,
+        bank_index: usize,
+    ) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(associativity > 0, "need at least one way");
+        assert!(interleave > 0 && bank_index < interleave, "bad interleave");
+        let lines = size_bytes / line_bytes;
+        assert!(
+            lines % associativity == 0 && lines >= associativity,
+            "capacity must be a whole number of sets"
+        );
+        let num_sets = lines / associativity;
+        L2Bank {
+            line_bytes: line_bytes as u64,
+            num_sets,
+            associativity,
+            interleave: interleave as u64,
+            bank_index: bank_index as u64,
+            sets: vec![Vec::new(); num_sets],
+            clock: 0,
+            stats: L2Stats::default(),
+        }
+    }
+
+    /// Statistics.
+    #[must_use]
+    pub fn stats(&self) -> &L2Stats {
+        &self.stats
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    fn split(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line_bytes;
+        debug_assert_eq!(
+            line % self.interleave,
+            self.bank_index,
+            "line routed to the wrong S-NUCA bank"
+        );
+        let local = line / self.interleave;
+        let set = (local % self.num_sets as u64) as usize;
+        let tag = local / self.num_sets as u64;
+        (set, tag)
+    }
+
+    fn addr_of(&self, set: usize, tag: u64) -> u64 {
+        let local = tag * self.num_sets as u64 + set as u64;
+        (local * self.interleave + self.bank_index) * self.line_bytes
+    }
+
+    /// Accesses `addr`; allocates on miss (LRU victim) and reports any dirty
+    /// victim's address.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> L2Access {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set_idx, tag) = self.split(addr);
+        let assoc = self.associativity;
+        if let Some(way) = self.sets[set_idx].iter_mut().find(|w| w.tag == tag) {
+            way.dirty |= is_write;
+            way.last_used = clock;
+            self.stats.hits.inc();
+            return L2Access::Hit;
+        }
+        // Miss: allocate, evicting LRU if the set is full.
+        let victim = if self.sets[set_idx].len() == assoc {
+            let lru = self.sets[set_idx]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_used)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            Some(self.sets[set_idx].swap_remove(lru))
+        } else {
+            None
+        };
+        let writeback = victim
+            .filter(|v| v.dirty)
+            .map(|v| self.addr_of(set_idx, v.tag));
+        self.sets[set_idx].push(Way {
+            tag,
+            dirty: is_write,
+            last_used: clock,
+        });
+        self.stats.misses.inc();
+        if writeback.is_some() {
+            self.stats.writebacks.inc();
+        }
+        L2Access::Miss { writeback }
+    }
+
+    /// Whether `addr` is resident (no side effects).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.split(addr);
+        self.sets[set].iter().any(|w| w.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> L2Bank {
+        L2Bank::new(512 * 1024, 64, 16)
+    }
+
+    #[test]
+    fn table1_geometry() {
+        assert_eq!(bank().num_sets(), 512);
+    }
+
+    #[test]
+    fn fills_all_ways_before_evicting() {
+        let mut b = bank();
+        let set_stride = 512 * 64;
+        for i in 0..16u64 {
+            assert!(matches!(
+                b.access(i * set_stride, false),
+                L2Access::Miss { writeback: None }
+            ));
+        }
+        for i in 0..16u64 {
+            assert_eq!(b.access(i * set_stride, false), L2Access::Hit);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut b = bank();
+        let s = 512 * 64;
+        for i in 0..16u64 {
+            b.access(i * s, false);
+        }
+        // Touch way 0 so way 1 becomes LRU.
+        b.access(0, false);
+        b.access(16 * s, false); // evicts line 1*s
+        assert!(b.probe(0));
+        assert!(!b.probe(s));
+        assert!(b.probe(16 * s));
+    }
+
+    #[test]
+    fn dirty_victim_writes_back() {
+        let mut b = bank();
+        let s = 512 * 64;
+        b.access(0, true); // dirty
+        for i in 1..16u64 {
+            b.access(i * s, false);
+        }
+        match b.access(16 * s, false) {
+            L2Access::Miss { writeback } => assert_eq!(writeback, Some(0)),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert_eq!(b.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut b = bank();
+        b.access(0, false);
+        b.access(64, false);
+        assert!(b.probe(0));
+        assert!(b.probe(64));
+        assert_eq!(b.stats().misses.get(), 2);
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let mut b = bank();
+        b.access(0, false);
+        b.access(0, false);
+        assert!((b.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+}

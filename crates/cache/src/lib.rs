@@ -1,0 +1,31 @@
+//! Cache hierarchy for the MICRO 2012 end-to-end-latency reproduction:
+//! private direct-mapped L1s, a banked shared S-NUCA L2 and miss-status
+//! holding registers.
+//!
+//! Tag arrays are exact; lines allocate at access time (the enclosing
+//! transaction machinery accounts for the fill latency) and dirty evictions
+//! surface to the caller so it can generate writeback traffic toward L2 and
+//! memory — the request-side load the paper's Scheme-2 balances.
+//!
+//! # Example
+//!
+//! ```
+//! use noclat_cache::{L1Access, L1Cache, SnucaMap};
+//!
+//! let mut l1 = L1Cache::new(32 * 1024, 64);
+//! assert!(matches!(l1.access(0x1000, false), L1Access::Miss { .. }));
+//! assert!(matches!(l1.access(0x1000, false), L1Access::Hit));
+//!
+//! let snuca = SnucaMap::new(32, 64);
+//! assert_ne!(snuca.bank_of(0x1000), snuca.bank_of(0x1040));
+//! ```
+
+pub mod l1;
+pub mod l2;
+pub mod mshr;
+pub mod snuca;
+
+pub use l1::{L1Access, L1Cache, L1Stats};
+pub use l2::{L2Access, L2Bank, L2Stats};
+pub use mshr::{MshrAlloc, MshrFile};
+pub use snuca::SnucaMap;

@@ -1,0 +1,130 @@
+//! Miss-status holding registers: merge outstanding misses to the same line
+//! and bound the number of in-flight fills.
+
+use std::collections::HashMap;
+
+/// Outcome of registering a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAlloc {
+    /// First miss to this line: the caller must launch the fill.
+    Primary,
+    /// A fill for this line is already in flight: the waiter piggybacks.
+    Secondary,
+    /// No MSHR available: the miss must be retried later.
+    Full,
+}
+
+/// A file of miss-status holding registers keyed by line address, each
+/// holding the waiters to wake when the fill returns.
+#[derive(Debug, Clone)]
+pub struct MshrFile<W> {
+    capacity: usize,
+    entries: HashMap<u64, Vec<W>>,
+}
+
+impl<W> MshrFile<W> {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "need at least one MSHR");
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Registers a miss on `line` with a waiter to wake on fill.
+    pub fn alloc(&mut self, line: u64, waiter: W) -> MshrAlloc {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            waiters.push(waiter);
+            return MshrAlloc::Secondary;
+        }
+        if self.entries.len() == self.capacity {
+            return MshrAlloc::Full;
+        }
+        self.entries.insert(line, vec![waiter]);
+        MshrAlloc::Primary
+    }
+
+    /// Completes the fill of `line`, returning all waiters (empty if the
+    /// line had no entry).
+    pub fn complete(&mut self, line: u64) -> Vec<W> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Whether a fill for `line` is outstanding.
+    #[must_use]
+    pub fn contains(&self, line: u64) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Registers in use.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no fills are outstanding.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_secondary() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        assert_eq!(m.alloc(100, 1), MshrAlloc::Primary);
+        assert_eq!(m.alloc(100, 2), MshrAlloc::Secondary);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.complete(100), vec![1, 2]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn full_when_capacity_reached() {
+        let mut m: MshrFile<u32> = MshrFile::new(1);
+        assert_eq!(m.alloc(100, 1), MshrAlloc::Primary);
+        assert_eq!(m.alloc(200, 2), MshrAlloc::Full);
+        // Secondary to the existing line still works.
+        assert_eq!(m.alloc(100, 3), MshrAlloc::Secondary);
+        let _ = m.complete(100);
+        assert_eq!(m.alloc(200, 2), MshrAlloc::Primary);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m: MshrFile<u32> = MshrFile::new(4);
+        assert!(m.complete(42).is_empty());
+    }
+
+    #[test]
+    fn contains_tracks_outstanding() {
+        let mut m: MshrFile<u32> = MshrFile::new(4);
+        assert!(!m.contains(7));
+        m.alloc(7, 0);
+        assert!(m.contains(7));
+        let _ = m.complete(7);
+        assert!(!m.contains(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MSHR")]
+    fn zero_capacity_rejected() {
+        let _: MshrFile<u32> = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Static NUCA (S-NUCA) mapping of cache lines to L2 banks.
+//!
+//! As in the paper (Section 2.1, following Kim et al.'s S-NUCA), each cache
+//! block-sized unit of memory is statically mapped to one bank based on its
+//! address, interleaving consecutive lines across banks. Bank `b` lives in
+//! tile `b` of the mesh.
+
+/// Address → L2 bank mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnucaMap {
+    line_bytes: u64,
+    num_banks: u64,
+}
+
+impl SnucaMap {
+    /// Creates a map over `num_banks` banks with `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero or `line_bytes` is not a power of
+    /// two.
+    #[must_use]
+    pub fn new(num_banks: usize, line_bytes: usize) -> Self {
+        assert!(num_banks > 0, "need at least one bank");
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
+        SnucaMap {
+            line_bytes: line_bytes as u64,
+            num_banks: num_banks as u64,
+        }
+    }
+
+    /// The L2 bank (= tile index) holding `addr`.
+    #[must_use]
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr / self.line_bytes) % self.num_banks) as usize
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn num_banks(&self) -> usize {
+        self.num_banks as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_lines_interleave() {
+        let m = SnucaMap::new(32, 64);
+        let banks: Vec<usize> = (0..34u64).map(|i| m.bank_of(i * 64)).collect();
+        assert_eq!(banks[0], 0);
+        assert_eq!(banks[31], 31);
+        assert_eq!(banks[32], 0, "wraps around");
+        assert_eq!(banks[33], 1);
+    }
+
+    #[test]
+    fn same_line_same_bank() {
+        let m = SnucaMap::new(32, 64);
+        assert_eq!(m.bank_of(0), m.bank_of(63));
+        assert_ne!(m.bank_of(0), m.bank_of(64));
+    }
+
+    #[test]
+    fn all_banks_used() {
+        let m = SnucaMap::new(16, 64);
+        let used: std::collections::HashSet<usize> =
+            (0..64u64).map(|i| m.bank_of(i * 64)).collect();
+        assert_eq!(used.len(), 16);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the cache models against a reference
+//! implementation: hit/miss decisions, dirty-victim reporting and LRU
+//! behavior must match an oracle built from plain maps.
+
+use noclat_cache::{L1Access, L1Cache, L2Access, L2Bank, MshrAlloc, MshrFile};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model for a direct-mapped cache.
+#[derive(Default)]
+struct RefL1 {
+    // set -> (tag, dirty)
+    sets: HashMap<u64, (u64, bool)>,
+}
+
+impl RefL1 {
+    fn access(&mut self, addr: u64, write: bool, num_sets: u64) -> (bool, Option<u64>) {
+        let line = addr / 64;
+        let set = line % num_sets;
+        let tag = line / num_sets;
+        match self.sets.get_mut(&set) {
+            Some((t, d)) if *t == tag => {
+                *d |= write;
+                (true, None)
+            }
+            slot => {
+                let wb = slot
+                    .as_ref()
+                    .filter(|(_, d)| *d)
+                    .map(|(t, _)| (*t * num_sets + set) * 64);
+                self.sets.insert(set, (tag, write));
+                (false, wb)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn l1_matches_reference_model(
+        ops in prop::collection::vec((0u64..1 << 16, any::<bool>()), 1..500),
+    ) {
+        let mut l1 = L1Cache::new(4 * 1024, 64); // 64 sets: force conflicts
+        let mut oracle = RefL1::default();
+        for (addr, write) in ops {
+            let got = l1.access(addr, write);
+            let (hit, wb) = oracle.access(addr, write, 64);
+            match got {
+                L1Access::Hit => prop_assert!(hit, "model hit, oracle miss at {addr:#x}"),
+                L1Access::Miss { writeback } => {
+                    prop_assert!(!hit, "model miss, oracle hit at {addr:#x}");
+                    prop_assert_eq!(writeback, wb, "writeback mismatch at {:#x}", addr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l2_never_exceeds_capacity_and_recent_lines_hit(
+        addrs in prop::collection::vec(0u64..1 << 20, 1..400),
+    ) {
+        // Small bank: 16 KB, 4-way, 64 sets.
+        let mut l2 = L2Bank::new(16 * 1024, 64, 4);
+        for &a in &addrs {
+            let _ = l2.access(a & !63, false);
+            // Immediately re-accessing the same line must hit.
+            prop_assert_eq!(l2.access(a & !63, false), L2Access::Hit);
+        }
+        // Hits+misses add up (each address touched twice).
+        let s = l2.stats();
+        prop_assert_eq!(s.hits.get() + s.misses.get(), addrs.len() as u64 * 2);
+    }
+
+    #[test]
+    fn l2_interleaved_banks_partition_the_line_space(
+        lines in prop::collection::vec(0u64..1 << 16, 1..200),
+    ) {
+        let banks: usize = 8;
+        let mut arr: Vec<L2Bank> = (0..banks)
+            .map(|b| L2Bank::new_interleaved(16 * 1024, 64, 4, banks, b))
+            .collect();
+        for &l in &lines {
+            let addr = l * 64;
+            let b = (l % banks as u64) as usize;
+            let _ = arr[b].access(addr, true);
+            prop_assert!(arr[b].probe(addr));
+        }
+        // Every dirty line evicted from a bank must map back to that bank.
+        for (b, bank) in arr.iter_mut().enumerate() {
+            for probe in 0..64u64 {
+                let line = probe * banks as u64 + b as u64;
+                if let L2Access::Miss { writeback: Some(wb) } = bank.access(line * 64, false) {
+                    prop_assert_eq!(((wb / 64) % banks as u64) as usize, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mshr_waiters_conserve(
+        ops in prop::collection::vec((0u64..32, 0u32..1000), 1..300),
+    ) {
+        let mut mshr: MshrFile<u32> = MshrFile::new(8);
+        let mut outstanding: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (line, waiter) in ops {
+            match mshr.alloc(line, waiter) {
+                MshrAlloc::Primary => {
+                    prop_assert!(!outstanding.contains_key(&line));
+                    outstanding.insert(line, vec![waiter]);
+                }
+                MshrAlloc::Secondary => {
+                    outstanding.get_mut(&line).expect("primary exists").push(waiter);
+                }
+                MshrAlloc::Full => {
+                    prop_assert_eq!(outstanding.len(), 8, "Full only at capacity");
+                }
+            }
+            // Randomly complete the oldest line to keep the file churning.
+            if outstanding.len() >= 6 {
+                let (&l, _) = outstanding.iter().next().expect("non-empty");
+                let waiters = mshr.complete(l);
+                let expect = outstanding.remove(&l).expect("tracked");
+                prop_assert_eq!(waiters, expect);
+            }
+        }
+        // Drain: every tracked line completes with its exact waiter list.
+        let keys: Vec<u64> = outstanding.keys().copied().collect();
+        for l in keys {
+            let waiters = mshr.complete(l);
+            let expect = outstanding.remove(&l).expect("tracked");
+            prop_assert_eq!(waiters, expect);
+        }
+        prop_assert!(mshr.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Human-readable run reports: a [`SystemReport`] collects everything a
+//! harness or CLI wants to print about a finished [`MixResult`]
+//! — per-application results, the merged latency distribution, controller
+//! and network behaviour — behind one `Display` implementation.
+
+use noclat_sim::stats::{Histogram, Summary};
+
+use crate::experiment::MixResult;
+
+/// Per-controller digest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerReport {
+    /// Reads served.
+    pub reads: u64,
+    /// Writebacks served.
+    pub writes: u64,
+    /// Row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// Mean controller delay (queueing + service).
+    pub avg_delay: f64,
+    /// Overall bank idleness.
+    pub idleness: f64,
+}
+
+/// Network digest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkReport {
+    /// Packets injected.
+    pub packets: u64,
+    /// Packets injected at high priority.
+    pub high_priority: u64,
+    /// Mean request-class network latency per leg.
+    pub request_leg: f64,
+    /// Mean response-class network latency per leg.
+    pub response_leg: f64,
+    /// Total flit-hops.
+    pub flit_hops: u64,
+    /// Flits that used pipeline bypassing.
+    pub bypassed: u64,
+}
+
+/// A complete run digest, printable with `{}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemReport {
+    /// `(core, app name, ipc, off-chip count, mean off-chip latency)` rows.
+    pub apps: Vec<(usize, &'static str, f64, u64, f64)>,
+    /// Merged off-chip latency distribution.
+    pub latency: Summary,
+    /// One digest per memory controller.
+    pub controllers: Vec<ControllerReport>,
+    /// Network digest.
+    pub network: NetworkReport,
+}
+
+impl SystemReport {
+    /// Builds the report from a finished run.
+    #[must_use]
+    pub fn from_result(r: &MixResult) -> Self {
+        let mut merged = Histogram::new(25, 4000);
+        for c in 0..r.per_app.len() {
+            merged.merge(&r.system.tracker().app(c).total);
+        }
+        let controllers = (0..r.system.num_controllers())
+            .map(|m| {
+                let cs = r.system.controller_stats(m);
+                ControllerReport {
+                    reads: cs.reads.get(),
+                    writes: cs.writes.get(),
+                    row_hit_rate: cs.row_hit_rate(),
+                    avg_delay: cs.controller_delay.mean_or(0.0),
+                    idleness: r.system.idleness(m).overall(),
+                }
+            })
+            .collect();
+        let ns = r.system.network_stats();
+        let rc = r.system.router_counters();
+        SystemReport {
+            apps: r
+                .per_app
+                .iter()
+                .map(|a| (a.core, a.app.name(), a.ipc, a.offchip, a.avg_latency))
+                .collect(),
+            latency: merged.summary(),
+            controllers,
+            network: NetworkReport {
+                packets: ns.packets_injected.get(),
+                high_priority: ns.high_priority_injected.get(),
+                request_leg: ns.request_latency.mean_or(0.0),
+                response_leg: ns.response_latency.mean_or(0.0),
+                flit_hops: rc.flits_traversed,
+                bypassed: rc.flits_bypassed,
+            },
+        }
+    }
+
+    /// Sum of per-application IPCs (aggregate throughput).
+    #[must_use]
+    pub fn total_ipc(&self) -> f64 {
+        self.apps.iter().map(|&(_, _, ipc, _, _)| ipc).sum()
+    }
+}
+
+impl std::fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>4} {:>12} {:>7} {:>9} {:>9}",
+            "core", "app", "ipc", "offchip", "avg lat"
+        )?;
+        for &(core, name, ipc, offchip, lat) in &self.apps {
+            writeln!(f, "{core:>4} {name:>12} {ipc:>7.3} {offchip:>9} {lat:>9.0}")?;
+        }
+        writeln!(f, "\noff-chip latency: {}", self.latency)?;
+        for (m, c) in self.controllers.iter().enumerate() {
+            writeln!(
+                f,
+                "controller {m}: reads {} writes {} row-hit {:.2} avg delay {:.0} idleness {:.3}",
+                c.reads, c.writes, c.row_hit_rate, c.avg_delay, c.idleness
+            )?;
+        }
+        let n = &self.network;
+        writeln!(
+            f,
+            "network: {} packets ({} high-priority), request leg {:.0} cyc, response leg {:.0} cyc",
+            n.packets, n.high_priority, n.request_leg, n.response_leg
+        )?;
+        write!(
+            f,
+            "routers: {} flit-hops, {} bypassed",
+            n.flit_hops, n.bypassed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_mix, RunLengths};
+    use noclat_sim::config::SystemConfig;
+    use noclat_workloads::workload;
+
+    #[test]
+    fn report_is_complete_and_printable() {
+        let r = run_mix(
+            &SystemConfig::baseline_32(),
+            &workload(1).apps(),
+            RunLengths {
+                warmup: 500,
+                measure: 5_000,
+            },
+        );
+        let rep = SystemReport::from_result(&r);
+        assert_eq!(rep.apps.len(), 32);
+        assert_eq!(rep.controllers.len(), 4);
+        assert!(rep.total_ipc() > 0.0);
+        let text = rep.to_string();
+        assert!(text.contains("off-chip latency"));
+        assert!(text.contains("controller 0"));
+        assert!(text.lines().count() > 35);
+    }
+}

@@ -1,0 +1,172 @@
+//! Scheme-1: expediting late memory responses (Section 3.1).
+//!
+//! Each core tracks the dynamic average round-trip delay (`Delay_avg`) of
+//! its completed off-chip accesses and periodically sends
+//! `threshold = factor × Delay_avg` to every memory controller. When a
+//! controller is about to inject a response whose accumulated so-far delay
+//! exceeds the owning application's threshold, the response is marked
+//! high-priority for its entire return path, so the latency tail is
+//! squeezed toward the mean.
+
+use noclat_sim::config::Scheme1Config;
+use noclat_sim::stats::Ewma;
+use noclat_sim::Cycle;
+
+/// Smoothing weight for the dynamic `Delay_avg`. The paper recomputes the
+/// average as responses return; an EWMA keeps it phase-adaptive without
+/// unbounded state.
+const DELAY_AVG_ALPHA: f64 = 0.05;
+
+/// Core-side state: per-application dynamic delay averages and the periodic
+/// threshold-update schedule.
+#[derive(Debug, Clone)]
+pub struct Scheme1 {
+    cfg: Scheme1Config,
+    delay_avg: Vec<Ewma>,
+    next_update: Cycle,
+}
+
+impl Scheme1 {
+    /// Creates state for `num_cores` applications.
+    #[must_use]
+    pub fn new(cfg: Scheme1Config, num_cores: usize) -> Self {
+        Scheme1 {
+            delay_avg: vec![Ewma::new(DELAY_AVG_ALPHA); num_cores],
+            next_update: cfg.update_period,
+            cfg,
+        }
+    }
+
+    /// Records a completed off-chip access's round-trip delay for `core`.
+    pub fn record_round_trip(&mut self, core: usize, delay: Cycle) {
+        self.delay_avg[core].record(delay as f64);
+    }
+
+    /// Current `Delay_avg` of `core`, if any access has completed.
+    #[must_use]
+    pub fn delay_avg(&self, core: usize) -> Option<f64> {
+        self.delay_avg[core].value()
+    }
+
+    /// The threshold `core` would currently advertise
+    /// (`factor × Delay_avg`), if it has one.
+    #[must_use]
+    pub fn threshold(&self, core: usize) -> Option<u32> {
+        self.delay_avg[core]
+            .value()
+            .map(|avg| (self.cfg.threshold_factor * avg).round().max(1.0) as u32)
+    }
+
+    /// Whether threshold-update messages are due at `now`; if so, advances
+    /// the schedule and returns true. The caller then sends each core's
+    /// [`Scheme1::threshold`] to every controller.
+    pub fn update_due(&mut self, now: Cycle) -> bool {
+        if now < self.next_update {
+            return false;
+        }
+        self.next_update = now + self.cfg.update_period;
+        true
+    }
+}
+
+/// Controller-side state: the latest threshold received from each core.
+/// Until a core's first update arrives, its responses are never considered
+/// late (threshold = `u32::MAX`).
+#[derive(Debug, Clone)]
+pub struct ThresholdTable {
+    thresholds: Vec<u32>,
+}
+
+impl ThresholdTable {
+    /// Creates a table for `num_cores` applications.
+    #[must_use]
+    pub fn new(num_cores: usize) -> Self {
+        ThresholdTable {
+            thresholds: vec![u32::MAX; num_cores],
+        }
+    }
+
+    /// Installs a received threshold update.
+    pub fn set(&mut self, core: usize, threshold: u32) {
+        self.thresholds[core] = threshold;
+    }
+
+    /// The decision of Section 3.1: is a response with this so-far delay
+    /// late for `core`?
+    #[must_use]
+    pub fn is_late(&self, core: usize, so_far_delay: u32) -> bool {
+        so_far_delay > self.thresholds[core]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noclat_sim::config::SystemConfig;
+
+    fn cfg() -> Scheme1Config {
+        let mut c = SystemConfig::baseline_32().scheme1;
+        c.enabled = true;
+        c
+    }
+
+    #[test]
+    fn threshold_tracks_average() {
+        let mut s = Scheme1::new(cfg(), 2);
+        assert_eq!(s.threshold(0), None);
+        for _ in 0..200 {
+            s.record_round_trip(0, 300);
+        }
+        let th = s.threshold(0).unwrap();
+        assert!(
+            (355..=365).contains(&th),
+            "1.2 × 300 should be ~360, got {th}"
+        );
+        assert_eq!(s.threshold(1), None, "cores are independent");
+    }
+
+    #[test]
+    fn threshold_never_rounds_to_zero() {
+        let mut s = Scheme1::new(cfg(), 1);
+        s.record_round_trip(0, 0); // degenerate zero-delay sample
+        assert_eq!(s.threshold(0), Some(1), "threshold floors at 1 cycle");
+    }
+
+    #[test]
+    fn update_schedule_fires_periodically() {
+        let mut s = Scheme1::new(cfg(), 1);
+        let period = cfg().update_period;
+        assert!(!s.update_due(period - 1));
+        assert!(s.update_due(period));
+        assert!(!s.update_due(period + 1));
+        assert!(s.update_due(2 * period));
+    }
+
+    #[test]
+    fn table_defaults_to_never_late() {
+        let t = ThresholdTable::new(4);
+        assert!(!t.is_late(2, u32::MAX - 1));
+    }
+
+    #[test]
+    fn table_lateness_decision() {
+        let mut t = ThresholdTable::new(4);
+        t.set(1, 400);
+        assert!(!t.is_late(1, 400), "equal to threshold is not late");
+        assert!(t.is_late(1, 401));
+        assert!(!t.is_late(0, 401), "other cores unaffected");
+    }
+
+    #[test]
+    fn delay_avg_adapts_to_phases() {
+        let mut s = Scheme1::new(cfg(), 1);
+        for _ in 0..200 {
+            s.record_round_trip(0, 200);
+        }
+        for _ in 0..200 {
+            s.record_round_trip(0, 800);
+        }
+        let avg = s.delay_avg(0).unwrap();
+        assert!(avg > 700.0, "average must follow the new phase, got {avg}");
+    }
+}

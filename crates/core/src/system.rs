@@ -1,0 +1,947 @@
+//! The full NoC-based multicore: cores + private L1s + banked S-NUCA L2 +
+//! mesh network + corner memory controllers, wired together with the
+//! five-path memory-access protocol of Figure 2 and the two prioritization
+//! schemes of Section 3.
+//!
+//! One [`System::step`] advances everything by one core cycle, in a fixed
+//! deterministic order: cores (dispatch/commit, new L1 misses), Scheme-1
+//! threshold updates, the network, packet deliveries, delayed cache-bank
+//! work, and finally the memory controllers.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use noclat_cache::{L1Access, L1Cache, L2Access, L2Bank, MshrFile, SnucaMap};
+use noclat_cpu::{InstrStream, MemAccess, MemToken, MemoryPort, OooCore};
+use noclat_mem::{AddressMap, IdlenessMonitor, MemoryController};
+use noclat_noc::{
+    accumulate_age, flits_for_payload, Mesh, Network, NodeId, Priority, RouterCounters, VNet,
+};
+use noclat_sim::config::{ConfigError, SystemConfig};
+use noclat_sim::rng::SimRng;
+use noclat_sim::Cycle;
+use noclat_workloads::{SpecApp, SyntheticStream};
+
+use crate::messages::{MemMsg, TxnId};
+use crate::metrics::{LatencyTracker, TxnTimes};
+use crate::trace::{TraceLog, TxnRecord};
+use crate::scheme1::{Scheme1, ThresholdTable};
+use crate::scheme2::BankHistoryTable;
+
+/// Token bit marking controller writeback tokens (no response expected).
+const WB_FLAG: u64 = 1 << 63;
+/// Retry delay when an L2 bank's MSHRs are exhausted.
+const MSHR_RETRY_DELAY: Cycle = 8;
+
+/// In-flight transaction state (one per L1 miss).
+#[derive(Debug, Clone, Copy)]
+struct Txn {
+    core: usize,
+    line: u64,
+    issued: Cycle,
+    at_l2: Cycle,
+    at_mc: Cycle,
+    mc_done: Cycle,
+    back_at_l2: Cycle,
+    /// The access missed in L2 and went to memory.
+    offchip: bool,
+    /// The access merged into another transaction's L2 MSHR entry.
+    merged: bool,
+}
+
+/// Deferred work modeling cache-bank access latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// An L2 lookup for a request that arrived `l2.latency` cycles ago.
+    L2Request { node: usize, txn: TxnId, age: u32 },
+    /// Apply an L1 writeback at the L2 bank.
+    L2Writeback { node: usize, line: u64 },
+    /// A memory response finished its L2-side handling; wake L2 waiters.
+    L2Fill {
+        node: usize,
+        txn: TxnId,
+        age: u32,
+        high: bool,
+    },
+    /// A data response reached the core tile; fill L1 and wake the core.
+    CoreFill {
+        core: usize,
+        txn: TxnId,
+        line: u64,
+        age: u32,
+        high: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WorkItem {
+    ready: Cycle,
+    seq: u64,
+    action: Action,
+}
+
+impl Ord for WorkItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready, self.seq).cmp(&(other.ready, other.seq))
+    }
+}
+
+impl PartialOrd for WorkItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A memory controller attached to a mesh corner.
+#[derive(Debug)]
+struct McNode {
+    node: usize,
+    ctrl: MemoryController,
+    thresholds: ThresholdTable,
+    pending: HashMap<TxnId, McPending>,
+    monitor: IdlenessMonitor,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct McPending {
+    age_at_arrival: u32,
+    l2_bank: usize,
+    core: usize,
+}
+
+/// Messages a core tile emits during one core tick.
+#[derive(Debug, Clone, Copy)]
+enum PortMsg {
+    L2Req { txn: TxnId, line: u64 },
+    L1Writeback { line: u64 },
+}
+
+/// The memory hierarchy as seen by one core during its tick.
+struct TilePort<'a> {
+    core: usize,
+    l1: &'a mut L1Cache,
+    mshr: &'a mut MshrFile<MemToken>,
+    next_txn: &'a mut u64,
+    txns: &'a mut HashMap<TxnId, Txn>,
+    out: &'a mut Vec<(usize, PortMsg)>,
+    map: AddressMap,
+    l1_latency: Cycle,
+}
+
+impl MemoryPort for TilePort<'_> {
+    fn access(&mut self, addr: u64, is_write: bool, now: Cycle) -> MemAccess {
+        let line = self.map.line_addr(addr);
+        // A fill for this line is already in flight: wait on it regardless
+        // of what the (already-allocated) tag array says.
+        if self.mshr.contains(line) {
+            let token = MemToken(*self.next_txn);
+            *self.next_txn += 1;
+            self.mshr.alloc(line, token);
+            return MemAccess::Pending { token };
+        }
+        match self.l1.access(addr, is_write) {
+            L1Access::Hit => MemAccess::Done {
+                latency: self.l1_latency,
+            },
+            L1Access::Miss { writeback } => {
+                if let Some(victim) = writeback {
+                    self.out
+                        .push((self.core, PortMsg::L1Writeback { line: victim }));
+                }
+                let txn = *self.next_txn;
+                *self.next_txn += 1;
+                self.mshr.alloc(line, MemToken(txn));
+                self.txns.insert(
+                    txn,
+                    Txn {
+                        core: self.core,
+                        line,
+                        issued: now,
+                        at_l2: now,
+                        at_mc: now,
+                        mc_done: now,
+                        back_at_l2: now,
+                        offchip: false,
+                        merged: false,
+                    },
+                );
+                self.out.push((self.core, PortMsg::L2Req { txn, line }));
+                MemAccess::Pending {
+                    token: MemToken(txn),
+                }
+            }
+        }
+    }
+}
+
+/// The assembled multicore system.
+pub struct System {
+    cfg: SystemConfig,
+    now: Cycle,
+    net: Network<MemMsg>,
+    cores: Vec<OooCore>,
+    streams: Vec<Box<dyn InstrStream>>,
+    apps: Vec<Option<SpecApp>>,
+    l1s: Vec<L1Cache>,
+    l1_mshrs: Vec<MshrFile<MemToken>>,
+    l2_banks: Vec<L2Bank>,
+    l2_mshrs: Vec<MshrFile<TxnId>>,
+    work: BinaryHeap<Reverse<WorkItem>>,
+    work_seq: u64,
+    mcs: Vec<McNode>,
+    mc_at_node: Vec<Option<usize>>,
+    scheme1: Option<Scheme1>,
+    scheme2: Option<Vec<BankHistoryTable>>,
+    txns: HashMap<TxnId, Txn>,
+    next_txn: u64,
+    next_wb_token: u64,
+    tracker: LatencyTracker,
+    trace: TraceLog,
+    addr_map: AddressMap,
+    snuca: SnucaMap,
+    data_flits: u8,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("now", &self.now)
+            .field("cores", &self.cores.len())
+            .field("controllers", &self.mcs.len())
+            .field("txns_in_flight", &self.txns.len())
+            .field("scheme1", &self.scheme1.is_some())
+            .field("scheme2", &self.scheme2.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Builds a system running `apps[i]` on core `i` (one application per
+    /// core, as in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is inconsistent or
+    /// `apps.len()` differs from the core count.
+    pub fn new(cfg: SystemConfig, apps: &[SpecApp]) -> Result<System, ConfigError> {
+        let rng = SimRng::new(cfg.seed);
+        let streams: Vec<Box<dyn InstrStream>> = apps
+            .iter()
+            .enumerate()
+            .map(|(slot, &app)| {
+                Box::new(SyntheticStream::new(app, slot, &rng)) as Box<dyn InstrStream>
+            })
+            .collect();
+        let mut sys = Self::with_streams(cfg, streams)?;
+        sys.apps = apps.iter().copied().map(Some).collect();
+        Ok(sys)
+    }
+
+    /// Builds a system from caller-supplied instruction streams (one per
+    /// core). Use this to run custom workloads through the public API.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is inconsistent or
+    /// the stream count differs from the core count.
+    pub fn with_streams(
+        cfg: SystemConfig,
+        streams: Vec<Box<dyn InstrStream>>,
+    ) -> Result<System, ConfigError> {
+        cfg.validate()?;
+        let n = cfg.num_cores();
+        if streams.len() != n {
+            return Err(ConfigError::MeshTooSmall {
+                width: cfg.topology.width,
+                height: cfg.topology.height,
+            });
+        }
+        let mesh = Mesh::new(cfg.topology.width, cfg.topology.height);
+        let addr_map = AddressMap::new(
+            cfg.l2.line_bytes,
+            cfg.mem.num_controllers,
+            cfg.mem.banks_per_controller,
+            cfg.mem.row_bytes,
+        );
+        let mc_nodes = mesh.corner_nodes(cfg.mem.num_controllers);
+        let mut mc_at_node = vec![None; n];
+        let mcs: Vec<McNode> = mc_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| {
+                mc_at_node[node.index()] = Some(i);
+                McNode {
+                    node: node.index(),
+                    ctrl: MemoryController::new(cfg.mem),
+                    thresholds: ThresholdTable::new(n),
+                    pending: HashMap::new(),
+                    monitor: IdlenessMonitor::new(
+                        cfg.mem.banks_per_controller,
+                        cfg.idleness_sample_period,
+                        10_000,
+                    ),
+                }
+            })
+            .collect();
+        let mut sys = System {
+            net: Network::new(mesh, cfg.noc),
+            cores: (0..n).map(|_| OooCore::new(cfg.cpu)).collect(),
+            apps: vec![None; n],
+            streams,
+            l1s: (0..n)
+                .map(|_| L1Cache::new(cfg.l1.size_bytes, cfg.l1.line_bytes))
+                .collect(),
+            l1_mshrs: (0..n).map(|_| MshrFile::new(cfg.cpu.lsq_size)).collect(),
+            l2_banks: (0..n)
+                .map(|bank| {
+                    L2Bank::new_interleaved(
+                        cfg.l2.bank_size_bytes,
+                        cfg.l2.line_bytes,
+                        cfg.l2.associativity,
+                        n,
+                        bank,
+                    )
+                })
+                .collect(),
+            l2_mshrs: (0..n).map(|_| MshrFile::new(cfg.l2.mshrs_per_bank)).collect(),
+            work: BinaryHeap::new(),
+            work_seq: 0,
+            mcs,
+            mc_at_node,
+            scheme1: cfg.scheme1.enabled.then(|| Scheme1::new(cfg.scheme1, n)),
+            scheme2: cfg.scheme2.enabled.then(|| {
+                (0..n)
+                    .map(|_| BankHistoryTable::new(cfg.scheme2, addr_map.total_banks()))
+                    .collect()
+            }),
+            txns: HashMap::new(),
+            next_txn: 0,
+            next_wb_token: 0,
+            tracker: LatencyTracker::new(n),
+            trace: TraceLog::new(64),
+            addr_map,
+            snuca: SnucaMap::new(n, cfg.l2.line_bytes),
+            data_flits: flits_for_payload(cfg.l2.line_bytes, cfg.noc.flit_bits),
+            now: 0,
+            cfg,
+        };
+        sys.prefill_caches();
+        Ok(sys)
+    }
+
+    /// Installs each stream's fast-forward-resident lines into the tag
+    /// arrays (the paper fast-forwards 1 B cycles before measuring; without
+    /// this, the cold-start transient — every hot/warm line missing at once —
+    /// saturates the memory system for a long ramp-up period).
+    fn prefill_caches(&mut self) {
+        for core in 0..self.cores.len() {
+            let resident = self.streams[core].resident_lines();
+            // Warm lines first, hot lines last, so hot lines are the most
+            // recently used in both levels.
+            for &addr in resident.l2.iter().chain(&resident.l1) {
+                let line = self.addr_map.line_addr(addr);
+                let bank = self.snuca.bank_of(line);
+                let _ = self.l2_banks[bank].access(line, false);
+            }
+            for &addr in &resident.l1 {
+                let _ = self.l1s[core].access(addr, false);
+            }
+        }
+    }
+
+    /// The configuration this system was built with.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The application assigned to `core`, if built from [`System::new`].
+    #[must_use]
+    pub fn app(&self, core: usize) -> Option<SpecApp> {
+        self.apps[core]
+    }
+
+    /// Per-core commit statistics.
+    #[must_use]
+    pub fn core_stats(&self, core: usize) -> noclat_cpu::CoreStats {
+        self.cores[core].stats()
+    }
+
+    /// Latency statistics.
+    #[must_use]
+    pub fn tracker(&self) -> &LatencyTracker {
+        &self.tracker
+    }
+
+    /// The slowest off-chip transactions of the measurement window, slowest
+    /// first, with their five-path timestamps.
+    #[must_use]
+    pub fn slowest_transactions(&self) -> Vec<TxnRecord> {
+        self.trace.slowest()
+    }
+
+    /// Network statistics.
+    #[must_use]
+    pub fn network_stats(&self) -> &noclat_noc::NetworkStats {
+        self.net.stats()
+    }
+
+    /// Aggregated router counters.
+    #[must_use]
+    pub fn router_counters(&self) -> RouterCounters {
+        self.net.router_counters()
+    }
+
+    /// Per-node count of flits forwarded onto mesh links (congestion
+    /// heat-map; index = node id, row-major).
+    #[must_use]
+    pub fn forwarding_heat(&self) -> Vec<u64> {
+        self.net.node_forwarding_heat()
+    }
+
+    /// Number of memory controllers.
+    #[must_use]
+    pub fn num_controllers(&self) -> usize {
+        self.mcs.len()
+    }
+
+    /// Controller statistics of controller `mc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mc` is out of range.
+    #[must_use]
+    pub fn controller_stats(&self, mc: usize) -> &noclat_mem::ControllerStats {
+        self.mcs[mc].ctrl.stats()
+    }
+
+    /// Requests inside controller `mc` (front end + queues + in service).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mc` is out of range.
+    #[must_use]
+    pub fn controller_occupancy(&self, mc: usize) -> usize {
+        self.mcs[mc].ctrl.occupancy()
+    }
+
+    /// Queue lengths of every bank of controller `mc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mc` is out of range.
+    #[must_use]
+    pub fn bank_queue_lens(&self, mc: usize) -> Vec<usize> {
+        (0..self.cfg.mem.banks_per_controller)
+            .map(|b| self.mcs[mc].ctrl.queue_len(b))
+            .collect()
+    }
+
+    /// Bank idleness monitor of controller `mc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mc` is out of range.
+    #[must_use]
+    pub fn idleness(&self, mc: usize) -> &IdlenessMonitor {
+        &self.mcs[mc].monitor
+    }
+
+    /// Transactions currently in flight.
+    #[must_use]
+    pub fn txns_in_flight(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Runs the system for `cycles` cycles.
+    pub fn run(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs `cycles` of warmup, then clears all measurement state (core
+    /// commit statistics, latency tracker, idleness monitors) while keeping
+    /// caches, queues and schemes warm.
+    pub fn warm_up(&mut self, cycles: Cycle) {
+        self.tracker.disable();
+        self.run(cycles);
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.tracker.reset();
+        self.tracker.enable();
+        self.trace.clear();
+        for mc in &mut self.mcs {
+            mc.monitor = IdlenessMonitor::new(
+                self.cfg.mem.banks_per_controller,
+                self.cfg.idleness_sample_period,
+                10_000,
+            );
+        }
+    }
+
+    /// Advances the system by one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.tick_cores(now);
+        self.scheme1_updates(now);
+        self.net.tick(now);
+        self.handle_deliveries(now);
+        self.process_work(now);
+        self.tick_mcs(now);
+        self.now += 1;
+    }
+
+    fn push_work(&mut self, ready: Cycle, action: Action) {
+        self.work_seq += 1;
+        self.work.push(Reverse(WorkItem {
+            ready,
+            seq: self.work_seq,
+            action,
+        }));
+    }
+
+    fn inject(
+        &mut self,
+        src: usize,
+        dest: usize,
+        vnet: VNet,
+        priority: Priority,
+        flits: u8,
+        age: u32,
+        msg: MemMsg,
+        now: Cycle,
+    ) {
+        self.net.inject(
+            NodeId(src as u16),
+            NodeId(dest as u16),
+            vnet,
+            priority,
+            flits,
+            age,
+            msg,
+            now,
+        );
+    }
+
+    fn tick_cores(&mut self, now: Cycle) {
+        let mut outbox: Vec<(usize, PortMsg)> = Vec::new();
+        {
+            let System {
+                cores,
+                streams,
+                l1s,
+                l1_mshrs,
+                next_txn,
+                txns,
+                addr_map,
+                cfg,
+                ..
+            } = self;
+            for (i, core) in cores.iter_mut().enumerate() {
+                let mut port = TilePort {
+                    core: i,
+                    l1: &mut l1s[i],
+                    mshr: &mut l1_mshrs[i],
+                    next_txn: &mut *next_txn,
+                    txns: &mut *txns,
+                    out: &mut outbox,
+                    map: *addr_map,
+                    l1_latency: cfg.l1.latency,
+                };
+                core.tick(now, &mut streams[i], &mut port);
+            }
+        }
+        let l1_age = self.cfg.l1.latency as u32;
+        for (core, msg) in outbox {
+            match msg {
+                PortMsg::L2Req { txn, line } => {
+                    let bank = self.snuca.bank_of(line);
+                    self.inject(
+                        core,
+                        bank,
+                        VNet::Request,
+                        Priority::Normal,
+                        1,
+                        l1_age,
+                        MemMsg::L2Req { txn, line },
+                        now,
+                    );
+                }
+                PortMsg::L1Writeback { line } => {
+                    let bank = self.snuca.bank_of(line);
+                    let flits = self.data_flits;
+                    self.inject(
+                        core,
+                        bank,
+                        VNet::Request,
+                        Priority::Normal,
+                        flits,
+                        0,
+                        MemMsg::L1Writeback { line },
+                        now,
+                    );
+                }
+            }
+        }
+    }
+
+    fn scheme1_updates(&mut self, now: Cycle) {
+        let num_cores = self.cores.len();
+        let updates: Vec<(usize, u32)> = match &mut self.scheme1 {
+            Some(s1) => {
+                if !s1.update_due(now) {
+                    return;
+                }
+                (0..num_cores)
+                    .filter_map(|c| s1.threshold(c).map(|t| (c, t)))
+                    .collect()
+            }
+            None => return,
+        };
+        let mc_nodes: Vec<usize> = self.mcs.iter().map(|m| m.node).collect();
+        for (core, threshold) in updates {
+            for &mc_node in &mc_nodes {
+                // Threshold updates are themselves prioritized (Section 3.1).
+                self.inject(
+                    core,
+                    mc_node,
+                    VNet::Request,
+                    Priority::High,
+                    1,
+                    0,
+                    MemMsg::ThresholdUpdate { core, threshold },
+                    now,
+                );
+            }
+        }
+    }
+
+    fn handle_deliveries(&mut self, now: Cycle) {
+        let l2_latency = self.cfg.l2.latency;
+        let l1_latency = self.cfg.l1.latency;
+        for node in 0..self.cores.len() {
+            for d in self.net.take_delivered(NodeId(node as u16)) {
+                match d.payload {
+                    MemMsg::L2Req { txn, .. } => {
+                        if let Some(t) = self.txns.get_mut(&txn) {
+                            t.at_l2 = now;
+                        }
+                        self.push_work(
+                            now + l2_latency,
+                            Action::L2Request {
+                                node,
+                                txn,
+                                age: d.final_age,
+                            },
+                        );
+                    }
+                    MemMsg::L1Writeback { line } => {
+                        self.push_work(now + l2_latency, Action::L2Writeback { node, line });
+                    }
+                    MemMsg::MemReq { txn, line } => {
+                        let mc_idx = self.mc_at_node[node]
+                            .expect("MemReq delivered to a non-controller node");
+                        let core = self.txns[&txn].core;
+                        if let Some(t) = self.txns.get_mut(&txn) {
+                            t.at_mc = now;
+                        }
+                        let decoded = self.addr_map.decode(line);
+                        debug_assert_eq!(decoded.controller, mc_idx, "MC interleaving mismatch");
+                        let mc = &mut self.mcs[mc_idx];
+                        mc.pending.insert(
+                            txn,
+                            McPending {
+                                age_at_arrival: d.final_age,
+                                l2_bank: d.meta.src.index(),
+                                core,
+                            },
+                        );
+                        mc.ctrl.enqueue(txn, decoded.bank, decoded.row, false, now);
+                    }
+                    MemMsg::MemWriteback { line } => {
+                        let mc_idx = self.mc_at_node[node]
+                            .expect("MemWriteback delivered to a non-controller node");
+                        let decoded = self.addr_map.decode(line);
+                        self.next_wb_token += 1;
+                        let token = WB_FLAG | self.next_wb_token;
+                        self.mcs[mc_idx]
+                            .ctrl
+                            .enqueue(token, decoded.bank, decoded.row, true, now);
+                    }
+                    MemMsg::MemResp { txn, .. } => {
+                        if let Some(t) = self.txns.get_mut(&txn) {
+                            t.back_at_l2 = now;
+                        }
+                        self.push_work(
+                            now + l2_latency,
+                            Action::L2Fill {
+                                node,
+                                txn,
+                                age: d.final_age,
+                                high: d.meta.priority == Priority::High,
+                            },
+                        );
+                    }
+                    MemMsg::L2Resp { txn, line } => {
+                        self.push_work(
+                            now + l1_latency,
+                            Action::CoreFill {
+                                core: node,
+                                txn,
+                                line,
+                                age: d.final_age,
+                                high: d.meta.priority == Priority::High,
+                            },
+                        );
+                    }
+                    MemMsg::ThresholdUpdate { core, threshold } => {
+                        let mc_idx = self.mc_at_node[node]
+                            .expect("ThresholdUpdate delivered to a non-controller node");
+                        self.mcs[mc_idx].thresholds.set(core, threshold);
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_work(&mut self, now: Cycle) {
+        while self
+            .work
+            .peek()
+            .is_some_and(|Reverse(w)| w.ready <= now)
+        {
+            let Reverse(item) = self.work.pop().expect("checked peek");
+            match item.action {
+                Action::L2Request { node, txn, age } => self.l2_request(node, txn, age, now),
+                Action::L2Writeback { node, line } => self.l2_writeback(node, line, now),
+                Action::L2Fill {
+                    node,
+                    txn,
+                    age,
+                    high,
+                } => self.l2_fill(node, txn, age, high, now),
+                Action::CoreFill {
+                    core,
+                    txn,
+                    line,
+                    age,
+                    high,
+                } => self.core_fill(core, txn, line, age, high, now),
+            }
+        }
+    }
+
+    fn l2_request(&mut self, node: usize, txn: TxnId, age: u32, now: Cycle) {
+        let (line, core) = {
+            let t = &self.txns[&txn];
+            (t.line, t.core)
+        };
+        let l2_latency = self.cfg.l2.latency as u32;
+        // Merge with an in-flight fill before consulting the tag array (the
+        // tag is already allocated while the fill is outstanding).
+        if self.l2_mshrs[node].contains(line) {
+            self.l2_mshrs[node].alloc(line, txn);
+            if let Some(t) = self.txns.get_mut(&txn) {
+                t.offchip = true;
+                t.merged = true;
+            }
+            return;
+        }
+        // No MSHR free: retry shortly (models bank-side back-pressure); the
+        // wait is part of the access's so-far delay.
+        if self.l2_mshrs[node].len() == self.l2_mshrs[node].capacity() {
+            let age = accumulate_age(age, MSHR_RETRY_DELAY, 1, self.cfg.noc.max_age());
+            self.push_work(now + MSHR_RETRY_DELAY, Action::L2Request { node, txn, age });
+            return;
+        }
+        match self.l2_banks[node].access(line, false) {
+            L2Access::Hit => {
+                let flits = self.data_flits;
+                self.inject(
+                    node,
+                    core,
+                    VNet::Response,
+                    Priority::Normal,
+                    flits,
+                    accumulate_age(age, self.cfg.l2.latency, 1, self.cfg.noc.max_age()),
+                    MemMsg::L2Resp { txn, line },
+                    now,
+                );
+            }
+            L2Access::Miss { writeback } => {
+                if let Some(victim) = writeback {
+                    self.send_mem_writeback(node, victim, now);
+                }
+                self.l2_mshrs[node].alloc(line, txn);
+                if let Some(t) = self.txns.get_mut(&txn) {
+                    t.offchip = true;
+                }
+                let bank = self.addr_map.global_bank(line);
+                let priority = match &mut self.scheme2 {
+                    Some(tables) => {
+                        let expedite = tables[node].should_expedite(bank, now);
+                        tables[node].record(bank, now);
+                        if expedite {
+                            Priority::High
+                        } else {
+                            Priority::Normal
+                        }
+                    }
+                    None => Priority::Normal,
+                };
+                let mc_node = self.mcs[self.addr_map.decode(line).controller].node;
+                self.inject(
+                    node,
+                    mc_node,
+                    VNet::Request,
+                    priority,
+                    1,
+                    age.saturating_add(l2_latency).min(self.cfg.noc.max_age()),
+                    MemMsg::MemReq { txn, line },
+                    now,
+                );
+            }
+        }
+    }
+
+    fn l2_writeback(&mut self, node: usize, line: u64, now: Cycle) {
+        // Write-allocate the dirty line; a displaced dirty victim goes to
+        // memory. No fill from memory is needed (the writeback carries the
+        // whole line).
+        if let L2Access::Miss {
+            writeback: Some(victim),
+        } = self.l2_banks[node].access(line, true)
+        {
+            self.send_mem_writeback(node, victim, now);
+        }
+    }
+
+    fn send_mem_writeback(&mut self, node: usize, line: u64, now: Cycle) {
+        let mc_node = self.mcs[self.addr_map.decode(line).controller].node;
+        let flits = self.data_flits;
+        self.inject(
+            node,
+            mc_node,
+            VNet::Request,
+            Priority::Normal,
+            flits,
+            0,
+            MemMsg::MemWriteback { line },
+            now,
+        );
+    }
+
+    fn l2_fill(&mut self, node: usize, txn: TxnId, age: u32, high: bool, now: Cycle) {
+        let line = self.txns[&txn].line;
+        let waiters = self.l2_mshrs[node].complete(line);
+        debug_assert!(
+            waiters.contains(&txn),
+            "fill for a line with no matching MSHR entry"
+        );
+        let flits = self.data_flits;
+        let out_age = accumulate_age(age, self.cfg.l2.latency, 1, self.cfg.noc.max_age());
+        let priority = if high { Priority::High } else { Priority::Normal };
+        for waiter in waiters {
+            let core = self.txns[&waiter].core;
+            self.inject(
+                node,
+                core,
+                VNet::Response,
+                priority,
+                flits,
+                out_age,
+                MemMsg::L2Resp { txn: waiter, line },
+                now,
+            );
+        }
+    }
+
+    fn core_fill(&mut self, core: usize, txn: TxnId, line: u64, age: u32, high: bool, now: Cycle) {
+        for token in self.l1_mshrs[core].complete(line) {
+            self.cores[core].complete(token, now);
+        }
+        if let Some(t) = self.txns.remove(&txn) {
+            if t.offchip {
+                if !t.merged {
+                    self.tracker
+                        .record_return_leg(high, now.saturating_sub(t.mc_done));
+                    let times = TxnTimes {
+                        issued: t.issued,
+                        at_l2: t.at_l2,
+                        at_mc: t.at_mc,
+                        mc_done: t.mc_done,
+                        back_at_l2: t.back_at_l2,
+                        done: now,
+                    };
+                    self.tracker.record_completion(core, &times);
+                    self.trace.offer(TxnRecord {
+                        core,
+                        line: t.line,
+                        times,
+                    });
+                }
+                if let Some(s1) = &mut self.scheme1 {
+                    // The paper reads the round-trip delay from the age
+                    // field of the returning message, so `Delay_avg` and the
+                    // so-far comparison at the controller share units.
+                    let final_age =
+                        accumulate_age(age, self.cfg.l1.latency, 1, self.cfg.noc.max_age());
+                    s1.record_round_trip(core, Cycle::from(final_age));
+                }
+            }
+        }
+    }
+
+    fn tick_mcs(&mut self, now: Cycle) {
+        for m in 0..self.mcs.len() {
+            if self.mcs[m].monitor.due(now) {
+                let idle = self.mcs[m].ctrl.idle_banks();
+                self.mcs[m].monitor.sample(now, &idle);
+            }
+            let completions = self.mcs[m].ctrl.tick(now);
+            for c in completions {
+                if c.req.token & WB_FLAG != 0 {
+                    continue; // writebacks need no response
+                }
+                let txn = c.req.token;
+                let pending = self.mcs[m]
+                    .pending
+                    .remove(&txn)
+                    .expect("completion for unknown transaction");
+                if let Some(t) = self.txns.get_mut(&txn) {
+                    t.mc_done = now;
+                }
+                let age = accumulate_age(
+                    pending.age_at_arrival,
+                    c.controller_delay,
+                    1,
+                    self.cfg.noc.max_age(),
+                );
+                self.tracker.record_so_far(pending.core, age);
+                let late = self.scheme1.is_some()
+                    && self.mcs[m].thresholds.is_late(pending.core, age);
+                let line = self.txns[&txn].line;
+                let mc_node = self.mcs[m].node;
+                let flits = self.data_flits;
+                self.inject(
+                    mc_node,
+                    pending.l2_bank,
+                    VNet::Response,
+                    if late { Priority::High } else { Priority::Normal },
+                    flits,
+                    age,
+                    MemMsg::MemResp { txn, line },
+                    now,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Transaction tracing: keeps the slowest off-chip transactions of a run
+//! with their full five-path timestamp breakdown, so the latency tail can
+//! be inspected access by access (the paper's Figure 3 narrative — *which*
+//! access blocked the window, and where it lost its time).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::metrics::TxnTimes;
+use noclat_sim::Cycle;
+
+/// One completed off-chip transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// Core (application) that issued it.
+    pub core: usize,
+    /// Line-aligned address.
+    pub line: u64,
+    /// The five-path timestamps.
+    pub times: TxnTimes,
+}
+
+impl TxnRecord {
+    /// Total round-trip delay.
+    #[must_use]
+    pub fn total(&self) -> Cycle {
+        self.times.total()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    total: Cycle,
+    seq: u64,
+    rec: TxnRecord,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.total, self.seq).cmp(&(other.total, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded log of the slowest transactions seen so far.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    capacity: usize,
+    seq: u64,
+    /// Min-heap on total delay: the root is the fastest of the kept slowest.
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+impl TraceLog {
+    /// Keeps at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "need capacity for at least one record");
+        TraceLog {
+            capacity,
+            seq: 0,
+            heap: BinaryHeap::with_capacity(capacity + 1),
+        }
+    }
+
+    /// Offers a completed transaction; kept only if it ranks among the
+    /// slowest seen.
+    pub fn offer(&mut self, rec: TxnRecord) {
+        self.seq += 1;
+        let entry = Entry {
+            total: rec.total(),
+            seq: self.seq,
+            rec,
+        };
+        if self.heap.len() < self.capacity {
+            self.heap.push(Reverse(entry));
+            return;
+        }
+        if self
+            .heap
+            .peek()
+            .is_some_and(|Reverse(min)| entry.total > min.total)
+        {
+            self.heap.pop();
+            self.heap.push(Reverse(entry));
+        }
+    }
+
+    /// Records kept so far, slowest first.
+    #[must_use]
+    pub fn slowest(&self) -> Vec<TxnRecord> {
+        let mut entries: Vec<Entry> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        entries.sort_by(|a, b| b.cmp(a));
+        entries.into_iter().map(|e| e.rec).collect()
+    }
+
+    /// Number of records kept.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been kept yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards everything (end of warmup).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(core: usize, total: Cycle) -> TxnRecord {
+        TxnRecord {
+            core,
+            line: 0x40,
+            times: TxnTimes {
+                issued: 0,
+                at_l2: total / 5,
+                at_mc: total * 2 / 5,
+                mc_done: total * 3 / 5,
+                back_at_l2: total * 4 / 5,
+                done: total,
+            },
+        }
+    }
+
+    #[test]
+    fn keeps_the_slowest_k() {
+        let mut log = TraceLog::new(3);
+        for t in [100u64, 500, 200, 900, 50, 300] {
+            log.offer(rec(0, t));
+        }
+        let slow: Vec<Cycle> = log.slowest().iter().map(TxnRecord::total).collect();
+        assert_eq!(slow, vec![900, 500, 300]);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut log = TraceLog::new(8);
+        log.offer(rec(1, 100));
+        log.offer(rec(2, 50));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.slowest()[0].total(), 100);
+        assert_eq!(log.slowest()[1].core, 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut log = TraceLog::new(2);
+        assert!(log.is_empty());
+        log.offer(rec(0, 10));
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ties_are_kept_deterministically() {
+        let mut log = TraceLog::new(2);
+        log.offer(rec(0, 100));
+        log.offer(rec(1, 100));
+        log.offer(rec(2, 100));
+        // Ties keep the earliest arrivals (a newcomer must be strictly
+        // slower to displace a kept record).
+        let cores: Vec<usize> = log.slowest().iter().map(|r| r.core).collect();
+        assert_eq!(cores.len(), 2);
+        assert!(cores.contains(&0) && cores.contains(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TraceLog::new(0);
+    }
+}

@@ -1,0 +1,103 @@
+//! System-level coverage of the configurable policy knobs: routing,
+//! starvation avoidance, memory scheduling and page policy all compose with
+//! the full system and the schemes.
+
+use noclat::{run_mix, MemSchedPolicy, RunLengths, SystemConfig};
+use noclat_sim::config::{PagePolicy, RoutingAlgorithm, StarvationPolicy};
+use noclat_workloads::workload;
+
+fn quick() -> RunLengths {
+    RunLengths {
+        warmup: 2_000,
+        measure: 15_000,
+    }
+}
+
+fn assert_runs(cfg: &SystemConfig) -> noclat::MixResult {
+    let apps = workload(2).apps();
+    let r = run_mix(cfg, &apps, quick());
+    for a in &r.per_app {
+        assert!(a.ipc > 0.0, "core {} starved under {:?}", a.core, cfg.noc);
+    }
+    r
+}
+
+#[test]
+fn yx_routing_runs_the_full_system() {
+    let mut cfg = SystemConfig::baseline_32().with_both_schemes();
+    cfg.noc.routing = RoutingAlgorithm::YX;
+    let r = assert_runs(&cfg);
+    // The heat-map must show forwarding activity somewhere.
+    assert!(r.system.forwarding_heat().iter().sum::<u64>() > 0);
+}
+
+#[test]
+fn routing_choice_changes_link_loads() {
+    let apps = workload(8).apps();
+    let mut xy = SystemConfig::baseline_32();
+    xy.noc.routing = RoutingAlgorithm::XY;
+    let mut yx = xy.clone();
+    yx.noc.routing = RoutingAlgorithm::YX;
+    let hx = run_mix(&xy, &apps, quick()).system.forwarding_heat();
+    let hy = run_mix(&yx, &apps, quick()).system.forwarding_heat();
+    assert_ne!(hx, hy, "X-Y and Y-X must distribute load differently");
+}
+
+#[test]
+fn batching_starvation_policy_runs_with_schemes() {
+    let mut cfg = SystemConfig::baseline_32().with_both_schemes();
+    cfg.noc.starvation = StarvationPolicy::Batching { interval: 1_000 };
+    let r = assert_runs(&cfg);
+    assert!(
+        r.system.network_stats().high_priority_injected.get() > 0,
+        "schemes must still mark messages under batching"
+    );
+}
+
+#[test]
+fn capped_fr_fcfs_runs_and_serves_everything() {
+    let mut cfg = SystemConfig::baseline_32();
+    cfg.mem.scheduler = MemSchedPolicy::FrFcfsCap(4);
+    let r = assert_runs(&cfg);
+    let reads: u64 = (0..4)
+        .map(|m| r.system.controller_stats(m).reads.get())
+        .sum();
+    assert!(reads > 100, "capped scheduler served only {reads} reads");
+}
+
+#[test]
+fn closed_page_policy_kills_row_hits_system_wide() {
+    let mut cfg = SystemConfig::baseline_32();
+    cfg.mem.page_policy = PagePolicy::Closed;
+    let r = assert_runs(&cfg);
+    for m in 0..4 {
+        assert_eq!(
+            r.system.controller_stats(m).row_hit_rate(),
+            0.0,
+            "controller {m} hit a closed row"
+        );
+    }
+}
+
+#[test]
+fn open_page_beats_closed_page_on_latency() {
+    let apps = workload(8).apps();
+    let lengths = quick();
+    let open = run_mix(&SystemConfig::baseline_32(), &apps, lengths);
+    let mut closed_cfg = SystemConfig::baseline_32();
+    closed_cfg.mem.page_policy = PagePolicy::Closed;
+    let closed = run_mix(&closed_cfg, &apps, lengths);
+    let mean = |r: &noclat::MixResult| {
+        let mut h = noclat_sim::stats::Histogram::new(25, 4000);
+        for c in 0..32 {
+            h.merge(&r.system.tracker().app(c).total);
+        }
+        h.mean()
+    };
+    assert!(
+        mean(&open) < mean(&closed),
+        "open page ({:.0}) must beat closed page ({:.0})",
+        mean(&open),
+        mean(&closed)
+    );
+}

@@ -1,0 +1,105 @@
+//! Instructions and the stream/memory interfaces the core model consumes.
+
+use noclat_sim::Cycle;
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Non-memory work that completes a fixed number of cycles after issue.
+    Compute {
+        /// Execution latency in cycles (≥ 1).
+        latency: u32,
+    },
+    /// A load from `addr`.
+    Load {
+        /// Byte address.
+        addr: u64,
+    },
+    /// A store to `addr`.
+    Store {
+        /// Byte address.
+        addr: u64,
+    },
+}
+
+impl Instr {
+    /// Whether this instruction accesses memory.
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+}
+
+/// Addresses an application expects to be cache-resident after a long
+/// fast-forward (used to pre-warm tag arrays, standing in for the paper's
+/// 1 B-cycle fast-forward phase).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResidentSet {
+    /// Line addresses resident in the private L1 (also resident in L2).
+    pub l1: Vec<u64>,
+    /// Line addresses resident in the shared L2 only.
+    pub l2: Vec<u64>,
+}
+
+/// An endless supply of dynamic instructions for one core (the synthetic
+/// stand-in for a SPEC CPU2006 trace).
+pub trait InstrStream {
+    /// Produces the next instruction.
+    fn next_instr(&mut self) -> Instr;
+
+    /// Lines that would be cache-resident after a long fast-forward.
+    /// Defaults to none (cold start).
+    fn resident_lines(&self) -> ResidentSet {
+        ResidentSet::default()
+    }
+}
+
+impl<S: InstrStream + ?Sized> InstrStream for Box<S> {
+    fn next_instr(&mut self) -> Instr {
+        (**self).next_instr()
+    }
+
+    fn resident_lines(&self) -> ResidentSet {
+        (**self).resident_lines()
+    }
+}
+
+/// Identifies an outstanding memory access issued by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemToken(pub u64);
+
+/// Outcome of handing a memory access to the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccess {
+    /// The access completes after a known latency (e.g. an L1 hit).
+    Done {
+        /// Total access latency in cycles.
+        latency: Cycle,
+    },
+    /// The access left the tile; completion arrives asynchronously via
+    /// [`crate::core::OooCore::complete`] with this token.
+    Pending {
+        /// Token the hierarchy will report completion with.
+        token: MemToken,
+    },
+}
+
+/// The memory hierarchy as seen by one core.
+pub trait MemoryPort {
+    /// Issues an access; called at dispatch (the core issues memory
+    /// operations as soon as they enter the window, giving memory-level
+    /// parallelism up to the LSQ size).
+    fn access(&mut self, addr: u64, is_write: bool, now: Cycle) -> MemAccess;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_mem_predicate() {
+        assert!(Instr::Load { addr: 0 }.is_mem());
+        assert!(Instr::Store { addr: 0 }.is_mem());
+        assert!(!Instr::Compute { latency: 1 }.is_mem());
+    }
+}

@@ -1,0 +1,18 @@
+//! Out-of-order core model for the MICRO 2012 end-to-end-latency
+//! reproduction.
+//!
+//! Models the paper's Table-1 processors: a 128-entry instruction window,
+//! 64-entry load/store queue, memory operations issued at dispatch (so
+//! misses overlap — memory-level parallelism), and strictly in-order commit,
+//! which makes a single late memory access a whole-application bottleneck
+//! (the phenomenon of Figure 3 that motivates Scheme-1).
+//!
+//! The core is driven by an [`InstrStream`] (the synthetic application) and
+//! a [`MemoryPort`] (the cache/NoC/DRAM hierarchy assembled in the `noclat`
+//! crate).
+
+pub mod core;
+pub mod instr;
+
+pub use crate::core::{CoreStats, OooCore};
+pub use instr::{Instr, InstrStream, MemAccess, MemToken, MemoryPort, ResidentSet};

@@ -1,0 +1,189 @@
+//! Physical address decomposition.
+//!
+//! The paper's Section 4.1 uses *cache-line interleaving*: consecutive lines
+//! of an OS page map to different memory controllers, avoiding controller
+//! hot-spots. Within a controller, addresses decompose column-first
+//! (row ⟨banks⟩ ⟨lines-within-row⟩), so a streaming access pattern enjoys
+//! row-buffer hits while independent streams spread over banks.
+
+/// Where a physical address lands in the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodedAddr {
+    /// Memory controller index.
+    pub controller: usize,
+    /// Bank index within that controller.
+    pub bank: usize,
+    /// DRAM row within that bank.
+    pub row: u64,
+}
+
+/// Address mapping parameters shared by caches and memory controllers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    line_bytes: usize,
+    num_controllers: usize,
+    banks_per_controller: usize,
+    lines_per_row: usize,
+}
+
+impl AddressMap {
+    /// Creates a map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, `line_bytes` is not a power of two,
+    /// or `row_bytes` is not a multiple of `line_bytes`.
+    #[must_use]
+    pub fn new(
+        line_bytes: usize,
+        num_controllers: usize,
+        banks_per_controller: usize,
+        row_bytes: usize,
+    ) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(num_controllers > 0 && banks_per_controller > 0);
+        assert!(
+            row_bytes % line_bytes == 0 && row_bytes >= line_bytes,
+            "row must hold a whole number of lines"
+        );
+        AddressMap {
+            line_bytes,
+            num_controllers,
+            banks_per_controller,
+            lines_per_row: row_bytes / line_bytes,
+        }
+    }
+
+    /// Cache-line index of an address.
+    #[must_use]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes as u64
+    }
+
+    /// Line-aligned base address of the line containing `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes as u64 - 1)
+    }
+
+    /// Decodes a (line) address into controller, bank and row.
+    #[must_use]
+    pub fn decode(&self, addr: u64) -> DecodedAddr {
+        let line = self.line_of(addr);
+        let controller = (line % self.num_controllers as u64) as usize;
+        let local_line = line / self.num_controllers as u64;
+        let bank =
+            ((local_line / self.lines_per_row as u64) % self.banks_per_controller as u64) as usize;
+        let row = local_line / (self.lines_per_row as u64 * self.banks_per_controller as u64);
+        DecodedAddr {
+            controller,
+            bank,
+            row,
+        }
+    }
+
+    /// Globally unique bank identifier (`controller × banks + bank`), the
+    /// key used by Scheme-2's Bank History Tables.
+    #[must_use]
+    pub fn global_bank(&self, addr: u64) -> usize {
+        let d = self.decode(addr);
+        d.controller * self.banks_per_controller + d.bank
+    }
+
+    /// Total number of banks across all controllers.
+    #[must_use]
+    pub fn total_banks(&self) -> usize {
+        self.num_controllers * self.banks_per_controller
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Number of controllers.
+    #[must_use]
+    pub fn num_controllers(&self) -> usize {
+        self.num_controllers
+    }
+
+    /// Banks behind each controller.
+    #[must_use]
+    pub fn banks_per_controller(&self) -> usize {
+        self.banks_per_controller
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMap {
+        // Table-1 values: 64 B lines, 4 controllers, 16 banks, 8 KB rows.
+        AddressMap::new(64, 4, 16, 8192)
+    }
+
+    #[test]
+    fn consecutive_lines_interleave_across_controllers() {
+        let m = map();
+        let mcs: Vec<usize> = (0..8u64).map(|i| m.decode(i * 64).controller).collect();
+        assert_eq!(mcs, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn within_row_stream_stays_in_one_bank_row() {
+        let m = map();
+        // Lines that land on controller 0: addresses i*4*64.
+        let first = m.decode(0);
+        for i in 1..128u64 {
+            let d = m.decode(i * 4 * 64);
+            assert_eq!(d.controller, 0);
+            assert_eq!(d.bank, first.bank, "line {i} left the bank");
+            assert_eq!(d.row, first.row, "line {i} left the row");
+        }
+        // The 129th line of controller 0 moves to the next bank.
+        let next = m.decode(128 * 4 * 64);
+        assert_eq!(next.bank, first.bank + 1);
+        assert_eq!(next.row, first.row);
+    }
+
+    #[test]
+    fn rows_advance_after_all_banks() {
+        let m = map();
+        // Controller-0 local lines: 128 lines/row × 16 banks = 2048 local
+        // lines per row index.
+        let d = m.decode(2048 * 4 * 64);
+        assert_eq!(d.controller, 0);
+        assert_eq!(d.bank, 0);
+        assert_eq!(d.row, 1);
+    }
+
+    #[test]
+    fn global_bank_is_unique_per_controller_bank_pair() {
+        let m = map();
+        let mut seen = std::collections::HashSet::new();
+        // Scan enough lines to touch many (controller, bank) pairs.
+        for i in 0..(4 * 16 * 128u64) {
+            seen.insert(m.global_bank(i * 64));
+        }
+        assert_eq!(seen.len(), m.total_banks());
+        assert_eq!(m.total_banks(), 64);
+    }
+
+    #[test]
+    fn line_addr_aligns() {
+        let m = map();
+        assert_eq!(m.line_addr(0), 0);
+        assert_eq!(m.line_addr(63), 0);
+        assert_eq!(m.line_addr(64), 64);
+        assert_eq!(m.line_addr(130), 128);
+        assert_eq!(m.line_of(130), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size must be 2^k")]
+    fn non_power_of_two_line_rejected() {
+        let _ = AddressMap::new(48, 4, 16, 8192);
+    }
+}

@@ -1,0 +1,215 @@
+//! A DRAM bank: open-row state, busy window and its request queue.
+
+use std::collections::VecDeque;
+
+use noclat_sim::Cycle;
+
+use crate::request::MemRequest;
+
+/// One DRAM bank with an open-page row buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Bank {
+    /// Currently open row, if any.
+    open_row: Option<u64>,
+    /// The bank is occupied (activating/accessing/precharging/refreshing)
+    /// until this cycle.
+    busy_until: Cycle,
+    /// Pending requests, in arrival order.
+    queue: VecDeque<MemRequest>,
+    /// Served requests that hit the open row.
+    row_hits: u64,
+    /// Served requests that missed (activate needed).
+    row_misses: u64,
+}
+
+impl Bank {
+    /// Creates an idle, closed bank.
+    #[must_use]
+    pub fn new() -> Self {
+        Bank::default()
+    }
+
+    /// Appends a request to the bank queue.
+    pub fn enqueue(&mut self, req: MemRequest) {
+        self.queue.push_back(req);
+    }
+
+    /// Number of queued requests.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The paper's idleness criterion (Section 2.4.2): the bank is idle when
+    /// it has no request in its queue.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the bank can accept a new command at `now`.
+    #[must_use]
+    pub fn is_ready(&self, now: Cycle) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Currently open row.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Whether a request would be a row-buffer hit right now.
+    #[must_use]
+    pub fn would_hit(&self, row: u64) -> bool {
+        self.open_row == Some(row)
+    }
+
+    /// Index (within the queue) of the FR-FCFS pick: the oldest row-hit
+    /// request, or the oldest request when no hit exists.
+    #[must_use]
+    pub fn fr_fcfs_pick(&self) -> Option<usize> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        self.queue
+            .iter()
+            .position(|r| self.would_hit(r.row))
+            .or(Some(0))
+    }
+
+    /// Index of the FCFS pick (the oldest request).
+    #[must_use]
+    pub fn fcfs_pick(&self) -> Option<usize> {
+        (!self.queue.is_empty()).then_some(0)
+    }
+
+    /// Oldest request's arrival time (for inter-bank arbitration).
+    #[must_use]
+    pub fn oldest_arrival(&self) -> Option<Cycle> {
+        self.queue.front().map(|r| r.arrived)
+    }
+
+    /// Arrival time of the request at `idx`.
+    #[must_use]
+    pub fn arrival_at(&self, idx: usize) -> Option<Cycle> {
+        self.queue.get(idx).map(|r| r.arrived)
+    }
+
+    /// Whether the request at `idx` would hit the open row.
+    #[must_use]
+    pub fn hit_at(&self, idx: usize) -> Option<bool> {
+        self.queue.get(idx).map(|r| self.would_hit(r.row))
+    }
+
+    /// Removes and returns the request at `idx`, marks the bank busy until
+    /// `busy_until`, opens the request's row and updates hit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn issue(&mut self, idx: usize, busy_until: Cycle) -> (MemRequest, bool) {
+        let req = self.queue.remove(idx).expect("issue index in bounds");
+        let hit = self.would_hit(req.row);
+        if hit {
+            self.row_hits += 1;
+        } else {
+            self.row_misses += 1;
+        }
+        self.open_row = Some(req.row);
+        self.busy_until = busy_until;
+        (req, hit)
+    }
+
+    /// Forces the bank busy until at least `until` (refresh).
+    pub fn occupy_until(&mut self, until: Cycle) {
+        self.busy_until = self.busy_until.max(until);
+    }
+
+    /// Closes the row buffer (refresh side effect).
+    pub fn close_row(&mut self) {
+        self.open_row = None;
+    }
+
+    /// `(row_hits, row_misses)` served so far.
+    #[must_use]
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.row_hits, self.row_misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(token: u64, row: u64, arrived: Cycle) -> MemRequest {
+        MemRequest {
+            token,
+            bank: 0,
+            row,
+            is_write: false,
+            arrived,
+        }
+    }
+
+    #[test]
+    fn idle_and_ready_transitions() {
+        let mut b = Bank::new();
+        assert!(b.is_idle());
+        assert!(b.is_ready(0));
+        b.enqueue(req(1, 5, 0));
+        assert!(!b.is_idle());
+        let (_, hit) = b.issue(0, 100);
+        assert!(!hit, "first access to a closed bank is a miss");
+        assert!(!b.is_ready(50));
+        assert!(b.is_ready(100));
+        assert!(b.is_idle());
+        assert_eq!(b.open_row(), Some(5));
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_open_row_hit() {
+        let mut b = Bank::new();
+        b.enqueue(req(1, 5, 0));
+        let _ = b.issue(0, 10); // open row 5
+        b.enqueue(req(2, 9, 20)); // older, row miss
+        b.enqueue(req(3, 5, 30)); // younger, row hit
+        assert_eq!(b.fr_fcfs_pick(), Some(1), "row hit must be preferred");
+        assert_eq!(b.fcfs_pick(), Some(0), "FCFS takes the oldest");
+        let (picked, hit) = b.issue(1, 50);
+        assert_eq!(picked.token, 3);
+        assert!(hit);
+    }
+
+    #[test]
+    fn fr_fcfs_falls_back_to_oldest() {
+        let mut b = Bank::new();
+        b.enqueue(req(1, 7, 0));
+        b.enqueue(req(2, 8, 10));
+        assert_eq!(b.fr_fcfs_pick(), Some(0));
+    }
+
+    #[test]
+    fn refresh_closes_row_and_occupies() {
+        let mut b = Bank::new();
+        b.enqueue(req(1, 5, 0));
+        let _ = b.issue(0, 10);
+        b.occupy_until(500);
+        b.close_row();
+        assert!(!b.is_ready(499));
+        assert!(b.is_ready(500));
+        assert_eq!(b.open_row(), None);
+    }
+
+    #[test]
+    fn hit_stats_accumulate() {
+        let mut b = Bank::new();
+        b.enqueue(req(1, 5, 0));
+        let _ = b.issue(0, 1);
+        b.enqueue(req(2, 5, 2));
+        let _ = b.issue(0, 3);
+        b.enqueue(req(3, 6, 4));
+        let _ = b.issue(0, 5);
+        assert_eq!(b.hit_stats(), (1, 2));
+    }
+}

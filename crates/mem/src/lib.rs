@@ -1,0 +1,38 @@
+//! DRAM memory system for the MICRO 2012 end-to-end-latency reproduction:
+//! address interleaving, open-page banks, FR-FCFS memory controllers and
+//! the bank-idleness monitoring that motivates Scheme-2.
+//!
+//! The model follows the paper's Table 1: 16 banks per controller split
+//! across two ranks, a bus multiplier of 5 between core and DRAM clocks,
+//! 22-DRAM-cycle bank busy time, 2-cycle rank delay and 3-cycle read/write
+//! turnaround, with cache-line interleaving of controllers.
+//!
+//! # Example
+//!
+//! ```
+//! use noclat_mem::{AddressMap, MemoryController};
+//! use noclat_sim::config::SystemConfig;
+//!
+//! let cfg = SystemConfig::baseline_32();
+//! let map = AddressMap::new(64, cfg.mem.num_controllers, cfg.mem.banks_per_controller, cfg.mem.row_bytes);
+//! let mut mc = MemoryController::new(cfg.mem);
+//! let d = map.decode(0x4_0000);
+//! mc.enqueue(1, d.bank, d.row, false, 0);
+//! let mut done = Vec::new();
+//! for t in 0..2000 {
+//!     done.extend(mc.tick(t));
+//! }
+//! assert_eq!(done.len(), 1);
+//! ```
+
+pub mod address;
+pub mod bank;
+pub mod controller;
+pub mod monitor;
+pub mod request;
+
+pub use address::{AddressMap, DecodedAddr};
+pub use bank::Bank;
+pub use controller::{ControllerStats, MemoryController};
+pub use monitor::IdlenessMonitor;
+pub use request::{MemCompletion, MemRequest};

@@ -1,0 +1,122 @@
+//! Bank idleness monitoring (Section 2.4.2, Figures 6, 13, 14).
+//!
+//! "To compute the average idleness, the queue of each bank is monitored at
+//! fixed intervals" — an average idleness of 0.8 means the bank's queue was
+//! empty in 80% of the samples.
+
+use noclat_sim::stats::{RunningMean, TimeSeries};
+use noclat_sim::Cycle;
+
+/// Samples per-bank queue emptiness at a fixed period and aggregates
+/// per-bank averages plus a time series of the across-banks average.
+#[derive(Debug, Clone)]
+pub struct IdlenessMonitor {
+    period: Cycle,
+    next_sample: Cycle,
+    per_bank: Vec<RunningMean>,
+    over_time: TimeSeries,
+}
+
+impl IdlenessMonitor {
+    /// Creates a monitor over `num_banks` banks sampling every `period`
+    /// cycles, reporting the over-time average at `series_interval`
+    /// granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or `series_interval` is zero or `num_banks` is
+    /// zero.
+    #[must_use]
+    pub fn new(num_banks: usize, period: Cycle, series_interval: Cycle) -> Self {
+        assert!(num_banks > 0, "need at least one bank");
+        assert!(period > 0, "sample period must be positive");
+        IdlenessMonitor {
+            period,
+            next_sample: 0,
+            per_bank: vec![RunningMean::new(); num_banks],
+            over_time: TimeSeries::new(series_interval),
+        }
+    }
+
+    /// Whether a sample is due at `now`.
+    #[must_use]
+    pub fn due(&self, now: Cycle) -> bool {
+        now >= self.next_sample
+    }
+
+    /// Records one sample: `idle[b]` is whether bank `b`'s queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idle.len()` differs from the monitored bank count.
+    pub fn sample(&mut self, now: Cycle, idle: &[bool]) {
+        assert_eq!(idle.len(), self.per_bank.len(), "bank count mismatch");
+        let mut idle_count = 0usize;
+        for (mean, &i) in self.per_bank.iter_mut().zip(idle) {
+            mean.record(f64::from(u8::from(i)));
+            idle_count += usize::from(i);
+        }
+        self.over_time
+            .record(now, idle_count as f64 / idle.len() as f64);
+        self.next_sample = now + self.period;
+    }
+
+    /// Average idleness of each bank over the whole run (Figure 6 / 13).
+    #[must_use]
+    pub fn per_bank_idleness(&self) -> Vec<f64> {
+        self.per_bank.iter().map(|m| m.mean_or(1.0)).collect()
+    }
+
+    /// Across-banks average idleness per time interval (Figure 14).
+    #[must_use]
+    pub fn idleness_over_time(&self) -> Vec<f64> {
+        self.over_time.averages(1.0)
+    }
+
+    /// Overall average idleness across banks and time.
+    #[must_use]
+    pub fn overall(&self) -> f64 {
+        self.over_time.overall_mean().unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_emptiness() {
+        let mut m = IdlenessMonitor::new(2, 10, 100);
+        m.sample(0, &[true, false]);
+        m.sample(10, &[true, true]);
+        assert_eq!(m.per_bank_idleness(), vec![1.0, 0.5]);
+        assert!((m.overall() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn due_respects_period() {
+        let mut m = IdlenessMonitor::new(1, 10, 100);
+        assert!(m.due(0));
+        m.sample(0, &[true]);
+        assert!(!m.due(9));
+        assert!(m.due(10));
+    }
+
+    #[test]
+    fn time_series_buckets() {
+        let mut m = IdlenessMonitor::new(2, 10, 50);
+        for t in (0..100).step_by(10) {
+            let idle = t < 50;
+            m.sample(t, &[idle, idle]);
+        }
+        let series = m.idleness_over_time();
+        assert_eq!(series, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank count mismatch")]
+    fn wrong_width_sample_panics() {
+        let mut m = IdlenessMonitor::new(2, 10, 100);
+        m.sample(0, &[true]);
+    }
+}

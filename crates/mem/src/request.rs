@@ -1,0 +1,62 @@
+//! Memory requests and completions exchanged with a controller.
+
+use noclat_sim::Cycle;
+
+/// A request queued at a memory controller.
+///
+/// The `token` is an opaque caller identifier (the enclosing transaction id);
+/// the controller returns it unchanged in the [`MemCompletion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Caller-defined transaction identifier.
+    pub token: u64,
+    /// Bank index within the controller.
+    pub bank: usize,
+    /// DRAM row within the bank.
+    pub row: u64,
+    /// Write (true) or read (false). Writes are dirty-line writebacks and
+    /// produce no network response.
+    pub is_write: bool,
+    /// Cycle the request arrived at the controller (for queueing-delay
+    /// accounting and FCFS ordering).
+    pub arrived: Cycle,
+}
+
+/// A finished memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemCompletion {
+    /// The originating request.
+    pub req: MemRequest,
+    /// Cycle the data became available.
+    pub finished: Cycle,
+    /// Total controller delay (queueing + service): `finished − arrived`.
+    /// This is the delay added to the message's so-far-delay field before
+    /// the response is injected (Scheme-1, Section 3.1).
+    pub controller_delay: Cycle,
+    /// Whether the access hit in the row buffer.
+    pub row_hit: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_carries_caller_token() {
+        let req = MemRequest {
+            token: 77,
+            bank: 3,
+            row: 9,
+            is_write: false,
+            arrived: 100,
+        };
+        let done = MemCompletion {
+            req,
+            finished: 250,
+            controller_delay: 150,
+            row_hit: true,
+        };
+        assert_eq!(done.req.token, 77);
+        assert_eq!(done.finished - done.req.arrived, done.controller_delay);
+    }
+}

@@ -1,0 +1,258 @@
+//! Priority- and age-aware arbitration (Section 3.3).
+//!
+//! A high-priority flit beats a normal-priority one *unless* the normal flit
+//! is older by more than the starvation guard `T`. Within a class, older
+//! flits win ("the routers also consider the local delays in addition to the
+//! age fields"); remaining ties break round-robin.
+//!
+//! This is implemented as a scalar key: high-priority candidates get a bonus
+//! of exactly `T` cycles on top of their effective age, so
+//! `high wins ⇔ age_normal ≤ age_high + T`, which is the paper's rule.
+
+use noclat_sim::config::StarvationPolicy;
+
+use crate::packet::Priority;
+
+/// A competitor in a VA or SA arbitration round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Caller-defined identifier (e.g. `(input_port, vc)` encoded as an
+    /// index); returned on grant.
+    pub tag: usize,
+    /// Arbitration priority.
+    pub priority: Priority,
+    /// Effective age: header age plus time already waited at this router.
+    pub effective_age: u64,
+    /// Injection batch (used by the batching starvation policy).
+    pub batch: u32,
+}
+
+/// Scalar arbitration key; larger wins.
+#[must_use]
+pub fn arbitration_key(priority: Priority, effective_age: u64, starvation_guard: u32) -> u64 {
+    match priority {
+        Priority::High => effective_age.saturating_add(u64::from(starvation_guard)),
+        Priority::Normal => effective_age,
+    }
+}
+
+/// Arbitration key under the batching policy: packets from an older batch
+/// beat any priority difference; within a batch, high priority wins, then
+/// age (the batching method the paper cites and contrasts with its age
+/// guard).
+#[must_use]
+pub fn batching_key(batch: u32, priority: Priority, effective_age: u64) -> u64 {
+    let batch_rank = u64::from(u32::MAX - batch) << 21;
+    let pri = u64::from(priority == Priority::High) << 20;
+    batch_rank + pri + effective_age.min((1 << 20) - 1)
+}
+
+/// Key for a candidate under the configured policy.
+#[must_use]
+pub fn key_for(policy: StarvationPolicy, guard: u32, c: &Candidate) -> u64 {
+    match policy {
+        StarvationPolicy::AgeGuard => arbitration_key(c.priority, c.effective_age, guard),
+        StarvationPolicy::Batching { .. } => {
+            batching_key(c.batch, c.priority, c.effective_age)
+        }
+    }
+}
+
+/// Round-robin tie-breaking arbiter with the priority/age key above.
+///
+/// `pick` returns the winning candidate's `tag`. Ties on the key prefer the
+/// higher priority class, then the first candidate at or after the rotating
+/// pointer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundRobinArbiter {
+    next: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates an arbiter with its pointer at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Picks a winner among `candidates`; returns its `tag`, or `None` when
+    /// there are no candidates. Advances the round-robin pointer past the
+    /// winner.
+    pub fn pick(&mut self, candidates: &[Candidate], starvation_guard: u32) -> Option<usize> {
+        self.pick_with(
+            candidates,
+            StarvationPolicy::AgeGuard,
+            starvation_guard,
+        )
+    }
+
+    /// Like [`RoundRobinArbiter::pick`], under an explicit starvation
+    /// policy.
+    pub fn pick_with(
+        &mut self,
+        candidates: &[Candidate],
+        policy: StarvationPolicy,
+        starvation_guard: u32,
+    ) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let n = candidates.len();
+        let mut best: Option<(u64, Priority, usize)> = None; // (key, prio, offset)
+        for offset in 0..n {
+            let idx = (self.next + offset) % n;
+            let c = candidates[idx];
+            let key = key_for(policy, starvation_guard, &c);
+            let better = match best {
+                None => true,
+                Some((bk, bp, _)) => key > bk || (key == bk && c.priority > bp),
+            };
+            if better {
+                best = Some((key, c.priority, idx));
+            }
+        }
+        let (_, _, idx) = best.expect("non-empty candidate list");
+        self.next = (idx + 1) % n.max(1);
+        Some(candidates[idx].tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(tag: usize, priority: Priority, age: u64) -> Candidate {
+        Candidate {
+            tag,
+            priority,
+            effective_age: age,
+            batch: 0,
+        }
+    }
+
+    #[test]
+    fn high_beats_normal_within_guard() {
+        let mut arb = RoundRobinArbiter::new();
+        let got = arb.pick(
+            &[
+                cand(0, Priority::Normal, 100),
+                cand(1, Priority::High, 10),
+            ],
+            1000,
+        );
+        assert_eq!(got, Some(1));
+    }
+
+    #[test]
+    fn starved_normal_beats_high() {
+        // Normal is older than high by more than the guard (Section 3.3
+        // condition 2), so it must win.
+        let mut arb = RoundRobinArbiter::new();
+        let got = arb.pick(
+            &[
+                cand(0, Priority::Normal, 1500),
+                cand(1, Priority::High, 10),
+            ],
+            1000,
+        );
+        assert_eq!(got, Some(0));
+    }
+
+    #[test]
+    fn guard_boundary_prefers_high() {
+        // age_normal == age_high + T is "not more than T greater" → high wins.
+        let mut arb = RoundRobinArbiter::new();
+        let got = arb.pick(
+            &[
+                cand(0, Priority::Normal, 1010),
+                cand(1, Priority::High, 10),
+            ],
+            1000,
+        );
+        assert_eq!(got, Some(1));
+    }
+
+    #[test]
+    fn oldest_wins_within_class() {
+        let mut arb = RoundRobinArbiter::new();
+        let got = arb.pick(
+            &[
+                cand(0, Priority::Normal, 5),
+                cand(1, Priority::Normal, 50),
+                cand(2, Priority::Normal, 20),
+            ],
+            1000,
+        );
+        assert_eq!(got, Some(1));
+    }
+
+    #[test]
+    fn round_robin_rotates_on_ties() {
+        let mut arb = RoundRobinArbiter::new();
+        let cands = [
+            cand(0, Priority::Normal, 7),
+            cand(1, Priority::Normal, 7),
+            cand(2, Priority::Normal, 7),
+        ];
+        let mut wins = Vec::new();
+        for _ in 0..6 {
+            wins.push(arb.pick(&cands, 1000).unwrap());
+        }
+        // Every candidate must win at least once across the rotation.
+        for tag in 0..3 {
+            assert!(wins.contains(&tag), "tag {tag} never won: {wins:?}");
+        }
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut arb = RoundRobinArbiter::new();
+        assert_eq!(arb.pick(&[], 1000), None);
+    }
+
+    #[test]
+    fn batching_older_batch_beats_priority() {
+        let old_normal = Candidate {
+            tag: 0,
+            priority: Priority::Normal,
+            effective_age: 5,
+            batch: 2,
+        };
+        let new_high = Candidate {
+            tag: 1,
+            priority: Priority::High,
+            effective_age: 900,
+            batch: 3,
+        };
+        let policy = StarvationPolicy::Batching { interval: 1000 };
+        let mut arb = RoundRobinArbiter::new();
+        assert_eq!(arb.pick_with(&[old_normal, new_high], policy, 0), Some(0));
+    }
+
+    #[test]
+    fn batching_same_batch_uses_priority_then_age() {
+        let policy = StarvationPolicy::Batching { interval: 1000 };
+        let normal = Candidate {
+            tag: 0,
+            priority: Priority::Normal,
+            effective_age: 500,
+            batch: 7,
+        };
+        let high = Candidate {
+            tag: 1,
+            priority: Priority::High,
+            effective_age: 5,
+            batch: 7,
+        };
+        let mut arb = RoundRobinArbiter::new();
+        assert_eq!(arb.pick_with(&[normal, high], policy, 0), Some(1));
+    }
+
+    #[test]
+    fn key_saturates() {
+        assert_eq!(
+            arbitration_key(Priority::High, u64::MAX, 1000),
+            u64::MAX
+        );
+    }
+}

@@ -1,0 +1,811 @@
+//! The mesh network: routers, links, credit wires, injection queues and
+//! ejection (packet reassembly).
+//!
+//! [`Network`] is generic over the payload type `P`; payloads are held in a
+//! side table while their flits are in flight, so flits stay small and
+//! `Copy`. Injection queues and ejection inboxes are unbounded (standard
+//! source/sink simplification): the network interior is fully flow-controlled
+//! by credits, while end-point protocol queues are bounded in practice by
+//! the cores' instruction windows and MSHRs.
+
+use std::collections::{HashMap, VecDeque};
+
+use noclat_sim::config::{NocConfig, StarvationPolicy};
+use noclat_sim::stats::{Counter, RunningMean};
+use noclat_sim::Cycle;
+
+use crate::packet::{accumulate_age, Delivered, Flit, FlitKind, PacketId, PacketMeta, Priority, VNet};
+use crate::router::{Router, RouterCounters};
+use crate::topology::{Dir, Mesh, NodeId};
+
+/// Network-wide event counters and latency aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    /// Packets handed to [`Network::inject`].
+    pub packets_injected: Counter,
+    /// Packets fully delivered to their destination inbox.
+    pub packets_delivered: Counter,
+    /// Packets injected at high priority.
+    pub high_priority_injected: Counter,
+    /// Per-leg network latency of request-class packets.
+    pub request_latency: RunningMean,
+    /// Per-leg network latency of response-class packets.
+    pub response_latency: RunningMean,
+}
+
+/// A packet waiting at a node for a free injection VC.
+#[derive(Debug, Clone, Copy)]
+struct PendingPacket {
+    id: PacketId,
+}
+
+/// A packet currently streaming flits into its bound local VC.
+#[derive(Debug, Clone, Copy)]
+struct ActiveInjection {
+    id: PacketId,
+    sent: u8,
+}
+
+/// Per-node injection state: FIFOs per (vnet, priority) and the packet bound
+/// to each local input VC.
+#[derive(Debug, Clone)]
+struct Injector {
+    /// Index: `vnet.index() * 2 + priority` (high first at dequeue).
+    queues: [VecDeque<PendingPacket>; 4],
+    /// One slot per local input VC.
+    active: Vec<Option<ActiveInjection>>,
+    /// Round-robin pointer over VCs for the one-flit-per-cycle local port.
+    rr: usize,
+}
+
+impl Injector {
+    fn new(vcs: usize) -> Self {
+        Injector {
+            queues: [
+                VecDeque::new(),
+                VecDeque::new(),
+                VecDeque::new(),
+                VecDeque::new(),
+            ],
+            active: vec![None; vcs],
+            rr: 0,
+        }
+    }
+
+    fn queue_index(vnet: VNet, priority: Priority) -> usize {
+        vnet.index() * 2 + usize::from(priority == Priority::High)
+    }
+}
+
+/// The mesh network.
+#[derive(Debug)]
+pub struct Network<P> {
+    mesh: Mesh,
+    cfg: NocConfig,
+    routers: Vec<Router>,
+    /// In-flight flits per (node, input port): `(arrival_cycle, flit)`.
+    wires: Vec<VecDeque<(Cycle, Flit)>>,
+    /// In-flight credits per (node, output port): `(arrival_cycle, vc)`.
+    credit_wires: Vec<VecDeque<(Cycle, u8)>>,
+    injectors: Vec<Injector>,
+    inboxes: Vec<Vec<Delivered<P>>>,
+    /// Flits carried per directed link, indexed `node * 5 + out_port`
+    /// (`Local` = ejections at that node).
+    link_flits: Vec<u64>,
+    /// Clock divider per router: router `n` arbitrates only on cycles
+    /// divisible by `periods[n]` (1 = full speed). Models the heterogeneous
+    /// clock domains Equation 1's `FREQ_MULT / local_frequency` term is
+    /// designed for.
+    periods: Vec<u32>,
+    /// Payload + metadata of packets not yet delivered.
+    in_flight: HashMap<u64, (PacketMeta, P)>,
+    /// Head-flit age recorded at ejection, per multi-flit packet.
+    head_ages: HashMap<u64, u32>,
+    next_packet: u64,
+    stats: NetworkStats,
+}
+
+impl<P> Network<P> {
+    /// Creates a network over `mesh` with the given NoC parameters.
+    #[must_use]
+    pub fn new(mesh: Mesh, cfg: NocConfig) -> Self {
+        let n = mesh.num_nodes();
+        let ports = Dir::ALL.len();
+        Network {
+            mesh,
+            cfg,
+            routers: mesh.nodes().map(|id| Router::new(id, mesh, cfg)).collect(),
+            wires: (0..n * ports).map(|_| VecDeque::new()).collect(),
+            credit_wires: (0..n * ports).map(|_| VecDeque::new()).collect(),
+            injectors: (0..n).map(|_| Injector::new(cfg.vcs_per_port)).collect(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            link_flits: vec![0; n * ports],
+            periods: vec![1; n],
+            in_flight: HashMap::new(),
+            head_ages: HashMap::new(),
+            next_packet: 0,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// The mesh this network spans.
+    #[must_use]
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Network-wide statistics.
+    #[must_use]
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Sum of all routers' event counters.
+    #[must_use]
+    pub fn router_counters(&self) -> RouterCounters {
+        let mut total = RouterCounters::default();
+        for r in &self.routers {
+            let c = r.counters();
+            total.flits_traversed += c.flits_traversed;
+            total.flits_bypassed += c.flits_bypassed;
+            total.high_priority_traversed += c.high_priority_traversed;
+        }
+        total
+    }
+
+    /// Number of packets injected but not yet delivered.
+    #[must_use]
+    pub fn packets_in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Slows router `node` down to arbitrate once every `period` cycles
+    /// (1 = full speed). Flits still arrive and buffer at wire speed; only
+    /// the router pipeline is clock-divided, as in a slower clock domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn set_node_period(&mut self, node: NodeId, period: u32) {
+        assert!(period > 0, "clock period must be positive");
+        self.periods[node.index()] = period;
+    }
+
+    /// Flits carried by the directed link leaving `node` through `port`
+    /// (`Local` counts ejections at that node).
+    #[must_use]
+    pub fn link_flits(&self, node: NodeId, port: Dir) -> u64 {
+        self.link_flits[node.index() * Dir::ALL.len() + port.index()]
+    }
+
+    /// Per-node total of flits forwarded onto mesh links (a congestion
+    /// heat-map: hot routers forward the most flits).
+    #[must_use]
+    pub fn node_forwarding_heat(&self) -> Vec<u64> {
+        let ports = Dir::ALL.len();
+        (0..self.routers.len())
+            .map(|n| {
+                (0..4) // mesh directions only
+                    .map(|p| self.link_flits[n * ports + p])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Hands a packet to the network for delivery.
+    ///
+    /// `initial_age` seeds the header's so-far-delay field (the delay the
+    /// enclosing transaction accumulated before this network leg).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_flits` is zero or src/dest are outside the mesh.
+    pub fn inject(
+        &mut self,
+        src: NodeId,
+        dest: NodeId,
+        vnet: VNet,
+        priority: Priority,
+        num_flits: u8,
+        initial_age: u32,
+        payload: P,
+        now: Cycle,
+    ) -> PacketId {
+        assert!(num_flits > 0, "packet must have at least one flit");
+        assert!(src.index() < self.mesh.num_nodes(), "src outside mesh");
+        assert!(dest.index() < self.mesh.num_nodes(), "dest outside mesh");
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let meta = PacketMeta {
+            id,
+            src,
+            dest,
+            vnet,
+            priority,
+            num_flits,
+            initial_age: initial_age.min(self.cfg.max_age()),
+            injected_at: now,
+        };
+        self.in_flight.insert(id.0, (meta, payload));
+        let inj = &mut self.injectors[src.index()];
+        inj.queues[Injector::queue_index(vnet, priority)].push_back(PendingPacket { id });
+        self.stats.packets_injected.inc();
+        if priority == Priority::High {
+            self.stats.high_priority_injected.inc();
+        }
+        id
+    }
+
+    /// Takes all packets delivered to `node` since the last call.
+    pub fn take_delivered(&mut self, node: NodeId) -> Vec<Delivered<P>> {
+        std::mem::take(&mut self.inboxes[node.index()])
+    }
+
+    /// Advances the network by one cycle.
+    ///
+    /// Order matters: routers run *before* wire delivery so that a flit
+    /// arriving one cycle behind its (bypassed) predecessor observes the
+    /// buffer state after this cycle's switch traversals — without this, a
+    /// high-priority body flit would never see the empty buffer that makes
+    /// it bypass-eligible (Section 3.3).
+    pub fn tick(&mut self, now: Cycle) {
+        self.injection_step(now);
+        self.router_step(now);
+        self.deliver_wires(now);
+    }
+
+    /// Moves arrived flits and credits from the wires into the routers.
+    fn deliver_wires(&mut self, now: Cycle) {
+        let ports = Dir::ALL.len();
+        for node in 0..self.routers.len() {
+            for port in 0..ports {
+                let w = &mut self.wires[node * ports + port];
+                while w.front().is_some_and(|&(t, _)| t <= now) {
+                    let (_, flit) = w.pop_front().expect("checked front");
+                    self.routers[node].accept_flit(Dir::ALL[port], flit, now);
+                }
+                let cw = &mut self.credit_wires[node * ports + port];
+                while cw.front().is_some_and(|&(t, _)| t <= now) {
+                    let (_, vc) = cw.pop_front().expect("checked front");
+                    self.routers[node].apply_credit(Dir::ALL[port], vc);
+                }
+            }
+        }
+    }
+
+    /// Binds pending packets to free local VCs and streams one flit per
+    /// virtual network per node per cycle into the local input port (the
+    /// network interface serves each message class independently, as in
+    /// Garnet-style NIs).
+    fn injection_step(&mut self, now: Cycle) {
+        let vcs = self.cfg.vcs_per_port;
+        let half = vcs / 2;
+        for node in 0..self.routers.len() {
+            // Bind pending packets (high-priority queue first per vnet).
+            for vnet in [VNet::Request, VNet::Response] {
+                let (start, end) = (vnet.index() * half, vnet.index() * half + half);
+                for pri_first in [Priority::High, Priority::Normal] {
+                    let qi = Injector::queue_index(vnet, pri_first);
+                    while !self.injectors[node].queues[qi].is_empty() {
+                        let free_vc = (start..end).find(|&v| {
+                            self.injectors[node].active[v].is_none()
+                                && !self.routers[node].local_vc_busy(v)
+                        });
+                        let Some(v) = free_vc else { break };
+                        let pending = self.injectors[node].queues[qi]
+                            .pop_front()
+                            .expect("queue non-empty");
+                        self.injectors[node].active[v] = Some(ActiveInjection {
+                            id: pending.id,
+                            sent: 0,
+                        });
+                    }
+                }
+            }
+            for vnet in [VNet::Request, VNet::Response] {
+                self.stream_one_flit(node, vnet, now);
+            }
+        }
+    }
+
+    /// Streams at most one flit of `vnet`-class traffic at `node`,
+    /// round-robin over that class's active VCs.
+    fn stream_one_flit(&mut self, node: usize, vnet: VNet, now: Cycle) {
+        let vcs = self.cfg.vcs_per_port;
+        let half = vcs / 2;
+        let start = vnet.index() * half;
+        {
+            let rr = self.injectors[node].rr;
+            for off in 0..half {
+                let v = start + (rr + off) % half;
+                let Some(active) = self.injectors[node].active[v] else {
+                    continue;
+                };
+                if self.routers[node].local_vc_space(v) == 0 {
+                    continue;
+                }
+                let (meta, _) = &self.in_flight[&active.id.0];
+                let kind = match (active.sent, meta.num_flits) {
+                    (0, 1) => FlitKind::HeadTail,
+                    (0, _) => FlitKind::Head,
+                    (s, n) if s + 1 == n => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                };
+                // Charge the time spent waiting in the source queue to the
+                // so-far-delay field: the network interface is one of the
+                // "stages" of Equation 1.
+                let batch = match self.cfg.starvation {
+                    StarvationPolicy::Batching { interval } => {
+                        (meta.injected_at / Cycle::from(interval.max(1))) as u32
+                    }
+                    StarvationPolicy::AgeGuard => 0,
+                };
+                let flit = Flit {
+                    packet: active.id,
+                    kind,
+                    dest: meta.dest,
+                    vnet: meta.vnet,
+                    priority: meta.priority,
+                    age: accumulate_age(
+                        meta.initial_age,
+                        now.saturating_sub(meta.injected_at),
+                        self.cfg.freq_mult,
+                        self.cfg.max_age(),
+                    ),
+                    batch,
+                    vc: v as u8,
+                    arrived_at: now,
+                    ready_at: now,
+                };
+                let num_flits = meta.num_flits;
+                self.routers[node].accept_flit(Dir::Local, flit, now);
+                let slot = self.injectors[node].active[v]
+                    .as_mut()
+                    .expect("active injection");
+                slot.sent += 1;
+                if slot.sent == num_flits {
+                    self.injectors[node].active[v] = None;
+                }
+                self.injectors[node].rr = (v + 1) % half;
+                return; // one flit per vnet per node per cycle
+            }
+        }
+    }
+
+    /// Ticks every router and routes its outputs onto wires / inboxes.
+    fn router_step(&mut self, now: Cycle) {
+        let ports = Dir::ALL.len();
+        for node in 0..self.routers.len() {
+            let node_id = NodeId(node as u16);
+            // A slowed router only arbitrates on its own clock edges.
+            if now % Cycle::from(self.periods[node]) != 0 {
+                continue;
+            }
+            // Split borrows: the router produces, the network consumes.
+            let out = {
+                let r = &mut self.routers[node];
+                let o = r.tick(now);
+                // Clone the small per-cycle output so `self` is free again.
+                (o.traversals.clone(), o.credits.clone())
+            };
+            for tr in out.0 {
+                self.link_flits[node * ports + tr.out_port.index()] += 1;
+                if tr.out_port == Dir::Local {
+                    self.eject(node_id, tr.flit, now);
+                } else {
+                    let nb = self
+                        .mesh
+                        .neighbor(node_id, tr.out_port)
+                        .expect("route stays inside mesh");
+                    let in_port = tr.out_port.opposite();
+                    self.wires[nb.index() * ports + in_port.index()]
+                        .push_back((now + self.cfg.link_latency, tr.flit));
+                }
+            }
+            for cr in out.1 {
+                if cr.in_port == Dir::Local {
+                    continue; // injector reads buffer occupancy directly
+                }
+                let upstream = self
+                    .mesh
+                    .neighbor(node_id, cr.in_port)
+                    .expect("credit goes to an existing neighbor");
+                let up_out_port = cr.in_port.opposite();
+                self.credit_wires[upstream.index() * ports + up_out_port.index()]
+                    .push_back((now + 1, cr.vc));
+            }
+        }
+    }
+
+    /// Consumes a flit at its destination; delivers the packet on its tail.
+    fn eject(&mut self, node: NodeId, flit: Flit, now: Cycle) {
+        if flit.kind.is_head() {
+            self.head_ages.insert(flit.packet.0, flit.age);
+        }
+        if !flit.kind.is_tail() {
+            return;
+        }
+        let final_age = self
+            .head_ages
+            .remove(&flit.packet.0)
+            .unwrap_or(flit.age);
+        let (meta, payload) = self
+            .in_flight
+            .remove(&flit.packet.0)
+            .expect("delivered packet was in flight");
+        debug_assert_eq!(meta.dest, node, "flit ejected at wrong node");
+        let delivered = Delivered {
+            meta,
+            final_age,
+            delivered_at: now,
+            payload,
+        };
+        self.stats.packets_delivered.inc();
+        let lat = delivered.network_latency() as f64;
+        match meta.vnet {
+            VNet::Request => self.stats.request_latency.record(lat),
+            VNet::Response => self.stats.response_latency.record(lat),
+        }
+        self.inboxes[node.index()].push(delivered);
+    }
+}
+
+/// Number of flits for a message with `payload_bytes` of data: one header
+/// flit plus enough flits to carry the payload (Table 1: 128-bit flits, so a
+/// 64 B cache line takes 1 + 4 = 5 flits).
+#[must_use]
+pub fn flits_for_payload(payload_bytes: usize, flit_bits: usize) -> u8 {
+    let data_flits = (payload_bytes * 8).div_ceil(flit_bits);
+    (1 + data_flits) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noclat_sim::config::SystemConfig;
+
+    fn network() -> Network<u32> {
+        let cfg = SystemConfig::baseline_32();
+        Network::new(Mesh::new(8, 4), cfg.noc)
+    }
+
+    fn run_until_delivered(
+        net: &mut Network<u32>,
+        dest: NodeId,
+        start: Cycle,
+        limit: Cycle,
+    ) -> (Cycle, Vec<Delivered<u32>>) {
+        for t in start..start + limit {
+            net.tick(t);
+            let got = net.take_delivered(dest);
+            if !got.is_empty() {
+                return (t, got);
+            }
+        }
+        panic!("packet not delivered within {limit} cycles");
+    }
+
+    #[test]
+    fn single_flit_end_to_end() {
+        let mut net = network();
+        let src = NodeId(0);
+        let dest = NodeId(7); // 7 hops east
+        net.inject(src, dest, VNet::Request, Priority::Normal, 1, 0, 42, 0);
+        let (t, got) = run_until_delivered(&mut net, dest, 0, 200);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, 42);
+        assert_eq!(got[0].meta.src, src);
+        // 8 switch traversals (7 forwarding routers + ejection) at 4 cycles
+        // of pipeline each, plus 7 link cycles: earliest delivery is t=39.
+        assert_eq!(t, 39, "zero-load latency must match the pipeline model");
+        assert_eq!(got[0].final_age, 32, "age = 8 routers x 4-cycle residency");
+        assert_eq!(net.packets_in_flight(), 0);
+    }
+
+    #[test]
+    fn multi_flit_packet_arrives_whole() {
+        let mut net = network();
+        let src = NodeId(3);
+        let dest = NodeId(28);
+        net.inject(src, dest, VNet::Response, Priority::Normal, 5, 100, 7, 0);
+        let (_, got) = run_until_delivered(&mut net, dest, 0, 400);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].final_age >= 100, "initial age must be preserved");
+    }
+
+    #[test]
+    fn local_delivery_works() {
+        let mut net = network();
+        let n = NodeId(9);
+        net.inject(n, n, VNet::Request, Priority::Normal, 1, 0, 1, 0);
+        let (_, got) = run_until_delivered(&mut net, n, 0, 50);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn high_priority_is_faster_under_load() {
+        let cfg = SystemConfig::baseline_32();
+        let mesh = Mesh::new(8, 4);
+        let measure = |priority: Priority| -> f64 {
+            let mut net: Network<u32> = Network::new(mesh, cfg.noc);
+            // Background traffic: every node hammers node 31.
+            let mut t: Cycle = 0;
+            let mut probe_latencies = Vec::new();
+            let mut next_probe = 50;
+            let mut outstanding: Option<(PacketId, Cycle)> = None;
+            while t < 6000 {
+                if t % 3 == 0 {
+                    let src = NodeId((t % 24) as u16);
+                    net.inject(src, NodeId(31), VNet::Request, Priority::Normal, 5, 0, 0, t);
+                }
+                if t == next_probe && outstanding.is_none() {
+                    let id = net.inject(NodeId(0), NodeId(31), VNet::Request, priority, 1, 0, 1, t);
+                    outstanding = Some((id, t));
+                }
+                net.tick(t);
+                for d in net.take_delivered(NodeId(31)) {
+                    if let Some((id, at)) = outstanding {
+                        if d.meta.id == id {
+                            probe_latencies.push((d.delivered_at - at) as f64);
+                            outstanding = None;
+                            next_probe = t + 200;
+                        }
+                    }
+                }
+                t += 1;
+            }
+            assert!(!probe_latencies.is_empty(), "no probes delivered");
+            probe_latencies.iter().sum::<f64>() / probe_latencies.len() as f64
+        };
+        let normal = measure(Priority::Normal);
+        let high = measure(Priority::High);
+        assert!(
+            high < normal,
+            "high priority ({high:.1}) must beat normal ({normal:.1}) under load"
+        );
+    }
+
+    #[test]
+    fn conservation_no_packet_lost_under_random_traffic() {
+        use noclat_sim::rng::SimRng;
+        let mut net = network();
+        let mut rng = SimRng::new(99);
+        let mut injected = 0u64;
+        for t in 0..5000u64 {
+            if rng.chance(0.4) {
+                let src = NodeId(rng.index(32) as u16);
+                let dest = NodeId(rng.index(32) as u16);
+                let vnet = if rng.chance(0.5) {
+                    VNet::Request
+                } else {
+                    VNet::Response
+                };
+                let pri = if rng.chance(0.1) {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
+                let flits = if vnet == VNet::Response { 5 } else { 1 };
+                net.inject(src, dest, vnet, pri, flits, 0, 0, t);
+                injected += 1;
+            }
+            net.tick(t);
+        }
+        // Drain: no more injections; everything in flight must arrive.
+        let mut t = 5000u64;
+        while net.packets_in_flight() > 0 && t < 60_000 {
+            net.tick(t);
+            t += 1;
+        }
+        assert_eq!(net.packets_in_flight(), 0, "packets stuck in network");
+        let delivered: u64 = net.stats().packets_delivered.get();
+        assert_eq!(delivered, injected);
+    }
+
+    #[test]
+    fn age_reflects_path_length() {
+        let mut net = network();
+        // Short hop: 0 -> 1. Long: 0 -> 31.
+        net.inject(NodeId(0), NodeId(1), VNet::Request, Priority::Normal, 1, 0, 1, 0);
+        let (_, short) = run_until_delivered(&mut net, NodeId(1), 0, 100);
+        let mut net2 = network();
+        net2.inject(NodeId(0), NodeId(31), VNet::Request, Priority::Normal, 1, 0, 2, 0);
+        let (_, long) = run_until_delivered(&mut net2, NodeId(31), 0, 300);
+        assert!(
+            long[0].final_age > short[0].final_age,
+            "age must grow with distance ({} vs {})",
+            long[0].final_age,
+            short[0].final_age
+        );
+    }
+
+    #[test]
+    fn take_delivered_clears_the_inbox() {
+        let mut net = network();
+        net.inject(NodeId(0), NodeId(1), VNet::Request, Priority::Normal, 1, 0, 1, 0);
+        let (_, got) = run_until_delivered(&mut net, NodeId(1), 0, 100);
+        assert_eq!(got.len(), 1);
+        assert!(net.take_delivered(NodeId(1)).is_empty(), "inbox must drain");
+    }
+
+    #[test]
+    fn initial_age_is_clamped_to_the_field_width() {
+        let mut net = network();
+        net.inject(
+            NodeId(0),
+            NodeId(1),
+            VNet::Request,
+            Priority::Normal,
+            1,
+            u32::MAX, // far beyond the 12-bit field
+            9,
+            0,
+        );
+        let (_, got) = run_until_delivered(&mut net, NodeId(1), 0, 100);
+        assert!(got[0].final_age <= 4095, "age {} exceeds 12 bits", got[0].final_age);
+    }
+
+    #[test]
+    fn latency_stats_split_by_vnet() {
+        let mut net = network();
+        net.inject(NodeId(0), NodeId(3), VNet::Request, Priority::Normal, 1, 0, 1, 0);
+        net.inject(NodeId(0), NodeId(3), VNet::Response, Priority::Normal, 5, 0, 2, 0);
+        for t in 0..300 {
+            net.tick(t);
+            let _ = net.take_delivered(NodeId(3));
+        }
+        assert_eq!(net.stats().request_latency.count(), 1);
+        assert_eq!(net.stats().response_latency.count(), 1);
+    }
+
+    #[test]
+    fn flits_for_payload_matches_table1() {
+        assert_eq!(flits_for_payload(64, 128), 5);
+        assert_eq!(flits_for_payload(0, 128), 1);
+        assert_eq!(flits_for_payload(16, 128), 2);
+        assert_eq!(flits_for_payload(17, 128), 3);
+    }
+
+    #[test]
+    fn slowed_router_delays_traffic_through_it() {
+        // Packets 0 -> 2 pass through router 1; dividing router 1's clock
+        // by 8 must lengthen the trip, and the slow residency must appear
+        // in the age field.
+        let deliver = |slow: bool| -> (u64, u32) {
+            let cfg = SystemConfig::baseline_32().noc;
+            let mut net: Network<u32> = Network::new(Mesh::new(8, 4), cfg);
+            if slow {
+                net.set_node_period(NodeId(1), 8);
+            }
+            net.inject(NodeId(0), NodeId(2), VNet::Request, Priority::Normal, 1, 0, 1, 0);
+            for t in 0..500 {
+                net.tick(t);
+                if let Some(d) = net.take_delivered(NodeId(2)).first() {
+                    return (d.delivered_at, d.final_age);
+                }
+            }
+            panic!("not delivered");
+        };
+        let (fast_t, fast_age) = deliver(false);
+        let (slow_t, slow_age) = deliver(true);
+        assert!(slow_t > fast_t, "slow domain must delay delivery");
+        assert!(slow_age > fast_age, "the extra residency must age the message");
+    }
+
+    #[test]
+    fn freq_mult_scales_accumulated_age() {
+        // The paper's Equation 1 divides local delays by the local clock and
+        // multiplies by FREQ_MULT; with a uniform clock, doubling FREQ_MULT
+        // doubles every accumulated delay.
+        let run_age = |fm: u32| -> u32 {
+            let mut cfg = SystemConfig::baseline_32().noc;
+            cfg.freq_mult = fm;
+            let mut net: Network<u32> = Network::new(Mesh::new(8, 4), cfg);
+            net.inject(NodeId(0), NodeId(7), VNet::Request, Priority::Normal, 1, 0, 1, 0);
+            for t in 0..200 {
+                net.tick(t);
+                let got = net.take_delivered(NodeId(7));
+                if let Some(d) = got.first() {
+                    return d.final_age;
+                }
+            }
+            panic!("not delivered");
+        };
+        let a1 = run_age(1);
+        let a2 = run_age(2);
+        assert_eq!(a2, a1 * 2, "ages must scale with FREQ_MULT");
+    }
+
+    #[test]
+    fn yx_routing_delivers_everything() {
+        use noclat_sim::config::RoutingAlgorithm;
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.noc.routing = RoutingAlgorithm::YX;
+        let mut net: Network<u32> = Network::new(Mesh::new(8, 4), cfg.noc);
+        for i in 0..64u64 {
+            net.inject(
+                NodeId((i % 32) as u16),
+                NodeId(((i * 7) % 32) as u16),
+                VNet::Request,
+                Priority::Normal,
+                1,
+                0,
+                i as u32,
+                i,
+            );
+        }
+        let mut t = 0;
+        while net.packets_in_flight() > 0 && t < 20_000 {
+            net.tick(t);
+            for n in 0..32 {
+                let _ = net.take_delivered(NodeId(n));
+            }
+            t += 1;
+        }
+        assert_eq!(net.packets_in_flight(), 0, "Y-X routing lost packets");
+    }
+
+    #[test]
+    fn batching_policy_delivers_everything() {
+        use noclat_sim::config::StarvationPolicy;
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.noc.starvation = StarvationPolicy::Batching { interval: 500 };
+        let mut net: Network<u32> = Network::new(Mesh::new(8, 4), cfg.noc);
+        let mut rng = noclat_sim::rng::SimRng::new(5);
+        let mut injected = 0u64;
+        for t in 0..3000u64 {
+            if rng.chance(0.3) {
+                let pri = if rng.chance(0.3) {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
+                net.inject(
+                    NodeId(rng.index(32) as u16),
+                    NodeId(rng.index(32) as u16),
+                    VNet::Response,
+                    pri,
+                    5,
+                    0,
+                    0,
+                    t,
+                );
+                injected += 1;
+            }
+            net.tick(t);
+        }
+        let mut t = 3000;
+        while net.packets_in_flight() > 0 && t < 60_000 {
+            net.tick(t);
+            t += 1;
+        }
+        assert_eq!(net.packets_in_flight(), 0);
+        assert_eq!(net.stats().packets_delivered.get(), injected);
+    }
+
+    #[test]
+    fn link_counters_track_forwarded_flits() {
+        let mut net = network();
+        // A single 5-flit packet 0 -> 2 crosses two eastward links and
+        // ejects at node 2.
+        net.inject(NodeId(0), NodeId(2), VNet::Response, Priority::Normal, 5, 0, 1, 0);
+        for t in 0..200 {
+            net.tick(t);
+        }
+        assert_eq!(net.link_flits(NodeId(0), Dir::East), 5);
+        assert_eq!(net.link_flits(NodeId(1), Dir::East), 5);
+        assert_eq!(net.link_flits(NodeId(2), Dir::Local), 5);
+        assert_eq!(net.link_flits(NodeId(0), Dir::South), 0);
+        let heat = net.node_forwarding_heat();
+        assert_eq!(heat[0], 5);
+        assert_eq!(heat[1], 5);
+        assert_eq!(heat[2], 0, "ejection is not forwarding");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_flit_injection_rejected() {
+        let mut net = network();
+        net.inject(NodeId(0), NodeId(1), VNet::Request, Priority::Normal, 0, 0, 1, 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! 2D mesh topology: node identifiers, coordinates, neighbors, and the
+//! corner positions where memory controllers attach.
+
+use noclat_sim::config::RoutingAlgorithm;
+
+/// Index of a node (router + tile) in the mesh, row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The index as `usize`, for container indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A mesh coordinate: `x` is the column, `y` the row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column (0-based, grows eastward).
+    pub x: u16,
+    /// Row (0-based, grows southward).
+    pub y: u16,
+}
+
+/// One of the five router ports. The first four are mesh directions; `Local`
+/// is the tile's injection/ejection port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Toward row 0.
+    North,
+    /// Toward the last row.
+    South,
+    /// Toward the last column.
+    East,
+    /// Toward column 0.
+    West,
+    /// The tile attached to this router.
+    Local,
+}
+
+impl Dir {
+    /// All five ports, in port-index order.
+    pub const ALL: [Dir; 5] = [Dir::North, Dir::South, Dir::East, Dir::West, Dir::Local];
+
+    /// Port index (0..=4).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Dir::North => 0,
+            Dir::South => 1,
+            Dir::East => 2,
+            Dir::West => 3,
+            Dir::Local => 4,
+        }
+    }
+
+    /// The opposite mesh direction. `Local` is its own opposite.
+    #[must_use]
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+            Dir::Local => Dir::Local,
+        }
+    }
+}
+
+/// A `width × height` 2D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mesh {
+    width: u16,
+    height: u16,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Mesh { width, height }
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Total node count.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        usize::from(self.width) * usize::from(self.height)
+    }
+
+    /// Node at a coordinate (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the mesh.
+    #[must_use]
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        assert!(c.x < self.width && c.y < self.height, "coord out of mesh");
+        NodeId(c.y * self.width + c.x)
+    }
+
+    /// Coordinate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is outside the mesh.
+    #[must_use]
+    pub fn coord_of(&self, n: NodeId) -> Coord {
+        assert!(n.index() < self.num_nodes(), "node out of mesh");
+        Coord {
+            x: n.0 % self.width,
+            y: n.0 / self.width,
+        }
+    }
+
+    /// The neighbor in a mesh direction, if it exists.
+    #[must_use]
+    pub fn neighbor(&self, n: NodeId, d: Dir) -> Option<NodeId> {
+        let c = self.coord_of(n);
+        let nc = match d {
+            Dir::North => (c.y > 0).then(|| Coord { x: c.x, y: c.y - 1 }),
+            Dir::South => (c.y + 1 < self.height).then(|| Coord { x: c.x, y: c.y + 1 }),
+            Dir::East => (c.x + 1 < self.width).then(|| Coord { x: c.x + 1, y: c.y }),
+            Dir::West => (c.x > 0).then(|| Coord { x: c.x - 1, y: c.y }),
+            Dir::Local => None,
+        };
+        nc.map(|c| self.node_at(c))
+    }
+
+    /// Deterministic dimension-order (X-Y) routing: the output port a packet
+    /// at `here` takes toward `dest`. Returns [`Dir::Local`] on arrival.
+    #[must_use]
+    pub fn xy_route(&self, here: NodeId, dest: NodeId) -> Dir {
+        let h = self.coord_of(here);
+        let d = self.coord_of(dest);
+        if h.x < d.x {
+            Dir::East
+        } else if h.x > d.x {
+            Dir::West
+        } else if h.y < d.y {
+            Dir::South
+        } else if h.y > d.y {
+            Dir::North
+        } else {
+            Dir::Local
+        }
+    }
+
+    /// Y-X dimension-order routing (rows first). Deadlock-free like X-Y.
+    #[must_use]
+    pub fn yx_route(&self, here: NodeId, dest: NodeId) -> Dir {
+        let h = self.coord_of(here);
+        let d = self.coord_of(dest);
+        if h.y < d.y {
+            Dir::South
+        } else if h.y > d.y {
+            Dir::North
+        } else if h.x < d.x {
+            Dir::East
+        } else if h.x > d.x {
+            Dir::West
+        } else {
+            Dir::Local
+        }
+    }
+
+    /// Routes by the configured dimension-order algorithm.
+    #[must_use]
+    pub fn route(&self, algo: RoutingAlgorithm, here: NodeId, dest: NodeId) -> Dir {
+        match algo {
+            RoutingAlgorithm::XY => self.xy_route(here, dest),
+            RoutingAlgorithm::YX => self.yx_route(here, dest),
+        }
+    }
+
+    /// Manhattan hop distance between two nodes.
+    #[must_use]
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coord_of(a);
+        let cb = self.coord_of(b);
+        u32::from(ca.x.abs_diff(cb.x)) + u32::from(ca.y.abs_diff(cb.y))
+    }
+
+    /// Corner nodes where memory controllers attach, in the paper's layout:
+    /// `count` of 1, 2 or 4. Two controllers sit at *opposite* corners
+    /// (Section 4.1, 16-core setup); four occupy all corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is not 1, 2 or 4.
+    #[must_use]
+    pub fn corner_nodes(&self, count: usize) -> Vec<NodeId> {
+        let nw = self.node_at(Coord { x: 0, y: 0 });
+        let ne = self.node_at(Coord {
+            x: self.width - 1,
+            y: 0,
+        });
+        let sw = self.node_at(Coord {
+            x: 0,
+            y: self.height - 1,
+        });
+        let se = self.node_at(Coord {
+            x: self.width - 1,
+            y: self.height - 1,
+        });
+        match count {
+            1 => vec![nw],
+            2 => vec![nw, se],
+            4 => vec![nw, ne, sw, se],
+            _ => panic!("unsupported controller count {count} (need 1, 2 or 4)"),
+        }
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u16).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh48() -> Mesh {
+        Mesh::new(8, 4)
+    }
+
+    #[test]
+    fn node_coord_roundtrip() {
+        let m = mesh48();
+        for n in m.nodes() {
+            assert_eq!(m.node_at(m.coord_of(n)), n);
+        }
+        assert_eq!(m.num_nodes(), 32);
+    }
+
+    #[test]
+    fn neighbors_at_edges() {
+        let m = mesh48();
+        let nw = m.node_at(Coord { x: 0, y: 0 });
+        assert_eq!(m.neighbor(nw, Dir::North), None);
+        assert_eq!(m.neighbor(nw, Dir::West), None);
+        assert_eq!(m.neighbor(nw, Dir::East), Some(NodeId(1)));
+        assert_eq!(m.neighbor(nw, Dir::South), Some(NodeId(8)));
+        assert_eq!(m.neighbor(nw, Dir::Local), None);
+    }
+
+    #[test]
+    fn neighbor_is_symmetric() {
+        let m = mesh48();
+        for n in m.nodes() {
+            for d in [Dir::North, Dir::South, Dir::East, Dir::West] {
+                if let Some(nb) = m.neighbor(n, d) {
+                    assert_eq!(m.neighbor(nb, d.opposite()), Some(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xy_routes_x_first() {
+        let m = mesh48();
+        let src = m.node_at(Coord { x: 1, y: 1 });
+        let dst = m.node_at(Coord { x: 5, y: 3 });
+        assert_eq!(m.xy_route(src, dst), Dir::East);
+        let aligned = m.node_at(Coord { x: 5, y: 1 });
+        assert_eq!(m.xy_route(aligned, dst), Dir::South);
+        assert_eq!(m.xy_route(dst, dst), Dir::Local);
+    }
+
+    #[test]
+    fn xy_route_always_reaches_destination() {
+        let m = mesh48();
+        for src in m.nodes() {
+            for dst in m.nodes() {
+                let mut here = src;
+                let mut hops = 0;
+                loop {
+                    let d = m.xy_route(here, dst);
+                    if d == Dir::Local {
+                        break;
+                    }
+                    here = m.neighbor(here, d).expect("route must stay in mesh");
+                    hops += 1;
+                    assert!(hops <= 64, "routing loop from {src} to {dst}");
+                }
+                assert_eq!(here, dst);
+                assert_eq!(hops, m.hop_distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn corners_match_paper_layout() {
+        let m = mesh48();
+        assert_eq!(
+            m.corner_nodes(4),
+            vec![NodeId(0), NodeId(7), NodeId(24), NodeId(31)]
+        );
+        assert_eq!(m.corner_nodes(2), vec![NodeId(0), NodeId(31)]);
+        assert_eq!(m.corner_nodes(1), vec![NodeId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported controller count")]
+    fn bad_corner_count_panics() {
+        let _ = mesh48().corner_nodes(3);
+    }
+
+    #[test]
+    fn yx_routes_y_first() {
+        let m = mesh48();
+        let src = m.node_at(Coord { x: 1, y: 1 });
+        let dst = m.node_at(Coord { x: 5, y: 3 });
+        assert_eq!(m.yx_route(src, dst), Dir::South);
+        let aligned = m.node_at(Coord { x: 1, y: 3 });
+        assert_eq!(m.yx_route(aligned, dst), Dir::East);
+        assert_eq!(m.route(RoutingAlgorithm::YX, dst, dst), Dir::Local);
+        assert_eq!(m.route(RoutingAlgorithm::XY, src, dst), Dir::East);
+    }
+
+    #[test]
+    fn yx_route_always_reaches_destination() {
+        let m = mesh48();
+        for src in m.nodes() {
+            for dst in m.nodes() {
+                let mut here = src;
+                let mut hops = 0;
+                loop {
+                    let d = m.yx_route(here, dst);
+                    if d == Dir::Local {
+                        break;
+                    }
+                    here = m.neighbor(here, d).expect("route must stay in mesh");
+                    hops += 1;
+                    assert!(hops <= 64, "routing loop from {src} to {dst}");
+                }
+                assert_eq!(here, dst);
+                assert_eq!(hops, m.hop_distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn dir_indices_are_stable() {
+        for (i, d) in Dir::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+        assert_eq!(Dir::East.opposite(), Dir::West);
+        assert_eq!(Dir::Local.opposite(), Dir::Local);
+    }
+}

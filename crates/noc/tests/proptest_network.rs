@@ -1,0 +1,132 @@
+//! Property-based tests of the network: under arbitrary admissible traffic,
+//! no packet is lost, duplicated, or delivered faster than physics allows,
+//! and the age field never decreases along a path.
+
+use noclat_noc::{flits_for_payload, Mesh, Network, NodeId, Priority, VNet};
+use noclat_sim::config::{RouterPipeline, SystemConfig};
+use proptest::prelude::*;
+
+/// One injected packet description.
+#[derive(Debug, Clone)]
+struct Inj {
+    src: u16,
+    dest: u16,
+    response: bool,
+    high: bool,
+    at: u64,
+    initial_age: u32,
+}
+
+fn inj_strategy(nodes: u16, horizon: u64) -> impl Strategy<Value = Inj> {
+    (
+        0..nodes,
+        0..nodes,
+        any::<bool>(),
+        any::<bool>(),
+        0..horizon,
+        0u32..500,
+    )
+        .prop_map(|(src, dest, response, high, at, initial_age)| Inj {
+            src,
+            dest,
+            response,
+            high,
+            at,
+            initial_age,
+        })
+}
+
+fn run_traffic(
+    injections: Vec<Inj>,
+    pipeline: RouterPipeline,
+    bypass: bool,
+) -> Vec<(Inj, u64, u32)> {
+    let mut cfg = SystemConfig::baseline_32().noc;
+    cfg.pipeline = pipeline;
+    cfg.bypass_enabled = bypass;
+    let mesh = Mesh::new(8, 4);
+    let mut net: Network<usize> = Network::new(mesh, cfg);
+    let mut sorted = injections;
+    sorted.sort_by_key(|i| i.at);
+    let mut delivered: Vec<Option<(u64, u32)>> = vec![None; sorted.len()];
+    let mut next = 0usize;
+    let mut ids = std::collections::HashMap::new();
+    let mut t = 0u64;
+    while delivered.iter().any(Option::is_none) {
+        assert!(t < 400_000, "traffic did not drain (deadlock?)");
+        while next < sorted.len() && sorted[next].at <= t {
+            let i = &sorted[next];
+            let flits = if i.response {
+                flits_for_payload(64, cfg.flit_bits)
+            } else {
+                1
+            };
+            let id = net.inject(
+                NodeId(i.src),
+                NodeId(i.dest),
+                if i.response { VNet::Response } else { VNet::Request },
+                if i.high { Priority::High } else { Priority::Normal },
+                flits,
+                i.initial_age,
+                next,
+                t,
+            );
+            ids.insert(id, next);
+            next += 1;
+        }
+        net.tick(t);
+        for node in 0..32 {
+            for d in net.take_delivered(NodeId(node as u16)) {
+                let idx = ids[&d.meta.id];
+                assert!(delivered[idx].is_none(), "duplicate delivery");
+                delivered[idx] = Some((d.delivered_at, d.final_age));
+            }
+        }
+        t += 1;
+    }
+    sorted
+        .into_iter()
+        .zip(delivered)
+        .map(|(i, d)| {
+            let (at, age) = d.expect("all delivered");
+            (i, at, age)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn conservation_and_physics(
+        injections in prop::collection::vec(inj_strategy(32, 3_000), 1..150),
+        pipeline in prop::sample::select(vec![RouterPipeline::FiveStage, RouterPipeline::TwoStage]),
+        bypass in any::<bool>(),
+    ) {
+        let mesh = Mesh::new(8, 4);
+        let results = run_traffic(injections, pipeline, bypass);
+        for (inj, delivered_at, final_age) in results {
+            // Physics: a packet cannot beat per-hop pipeline delay.
+            let hops = mesh.hop_distance(NodeId(inj.src), NodeId(inj.dest)) as u64;
+            let min_residency = match (pipeline, bypass && inj.high) {
+                (RouterPipeline::TwoStage, _) | (_, true) => 1,
+                (RouterPipeline::FiveStage, false) => 4,
+            };
+            // hops+1 routers traversed (incl. ejection), link per hop.
+            let floor = (hops + 1) * (min_residency + 1);
+            let latency = delivered_at - inj.at;
+            prop_assert!(
+                latency + 1 >= floor,
+                "{}->{} delivered in {latency} < floor {floor}",
+                inj.src, inj.dest
+            );
+            // The age field never loses the delay accumulated before
+            // injection (it saturates at 4095).
+            prop_assert!(
+                final_age >= inj.initial_age.min(4095),
+                "age shrank: {} -> {final_age}",
+                inj.initial_age
+            );
+        }
+    }
+}

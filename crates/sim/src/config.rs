@@ -1,0 +1,633 @@
+//! System configuration.
+//!
+//! The defaults reproduce the paper's Table 1 (baseline configuration of the
+//! 32-core, 4×8-mesh system with 4 corner memory controllers). Every
+//! experiment in the evaluation section is a perturbation of
+//! [`SystemConfig::baseline_32`]; the 16-core system of Figure 15 is
+//! [`SystemConfig::baseline_16`].
+
+use crate::Cycle;
+
+/// Mesh dimensions and node count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TopologyConfig {
+    /// Number of columns (the paper's 4×8 mesh is 4 rows × 8 columns).
+    pub width: u16,
+    /// Number of rows.
+    pub height: u16,
+}
+
+impl TopologyConfig {
+    /// Total number of nodes (`width × height`).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        usize::from(self.width) * usize::from(self.height)
+    }
+}
+
+/// Out-of-order core parameters (Table 1: "Processors").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Instruction window (ROB) capacity. Table 1: 128.
+    pub window_size: usize,
+    /// Load/store queue capacity. Table 1: 64.
+    pub lsq_size: usize,
+    /// Maximum instructions dispatched into the window per cycle.
+    pub issue_width: usize,
+    /// Maximum instructions committed (in order) per cycle.
+    pub commit_width: usize,
+}
+
+/// Private L1 cache parameters (Table 1: direct-mapped, 32 KB, 64 B lines,
+/// 3-cycle access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Config {
+    /// Capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub latency: Cycle,
+}
+
+impl L1Config {
+    /// Number of direct-mapped sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / self.line_bytes
+    }
+}
+
+/// Shared, banked S-NUCA L2 parameters (Table 1: 32 banks × 512 KB, 64 B
+/// lines, 10-cycle access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Config {
+    /// Capacity of one bank in bytes.
+    pub bank_size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Set associativity of each bank.
+    pub associativity: usize,
+    /// Bank hit latency in cycles.
+    pub latency: Cycle,
+    /// Miss-status holding registers per bank (outstanding misses).
+    pub mshrs_per_bank: usize,
+}
+
+impl L2Config {
+    /// Number of sets in one bank.
+    #[must_use]
+    pub fn sets_per_bank(&self) -> usize {
+        self.bank_size_bytes / (self.line_bytes * self.associativity)
+    }
+}
+
+/// Dimension-order routing variant. Both are deadlock-free on a mesh; the
+/// baseline is X-Y (Table 1). Y-X is provided for traffic-shaping studies
+/// (it moves the request-convergence hotspots around the corner
+/// controllers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingAlgorithm {
+    /// Route along X (columns) first, then Y. The Table-1 baseline.
+    XY,
+    /// Route along Y (rows) first, then X.
+    YX,
+}
+
+/// Router pipeline depth (Table 1 baseline: 5-stage; Figure 17 compares
+/// against a 2-stage design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterPipeline {
+    /// BW → RC → VA → SA → ST, the Table-1 baseline.
+    FiveStage,
+    /// Aggressive two-stage router (setup → ST) evaluated in Figure 17.
+    TwoStage,
+}
+
+impl RouterPipeline {
+    /// Cycles a flit spends inside the router before switch traversal,
+    /// assuming no contention (pipeline depth minus the traversal stage).
+    #[must_use]
+    pub fn min_residency(&self) -> Cycle {
+        match self {
+            RouterPipeline::FiveStage => 4,
+            RouterPipeline::TwoStage => 1,
+        }
+    }
+}
+
+/// NoC parameters (Table 1: 5-stage routers, 128-bit flits, 5-flit buffers,
+/// 4 VCs per port, X-Y routing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocConfig {
+    /// Virtual channels per input port. Split evenly between the request and
+    /// response virtual networks to avoid protocol deadlock.
+    pub vcs_per_port: usize,
+    /// Buffer depth per VC, in flits.
+    pub buffer_depth: usize,
+    /// Flit width in bits (used to compute flits per message).
+    pub flit_bits: usize,
+    /// Router pipeline depth.
+    pub pipeline: RouterPipeline,
+    /// Whether prioritized messages may bypass the router pipeline
+    /// (Section 3.3 / Figure 10).
+    pub bypass_enabled: bool,
+    /// Starvation guard: a normal-priority flit wins over a high-priority one
+    /// if its age exceeds the high-priority flit's age by more than this many
+    /// cycles (Section 3.3).
+    pub starvation_age_guard: u32,
+    /// Link traversal latency in cycles.
+    pub link_latency: Cycle,
+    /// Multiplier used when accumulating so-far delays across clock domains
+    /// (the paper's `FREQ_MULT`). With a single clock domain this is 1.
+    pub freq_mult: u32,
+    /// Width of the so-far-delay ("age") field carried in message headers,
+    /// in bits. Table 1 / Section 3.1: 12 bits (values saturate at 4095).
+    pub age_bits: u32,
+    /// Dimension-order routing variant.
+    pub routing: RoutingAlgorithm,
+    /// Starvation-avoidance mechanism for prioritized arbitration.
+    pub starvation: StarvationPolicy,
+}
+
+/// How prioritized arbitration avoids starving normal-priority traffic
+/// (Section 3.3 discusses both mechanisms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StarvationPolicy {
+    /// The paper's mechanism: a normal flit wins over a high-priority one
+    /// when it is older by more than the configured guard
+    /// (`starvation_age_guard`).
+    AgeGuard,
+    /// The batching alternative the paper cites: time is divided into
+    /// intervals of the given length; flits from an older batch beat any
+    /// priority difference.
+    Batching {
+        /// Batch interval in cycles.
+        interval: u32,
+    },
+}
+
+impl NocConfig {
+    /// Maximum representable age value (saturating).
+    #[must_use]
+    pub fn max_age(&self) -> u32 {
+        (1u32 << self.age_bits) - 1
+    }
+}
+
+/// Memory request scheduling policy at the controllers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSchedPolicy {
+    /// First-ready, first-come-first-served (row hits first). The baseline.
+    FrFcfs,
+    /// FR-FCFS with a cap on consecutive row hits per bank, bounding the
+    /// starvation row-hit streaks can inflict on row-miss requests.
+    FrFcfsCap(u32),
+    /// Strict arrival order, for ablation.
+    Fcfs,
+}
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PagePolicy {
+    /// Leave the row open after an access (the baseline; rewards locality).
+    Open,
+    /// Precharge after every access (uniform latency, no hits).
+    Closed,
+}
+
+/// Memory system parameters (Table 1: DDR-800, bus multiplier 5, bank busy
+/// 22 cycles, rank delay 2, read-write delay 3, 16 banks per controller).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Number of memory controllers attached at mesh corners (4 baseline,
+    /// 2 in the Figure 16c study and the 16-core system).
+    pub num_controllers: usize,
+    /// DRAM banks behind each controller. Table 1: 16.
+    pub banks_per_controller: usize,
+    /// Core cycles per DRAM cycle ("Memory Bus Multiplier: 5").
+    pub bus_multiplier: u32,
+    /// Bank occupancy for a row activation + access, in DRAM cycles
+    /// ("Bank Busy Time: 22 cycles").
+    pub bank_busy: u32,
+    /// Extra bus delay when consecutive commands target different ranks
+    /// ("Rank Delay: 2 cycles"). Banks are split evenly across two ranks.
+    pub rank_delay: u32,
+    /// Bus turnaround penalty when switching between reads and writes
+    /// ("Read-Write Delay: 3 cycles").
+    pub read_write_delay: u32,
+    /// Fixed controller pipeline latency in core cycles
+    /// ("Memory CTL latency").
+    pub ctl_latency: Cycle,
+    /// Interval between periodic refreshes, in DRAM cycles.
+    pub refresh_period: u32,
+    /// Duration of one refresh (all banks busy), in DRAM cycles.
+    pub refresh_duration: u32,
+    /// DRAM row (page) size in bytes; consecutive lines within a row enjoy
+    /// row-buffer hits.
+    pub row_bytes: usize,
+    /// Column access latency on a row-buffer hit, in DRAM cycles.
+    pub row_hit_latency: u32,
+    /// Data burst occupancy of the shared data bus per 64 B line, in DRAM
+    /// cycles.
+    pub burst_latency: u32,
+    /// Scheduling policy.
+    pub scheduler: MemSchedPolicy,
+    /// Row-buffer management policy.
+    pub page_policy: PagePolicy,
+}
+
+/// Scheme-1 (late-response expediting) parameters, Section 3.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scheme1Config {
+    /// Whether Scheme-1 is active.
+    pub enabled: bool,
+    /// A response is "late" when its so-far delay exceeds
+    /// `threshold_factor × Delay_avg` of its application. Default 1.2;
+    /// Figure 16a sweeps {1.0, 1.2, 1.4}.
+    pub threshold_factor: f64,
+    /// Period (in cycles) at which cores send their current threshold to the
+    /// memory controllers (the paper's "every 1 ms", scaled to our
+    /// measurement window).
+    pub update_period: Cycle,
+}
+
+/// Scheme-2 (idle-bank request expediting) parameters, Section 3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheme2Config {
+    /// Whether Scheme-2 is active.
+    pub enabled: bool,
+    /// Sliding-window length `T` of the per-node Bank History Table, in
+    /// cycles. Default 200; Figure 16b sweeps {100, 200, 400}.
+    pub history_window: Cycle,
+    /// A request is expedited when fewer than `idle_threshold` requests were
+    /// sent to its bank within the window. Default 1.
+    pub idle_threshold: u32,
+}
+
+/// Complete system configuration (the union of Table 1 and the scheme
+/// parameters of Section 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Mesh dimensions.
+    pub topology: TopologyConfig,
+    /// Core parameters.
+    pub cpu: CpuConfig,
+    /// Private L1 parameters.
+    pub l1: L1Config,
+    /// Shared L2 parameters.
+    pub l2: L2Config,
+    /// Network parameters.
+    pub noc: NocConfig,
+    /// Memory system parameters.
+    pub mem: MemConfig,
+    /// Scheme-1 parameters.
+    pub scheme1: Scheme1Config,
+    /// Scheme-2 parameters.
+    pub scheme2: Scheme2Config,
+    /// Master RNG seed; every component derives its stream from this.
+    pub seed: u64,
+    /// Sampling interval for the bank idleness monitor (Figures 6, 13, 14).
+    pub idleness_sample_period: Cycle,
+}
+
+impl SystemConfig {
+    /// The paper's Table-1 baseline: 32 cores on a 4×8 mesh with 4 corner
+    /// memory controllers.
+    #[must_use]
+    pub fn baseline_32() -> Self {
+        SystemConfig {
+            topology: TopologyConfig {
+                width: 8,
+                height: 4,
+            },
+            cpu: CpuConfig {
+                window_size: 128,
+                lsq_size: 64,
+                issue_width: 4,
+                commit_width: 4,
+            },
+            l1: L1Config {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                latency: 3,
+            },
+            l2: L2Config {
+                bank_size_bytes: 512 * 1024,
+                line_bytes: 64,
+                associativity: 16,
+                latency: 10,
+                mshrs_per_bank: 32,
+            },
+            noc: NocConfig {
+                vcs_per_port: 4,
+                buffer_depth: 5,
+                flit_bits: 128,
+                pipeline: RouterPipeline::FiveStage,
+                bypass_enabled: true,
+                starvation_age_guard: 1000,
+                link_latency: 1,
+                freq_mult: 1,
+                age_bits: 12,
+                routing: RoutingAlgorithm::XY,
+                starvation: StarvationPolicy::AgeGuard,
+            },
+            // DRAM timings are expressed in DRAM cycles and scaled by the
+            // bus multiplier. Table 1 gives core-cycle figures ("Bank Busy
+            // Time: 22 cycles"); the values below are calibrated so the
+            // end-to-end latency distributions (Figures 4-5) match the
+            // paper's shape under the synthetic workloads — see DESIGN.md
+            // for the calibration discussion.
+            mem: MemConfig {
+                num_controllers: 4,
+                banks_per_controller: 16,
+                bus_multiplier: 5,
+                bank_busy: 10,
+                rank_delay: 1,
+                read_write_delay: 1,
+                ctl_latency: 20,
+                refresh_period: 3120,
+                refresh_duration: 14,
+                row_bytes: 8192,
+                row_hit_latency: 4,
+                burst_latency: 3,
+                scheduler: MemSchedPolicy::FrFcfs,
+                page_policy: PagePolicy::Open,
+            },
+            scheme1: Scheme1Config {
+                enabled: false,
+                threshold_factor: 1.2,
+                update_period: 10_000,
+            },
+            scheme2: Scheme2Config {
+                enabled: false,
+                history_window: 200,
+                idle_threshold: 1,
+            },
+            seed: 0x0c5e_ed12,
+            idleness_sample_period: 100,
+        }
+    }
+
+    /// The 16-core system of Figure 15: 4×4 mesh, 2 memory controllers at
+    /// opposite corners, all other parameters unchanged.
+    #[must_use]
+    pub fn baseline_16() -> Self {
+        let mut cfg = Self::baseline_32();
+        cfg.topology = TopologyConfig {
+            width: 4,
+            height: 4,
+        };
+        cfg.mem.num_controllers = 2;
+        cfg
+    }
+
+    /// Enables Scheme-1 with its default parameters.
+    #[must_use]
+    pub fn with_scheme1(mut self) -> Self {
+        self.scheme1.enabled = true;
+        self
+    }
+
+    /// Enables Scheme-2 with its default parameters.
+    #[must_use]
+    pub fn with_scheme2(mut self) -> Self {
+        self.scheme2.enabled = true;
+        self
+    }
+
+    /// Enables both schemes (the paper's headline configuration).
+    #[must_use]
+    pub fn with_both_schemes(self) -> Self {
+        self.with_scheme1().with_scheme2()
+    }
+
+    /// Number of cores (one application per core).
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.topology.num_nodes()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.topology.width < 2 || self.topology.height < 2 {
+            return Err(ConfigError::MeshTooSmall {
+                width: self.topology.width,
+                height: self.topology.height,
+            });
+        }
+        if !matches!(self.mem.num_controllers, 1 | 2 | 4) {
+            return Err(ConfigError::UnsupportedControllerCount(
+                self.mem.num_controllers,
+            ));
+        }
+        if self.noc.vcs_per_port < 2 || self.noc.vcs_per_port % 2 != 0 {
+            return Err(ConfigError::BadVcCount(self.noc.vcs_per_port));
+        }
+        if self.noc.buffer_depth == 0 {
+            return Err(ConfigError::ZeroBufferDepth);
+        }
+        if self.l1.line_bytes != self.l2.line_bytes {
+            return Err(ConfigError::LineSizeMismatch {
+                l1: self.l1.line_bytes,
+                l2: self.l2.line_bytes,
+            });
+        }
+        if !self.l1.line_bytes.is_power_of_two() {
+            return Err(ConfigError::LineSizeNotPowerOfTwo(self.l1.line_bytes));
+        }
+        if self.scheme1.threshold_factor <= 0.0 {
+            return Err(ConfigError::BadThresholdFactor(
+                self.scheme1.threshold_factor,
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::baseline_32()
+    }
+}
+
+/// Error returned by [`SystemConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Mesh must be at least 2×2.
+    MeshTooSmall {
+        /// Configured width.
+        width: u16,
+        /// Configured height.
+        height: u16,
+    },
+    /// Memory controllers are placed at corners; only 1, 2 or 4 supported.
+    UnsupportedControllerCount(usize),
+    /// Need an even number (≥2) of VCs to split into two virtual networks.
+    BadVcCount(usize),
+    /// VC buffers must hold at least one flit.
+    ZeroBufferDepth,
+    /// L1 and L2 must agree on the line size.
+    LineSizeMismatch {
+        /// L1 line size.
+        l1: usize,
+        /// L2 line size.
+        l2: usize,
+    },
+    /// Line size must be a power of two for address decomposition.
+    LineSizeNotPowerOfTwo(usize),
+    /// Scheme-1 threshold factor must be positive.
+    BadThresholdFactor(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::MeshTooSmall { width, height } => {
+                write!(f, "mesh {width}x{height} is smaller than 2x2")
+            }
+            ConfigError::UnsupportedControllerCount(n) => {
+                write!(f, "unsupported memory controller count {n} (need 1, 2 or 4)")
+            }
+            ConfigError::BadVcCount(n) => {
+                write!(f, "virtual channel count {n} is not an even number >= 2")
+            }
+            ConfigError::ZeroBufferDepth => write!(f, "VC buffer depth is zero"),
+            ConfigError::LineSizeMismatch { l1, l2 } => {
+                write!(f, "L1 line size {l1} differs from L2 line size {l2}")
+            }
+            ConfigError::LineSizeNotPowerOfTwo(n) => {
+                write!(f, "line size {n} is not a power of two")
+            }
+            ConfigError::BadThresholdFactor(x) => {
+                write!(f, "scheme-1 threshold factor {x} is not positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let cfg = SystemConfig::baseline_32();
+        assert_eq!(cfg.topology.num_nodes(), 32);
+        assert_eq!(cfg.cpu.window_size, 128);
+        assert_eq!(cfg.cpu.lsq_size, 64);
+        assert_eq!(cfg.l1.size_bytes, 32 * 1024);
+        assert_eq!(cfg.l1.num_sets(), 512);
+        assert_eq!(cfg.l2.sets_per_bank(), 512);
+        assert_eq!(cfg.noc.vcs_per_port, 4);
+        assert_eq!(cfg.noc.buffer_depth, 5);
+        assert_eq!(cfg.noc.flit_bits, 128);
+        assert_eq!(cfg.mem.num_controllers, 4);
+        assert_eq!(cfg.mem.banks_per_controller, 16);
+        // DRAM timing values are calibrated (see the MemConfig defaults);
+        // sanity-check the structural knobs instead of exact figures.
+        assert!(cfg.mem.bank_busy >= cfg.mem.row_hit_latency);
+        assert!(cfg.mem.rank_delay >= 1);
+        assert!(cfg.mem.read_write_delay >= 1);
+        cfg.validate().expect("baseline must be valid");
+    }
+
+    #[test]
+    fn baseline_16_shrinks_mesh_and_mcs() {
+        let cfg = SystemConfig::baseline_16();
+        assert_eq!(cfg.topology.num_nodes(), 16);
+        assert_eq!(cfg.mem.num_controllers, 2);
+        cfg.validate().expect("16-core baseline must be valid");
+    }
+
+    #[test]
+    fn scheme_toggles() {
+        let cfg = SystemConfig::baseline_32().with_both_schemes();
+        assert!(cfg.scheme1.enabled);
+        assert!(cfg.scheme2.enabled);
+        let cfg = SystemConfig::baseline_32().with_scheme1();
+        assert!(cfg.scheme1.enabled);
+        assert!(!cfg.scheme2.enabled);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.topology.width = 1;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::MeshTooSmall { .. })
+        ));
+
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.mem.num_controllers = 3;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::UnsupportedControllerCount(3))
+        ));
+
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.noc.vcs_per_port = 3;
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadVcCount(3))));
+
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.l1.line_bytes = 32;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::LineSizeMismatch { .. })
+        ));
+
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.scheme1.threshold_factor = 0.0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadThresholdFactor(_))
+        ));
+    }
+
+    #[test]
+    fn age_field_saturates_at_4095() {
+        let cfg = SystemConfig::baseline_32();
+        assert_eq!(cfg.noc.max_age(), 4095);
+    }
+
+    #[test]
+    fn pipeline_residency() {
+        assert_eq!(RouterPipeline::FiveStage.min_residency(), 4);
+        assert_eq!(RouterPipeline::TwoStage.min_residency(), 1);
+    }
+
+    #[test]
+    fn new_policy_enums_default_to_paper_baseline() {
+        let cfg = SystemConfig::baseline_32();
+        assert_eq!(cfg.noc.routing, RoutingAlgorithm::XY);
+        assert_eq!(cfg.noc.starvation, StarvationPolicy::AgeGuard);
+        assert_eq!(cfg.mem.scheduler, MemSchedPolicy::FrFcfs);
+        assert_eq!(cfg.mem.page_policy, PagePolicy::Open);
+    }
+
+    #[test]
+    fn config_error_display_nonempty() {
+        let errors: Vec<ConfigError> = vec![
+            ConfigError::MeshTooSmall {
+                width: 1,
+                height: 1,
+            },
+            ConfigError::UnsupportedControllerCount(3),
+            ConfigError::BadVcCount(3),
+            ConfigError::ZeroBufferDepth,
+            ConfigError::LineSizeMismatch { l1: 32, l2: 64 },
+            ConfigError::LineSizeNotPowerOfTwo(48),
+            ConfigError::BadThresholdFactor(-1.0),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Seeded, splittable random number generation.
+//!
+//! Every stochastic component of the simulator (address generators,
+//! tie-breaking, workload construction) draws from a [`SimRng`] derived from
+//! the single master seed in
+//! [`SystemConfig::seed`](crate::config::SystemConfig), so whole-system runs
+//! are reproducible bit-for-bit and independent of component iteration order.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+///
+/// Wraps [`SmallRng`] and adds [`SimRng::split`], which derives statistically
+/// independent child streams from `(seed, stream_id)` pairs via a SplitMix64
+/// finalizer, so adding a component never perturbs another component's
+/// stream.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+/// SplitMix64 finalizer: maps correlated inputs to well-distributed outputs.
+/// Public so address generators can use it as a cheap stateless hash (e.g.
+/// for virtual→physical page scattering).
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a stream from a master seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// Derives an independent child stream identified by `stream_id`.
+    ///
+    /// Splitting with the same `(seed, stream_id)` always yields the same
+    /// stream, regardless of how much the parent has been consumed.
+    #[must_use]
+    pub fn split(&self, stream_id: u64) -> SimRng {
+        SimRng::new(splitmix64(self.seed ^ splitmix64(stream_id)))
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index() requires a positive bound");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// Geometric-like draw: number of failures before a success with
+    /// probability `p`, capped at `cap`. Used for burst/gap length sampling.
+    pub fn geometric(&mut self, p: f64, cap: u32) -> u32 {
+        if p >= 1.0 {
+            return 0;
+        }
+        let p = p.max(1e-9);
+        let mut n = 0;
+        while n < cap && !self.chance(p) {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be practically disjoint");
+    }
+
+    #[test]
+    fn split_is_stable_under_parent_consumption() {
+        let mut parent = SimRng::new(7);
+        let mut child_before = parent.split(3);
+        let _ = parent.next_u64();
+        let mut child_after = parent.split(3);
+        for _ in 0..32 {
+            assert_eq!(child_before.next_u64(), child_after.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let parent = SimRng::new(7);
+        let mut a = parent.split(0);
+        let mut b = parent.split(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(9);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn below_and_index_within_bounds() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+            assert!(rng.index(3) < 3);
+        }
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut rng = SimRng::new(13);
+        for _ in 0..1000 {
+            let x = rng.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn geometric_respects_cap() {
+        let mut rng = SimRng::new(17);
+        for _ in 0..200 {
+            assert!(rng.geometric(0.01, 5) <= 5);
+        }
+        assert_eq!(rng.geometric(1.0, 5), 0);
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = SimRng::new(23);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+}

@@ -1,0 +1,353 @@
+//! Fixed-bin-width histogram with CDF/PDF extraction.
+
+/// A histogram over non-negative values with uniform bin width.
+///
+/// Values beyond the configured range accumulate in a final overflow bin, so
+/// no sample is ever dropped. Latency distributions in the paper (Figures 5,
+/// 9, 12) are plotted straight from this container.
+///
+/// # Example
+///
+/// ```
+/// use noclat_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(25, 2000);
+/// for v in [100, 110, 120, 800] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!((h.mean() - 282.5).abs() < 1e-9);
+/// assert_eq!(h.percentile(0.75), 100); // bin-quantized (25-cycle bins)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given bin width covering `[0, range)`;
+    /// values ≥ `range` land in an overflow bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero or `range < bin_width`.
+    #[must_use]
+    pub fn new(bin_width: u64, range: u64) -> Self {
+        assert!(bin_width > 0, "bin width must be positive");
+        assert!(range >= bin_width, "range must cover at least one bin");
+        let n_bins = (range / bin_width) as usize + 1; // +1 overflow
+        Histogram {
+            bin_width,
+            bins: vec![0; n_bins],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = ((value / self.bin_width) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean of the recorded samples (not bin-quantized).
+    /// Returns 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Configured bin width.
+    #[must_use]
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// The smallest bin lower-edge `x` such that at least fraction `p` of
+    /// samples are `< x + bin_width` (bin-quantized percentile).
+    ///
+    /// Returns 0 when empty. `p` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = (p * self.count as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return i as u64 * self.bin_width;
+            }
+        }
+        (self.bins.len() as u64 - 1) * self.bin_width
+    }
+
+    /// Fraction of samples strictly below `x` (`F(x)` of the empirical CDF,
+    /// bin-quantized). Returns 0.0 when empty.
+    #[must_use]
+    pub fn cdf_at(&self, x: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let full_bins = ((x / self.bin_width) as usize).min(self.bins.len());
+        let below: u64 = self.bins[..full_bins].iter().sum();
+        below as f64 / self.count as f64
+    }
+
+    /// CDF sampled at every bin edge: `(edge, F(edge))` pairs covering the
+    /// recorded range.
+    #[must_use]
+    pub fn cdf_points(&self) -> Vec<(u64, f64)> {
+        let mut points = Vec::with_capacity(self.bins.len());
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            let edge = (i as u64 + 1) * self.bin_width;
+            let frac = if self.count == 0 {
+                0.0
+            } else {
+                acc as f64 / self.count as f64
+            };
+            points.push((edge, frac));
+            if acc == self.count {
+                break;
+            }
+        }
+        points
+    }
+
+    /// PDF as per-bin fractions: `(bin_center, fraction)` pairs, including
+    /// empty interior bins up to the last occupied one.
+    #[must_use]
+    pub fn pdf_points(&self) -> Vec<(u64, f64)> {
+        let last = self.bins.iter().rposition(|&c| c > 0).unwrap_or(0);
+        (0..=last)
+            .map(|i| {
+                let center = i as u64 * self.bin_width + self.bin_width / 2;
+                let frac = if self.count == 0 {
+                    0.0
+                } else {
+                    self.bins[i] as f64 / self.count as f64
+                };
+                (center, frac)
+            })
+            .collect()
+    }
+
+    /// Fraction of samples in `[lo, hi)` (bin-quantized; `lo`/`hi` are
+    /// rounded down to bin edges).
+    #[must_use]
+    pub fn fraction_between(&self, lo: u64, hi: u64) -> f64 {
+        if self.count == 0 || hi <= lo {
+            return 0.0;
+        }
+        let lo_bin = ((lo / self.bin_width) as usize).min(self.bins.len());
+        let hi_bin = ((hi / self.bin_width) as usize).min(self.bins.len());
+        let n: u64 = self.bins[lo_bin..hi_bin].iter().sum();
+        n as f64 / self.count as f64
+    }
+
+    /// Five-number summary of the recorded samples.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            max: self.max,
+        }
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin widths or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width, "bin width mismatch");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A compact distribution summary, as printed by the harnesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (bin-quantized).
+    pub p50: u64,
+    /// 90th percentile (bin-quantized).
+    pub p90: u64,
+    /// 99th percentile (bin-quantized).
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.0} p50={} p90={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_accessors() {
+        let mut h = Histogram::new(10, 1000);
+        for v in [5, 15, 25, 500] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max, 500);
+        assert_eq!(s.p99, h.percentile(0.99));
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new(10, 100);
+        for v in [5, 15, 15, 95, 250] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 250);
+        assert!((h.mean() - 76.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_bin_catches_outliers() {
+        let mut h = Histogram::new(10, 100);
+        h.record(1_000_000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(1.0), 100);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new(5, 500);
+        for v in 0..100 {
+            h.record(v * 3);
+        }
+        let mut prev = 0;
+        for i in 0..=10 {
+            let p = h.percentile(i as f64 / 10.0);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let mut h = Histogram::new(25, 1000);
+        for v in [10, 200, 480, 999] {
+            h.record(v);
+        }
+        let pts = h.cdf_points();
+        let (_, last) = *pts.last().unwrap();
+        assert!((last - 1.0).abs() < 1e-12);
+        assert!(h.cdf_at(0) < 1e-12);
+        assert!((h.cdf_at(10_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut h = Histogram::new(25, 1000);
+        for v in [10, 200, 200, 480, 999, 1500] {
+            h.record(v);
+        }
+        let pts = h.cdf_points();
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn pdf_fractions_sum_to_one() {
+        let mut h = Histogram::new(25, 1000);
+        for v in [10, 200, 480, 999] {
+            h.record(v);
+        }
+        let total: f64 = h.pdf_points().iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_between_bins() {
+        let mut h = Histogram::new(10, 100);
+        for v in [5, 15, 25, 35] {
+            h.record(v);
+        }
+        assert!((h.fraction_between(10, 30) - 0.5).abs() < 1e-12);
+        assert_eq!(h.fraction_between(30, 30), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new(10, 100);
+        let mut b = Histogram::new(10, 100);
+        a.record(5);
+        b.record(95);
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 95);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width mismatch")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = Histogram::new(10, 100);
+        let b = Histogram::new(20, 100);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_bin_width_rejected() {
+        let _ = Histogram::new(0, 100);
+    }
+}

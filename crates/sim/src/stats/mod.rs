@@ -1,0 +1,58 @@
+//! Statistics containers used to regenerate the paper's figures.
+//!
+//! * [`Histogram`] — fixed-bin-width latency histograms, with CDF/PDF
+//!   extraction (Figures 5, 9, 12),
+//! * [`RunningMean`] / [`Ewma`] — dynamic averages (the per-application
+//!   `Delay_avg` of Scheme-1),
+//! * [`TimeSeries`] — interval-sampled values (bank idleness over time,
+//!   Figure 14),
+//! * [`Counter`] — simple saturating event counter.
+
+mod histogram;
+mod running;
+mod series;
+
+pub use histogram::{Histogram, Summary};
+pub use running::{Counter, Ewma, RunningMean};
+pub use series::TimeSeries;
+
+/// Mean of a slice; `None` when empty.
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean of a slice of positive values; `None` when empty or when
+/// any value is non-positive. Used for aggregate speedups.
+#[must_use]
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        None
+    } else {
+        let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+        Some((log_sum / values.len() as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_slice() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+
+    #[test]
+    fn geomean_of_slice() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        let g = geomean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Running aggregates: counters, running means, exponential averages.
+
+/// A simple event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Running arithmetic mean over all recorded samples.
+///
+/// Scheme-1's per-application `Delay_avg` ("the average delay of the off-chip
+/// memory accesses that belong to that application", Section 3.1) is tracked
+/// with this type: the paper updates the average every time a response
+/// message returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMean {
+    count: u64,
+    sum: f64,
+}
+
+impl RunningMean {
+    /// Creates an empty mean.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current mean, or `fallback` when no samples have been recorded.
+    #[must_use]
+    pub fn mean_or(&self, fallback: f64) -> f64 {
+        if self.count == 0 {
+            fallback
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Current mean; `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Exponentially weighted moving average, for phase-adaptive averages.
+///
+/// `alpha` is the weight of each new sample (`0 < alpha <= 1`). The first
+/// sample initializes the average directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with the given new-sample weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: f64) {
+        self.value = Some(match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        });
+    }
+
+    /// Current average; `None` before the first sample.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current average, or `fallback` before the first sample.
+    #[must_use]
+    pub fn value_or(&self, fallback: f64) -> f64 {
+        self.value.unwrap_or(fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn running_mean_basic() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.mean_or(7.0), 7.0);
+        m.record(2.0);
+        m.record(4.0);
+        assert_eq!(m.mean(), Some(3.0));
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn ewma_converges_toward_constant_input() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.record(0.0);
+        for _ in 0..32 {
+            e.record(10.0);
+        }
+        assert!((e.value_or(0.0) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_first_sample_initializes() {
+        let mut e = Ewma::new(0.1);
+        e.record(42.0);
+        assert_eq!(e.value(), Some(42.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+}

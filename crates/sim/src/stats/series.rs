@@ -1,0 +1,115 @@
+//! Interval-sampled time series (e.g. bank idleness over execution,
+//! Figure 14).
+
+/// A time series of per-interval averages.
+///
+/// Samples recorded within the same fixed-length interval are averaged; the
+/// series exposes one value per elapsed interval. Intervals with no samples
+/// report the neutral value supplied at query time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    interval: u64,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given interval length (in cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        TimeSeries {
+            interval,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Records `value` at absolute time `now`.
+    pub fn record(&mut self, now: u64, value: f64) {
+        let idx = (now / self.interval) as usize;
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Interval length in cycles.
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of intervals touched so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Per-interval averages; empty intervals yield `neutral`.
+    #[must_use]
+    pub fn averages(&self, neutral: f64) -> Vec<f64> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(&s, &c)| if c == 0 { neutral } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Mean over all samples (not per-interval); `None` when empty.
+    #[must_use]
+    pub fn overall_mean(&self) -> Option<f64> {
+        let n: u64 = self.counts.iter().sum();
+        (n > 0).then(|| self.sums.iter().sum::<f64>() / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_within_intervals() {
+        let mut ts = TimeSeries::new(100);
+        ts.record(10, 1.0);
+        ts.record(20, 3.0);
+        ts.record(150, 5.0);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.averages(0.0), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_intervals_use_neutral() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(0, 1.0);
+        ts.record(25, 2.0);
+        assert_eq!(ts.averages(-1.0), vec![1.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn overall_mean_spans_intervals() {
+        let mut ts = TimeSeries::new(10);
+        assert_eq!(ts.overall_mean(), None);
+        ts.record(0, 2.0);
+        ts.record(100, 4.0);
+        assert_eq!(ts.overall_mean(), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = TimeSeries::new(0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the statistics containers against naive
+//! reference computations.
+
+use noclat_sim::stats::{Histogram, RunningMean, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn histogram_mean_and_count_match_reference(
+        values in prop::collection::vec(0u64..5_000, 1..300),
+    ) {
+        let mut h = Histogram::new(25, 4000);
+        for &v in &values {
+            h.record(v);
+        }
+        let mean: f64 = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert!((h.mean() - mean).abs() < 1e-9);
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn histogram_cdf_is_monotone_and_normalized(
+        values in prop::collection::vec(0u64..5_000, 1..300),
+    ) {
+        let mut h = Histogram::new(25, 4000);
+        for &v in &values {
+            h.record(v);
+        }
+        let pts = h.cdf_points();
+        for w in pts.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+            prop_assert!(w[1].0 > w[0].0);
+        }
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        let pdf_sum: f64 = h.pdf_points().iter().map(|(_, f)| f).sum();
+        prop_assert!((pdf_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentile_brackets_reference(
+        values in prop::collection::vec(0u64..4_000, 1..300),
+        p in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new(25, 4000);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        let exact = sorted[idx];
+        let approx = h.percentile(p);
+        // Bin-quantized percentile may differ by at most one bin width.
+        prop_assert!(
+            approx <= exact && exact < approx + 2 * 25,
+            "percentile({p}) = {approx}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn running_mean_matches_reference(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut m = RunningMean::new();
+        for &v in &values {
+            m.record(v);
+        }
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((m.mean().unwrap() - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_series_overall_mean_matches_reference(
+        samples in prop::collection::vec((0u64..10_000, 0.0f64..1.0), 1..200),
+    ) {
+        let mut ts = TimeSeries::new(500);
+        for &(t, v) in &samples {
+            ts.record(t, v);
+        }
+        let mean: f64 = samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len() as f64;
+        prop_assert!((ts.overall_mean().unwrap() - mean).abs() < 1e-9);
+        prop_assert!(ts.len() <= 21);
+    }
+}

@@ -1,0 +1,457 @@
+//! Synthetic instruction/address stream generation.
+//!
+//! Each application owns a disjoint address space (multiprogrammed
+//! workloads share nothing, as in the paper) containing three regions:
+//!
+//! * a **hot** set that stays L1-resident,
+//! * a **warm** region that misses L1 but fits the application's share of
+//!   the shared L2,
+//! * a **streaming** footprint far larger than the L2, whose accesses miss
+//!   on-chip and go to memory.
+//!
+//! Off-chip accesses come in bursts (memory-level parallelism) and walk the
+//! footprint sequentially with probability `row_locality` (row-buffer hits,
+//! even MC load) or jump randomly (row misses, transient bank hot-spots) —
+//! reproducing both motivations of Section 2.4.
+//!
+//! Virtual region offsets are translated to "physical" addresses through a
+//! per-application page hash, emulating OS physical page allocation. Without
+//! this, the power-of-two bases of the per-application spaces would alias
+//! every application's hot/warm pages onto the same handful of cache sets
+//! and DRAM banks — a pathology real systems avoid precisely because the OS
+//! scatters physical pages.
+
+use noclat_cpu::{Instr, InstrStream, ResidentSet};
+use noclat_sim::rng::{splitmix64, SimRng};
+
+use crate::spec::{AppProfile, SpecApp};
+
+/// Byte offset separating per-application address spaces.
+const APP_SPACE_SHIFT: u32 = 40;
+/// Line offset of the warm region inside an app's virtual space.
+const WARM_BASE_LINE: u64 = 1 << 20;
+/// Line offset of the streaming footprint inside an app's virtual space.
+const STREAM_BASE_LINE: u64 = 1 << 24;
+/// Cache line size used for address generation (Table 1).
+const LINE_BYTES: u64 = 64;
+/// Lines per 4 KB OS page.
+const LINES_PER_PAGE: u64 = 64;
+/// Physical pages per application space (4 M pages = 16 GB; sparse).
+const PHYS_PAGE_MASK: u64 = (1 << 22) - 1;
+/// Cap on burst lengths.
+const MAX_BURST: u32 = 16;
+
+/// Which region a generated memory access targeted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// L1-resident hot set.
+    Hot,
+    /// L2-resident warm region.
+    Warm,
+    /// Off-chip streaming footprint.
+    Stream,
+}
+
+/// Running counts of what the stream has produced (for calibration tests
+/// and workload characterization).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamCounts {
+    /// Instructions generated.
+    pub instructions: u64,
+    /// Memory operations generated.
+    pub mem_ops: u64,
+    /// Stores among the memory operations.
+    pub stores: u64,
+    /// Memory operations that targeted the streaming (off-chip) region.
+    pub stream_ops: u64,
+}
+
+/// An endless synthetic instruction stream for one application instance.
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    profile: AppProfile,
+    rng: SimRng,
+    base: u64,
+    page_seed: u64,
+    cursor: u64,
+    burst_left: u32,
+    /// Probability a memory op *starts* an off-chip burst in a cold phase
+    /// (scaled so the long-run rate matches the profile MPKI).
+    burst_start_prob: f64,
+    /// Currently in a hot phase.
+    phase_hot: bool,
+    /// Instructions remaining in the current phase.
+    phase_left: u64,
+    /// Base line (within the footprint) of the current hot window.
+    hot_window_base: u64,
+    counts: StreamCounts,
+    last_region: Region,
+}
+
+/// Mean hot-phase length, in instructions.
+const HOT_PHASE_MEAN: u64 = 8_000;
+
+impl SyntheticStream {
+    /// Creates the stream for `app` running in core slot `slot`, seeded from
+    /// `rng` (split per slot, so streams are independent and reproducible).
+    #[must_use]
+    pub fn new(app: SpecApp, slot: usize, rng: &SimRng) -> Self {
+        let profile = app.profile();
+        let p_offchip = (profile.l2_mpki / 1000.0 / profile.mem_fraction).min(0.95);
+        let mut rng = rng.split(0x57_ea_00 + slot as u64);
+        // Start each stream at a random footprint position so co-running
+        // applications do not gang up on the same DRAM banks at cold start.
+        let cursor = rng.below(profile.footprint_lines);
+        // Scale the cold-phase rate so that the long-run average over hot
+        // (boosted) and cold phases still meets the MPKI target.
+        let f = profile.phase_hot_frac.clamp(0.0, 1.0);
+        let long_run_scale = (1.0 - f) + profile.phase_boost.max(1.0) * f;
+        let hot_window_base = rng.below(profile.footprint_lines);
+        let phase_left = 1 + rng.below(2 * HOT_PHASE_MEAN);
+        SyntheticStream {
+            profile,
+            base: (slot as u64 + 1) << APP_SPACE_SHIFT,
+            page_seed: splitmix64(page_seed_salt(slot)),
+            rng,
+            cursor,
+            burst_left: 0,
+            burst_start_prob: p_offchip / profile.burst_mean.max(1.0) / long_run_scale,
+            phase_hot: false,
+            phase_left,
+            hot_window_base,
+            counts: StreamCounts::default(),
+            last_region: Region::Hot,
+        }
+    }
+
+    /// Advances the two-state phase machine by one instruction.
+    fn tick_phase(&mut self) {
+        self.phase_left = self.phase_left.saturating_sub(1);
+        if self.phase_left > 0 {
+            return;
+        }
+        self.phase_hot = !self.phase_hot;
+        let f = self.profile.phase_hot_frac.clamp(0.01, 0.99);
+        let mean = if self.phase_hot {
+            HOT_PHASE_MEAN
+        } else {
+            (HOT_PHASE_MEAN as f64 * (1.0 - f) / f) as u64
+        };
+        self.phase_left = 1 + self.rng.below(2 * mean.max(1));
+        if self.phase_hot {
+            // Each hot phase hammers a fresh, narrow slice of the footprint.
+            self.hot_window_base = self
+                .rng
+                .below(self.profile.footprint_lines - self.profile.hot_window_lines.min(self.profile.footprint_lines));
+            self.cursor = self.hot_window_base;
+        }
+    }
+
+    /// Whether the stream is currently in a hot (high-intensity) phase.
+    #[must_use]
+    pub fn in_hot_phase(&self) -> bool {
+        self.phase_hot
+    }
+
+    /// The profile driving this stream.
+    #[must_use]
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    /// Base address of this application's space.
+    #[must_use]
+    pub fn base_addr(&self) -> u64 {
+        self.base
+    }
+
+    /// Generation counters so far.
+    #[must_use]
+    pub fn counts(&self) -> StreamCounts {
+        self.counts
+    }
+
+    /// Region of the most recent memory operation.
+    #[must_use]
+    pub fn last_region(&self) -> Region {
+        self.last_region
+    }
+
+    /// Virtual→physical translation: hashes the 4 KB page number with the
+    /// application's page seed (emulating OS physical allocation), keeping
+    /// line position within the page. Consecutive lines of one page stay
+    /// consecutive physically, so spatial streaming still earns row-buffer
+    /// hits.
+    fn translate(&self, line_offset: u64) -> u64 {
+        let page = line_offset / LINES_PER_PAGE;
+        let in_page = line_offset % LINES_PER_PAGE;
+        let phys_page = splitmix64(page ^ self.page_seed) & PHYS_PAGE_MASK;
+        self.base + (phys_page * LINES_PER_PAGE + in_page) * LINE_BYTES
+    }
+
+    fn hot_addr(&mut self) -> u64 {
+        let line = self.rng.below(self.profile.hot_lines);
+        self.translate(line)
+    }
+
+    fn warm_addr(&mut self) -> u64 {
+        let line = WARM_BASE_LINE + self.rng.below(self.profile.warm_lines);
+        self.translate(line)
+    }
+
+    fn stream_addr(&mut self) -> u64 {
+        let line = STREAM_BASE_LINE + self.cursor;
+        // Advance: sequential with probability `row_locality` (stays in the
+        // current DRAM row and keeps the MC load even), random jump
+        // otherwise (row miss, new bank). Hot-phase jumps stay within the
+        // phase's narrow window, concentrating pressure on a few banks.
+        if self.rng.chance(self.profile.row_locality) {
+            self.cursor = (self.cursor + 1) % self.profile.footprint_lines;
+        } else if self.phase_hot {
+            let window = self.profile.hot_window_lines.min(self.profile.footprint_lines);
+            self.cursor = self.hot_window_base + self.rng.below(window.max(1));
+            self.cursor %= self.profile.footprint_lines;
+        } else {
+            self.cursor = self.rng.below(self.profile.footprint_lines);
+        }
+        self.translate(line)
+    }
+
+    /// Burst-start probability for the current phase.
+    fn effective_burst_start(&self) -> f64 {
+        if self.phase_hot {
+            (self.burst_start_prob * self.profile.phase_boost.max(1.0)).min(0.95)
+        } else {
+            self.burst_start_prob
+        }
+    }
+
+    fn mem_instr(&mut self) -> Instr {
+        let addr = if self.burst_left > 0 {
+            self.burst_left -= 1;
+            self.last_region = Region::Stream;
+            self.stream_addr()
+        } else if self.rng.chance(self.effective_burst_start()) {
+            let extra = self
+                .rng
+                .geometric(1.0 / self.profile.burst_mean.max(1.0), MAX_BURST);
+            self.burst_left = extra;
+            self.last_region = Region::Stream;
+            self.stream_addr()
+        } else if self.rng.chance(self.profile.warm_fraction) {
+            self.last_region = Region::Warm;
+            self.warm_addr()
+        } else {
+            self.last_region = Region::Hot;
+            self.hot_addr()
+        };
+        self.counts.mem_ops += 1;
+        if self.last_region == Region::Stream {
+            self.counts.stream_ops += 1;
+        }
+        if self.rng.chance(self.profile.write_fraction) {
+            self.counts.stores += 1;
+            Instr::Store { addr }
+        } else {
+            Instr::Load { addr }
+        }
+    }
+}
+
+/// Salt for the per-application page seed.
+fn page_seed_salt(slot: usize) -> u64 {
+    0x9a6e_5eed_0000_0000 ^ (slot as u64)
+}
+
+impl InstrStream for SyntheticStream {
+    fn next_instr(&mut self) -> Instr {
+        self.counts.instructions += 1;
+        self.tick_phase();
+        if self.rng.chance(self.profile.mem_fraction) {
+            self.mem_instr()
+        } else {
+            Instr::Compute { latency: 1 }
+        }
+    }
+
+    /// After a long fast-forward, the hot set is L1-resident and the warm
+    /// region is L2-resident.
+    fn resident_lines(&self) -> ResidentSet {
+        ResidentSet {
+            l1: (0..self.profile.hot_lines).map(|l| self.translate(l)).collect(),
+            l2: (0..self.profile.warm_lines)
+                .map(|l| self.translate(WARM_BASE_LINE + l))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(app: SpecApp, slot: usize) -> SyntheticStream {
+        SyntheticStream::new(app, slot, &SimRng::new(7))
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_slot() {
+        let mut a = stream(SpecApp::Milc, 3);
+        let mut b = stream(SpecApp::Milc, 3);
+        for _ in 0..1000 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn different_slots_have_disjoint_address_spaces() {
+        let mut a = stream(SpecApp::Milc, 0);
+        let mut b = stream(SpecApp::Milc, 1);
+        let addrs = |s: &mut SyntheticStream| -> std::collections::HashSet<u64> {
+            (0..5000)
+                .filter_map(|_| match s.next_instr() {
+                    Instr::Load { addr } | Instr::Store { addr } => Some(addr),
+                    Instr::Compute { .. } => None,
+                })
+                .collect()
+        };
+        let sa = addrs(&mut a);
+        let sb = addrs(&mut b);
+        assert!(sa.is_disjoint(&sb));
+    }
+
+    #[test]
+    fn mem_fraction_is_calibrated() {
+        let mut s = stream(SpecApp::Mcf, 0);
+        for _ in 0..50_000 {
+            let _ = s.next_instr();
+        }
+        let c = s.counts();
+        let frac = c.mem_ops as f64 / c.instructions as f64;
+        let target = SpecApp::Mcf.profile().mem_fraction;
+        assert!(
+            (frac - target).abs() < 0.02,
+            "mem fraction {frac} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn offchip_rate_tracks_mpki() {
+        for app in [SpecApp::Mcf, SpecApp::Libquantum, SpecApp::Gcc] {
+            let mut s = stream(app, 0);
+            for _ in 0..400_000 {
+                let _ = s.next_instr();
+            }
+            let c = s.counts();
+            let mpki = c.stream_ops as f64 / c.instructions as f64 * 1000.0;
+            let target = app.profile().l2_mpki;
+            assert!(
+                mpki > target * 0.7 && mpki < target * 1.4,
+                "{app}: generated MPKI {mpki:.1} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_locality_shapes_sequentiality() {
+        let seq_fraction = |app: SpecApp| -> f64 {
+            let mut s = stream(app, 0);
+            let mut last: Option<u64> = None;
+            let mut seq = 0u64;
+            let mut total = 0u64;
+            for _ in 0..400_000 {
+                let before = s.counts().stream_ops;
+                let instr = s.next_instr();
+                let is_stream = s.counts().stream_ops > before;
+                if let Instr::Load { addr } | Instr::Store { addr } = instr {
+                    if is_stream {
+                        if let Some(prev) = last {
+                            total += 1;
+                            if addr == prev + LINE_BYTES {
+                                seq += 1;
+                            }
+                        }
+                        last = Some(addr);
+                    }
+                }
+            }
+            seq as f64 / total.max(1) as f64
+        };
+        let streaming = seq_fraction(SpecApp::Libquantum);
+        let pointer_chasing = seq_fraction(SpecApp::Mcf);
+        assert!(
+            streaming > pointer_chasing + 0.2,
+            "libquantum ({streaming:.2}) must be more sequential than mcf ({pointer_chasing:.2})"
+        );
+    }
+
+    #[test]
+    fn writes_happen_at_roughly_the_configured_rate() {
+        let mut s = stream(SpecApp::Lbm, 0);
+        for _ in 0..100_000 {
+            let _ = s.next_instr();
+        }
+        let c = s.counts();
+        let frac = c.stores as f64 / c.mem_ops as f64;
+        let target = SpecApp::Lbm.profile().write_fraction;
+        assert!((frac - target).abs() < 0.05, "write frac {frac} vs {target}");
+    }
+
+    #[test]
+    fn page_translation_preserves_in_page_contiguity() {
+        let s = stream(SpecApp::Libquantum, 0);
+        let a = s.translate(LINES_PER_PAGE * 10);
+        let b = s.translate(LINES_PER_PAGE * 10 + 1);
+        assert_eq!(b, a + LINE_BYTES, "lines within a page stay adjacent");
+    }
+
+    #[test]
+    fn page_translation_scatters_pages() {
+        let s = stream(SpecApp::Libquantum, 0);
+        // Consecutive virtual pages must not map to consecutive physical
+        // pages (that would recreate the aliasing the hash is there to
+        // break).
+        let consecutive = (0..64u64)
+            .filter(|&p| {
+                let a = s.translate(p * LINES_PER_PAGE);
+                let b = s.translate((p + 1) * LINES_PER_PAGE);
+                b == a + LINES_PER_PAGE * LINE_BYTES
+            })
+            .count();
+        assert!(consecutive < 4, "pages look identity-mapped");
+    }
+
+    #[test]
+    fn translation_stays_in_app_space() {
+        for slot in [0usize, 7, 31] {
+            let s = stream(SpecApp::Mcf, slot);
+            for off in [0u64, WARM_BASE_LINE, STREAM_BASE_LINE + 12345] {
+                let addr = s.translate(off);
+                assert_eq!(addr >> APP_SPACE_SHIFT, slot as u64 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_regions_of_different_apps_do_not_alias() {
+        // The (S-NUCA bank, L2 set) pairs of many applications' warm lines
+        // must spread over the cache, not collapse onto a shared handful —
+        // the aliasing pathology the page hash exists to break.
+        let mut pairs = std::collections::HashSet::new();
+        for slot in 0..8usize {
+            let s = stream(SpecApp::Mcf, slot);
+            for w in 0..1024u64 {
+                let addr = s.translate(WARM_BASE_LINE + w);
+                let global_line = addr / LINE_BYTES;
+                let bank = global_line % 32;
+                let set = (global_line / 32) % 512;
+                pairs.insert((bank, set));
+            }
+        }
+        assert!(
+            pairs.len() > 3000,
+            "8 x 1024 warm lines collapsed onto {} (bank, set) pairs",
+            pairs.len()
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic SPEC CPU2006 workloads for the MICRO 2012 end-to-end-latency
+//! reproduction.
+//!
+//! The paper evaluates 18 multiprogrammed mixes of SPEC CPU2006 benchmarks
+//! (Table 2) on 32 cores. This crate substitutes SPEC traces with synthetic
+//! per-application profiles ([`SpecApp::profile`]) driving address-stream
+//! generators ([`SyntheticStream`]) and reproduces Table 2 exactly
+//! ([`workload`]).
+//!
+//! # Example
+//!
+//! ```
+//! use noclat_workloads::{workload, SpecApp, SyntheticStream, WorkloadKind};
+//! use noclat_sim::rng::SimRng;
+//! use noclat_cpu::InstrStream;
+//!
+//! let w = workload(2);
+//! assert_eq!(w.kind, WorkloadKind::Mixed);
+//! assert_eq!(w.apps().len(), 32);
+//!
+//! let mut stream = SyntheticStream::new(SpecApp::Milc, 0, &SimRng::new(1));
+//! let _instr = stream.next_instr();
+//! ```
+
+pub mod generator;
+pub mod mixes;
+pub mod spec;
+
+pub use generator::SyntheticStream;
+pub use mixes::{all_workloads, indices_of, workload, Workload, WorkloadKind};
+pub use spec::{AppProfile, MemClass, SpecApp};

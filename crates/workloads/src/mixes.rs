@@ -1,0 +1,357 @@
+//! The 18 multiprogrammed workloads of the paper's Table 2.
+//!
+//! Workloads 1–6 are *mixed* (half memory-intensive, half non-intensive),
+//! 7–12 are *memory-intensive* only, and 13–18 are *memory-non-intensive*
+//! only. Each workload holds exactly 32 application instances (one per core
+//! of the 4×8 system); the 16-core experiments of Figure 15 use
+//! [`Workload::first_half`].
+
+use crate::spec::{MemClass, SpecApp};
+use SpecApp::*;
+
+/// Workload category (the paper's three groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Half intensive, half non-intensive (workloads 1–6).
+    Mixed,
+    /// All memory-intensive (workloads 7–12).
+    MemIntensive,
+    /// All memory-non-intensive (workloads 13–18).
+    MemNonIntensive,
+}
+
+/// One multiprogrammed workload from Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// 1-based index, matching the paper's "workload-N".
+    pub index: usize,
+    /// Category.
+    pub kind: WorkloadKind,
+    /// `(application, instance count)` pairs, in Table-2 order.
+    pub entries: Vec<(SpecApp, usize)>,
+}
+
+impl Workload {
+    /// The paper's name for this workload (`workload-N`).
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("workload-{}", self.index)
+    }
+
+    /// Total application instances (always 32).
+    #[must_use]
+    pub fn num_apps(&self) -> usize {
+        self.entries.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// The 32 per-core application assignments, expanding instance counts in
+    /// Table-2 order.
+    #[must_use]
+    pub fn apps(&self) -> Vec<SpecApp> {
+        self.entries
+            .iter()
+            .flat_map(|&(app, n)| std::iter::repeat(app).take(n))
+            .collect()
+    }
+
+    /// The 16-application subset used on the 4×4 system (Figure 15): the
+    /// first half of the applications — for mixed workloads, the first half
+    /// of the intensive and the first half of the non-intensive apps.
+    #[must_use]
+    pub fn first_half(&self) -> Vec<SpecApp> {
+        let apps = self.apps();
+        match self.kind {
+            WorkloadKind::Mixed => {
+                let intensive: Vec<SpecApp> = apps
+                    .iter()
+                    .copied()
+                    .filter(|a| a.profile().class == MemClass::Intensive)
+                    .collect();
+                let non: Vec<SpecApp> = apps
+                    .iter()
+                    .copied()
+                    .filter(|a| a.profile().class == MemClass::NonIntensive)
+                    .collect();
+                let mut half: Vec<SpecApp> =
+                    intensive[..intensive.len() / 2].to_vec();
+                half.extend_from_slice(&non[..non.len() / 2]);
+                half
+            }
+            _ => apps[..apps.len() / 2].to_vec(),
+        }
+    }
+}
+
+/// Returns Table 2's workload `index` (1-based, `1..=18`).
+///
+/// # Panics
+///
+/// Panics if `index` is not in `1..=18`.
+#[must_use]
+pub fn workload(index: usize) -> Workload {
+    let (kind, entries): (WorkloadKind, Vec<(SpecApp, usize)>) = match index {
+        1 => (
+            WorkloadKind::Mixed,
+            vec![
+                (Mcf, 3), (Lbm, 2), (Xalancbmk, 1), (Milc, 2), (Libquantum, 1),
+                (Leslie3d, 5), (GemsFDTD, 1), (Soplex, 1), (Omnetpp, 2),
+                (Perlbench, 1), (Astar, 1), (Wrf, 1), (Tonto, 1), (Sjeng, 1),
+                (Namd, 1), (Hmmer, 1), (H264ref, 1), (Gamess, 1), (Calculix, 1),
+                (Bzip2, 3), (Bwaves, 1),
+            ],
+        ),
+        2 => (
+            WorkloadKind::Mixed,
+            vec![
+                (Mcf, 4), (Lbm, 2), (Xalancbmk, 2), (Milc, 3), (Libquantum, 2),
+                (GemsFDTD, 1), (Soplex, 2), (Perlbench, 2), (Astar, 3), (Wrf, 3),
+                (Povray, 1), (Namd, 3), (Hmmer, 1), (H264ref, 1), (Gcc, 1),
+                (Dealii, 1),
+            ],
+        ),
+        3 => (
+            WorkloadKind::Mixed,
+            vec![
+                (Mcf, 4), (Lbm, 1), (Milc, 2), (Libquantum, 5), (Leslie3d, 2),
+                (Sphinx3, 1), (GemsFDTD, 1), (Omnetpp, 1), (Astar, 2),
+                (Zeusmp, 2), (Wrf, 2), (Tonto, 1), (Sjeng, 1), (H264ref, 1),
+                (Gobmk, 1), (Gcc, 1), (Gamess, 1), (Dealii, 1), (Calculix, 1),
+                (Bwaves, 1),
+            ],
+        ),
+        4 => (
+            WorkloadKind::Mixed,
+            vec![
+                (Mcf, 1), (Lbm, 2), (Xalancbmk, 3), (Milc, 2), (Leslie3d, 1),
+                (Sphinx3, 3), (GemsFDTD, 1), (Soplex, 3), (Omnetpp, 1),
+                (Astar, 2), (Zeusmp, 1), (Wrf, 1), (Tonto, 1), (Sjeng, 1),
+                (H264ref, 2), (Gcc, 1), (Gamess, 3), (Bzip2, 2), (Bwaves, 1),
+            ],
+        ),
+        5 => (
+            WorkloadKind::Mixed,
+            vec![
+                (Mcf, 4), (Lbm, 2), (Xalancbmk, 3), (Milc, 1), (Leslie3d, 1),
+                (Sphinx3, 1), (Soplex, 4), (Astar, 2), (Zeusmp, 2), (Wrf, 1),
+                (Sjeng, 1), (Povray, 2), (Namd, 1), (Hmmer, 1), (H264ref, 2),
+                (Gromacs, 1), (Gcc, 1), (Calculix, 1), (Bwaves, 1),
+            ],
+        ),
+        6 => (
+            WorkloadKind::Mixed,
+            vec![
+                (Mcf, 2), (Xalancbmk, 2), (Milc, 1), (Libquantum, 1),
+                (Leslie3d, 2), (Sphinx3, 3), (GemsFDTD, 3), (Soplex, 2),
+                (Omnetpp, 1), (Perlbench, 2), (Wrf, 1), (Tonto, 2), (Hmmer, 1),
+                (Gromacs, 1), (Gobmk, 1), (Gcc, 1), (Gamess, 1), (Dealii, 2),
+                (Bzip2, 3),
+            ],
+        ),
+        7 => (
+            WorkloadKind::MemIntensive,
+            vec![
+                (Mcf, 1), (Lbm, 5), (Xalancbmk, 5), (Milc, 1), (Libquantum, 5),
+                (Leslie3d, 4), (Sphinx3, 3), (GemsFDTD, 6), (Soplex, 2),
+            ],
+        ),
+        8 => (
+            WorkloadKind::MemIntensive,
+            vec![
+                (Mcf, 3), (Lbm, 2), (Xalancbmk, 4), (Milc, 3), (Libquantum, 8),
+                (Leslie3d, 3), (Sphinx3, 4), (GemsFDTD, 5),
+            ],
+        ),
+        9 => (
+            WorkloadKind::MemIntensive,
+            vec![
+                (Mcf, 4), (Lbm, 5), (Xalancbmk, 4), (Milc, 3), (Libquantum, 4),
+                (Leslie3d, 2), (Sphinx3, 6), (GemsFDTD, 2), (Soplex, 2),
+            ],
+        ),
+        10 => (
+            WorkloadKind::MemIntensive,
+            vec![
+                (Mcf, 4), (Lbm, 3), (Xalancbmk, 3), (Milc, 2), (Libquantum, 4),
+                (Leslie3d, 3), (Sphinx3, 4), (GemsFDTD, 8), (Soplex, 1),
+            ],
+        ),
+        11 => (
+            WorkloadKind::MemIntensive,
+            vec![
+                (Mcf, 3), (Lbm, 6), (Xalancbmk, 2), (Milc, 5), (Libquantum, 1),
+                (Leslie3d, 2), (Sphinx3, 4), (GemsFDTD, 4), (Soplex, 5),
+            ],
+        ),
+        12 => (
+            WorkloadKind::MemIntensive,
+            vec![
+                (Mcf, 2), (Lbm, 3), (Xalancbmk, 3), (Milc, 6), (Libquantum, 5),
+                (Leslie3d, 4), (Sphinx3, 4), (GemsFDTD, 5),
+            ],
+        ),
+        13 => (
+            WorkloadKind::MemNonIntensive,
+            vec![
+                (Perlbench, 1), (Astar, 3), (Zeusmp, 2), (Wrf, 2), (Sjeng, 3),
+                (Povray, 2), (Hmmer, 1), (Gromacs, 2), (Gcc, 1), (Gamess, 2),
+                (Dealii, 2), (Calculix, 5), (Bzip2, 2), (Bwaves, 4),
+            ],
+        ),
+        14 => (
+            WorkloadKind::MemNonIntensive,
+            vec![
+                (Omnetpp, 3), (Perlbench, 1), (Zeusmp, 2), (Tonto, 1),
+                (Sjeng, 1), (Povray, 2), (Namd, 2), (Hmmer, 4), (H264ref, 3),
+                (Gromacs, 2), (Gobmk, 3), (Gamess, 3), (Bzip2, 1), (Bwaves, 4),
+            ],
+        ),
+        15 => (
+            WorkloadKind::MemNonIntensive,
+            vec![
+                (Omnetpp, 2), (Perlbench, 2), (Astar, 1), (Zeusmp, 3),
+                (Sjeng, 1), (Povray, 1), (Namd, 1), (Hmmer, 2), (H264ref, 1),
+                (Gromacs, 2), (Gobmk, 3), (Gcc, 2), (Gamess, 1), (Dealii, 4),
+                (Calculix, 2), (Bzip2, 2), (Bwaves, 2),
+            ],
+        ),
+        16 => (
+            WorkloadKind::MemNonIntensive,
+            vec![
+                (Omnetpp, 3), (Perlbench, 3), (Astar, 2), (Zeusmp, 1), (Wrf, 2),
+                (Sjeng, 3), (Povray, 3), (Namd, 1), (Hmmer, 2), (H264ref, 1),
+                (Gobmk, 1), (Gcc, 4), (Gamess, 2), (Dealii, 2), (Bzip2, 1),
+                (Bwaves, 1),
+            ],
+        ),
+        17 => (
+            WorkloadKind::MemNonIntensive,
+            vec![
+                (Omnetpp, 2), (Perlbench, 2), (Astar, 1), (Zeusmp, 2), (Wrf, 1),
+                (Tonto, 2), (Sjeng, 1), (Povray, 2), (Namd, 1), (Hmmer, 4),
+                (H264ref, 1), (Gobmk, 2), (Gcc, 2), (Gamess, 1), (Dealii, 3),
+                (Calculix, 2), (Bzip2, 3),
+            ],
+        ),
+        18 => (
+            WorkloadKind::MemNonIntensive,
+            vec![
+                (Omnetpp, 2), (Perlbench, 4), (Zeusmp, 2), (Wrf, 2), (Tonto, 2),
+                (Sjeng, 2), (Namd, 1), (Hmmer, 2), (H264ref, 1), (Gromacs, 2),
+                (Gobmk, 2), (Gcc, 4), (Gamess, 2), (Calculix, 2), (Bzip2, 1),
+                (Bwaves, 1),
+            ],
+        ),
+        _ => panic!("workload index {index} out of range 1..=18"),
+    };
+    Workload {
+        index,
+        kind,
+        entries,
+    }
+}
+
+/// All 18 workloads, in order.
+#[must_use]
+pub fn all_workloads() -> Vec<Workload> {
+    (1..=18).map(workload).collect()
+}
+
+/// The workload indices of one category.
+#[must_use]
+pub fn indices_of(kind: WorkloadKind) -> std::ops::RangeInclusive<usize> {
+    match kind {
+        WorkloadKind::Mixed => 1..=6,
+        WorkloadKind::MemIntensive => 7..=12,
+        WorkloadKind::MemNonIntensive => 13..=18,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_has_32_apps() {
+        for w in all_workloads() {
+            assert_eq!(w.num_apps(), 32, "{}", w.name());
+            assert_eq!(w.apps().len(), 32);
+        }
+    }
+
+    #[test]
+    fn categories_match_table2() {
+        for i in 1..=6 {
+            assert_eq!(workload(i).kind, WorkloadKind::Mixed);
+        }
+        for i in 7..=12 {
+            assert_eq!(workload(i).kind, WorkloadKind::MemIntensive);
+        }
+        for i in 13..=18 {
+            assert_eq!(workload(i).kind, WorkloadKind::MemNonIntensive);
+        }
+    }
+
+    #[test]
+    fn mixed_workloads_are_half_and_half() {
+        for i in 1..=6 {
+            let w = workload(i);
+            let intensive = w
+                .apps()
+                .iter()
+                .filter(|a| a.profile().class == MemClass::Intensive)
+                .count();
+            assert_eq!(intensive, 16, "{}: intensive count {intensive}", w.name());
+        }
+    }
+
+    #[test]
+    fn intensity_pure_workloads_are_pure() {
+        for i in 7..=12 {
+            let w = workload(i);
+            assert!(w
+                .apps()
+                .iter()
+                .all(|a| a.profile().class == MemClass::Intensive));
+        }
+        for i in 13..=18 {
+            let w = workload(i);
+            assert!(w
+                .apps()
+                .iter()
+                .all(|a| a.profile().class == MemClass::NonIntensive));
+        }
+    }
+
+    #[test]
+    fn workload2_contains_milc() {
+        // Figures 4, 5 and 9 study milc within workload-2.
+        assert!(workload(2).apps().contains(&SpecApp::Milc));
+    }
+
+    #[test]
+    fn workload1_contains_lbm() {
+        // Figure 12c studies lbm within workload-1.
+        assert!(workload(1).apps().contains(&SpecApp::Lbm));
+    }
+
+    #[test]
+    fn first_half_is_16_apps_and_balanced_for_mixed() {
+        for w in all_workloads() {
+            let half = w.first_half();
+            assert_eq!(half.len(), 16, "{}", w.name());
+            if w.kind == WorkloadKind::Mixed {
+                let intensive = half
+                    .iter()
+                    .filter(|a| a.profile().class == MemClass::Intensive)
+                    .count();
+                assert_eq!(intensive, 8, "{}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let _ = workload(0);
+    }
+}

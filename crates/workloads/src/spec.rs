@@ -1,0 +1,229 @@
+//! Synthetic profiles for the SPEC CPU2006 applications used in the paper's
+//! Table 2.
+//!
+//! We cannot run SPEC binaries, so each benchmark is modeled by a profile
+//! that drives a synthetic instruction/address stream (see
+//! [`crate::generator::SyntheticStream`]). The profiles are calibrated from
+//! published SPEC CPU2006 memory characterizations (approximate L2 MPKI,
+//! row-buffer locality and access-pattern class) and, most importantly,
+//! preserve the paper's grouping into memory-intensive and non-intensive
+//! applications (Section 4.1) — that grouping, not the third decimal of any
+//! MPKI value, is what the evaluation depends on.
+
+/// Memory-intensity class (Section 4.1's workload grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemClass {
+    /// High MPKI: stresses the NoC and memory controllers.
+    Intensive,
+    /// Low MPKI: mostly L1/L2-resident.
+    NonIntensive,
+}
+
+/// Tunable behavior of one synthetic application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppProfile {
+    /// Benchmark name (SPEC CPU2006).
+    pub name: &'static str,
+    /// Intensity class.
+    pub class: MemClass,
+    /// Approximate target L2 misses per kilo-instruction.
+    pub l2_mpki: f64,
+    /// Fraction of instructions that are loads/stores.
+    pub mem_fraction: f64,
+    /// Fraction of memory operations that are stores.
+    pub write_fraction: f64,
+    /// Probability that a streaming (off-chip) access continues
+    /// sequentially within the current DRAM row rather than jumping.
+    pub row_locality: f64,
+    /// Mean length of off-chip access bursts (memory-level parallelism).
+    pub burst_mean: f64,
+    /// Lines in the L1-resident hot set.
+    pub hot_lines: u64,
+    /// Lines in the L2-resident warm region (misses L1, hits L2).
+    pub warm_lines: u64,
+    /// Lines in the streaming footprint (misses L2).
+    pub footprint_lines: u64,
+    /// Fraction of memory operations that target the warm region.
+    pub warm_fraction: f64,
+    /// Off-chip intensity multiplier during hot phases (SPEC applications
+    /// are strongly phased; hot phases create the transient congestion and
+    /// latency tails of Figures 5–7).
+    pub phase_boost: f64,
+    /// Long-run fraction of instructions spent in hot phases.
+    pub phase_hot_frac: f64,
+    /// During a hot phase, random stream jumps stay within a window of this
+    /// many lines (spatial concentration → transient bank pressure,
+    /// Motivation 2).
+    pub hot_window_lines: u64,
+}
+
+macro_rules! profiles {
+    ($(($variant:ident, $name:literal, $class:ident, $mpki:literal, $memf:literal,
+        $wrf:literal, $rowloc:literal, $burst:literal, $warmf:literal, $boost:literal)),+ $(,)?) => {
+        /// A SPEC CPU2006 benchmark from the paper's Table 2.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[allow(non_camel_case_types)]
+        pub enum SpecApp {
+            $(
+                #[doc = concat!("SPEC CPU2006 `", $name, "`." )]
+                $variant,
+            )+
+        }
+
+        impl SpecApp {
+            /// Every modeled benchmark.
+            pub const ALL: &'static [SpecApp] = &[$(SpecApp::$variant),+];
+
+            /// The benchmark's synthetic profile.
+            #[must_use]
+            pub fn profile(self) -> AppProfile {
+                match self {
+                    $(
+                        SpecApp::$variant => AppProfile {
+                            name: $name,
+                            class: MemClass::$class,
+                            l2_mpki: $mpki,
+                            mem_fraction: $memf,
+                            write_fraction: $wrf,
+                            row_locality: $rowloc,
+                            burst_mean: $burst,
+                            hot_lines: 192,
+                            warm_lines: 1024,
+                            footprint_lines: 1 << 22,
+                            warm_fraction: $warmf,
+                            phase_boost: $boost,
+                            phase_hot_frac: 0.2,
+                            hot_window_lines: 2048,
+                        },
+                    )+
+                }
+            }
+
+            /// The benchmark's name.
+            #[must_use]
+            pub fn name(self) -> &'static str {
+                self.profile().name
+            }
+
+            /// Looks a benchmark up by name.
+            #[must_use]
+            pub fn by_name(name: &str) -> Option<SpecApp> {
+                Self::ALL.iter().copied().find(|a| a.name() == name)
+            }
+        }
+    };
+}
+
+profiles! {
+    // (variant, name, class, L2 MPKI, mem frac, write frac, row locality,
+    //  burst mean, warm fraction)
+    //
+    // MPKI values are scaled for this system's 16 MB shared L2 (published
+    // per-benchmark characterizations assume 1–2 MB LLCs and run ~2.5×
+    // higher); the *relative ordering* and the intensive/non-intensive split
+    // follow the paper's Table-2 grouping.
+    (Mcf,        "mcf",        Intensive,    33.0, 0.38, 0.25, 0.30, 6.0, 0.10, 3.0),
+    (Lbm,        "lbm",        Intensive,    30.0, 0.34, 0.45, 0.90, 5.0, 0.06, 4.0),
+    (Libquantum, "libquantum", Intensive,    24.0, 0.30, 0.10, 0.95, 4.0, 0.04, 4.0),
+    (Milc,       "milc",       Intensive,    13.0, 0.36, 0.35, 0.85, 3.0, 0.08, 3.0),
+    (Sphinx3,    "sphinx3",    Intensive,    12.5, 0.33, 0.15, 0.70, 2.5, 0.10, 2.5),
+    (GemsFDTD,   "GemsFDTD",   Intensive,    10.0, 0.35, 0.40, 0.85, 3.0, 0.08, 3.5),
+    (Soplex,     "soplex",     Intensive,     9.0, 0.37, 0.20, 0.60, 2.5, 0.10, 2.5),
+    (Leslie3d,   "leslie3d",   Intensive,     8.0, 0.36, 0.35, 0.90, 3.0, 0.08, 3.5),
+    (Xalancbmk,  "xalancbmk",  Intensive,     6.5, 0.37, 0.20, 0.45, 2.0, 0.12, 2.0),
+    (Omnetpp,    "omnetpp",    NonIntensive,  2.2, 0.36, 0.30, 0.40, 1.5, 0.15, 2.0),
+    (Astar,      "astar",      NonIntensive,  1.6, 0.38, 0.25, 0.40, 1.5, 0.15, 2.0),
+    (Zeusmp,     "zeusmp",     NonIntensive,  1.4, 0.34, 0.35, 0.80, 2.0, 0.10, 2.0),
+    (Wrf,        "wrf",        NonIntensive,  1.0, 0.33, 0.30, 0.80, 2.0, 0.10, 1.5),
+    (Bwaves,     "bwaves",     NonIntensive,  1.0, 0.35, 0.30, 0.90, 2.5, 0.08, 1.5),
+    (Gcc,        "gcc",        NonIntensive,  0.70, 0.35, 0.30, 0.50, 1.5, 0.15, 1.5),
+    (Bzip2,      "bzip2",      NonIntensive,  0.60, 0.34, 0.30, 0.60, 1.5, 0.15, 1.5),
+    (Dealii,     "dealII",     NonIntensive,  0.50, 0.36, 0.25, 0.55, 1.5, 0.12, 1.5),
+    (Hmmer,      "hmmer",      NonIntensive,  0.40, 0.40, 0.30, 0.70, 1.2, 0.12, 1.5),
+    (Gobmk,      "gobmk",      NonIntensive,  0.35, 0.32, 0.25, 0.50, 1.2, 0.12, 1.5),
+    (Sjeng,      "sjeng",      NonIntensive,  0.35, 0.30, 0.25, 0.45, 1.2, 0.12, 1.5),
+    (H264ref,    "h264ref",    NonIntensive,  0.25, 0.37, 0.30, 0.70, 1.2, 0.12, 1.5),
+    (Perlbench,  "perlbench",  NonIntensive,  0.25, 0.38, 0.35, 0.50, 1.2, 0.15, 1.5),
+    (Gromacs,    "gromacs",    NonIntensive,  0.25, 0.34, 0.30, 0.70, 1.2, 0.10, 1.5),
+    (Tonto,      "tonto",      NonIntensive,  0.20, 0.35, 0.30, 0.60, 1.2, 0.10, 1.5),
+    (Calculix,   "calculix",   NonIntensive,  0.16, 0.33, 0.25, 0.75, 1.2, 0.08, 1.5),
+    (Namd,       "namd",       NonIntensive,  0.16, 0.35, 0.25, 0.70, 1.2, 0.08, 1.5),
+    (Gamess,     "gamess",     NonIntensive,  0.10, 0.36, 0.30, 0.60, 1.1, 0.08, 1.5),
+    (Povray,     "povray",     NonIntensive,  0.10, 0.35, 0.30, 0.50, 1.1, 0.08, 1.5),
+}
+
+impl std::fmt::Display for SpecApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_28_table2_apps_present() {
+        assert_eq!(SpecApp::ALL.len(), 28);
+    }
+
+    #[test]
+    fn classes_match_paper_grouping() {
+        // Table 2's memory-intensive workloads (7–12) draw only from these.
+        for app in [
+            SpecApp::Mcf,
+            SpecApp::Lbm,
+            SpecApp::Xalancbmk,
+            SpecApp::Milc,
+            SpecApp::Libquantum,
+            SpecApp::Leslie3d,
+            SpecApp::Sphinx3,
+            SpecApp::GemsFDTD,
+            SpecApp::Soplex,
+        ] {
+            assert_eq!(app.profile().class, MemClass::Intensive, "{app}");
+        }
+        assert_eq!(SpecApp::Omnetpp.profile().class, MemClass::NonIntensive);
+        assert_eq!(SpecApp::Bwaves.profile().class, MemClass::NonIntensive);
+    }
+
+    #[test]
+    fn intensive_apps_have_higher_mpki() {
+        let min_intensive = SpecApp::ALL
+            .iter()
+            .filter(|a| a.profile().class == MemClass::Intensive)
+            .map(|a| a.profile().l2_mpki)
+            .fold(f64::INFINITY, f64::min);
+        let max_non = SpecApp::ALL
+            .iter()
+            .filter(|a| a.profile().class == MemClass::NonIntensive)
+            .map(|a| a.profile().l2_mpki)
+            .fold(0.0, f64::max);
+        assert!(min_intensive > max_non);
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for app in SpecApp::ALL {
+            let p = app.profile();
+            assert!((0.0..=1.0).contains(&p.mem_fraction), "{app}");
+            assert!((0.0..=1.0).contains(&p.write_fraction), "{app}");
+            assert!((0.0..=1.0).contains(&p.row_locality), "{app}");
+            assert!((0.0..=1.0).contains(&p.warm_fraction), "{app}");
+            assert!(p.burst_mean >= 1.0, "{app}");
+            assert!(p.l2_mpki > 0.0 && p.l2_mpki < 100.0, "{app}");
+            // The miss probability per memory op must be a probability.
+            assert!(p.l2_mpki / 1000.0 / p.mem_fraction < 1.0, "{app}");
+            assert!(p.hot_lines > 0 && p.warm_lines > p.hot_lines);
+            assert!(p.footprint_lines > p.warm_lines);
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrips() {
+        for app in SpecApp::ALL {
+            assert_eq!(SpecApp::by_name(app.name()), Some(*app));
+        }
+        assert_eq!(SpecApp::by_name("notabenchmark"), None);
+    }
+}

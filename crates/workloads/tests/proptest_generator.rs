@@ -1,0 +1,160 @@
+//! Property-based tests of the workload generators: address-space hygiene,
+//! calibration, and workload-table invariants for arbitrary applications and
+//! slots.
+
+use noclat_cpu::{Instr, InstrStream};
+use noclat_sim::rng::SimRng;
+use noclat_workloads::{workload, MemClass, SpecApp, SyntheticStream};
+use proptest::prelude::*;
+
+fn any_app() -> impl Strategy<Value = SpecApp> {
+    prop::sample::select(SpecApp::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn addresses_stay_in_the_slot_space(
+        app in any_app(),
+        slot in 0usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut s = SyntheticStream::new(app, slot, &SimRng::new(seed));
+        for _ in 0..2_000 {
+            if let Instr::Load { addr } | Instr::Store { addr } = s.next_instr() {
+                prop_assert_eq!(
+                    addr >> 40,
+                    slot as u64 + 1,
+                    "address {:#x} escaped slot {}", addr, slot
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts_are_internally_consistent(
+        app in any_app(),
+        seed in any::<u64>(),
+    ) {
+        let mut s = SyntheticStream::new(app, 0, &SimRng::new(seed));
+        let n = 20_000;
+        for _ in 0..n {
+            let _ = s.next_instr();
+        }
+        let c = s.counts();
+        prop_assert_eq!(c.instructions, n);
+        prop_assert!(c.mem_ops <= c.instructions);
+        prop_assert!(c.stores <= c.mem_ops);
+        prop_assert!(c.stream_ops <= c.mem_ops);
+    }
+
+    #[test]
+    fn resident_set_sizes_match_profile(app in any_app(), slot in 0usize..32) {
+        let s = SyntheticStream::new(app, slot, &SimRng::new(1));
+        let r = s.resident_lines();
+        let p = app.profile();
+        prop_assert_eq!(r.l1.len() as u64, p.hot_lines);
+        prop_assert_eq!(r.l2.len() as u64, p.warm_lines);
+        // Resident lines live in the slot's space too.
+        for &a in r.l1.iter().chain(&r.l2) {
+            prop_assert_eq!(a >> 40, slot as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn hot_phase_intensity_exceeds_cold(
+        app in prop::sample::select(
+            SpecApp::ALL
+                .iter()
+                .copied()
+                .filter(|a| a.profile().class == MemClass::Intensive)
+                .collect::<Vec<_>>()
+        ),
+        seed in any::<u64>(),
+    ) {
+        let mut s = SyntheticStream::new(app, 0, &SimRng::new(seed));
+        let mut hot = (0u64, 0u64); // (stream ops, instrs)
+        let mut cold = (0u64, 0u64);
+        for _ in 0..300_000u64 {
+            let before = s.counts().stream_ops;
+            let _ = s.next_instr();
+            let d = s.counts().stream_ops - before;
+            if s.in_hot_phase() {
+                hot.0 += d;
+                hot.1 += 1;
+            } else {
+                cold.0 += d;
+                cold.1 += 1;
+            }
+        }
+        prop_assume!(hot.1 > 20_000 && cold.1 > 20_000);
+        let hot_rate = hot.0 as f64 / hot.1 as f64;
+        let cold_rate = cold.0 as f64 / cold.1 as f64;
+        prop_assert!(
+            hot_rate > cold_rate * 1.5,
+            "hot {hot_rate:.4} not clearly above cold {cold_rate:.4}"
+        );
+    }
+}
+
+#[test]
+fn hot_phases_concentrate_stream_jumps_spatially() {
+    // During a hot phase, random jumps stay inside a narrow window, so the
+    // spread of distinct 4 KB pages touched per window of accesses must be
+    // far smaller than in cold phases.
+    let mut s = SyntheticStream::new(SpecApp::Lbm, 0, &SimRng::new(3));
+    let mut hot_pages = std::collections::HashSet::new();
+    let mut cold_pages = std::collections::HashSet::new();
+    let mut hot_n = 0u64;
+    let mut cold_n = 0u64;
+    for _ in 0..600_000 {
+        let before = s.counts().stream_ops;
+        let instr = s.next_instr();
+        if s.counts().stream_ops == before {
+            continue;
+        }
+        if let Instr::Load { addr } | Instr::Store { addr } = instr {
+            // Page-hash scatters addresses; measure diversity as distinct
+            // physical pages per access.
+            if s.in_hot_phase() {
+                hot_pages.insert(addr >> 12);
+                hot_n += 1;
+            } else {
+                cold_pages.insert(addr >> 12);
+                cold_n += 1;
+            }
+        }
+    }
+    assert!(hot_n > 1_000 && cold_n > 1_000, "need samples in both phases");
+    let hot_diversity = hot_pages.len() as f64 / hot_n as f64;
+    let cold_diversity = cold_pages.len() as f64 / cold_n as f64;
+    assert!(
+        hot_diversity < cold_diversity,
+        "hot phases must revisit a narrower footprint ({hot_diversity:.3} vs {cold_diversity:.3})"
+    );
+}
+
+#[test]
+fn every_workload_draws_only_from_its_class() {
+    for i in 1..=18 {
+        let w = workload(i);
+        let apps = w.apps();
+        assert_eq!(apps.len(), 32);
+        match w.kind {
+            noclat_workloads::WorkloadKind::MemIntensive => assert!(apps
+                .iter()
+                .all(|a| a.profile().class == MemClass::Intensive)),
+            noclat_workloads::WorkloadKind::MemNonIntensive => assert!(apps
+                .iter()
+                .all(|a| a.profile().class == MemClass::NonIntensive)),
+            noclat_workloads::WorkloadKind::Mixed => {
+                let n = apps
+                    .iter()
+                    .filter(|a| a.profile().class == MemClass::Intensive)
+                    .count();
+                assert_eq!(n, 16);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Bank-load balancing: the paper's second motivation (Section 2.4.2) is
+//! that DRAM bank loads are non-uniform — some banks idle while others build
+//! queues. Scheme-2 expedites requests headed for (locally presumed) idle
+//! banks to even this out.
+//!
+//! This example visualizes per-bank idleness with and without Scheme-2 and
+//! reports how often the Bank History Tables fired.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example bank_balance
+//! ```
+
+use noclat_repro::workloads::workload;
+use noclat_repro::{run_mix, RunLengths, SystemConfig};
+
+fn bars(values: &[f64]) -> Vec<String> {
+    values
+        .iter()
+        .map(|v| "#".repeat((v * 40.0).round() as usize))
+        .collect()
+}
+
+fn main() {
+    let lengths = RunLengths {
+        warmup: 10_000,
+        measure: 80_000,
+    };
+    let apps = workload(8).apps(); // memory-intensive: banks actually queue
+    let base = run_mix(&SystemConfig::baseline_32(), &apps, lengths);
+    let s2 = run_mix(&SystemConfig::baseline_32().with_scheme2(), &apps, lengths);
+
+    println!("per-bank idleness, memory controller 0 (workload-8):\n");
+    let ib = base.system.idleness(0).per_bank_idleness();
+    let is2 = s2.system.idleness(0).per_bank_idleness();
+    let bb = bars(&ib);
+    let bs = bars(&is2);
+    println!("{:>4} {:>8} {:42} {:>8}", "bank", "default", "", "scheme2");
+    for b in 0..ib.len() {
+        println!("{b:>4} {:>8.3} {:20}|{:20} {:>8.3}", ib[b], bb[b], bs[b], is2[b]);
+    }
+
+    for m in 0..base.system.num_controllers() {
+        println!(
+            "controller {m}: overall idleness {:.4} -> {:.4}",
+            base.system.idleness(m).overall(),
+            s2.system.idleness(m).overall()
+        );
+    }
+
+    let hp = s2.system.network_stats().high_priority_injected.get();
+    let total = s2.system.network_stats().packets_injected.get();
+    println!(
+        "\nrequests expedited by the Bank History Tables: {hp} of {total} packets ({:.1}%)",
+        hp as f64 / total as f64 * 100.0
+    );
+
+    // The payoff: average end-to-end latency of off-chip accesses.
+    let mean = |r: &noclat_repro::MixResult| {
+        let mut h = noclat_repro::sim::stats::Histogram::new(25, 4000);
+        for c in 0..32 {
+            h.merge(&r.system.tracker().app(c).total);
+        }
+        h.mean()
+    };
+    println!(
+        "off-chip latency mean: {:.0} -> {:.0} cycles",
+        mean(&base),
+        mean(&s2)
+    );
+}

@@ -1,0 +1,137 @@
+//! Driving the simulator with a custom workload: implement [`InstrStream`]
+//! yourself and hand it to [`System::with_streams`].
+//!
+//! Here we build a pointer-chasing microkernel (serialized, latency-bound —
+//! the worst case for in-order commit) and a streaming microkernel
+//! (bandwidth-bound, high MLP), run 16 of each on the 32-core system, and
+//! compare how the two react to the prioritization schemes.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use noclat_repro::cpu::{Instr, InstrStream, ResidentSet};
+use noclat_repro::sim::rng::splitmix64;
+use noclat_repro::{System, SystemConfig};
+
+/// Serialized pointer chase over a large region: one off-chip access at a
+/// time, each "dependent" on the previous (modeled as a long chase period).
+#[derive(Debug)]
+struct PointerChase {
+    state: u64,
+    countdown: u32,
+}
+
+impl PointerChase {
+    fn new(seed: u64) -> Self {
+        PointerChase {
+            state: splitmix64(seed),
+            countdown: 0,
+        }
+    }
+}
+
+impl InstrStream for PointerChase {
+    fn next_instr(&mut self) -> Instr {
+        if self.countdown > 0 {
+            self.countdown -= 1;
+            return Instr::Compute { latency: 1 };
+        }
+        self.countdown = 40; // "work" between dereferences
+        self.state = splitmix64(self.state);
+        // 1 GB region, line-aligned, in this app's private space.
+        let addr = (1u64 << 41) | ((self.state % (1 << 24)) * 64);
+        Instr::Load { addr }
+    }
+}
+
+/// Sequential streaming: bursts of independent loads marching through
+/// memory (high memory-level parallelism).
+#[derive(Debug)]
+struct Streamer {
+    cursor: u64,
+    base: u64,
+}
+
+impl Streamer {
+    fn new(slot: u64) -> Self {
+        Streamer {
+            cursor: 0,
+            base: (1u64 << 42) | (slot << 32),
+        }
+    }
+}
+
+impl InstrStream for Streamer {
+    fn next_instr(&mut self) -> Instr {
+        self.cursor += 1;
+        if self.cursor % 16 == 0 {
+            Instr::Load {
+                addr: self.base + (self.cursor / 16) * 64,
+            }
+        } else {
+            Instr::Compute { latency: 1 }
+        }
+    }
+
+    fn resident_lines(&self) -> ResidentSet {
+        ResidentSet::default() // streams are always cold; nothing to prewarm
+    }
+}
+
+fn build(cfg: SystemConfig) -> System {
+    let streams: Vec<Box<dyn InstrStream>> = (0..cfg.num_cores())
+        .map(|slot| {
+            if slot % 2 == 0 {
+                Box::new(PointerChase::new(slot as u64)) as Box<dyn InstrStream>
+            } else {
+                Box::new(Streamer::new(slot as u64)) as Box<dyn InstrStream>
+            }
+        })
+        .collect();
+    System::with_streams(cfg, streams).expect("valid configuration")
+}
+
+fn run(cfg: SystemConfig) -> (f64, f64) {
+    let mut sys = build(cfg);
+    sys.warm_up(5_000);
+    sys.run(50_000);
+    let mut chase = 0.0;
+    let mut stream = 0.0;
+    for core in 0..32 {
+        let ipc = sys.core_stats(core).ipc();
+        if core % 2 == 0 {
+            chase += ipc / 16.0;
+        } else {
+            stream += ipc / 16.0;
+        }
+    }
+    (chase, stream)
+}
+
+fn main() {
+    let base = SystemConfig::baseline_32();
+    let (c0, s0) = run(base.clone());
+    let (c1, s1) = run(base.with_both_schemes());
+    println!("mean IPC over 16 instances of each microkernel:\n");
+    println!("{:>16} {:>9} {:>9} {:>8}", "kernel", "baseline", "schemes", "delta");
+    println!(
+        "{:>16} {:>9.3} {:>9.3} {:>+7.1}%",
+        "pointer-chase",
+        c0,
+        c1,
+        (c1 / c0 - 1.0) * 100.0
+    );
+    println!(
+        "{:>16} {:>9.3} {:>9.3} {:>+7.1}%",
+        "streamer",
+        s0,
+        s1,
+        (s1 / s0 - 1.0) * 100.0
+    );
+    println!("\nPointer chasing is latency-bound (every load blocks commit); streaming");
+    println!("overlaps its misses. Which kernel the prioritization schemes help more");
+    println!("depends on where the contention sits -- rerun with different kernel");
+    println!("parameters to explore the trade-off.");
+}

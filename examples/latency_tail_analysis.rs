@@ -1,0 +1,99 @@
+//! Latency-tail analysis: the paper's motivating observation (Section 2.4.1)
+//! is that a few memory accesses suffer far higher delays than the rest, and
+//! that these *late* accesses gate application progress because commit is
+//! in-order.
+//!
+//! This example quantifies the tail for one memory-intensive workload and
+//! shows what Scheme-1 does to it: where the late accesses spend their time
+//! (the five-path breakdown of Figure 2) and how much of the return path the
+//! expedited messages save.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example latency_tail_analysis
+//! ```
+
+use noclat_repro::workloads::{workload, SpecApp};
+use noclat_repro::{run_mix, RunLengths, SystemConfig};
+
+fn main() {
+    let lengths = RunLengths {
+        warmup: 10_000,
+        measure: 80_000,
+    };
+    let apps = workload(8).apps(); // all memory-intensive
+    let base = run_mix(&SystemConfig::baseline_32(), &apps, lengths);
+    let s1 = run_mix(&SystemConfig::baseline_32().with_scheme1(), &apps, lengths);
+
+    // Pick the heaviest app present (mcf) and dissect its tail.
+    let core = base
+        .per_app
+        .iter()
+        .find(|a| a.app == SpecApp::Mcf)
+        .expect("workload-8 contains mcf")
+        .core;
+    let app = base.system.tracker().app(core);
+    println!("mcf (core {core}) off-chip accesses: {}", app.total.count());
+    println!(
+        "latency: mean {:.0}, p50 {}, p90 {}, p99 {} cycles",
+        app.total.mean(),
+        app.total.percentile(0.50),
+        app.total.percentile(0.90),
+        app.total.percentile(0.99),
+    );
+
+    println!("\nwhere do SLOW accesses lose their time? (five-path breakdown)");
+    println!(
+        "{:>7} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "range", "count", "L1->L2", "L2->Mem", "Mem", "Mem->L2", "L2->L1"
+    );
+    let rows = app.breakdown();
+    // Print the slowest third of the populated ranges.
+    let start = rows.len() * 2 / 3;
+    for (range, row) in &rows[start..] {
+        let a = row.averages();
+        println!(
+            "{range:>7} {:>6} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0}",
+            row.count, a[0], a[1], a[2], a[3], a[4]
+        );
+    }
+
+    // Scheme-1's effect on the marked (late) messages.
+    let (expedited, normal) = s1.system.tracker().return_leg_means();
+    println!("\nScheme-1 return-path delay (memory controller -> core fill):");
+    println!(
+        "  normal-priority responses : {:.0} cycles",
+        normal.unwrap_or(f64::NAN)
+    );
+    println!(
+        "  expedited (late) responses: {:.0} cycles",
+        expedited.unwrap_or(f64::NAN)
+    );
+
+    let hp = s1.system.router_counters();
+    println!(
+        "\nhigh-priority flits traversed: {} (of {} total, {:.1}%)",
+        hp.high_priority_traversed,
+        hp.flits_traversed,
+        hp.high_priority_traversed as f64 / hp.flits_traversed as f64 * 100.0
+    );
+    println!("flits that used pipeline bypassing: {}", hp.flits_bypassed);
+
+    // System-wide tail movement.
+    let merge = |r: &noclat_repro::MixResult| {
+        let mut h = noclat_repro::sim::stats::Histogram::new(25, 4000);
+        for c in 0..32 {
+            h.merge(&r.system.tracker().app(c).total);
+        }
+        h
+    };
+    let hb = merge(&base);
+    let hs = merge(&s1);
+    println!(
+        "\nsystem-wide off-chip latency p95: {} -> {} cycles; p99: {} -> {}",
+        hb.percentile(0.95),
+        hs.percentile(0.95),
+        hb.percentile(0.99),
+        hs.percentile(0.99),
+    );
+}

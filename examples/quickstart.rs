@@ -1,0 +1,74 @@
+//! Quickstart: build the paper's baseline system, run a Table-2 workload,
+//! and compare the two prioritization schemes against the baseline.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use noclat_repro::workloads::workload;
+use noclat_repro::{run_mix, weighted_speedup_of, RunLengths, SystemConfig};
+use std::collections::HashMap;
+
+fn main() {
+    // The paper's Table-1 hardware: 32 out-of-order cores on a 4x8 mesh,
+    // S-NUCA L2, four corner memory controllers.
+    let baseline = SystemConfig::baseline_32();
+
+    // Workload-2 from Table 2: a mixed bag of memory-intensive and
+    // non-intensive SPEC CPU2006 applications, one per core.
+    let mix = workload(2);
+    println!("running {} ({:?}, {} apps)...", mix.name(), mix.kind, mix.apps().len());
+
+    // Short demo windows; the figure harnesses use longer ones.
+    let lengths = RunLengths {
+        warmup: 10_000,
+        measure: 60_000,
+    };
+
+    let base = run_mix(&baseline, &mix.apps(), lengths);
+    let schemes = run_mix(&baseline.clone().with_both_schemes(), &mix.apps(), lengths);
+
+    println!("\nper-application IPC (first 8 cores):");
+    println!("{:>4} {:>12} {:>9} {:>9}", "core", "app", "baseline", "schemes");
+    for core in 0..8 {
+        println!(
+            "{:>4} {:>12} {:>9.3} {:>9.3}",
+            core,
+            base.per_app[core].app.name(),
+            base.per_app[core].ipc,
+            schemes.per_app[core].ipc
+        );
+    }
+
+    // Weighted speedup needs alone-run IPCs; approximate them here with the
+    // per-app IPCs of a lightly-loaded run to keep the example fast. The
+    // experiment driver (`alone_ipc_table`) does this properly.
+    let alone: HashMap<_, _> = base
+        .per_app
+        .iter()
+        .map(|a| (a.app, a.ipc.max(1e-3)))
+        .collect();
+    let ws_base = weighted_speedup_of(&base, &alone);
+    let ws_schemes = weighted_speedup_of(&schemes, &alone);
+    println!(
+        "\nweighted speedup (vs shared-run IPCs): baseline {ws_base:.2}, schemes {ws_schemes:.2} ({:+.1}%)",
+        (ws_schemes / ws_base - 1.0) * 100.0
+    );
+
+    let tail = |r: &noclat_repro::MixResult| {
+        let mut h = noclat_repro::sim::stats::Histogram::new(25, 4000);
+        for c in 0..32 {
+            h.merge(&r.system.tracker().app(c).total);
+        }
+        (h.mean(), h.percentile(0.95))
+    };
+    let (mb, pb) = tail(&base);
+    let (ms, ps) = tail(&schemes);
+    println!("off-chip latency: mean {mb:.0} -> {ms:.0} cycles, p95 {pb} -> {ps} cycles");
+    println!(
+        "bank idleness: {:.3} -> {:.3}",
+        base.avg_bank_idleness(),
+        schemes.avg_bank_idleness()
+    );
+}

@@ -1,0 +1,37 @@
+//! # noclat-repro
+//!
+//! A from-scratch Rust reproduction of *Addressing End-to-End Memory Access
+//! Latency in NoC-Based Multicores* (Sharifi, Kultursay, Kandemir, Das —
+//! MICRO 2012): a cycle-level 32-core mesh multicore simulator (out-of-order
+//! cores, private L1s, banked S-NUCA L2, virtual-channel wormhole NoC,
+//! FR-FCFS DRAM controllers) plus the paper's two network prioritization
+//! schemes.
+//!
+//! This crate is a facade: it re-exports the public API of the [`noclat`]
+//! core crate and its substrate crates. See the README for a tour and
+//! DESIGN.md for the system inventory.
+//!
+//! ```
+//! use noclat_repro::{run_mix, RunLengths, SystemConfig};
+//! use noclat_repro::workloads::workload;
+//!
+//! let cfg = SystemConfig::baseline_32().with_both_schemes();
+//! let lengths = RunLengths { warmup: 200, measure: 2_000 };
+//! let result = run_mix(&cfg, &workload(1).apps(), lengths);
+//! assert_eq!(result.per_app.len(), 32);
+//! ```
+
+pub use noclat::*;
+
+/// Cache hierarchy models (private L1, S-NUCA L2, MSHRs).
+pub use noclat_cache as cache;
+/// Out-of-order core model.
+pub use noclat_cpu as cpu;
+/// DRAM banks and FR-FCFS memory controllers.
+pub use noclat_mem as mem;
+/// The 2D-mesh wormhole network-on-chip.
+pub use noclat_noc as noc;
+/// Simulation kernel: configuration, RNG, statistics.
+pub use noclat_sim as sim;
+/// Synthetic SPEC CPU2006 workloads and Table-2 mixes.
+pub use noclat_workloads as workloads;

@@ -1,0 +1,76 @@
+//! Property-style integration tests of the two schemes' externally
+//! observable guarantees, run through the public API.
+
+use noclat_repro::workloads::workload;
+use noclat_repro::{run_mix, RunLengths, SystemConfig};
+use proptest::prelude::*;
+
+fn quick() -> RunLengths {
+    RunLengths {
+        warmup: 3_000,
+        measure: 20_000,
+    }
+}
+
+#[test]
+fn scheme1_expedites_only_a_minority() {
+    // The threshold is above the average by construction, so only the tail
+    // may be marked; a majority-marked network would defeat prioritization
+    // (Section 4.2's threshold discussion).
+    let apps = workload(8).apps();
+    let r = run_mix(&SystemConfig::baseline_32().with_scheme1(), &apps, quick());
+    let hp = r.system.router_counters().high_priority_traversed as f64;
+    let total = r.system.router_counters().flits_traversed as f64;
+    assert!(
+        hp / total < 0.5,
+        "more than half of the flits are high priority ({:.1}%)",
+        hp / total * 100.0
+    );
+}
+
+#[test]
+fn combined_schemes_do_not_collapse_throughput() {
+    // Prioritization redistributes latency; it must never wreck aggregate
+    // throughput (the paper's worst per-workload case is ~-1%). Allow a
+    // margin for measurement noise on the short test window.
+    let apps = workload(2).apps();
+    let base = run_mix(&SystemConfig::baseline_32(), &apps, quick());
+    let both = run_mix(
+        &SystemConfig::baseline_32().with_both_schemes(),
+        &apps,
+        quick(),
+    );
+    let sum_base: f64 = base.per_app.iter().map(|a| a.ipc).sum();
+    let sum_both: f64 = both.per_app.iter().map(|a| a.ipc).sum();
+    assert!(
+        sum_both > sum_base * 0.95,
+        "aggregate IPC collapsed: {sum_base:.2} -> {sum_both:.2}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any valid scheme parameterization must produce a functioning system:
+    /// all cores progress and all injected packets eventually deliver.
+    #[test]
+    fn arbitrary_scheme_parameters_are_safe(
+        factor in 0.5f64..2.5,
+        window in 50u64..800,
+        idle_th in 1u32..4,
+        guard in prop::sample::select(vec![0u32, 200, 1000, 4000]),
+    ) {
+        let mut cfg = SystemConfig::baseline_32().with_both_schemes();
+        cfg.scheme1.threshold_factor = factor;
+        cfg.scheme2.history_window = window;
+        cfg.scheme2.idle_threshold = idle_th;
+        cfg.noc.starvation_age_guard = guard;
+        let apps = workload(1).apps();
+        let r = run_mix(&cfg, &apps, RunLengths { warmup: 1_000, measure: 8_000 });
+        for a in &r.per_app {
+            prop_assert!(a.ipc > 0.0, "core {} starved with {:?}", a.core, cfg.scheme1);
+        }
+        // No unbounded packet leakage.
+        prop_assert!(r.system.txns_in_flight() <= 32 * cfg.cpu.lsq_size);
+    }
+}
