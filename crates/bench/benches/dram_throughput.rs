@@ -1,30 +1,26 @@
-//! Criterion bench: memory controller service rate under a saturating
-//! random-bank request stream.
+//! Bench: memory controller service rate under a saturating random-bank
+//! request stream.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use noclat_bench::bench_loop;
 use noclat_mem::MemoryController;
 use noclat_sim::config::SystemConfig;
 use noclat_sim::rng::SimRng;
 
-fn dram_tick(c: &mut Criterion) {
+fn main() {
     let cfg = SystemConfig::baseline_32().mem;
-    c.bench_function("controller_saturated_5k_cycles", |b| {
-        b.iter(|| {
-            let mut mc = MemoryController::new(cfg);
-            let mut rng = SimRng::new(3);
-            let mut tok = 0u64;
-            let mut served = 0usize;
-            for t in 0..5_000u64 {
-                if mc.occupancy() < 64 {
-                    tok += 1;
-                    mc.enqueue(tok, rng.index(16), rng.below(256), rng.chance(0.2), t);
-                }
-                served += mc.tick(t).len();
+    bench_loop("controller_saturated_5k_cycles", 20, || {
+        let mut mc = MemoryController::new(cfg);
+        let mut rng = SimRng::new(3);
+        let mut tok = 0u64;
+        let mut served = 0usize;
+        for t in 0..5_000u64 {
+            if mc.occupancy() < 64 {
+                tok += 1;
+                mc.enqueue(tok, rng.index(16), rng.below(256), rng.chance(0.2), t)
+                    .expect("bank index in range");
             }
-            served
-        })
+            served += mc.tick(t).len();
+        }
+        served
     });
 }
-
-criterion_group!(benches, dram_tick);
-criterion_main!(benches);

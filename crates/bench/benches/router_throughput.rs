@@ -1,53 +1,52 @@
-//! Criterion bench: router pipeline throughput (flits through one router
-//! under sustained 4-way contention).
+//! Bench: router pipeline throughput (flits through one router under
+//! sustained 4-way contention).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use noclat_bench::bench_loop;
 use noclat_noc::{Dir, Flit, FlitKind, Mesh, NodeId, PacketId, Priority, Router, VNet};
 use noclat_sim::config::SystemConfig;
 
-fn router_tick(c: &mut Criterion) {
+fn main() {
     let cfg = SystemConfig::baseline_32().noc;
     let mesh = Mesh::new(8, 4);
-    c.bench_function("router_tick_contended", |b| {
-        b.iter(|| {
-            let mut r = Router::new(NodeId(9), mesh, cfg);
-            let mut t = 0u64;
-            let mut sent = 0u64;
-            let mut pkt = 0u64;
-            while sent < 2_000 {
-                // Keep all four mesh inputs fed with single-flit packets.
-                for (i, port) in [Dir::North, Dir::South, Dir::East, Dir::West]
-                    .into_iter()
-                    .enumerate()
-                {
-                    let vc = (t % 2) as u8;
-                    if r.local_vc_space(0) > 0 {
-                        pkt += 1;
-                        let flit = Flit {
-                            packet: PacketId(pkt),
-                            kind: FlitKind::HeadTail,
-                            dest: NodeId(9), // eject locally
-                            vnet: VNet::Request,
-                            priority: if i == 0 { Priority::High } else { Priority::Normal },
-                            age: (t % 500) as u32,
-                            batch: 0,
-                            vc,
-                            arrived_at: t,
-                            ready_at: t,
-                        };
-                        // Feed only when space exists to respect credits.
-                        if t % 2 == 0 {
-                            r.accept_flit(port, flit, t);
-                        }
+    bench_loop("router_tick_contended", 20, || {
+        let mut r = Router::new(NodeId(9), mesh, cfg);
+        let mut t = 0u64;
+        let mut sent = 0u64;
+        let mut pkt = 0u64;
+        while sent < 2_000 {
+            // Keep all four mesh inputs fed with single-flit packets.
+            for (i, port) in [Dir::North, Dir::South, Dir::East, Dir::West]
+                .into_iter()
+                .enumerate()
+            {
+                let vc = (t % 2) as u8;
+                if r.local_vc_space(0) > 0 {
+                    pkt += 1;
+                    let flit = Flit {
+                        packet: PacketId(pkt),
+                        kind: FlitKind::HeadTail,
+                        dest: NodeId(9), // eject locally
+                        vnet: VNet::Request,
+                        priority: if i == 0 {
+                            Priority::High
+                        } else {
+                            Priority::Normal
+                        },
+                        age: (t % 500) as u32,
+                        batch: 0,
+                        vc,
+                        arrived_at: t,
+                        ready_at: t,
+                    };
+                    // Feed only when space exists to respect credits.
+                    if t.is_multiple_of(2) {
+                        r.accept_flit(port, flit, t);
                     }
                 }
-                sent += r.tick(t).traversals.len() as u64;
-                t += 1;
             }
-            sent
-        })
+            sent += r.tick(t).traversals.len() as u64;
+            t += 1;
+        }
+        sent
     });
 }
-
-criterion_group!(benches, router_tick);
-criterion_main!(benches);

@@ -1,41 +1,34 @@
-//! Criterion bench: per-decision cost of the two schemes' bookkeeping
-//! (Scheme-2 bank history table updates/lookups; Scheme-1 threshold math).
+//! Bench: per-decision cost of the two schemes' bookkeeping (Scheme-2 bank
+//! history table updates/lookups; Scheme-1 threshold math).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use noclat::{BankHistoryTable, Scheme1, ThresholdTable};
+use noclat_bench::bench_loop;
 use noclat_sim::config::SystemConfig;
 
-fn scheme_ops(c: &mut Criterion) {
+fn main() {
     let cfg = SystemConfig::baseline_32();
-    c.bench_function("scheme2_bht_record_and_decide_10k", |b| {
-        b.iter(|| {
-            let mut t = BankHistoryTable::new(cfg.scheme2, 64);
-            let mut hits = 0u32;
-            for i in 0..10_000u64 {
-                let bank = (i * 7 % 64) as usize;
-                if t.should_expedite(bank, i) {
-                    hits += 1;
-                }
-                t.record(bank, i);
+    bench_loop("scheme2_bht_record_and_decide_10k", 50, || {
+        let mut t = BankHistoryTable::new(cfg.scheme2, 64);
+        let mut hits = 0u32;
+        for i in 0..10_000u64 {
+            let bank = (i * 7 % 64) as usize;
+            if t.should_expedite(bank, i) {
+                hits += 1;
             }
-            hits
-        })
+            t.record(bank, i);
+        }
+        hits
     });
-    c.bench_function("scheme1_threshold_update_10k", |b| {
-        b.iter(|| {
-            let mut s1 = Scheme1::new(cfg.scheme1, 32);
-            let mut table = ThresholdTable::new(32);
-            for i in 0..10_000u64 {
-                let core = (i % 32) as usize;
-                s1.record_round_trip(core, 300 + (i % 400));
-                if let Some(th) = s1.threshold(core) {
-                    table.set(core, th);
-                }
+    bench_loop("scheme1_threshold_update_10k", 50, || {
+        let mut s1 = Scheme1::new(cfg.scheme1, 32);
+        let mut table = ThresholdTable::new(32);
+        for i in 0..10_000u64 {
+            let core = (i % 32) as usize;
+            s1.record_round_trip(core, 300 + (i % 400));
+            if let Some(th) = s1.threshold(core) {
+                table.set(core, th);
             }
-            table.is_late(0, 500)
-        })
+        }
+        table.is_late(0, 500)
     });
 }
-
-criterion_group!(benches, scheme_ops);
-criterion_main!(benches);

@@ -1,34 +1,31 @@
-//! Criterion bench: full-system simulation speed (cycles per second for the
-//! 32-core baseline running workload-2).
+//! Bench: full-system simulation speed (cycles per second for the 32-core
+//! baseline running workload-2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use noclat::{System, SystemConfig};
+use noclat_bench::bench_loop;
 use noclat_workloads::workload;
 
-fn system_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("system");
-    group.sample_size(10);
-    group.bench_function("baseline_32core_2k_cycles", |b| {
-        let apps = workload(2).apps();
-        let mut sys = System::new(SystemConfig::baseline_32(), &apps).expect("valid");
-        sys.run(5_000); // warm
-        b.iter(|| {
-            sys.run(2_000);
-            sys.now()
-        })
+fn main() {
+    let apps = workload(2).apps();
+    let mut sys = System::new(SystemConfig::baseline_32(), &apps).expect("valid");
+    sys.run(5_000); // warm
+    bench_loop("baseline_32core_2k_cycles", 10, || {
+        sys.run(2_000);
+        sys.now()
     });
-    group.bench_function("schemes_32core_2k_cycles", |b| {
-        let apps = workload(2).apps();
-        let mut sys =
-            System::new(SystemConfig::baseline_32().with_both_schemes(), &apps).expect("valid");
-        sys.run(5_000);
-        b.iter(|| {
-            sys.run(2_000);
-            sys.now()
-        })
+    let mut cfg = SystemConfig::baseline_32();
+    cfg.watchdog.enabled = false;
+    let mut sys = System::new(cfg, &apps).expect("valid");
+    sys.run(5_000);
+    bench_loop("baseline_32core_2k_cycles_watchdog_off", 10, || {
+        sys.run(2_000);
+        sys.now()
     });
-    group.finish();
+    let mut sys =
+        System::new(SystemConfig::baseline_32().with_both_schemes(), &apps).expect("valid");
+    sys.run(5_000);
+    bench_loop("schemes_32core_2k_cycles", 10, || {
+        sys.run(2_000);
+        sys.now()
+    });
 }
-
-criterion_group!(benches, system_step);
-criterion_main!(benches);

@@ -1,24 +1,19 @@
-//! Criterion bench: synthetic instruction stream generation rate.
+//! Bench: synthetic instruction stream generation rate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use noclat_bench::bench_loop;
 use noclat_cpu::InstrStream;
 use noclat_sim::rng::SimRng;
 use noclat_workloads::{SpecApp, SyntheticStream};
 
-fn generate(c: &mut Criterion) {
-    c.bench_function("generator_10k_instructions", |b| {
-        let mut s = SyntheticStream::new(SpecApp::Mcf, 0, &SimRng::new(1));
-        b.iter(|| {
-            let mut mem = 0u32;
-            for _ in 0..10_000 {
-                if s.next_instr().is_mem() {
-                    mem += 1;
-                }
+fn main() {
+    let mut s = SyntheticStream::new(SpecApp::Mcf, 0, &SimRng::new(1));
+    bench_loop("generator_10k_instructions", 100, || {
+        let mut mem = 0u32;
+        for _ in 0..10_000 {
+            if s.next_instr().is_mem() {
+                mem += 1;
             }
-            mem
-        })
+        }
+        mem
     });
 }
-
-criterion_group!(benches, generate);
-criterion_main!(benches);

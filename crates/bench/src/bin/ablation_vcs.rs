@@ -20,6 +20,9 @@ fn main() {
         let table = alone.table(&hw, &apps, lengths);
         let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
         let (_, both) = run_with_ws(&hw.clone().with_both_schemes(), &apps, &table, lengths);
-        println!("{vcs} VCs/port: base WS {base:.3}, Scheme-1+2 {}", pct(both / base));
+        println!(
+            "{vcs} VCs/port: base WS {base:.3}, Scheme-1+2 {}",
+            pct(both / base)
+        );
     }
 }

@@ -1,0 +1,141 @@
+//! Fault-injection sweep: link drop rates × prioritization schemes.
+//!
+//! ```text
+//! faultsim [--warmup CYCLES] [--measure CYCLES] [--workload N] [--seed SEED]
+//! ```
+//!
+//! Runs the paper's baseline 32-core system under uniformly random link
+//! drop faults at increasing rates, for every scheme configuration
+//! (baseline, Scheme-1, Scheme-2, both), and prints one row per cell:
+//! completed off-chip accesses, aggregate IPC, dropped packets, recovery
+//! retries, timeouts, lost transactions, and watchdog violations. With the
+//! recovery layer on (the default), every drop rate must retire all
+//! transactions — lost must stay zero.
+
+use noclat::{run_mix, FaultPlan, RunLengths, SystemConfig};
+use noclat_workloads::workload;
+
+struct Args {
+    warmup: u64,
+    measure: u64,
+    workload: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        warmup: 5_000,
+        measure: 40_000,
+        workload: 2,
+        seed: 42,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1)
+                .ok_or_else(|| format!("{key} needs a value"))
+        };
+        match key {
+            "--warmup" => args.warmup = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--measure" => args.measure = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--workload" => args.workload = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 2;
+    }
+    if !(1..=18).contains(&args.workload) {
+        return Err(format!("workload {} out of range (1..=18)", args.workload));
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!("usage: faultsim [--warmup N] [--measure N] [--workload 1..18] [--seed N]");
+}
+
+fn scheme_config(name: &str) -> SystemConfig {
+    let mut cfg = SystemConfig::baseline_32();
+    match name {
+        "baseline" => {}
+        "s1" => cfg.scheme1.enabled = true,
+        "s2" => cfg.scheme2.enabled = true,
+        "both" => cfg = cfg.with_both_schemes(),
+        other => unreachable!("unknown scheme {other}"),
+    }
+    cfg
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}");
+            }
+            usage();
+            std::process::exit(if e == "help" { 0 } else { 2 });
+        }
+    };
+    let drop_rates = [0.0f64, 1e-5, 1e-4, 1e-3];
+    let schemes = ["baseline", "s1", "s2", "both"];
+    let apps = workload(args.workload).apps();
+    let lengths = RunLengths {
+        warmup: args.warmup,
+        measure: args.measure,
+    };
+    println!(
+        "fault sweep: workload {}, {}+{} cycles, drop rates {:?}",
+        args.workload, args.warmup, args.measure, drop_rates
+    );
+    println!(
+        "{:>9} {:>9} {:>9} {:>7.7} {:>8} {:>8} {:>8} {:>6} {:>10}",
+        "scheme",
+        "drop-rate",
+        "offchip",
+        "ipc",
+        "dropped",
+        "retries",
+        "timeouts",
+        "lost",
+        "violations"
+    );
+    let mut all_retired = true;
+    for scheme in schemes {
+        for &rate in &drop_rates {
+            let mut cfg = scheme_config(scheme);
+            cfg.seed = args.seed;
+            if rate > 0.0 {
+                cfg.faults = FaultPlan::uniform_drop(args.seed ^ rate.to_bits(), rate);
+            }
+            let r = run_mix(&cfg, &apps, lengths);
+            let offchip: u64 = r.per_app.iter().map(|a| a.offchip).sum();
+            let ipc: f64 = r.per_app.iter().map(|a| a.ipc).sum();
+            let rb = r.system.robustness();
+            if rb.lost_txns > 0 {
+                all_retired = false;
+            }
+            println!(
+                "{:>9} {:>9.0e} {:>9} {:>7.3} {:>8} {:>8} {:>8} {:>6} {:>10}",
+                scheme,
+                rate,
+                offchip,
+                ipc,
+                rb.packets_dropped,
+                rb.retries,
+                rb.timeouts,
+                rb.lost_txns,
+                rb.violations
+            );
+        }
+    }
+    if all_retired {
+        println!("\nall transactions retired under every drop rate (zero lost)");
+    } else {
+        println!("\nWARNING: some transactions were lost despite recovery");
+        std::process::exit(1);
+    }
+}

@@ -35,11 +35,17 @@ fn main() {
     let delay_avg = app.total.mean();
     let threshold = cfg.scheme1.threshold_factor * delay_avg;
     println!("\nDelay_avg (round-trip)       : {delay_avg:.0} cycles");
-    println!("Delay_so-far_avg             : {:.0} cycles", app.so_far.mean());
+    println!(
+        "Delay_so-far_avg             : {:.0} cycles",
+        app.so_far.mean()
+    );
     println!(
         "threshold {} x Delay_avg     : {threshold:.0} cycles",
         cfg.scheme1.threshold_factor
     );
     let late = 1.0 - app.so_far.cdf_at(threshold as u64);
-    println!("so-far fraction beyond it    : {:.1}% (these become 'late')", late * 100.0);
+    println!(
+        "so-far fraction beyond it    : {:.1}% (these become 'late')",
+        late * 100.0
+    );
 }

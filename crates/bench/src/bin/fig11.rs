@@ -7,8 +7,8 @@
 //! may dip slightly below 1.0 under Scheme-1 alone (the paper saw this for
 //! workloads 2 and 9).
 
-use noclat_bench::{banner, lengths_from_args, normalized_ws, pct, w, AloneTable};
 use noclat::SystemConfig;
+use noclat_bench::{banner, lengths_from_args, normalized_ws, pct, w, AloneTable};
 use noclat_sim::stats::geomean;
 use noclat_workloads::{indices_of, WorkloadKind};
 
@@ -26,7 +26,10 @@ fn main() {
         WorkloadKind::MemNonIntensive,
     ] {
         println!("\n--- {kind:?} ---");
-        println!("{:>12} {:>9} {:>10} {:>12}", "workload", "base WS", "Scheme-1", "Scheme-1+2");
+        println!(
+            "{:>12} {:>9} {:>10} {:>12}",
+            "workload", "base WS", "Scheme-1", "Scheme-1+2"
+        );
         let mut s1s = Vec::new();
         let mut boths = Vec::new();
         for i in indices_of(kind) {
@@ -46,7 +49,12 @@ fn main() {
         let g2 = geomean(&boths).unwrap_or(1.0);
         println!(
             "{:>12} {:>9} {:>10} {:>12}   (Scheme-1 {}, Scheme-1+2 {})",
-            "geomean", "", format!("{g1:.3}"), format!("{g2:.3}"), pct(g1), pct(g2)
+            "geomean",
+            "",
+            format!("{g1:.3}"),
+            format!("{g2:.3}"),
+            pct(g1),
+            pct(g2)
         );
     }
     println!("\nPaper: up to +13% (mixed), +15% (intensive), +1% (non-intensive) for Scheme-1+2.");

@@ -16,7 +16,10 @@ fn report(widx: usize, base: &MixResult, s2: &MixResult) {
     println!("\n--- workload-{widx} ---");
     let ib = base.system.idleness(0).per_bank_idleness();
     let is2 = s2.system.idleness(0).per_bank_idleness();
-    println!("{:>5} {:>9} {:>9} {:>8}", "bank", "default", "scheme2", "delta");
+    println!(
+        "{:>5} {:>9} {:>9} {:>8}",
+        "bank", "default", "scheme2", "delta"
+    );
     let mut reduced = 0;
     for b in 0..ib.len() {
         let d = is2[b] - ib[b];

@@ -25,7 +25,10 @@ fn main() {
         WorkloadKind::MemNonIntensive,
     ] {
         println!("\n--- {kind:?} ---");
-        println!("{:>12} {:>9} {:>10} {:>12}", "workload", "base WS", "Scheme-1", "Scheme-1+2");
+        println!(
+            "{:>12} {:>9} {:>10} {:>12}",
+            "workload", "base WS", "Scheme-1", "Scheme-1+2"
+        );
         let mut s1s = Vec::new();
         let mut boths = Vec::new();
         for i in indices_of(kind) {
@@ -46,6 +49,11 @@ fn main() {
         }
         let g1 = geomean(&s1s).unwrap_or(1.0);
         let g2 = geomean(&boths).unwrap_or(1.0);
-        println!("{:>12} geomean: Scheme-1 {}, Scheme-1+2 {}", "", pct(g1), pct(g2));
+        println!(
+            "{:>12} geomean: Scheme-1 {}, Scheme-1+2 {}",
+            "",
+            pct(g1),
+            pct(g2)
+        );
     }
 }

@@ -15,7 +15,10 @@ fn main() {
     );
     let lengths = lengths_from_args();
     let mut alone = AloneTable::new();
-    println!("{:>12} {:>8} {:>8} {:>8}", "workload", "T=100", "T=200", "T=400");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8}",
+        "workload", "T=100", "T=200", "T=400"
+    );
     let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for i in 1..=6 {
         let apps = w(i).apps();

@@ -16,16 +16,24 @@ fn main() {
     );
     let cfg = SystemConfig::baseline_32().noc;
     let quick = std::env::args().any(|a| a == "quick")
-        || std::env::var("NOCLAT_QUICK").map(|v| v == "1").unwrap_or(false);
+        || std::env::var("NOCLAT_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
     let cycles = if quick { 2_000 } else { 8_000 };
     for (name, pattern) in [
         ("uniform-random", TrafficPattern::UniformRandom),
-        ("corner-hotspot-30%", TrafficPattern::CornerHotspot { percent: 30 }),
+        (
+            "corner-hotspot-30%",
+            TrafficPattern::CornerHotspot { percent: 30 },
+        ),
         ("transpose", TrafficPattern::Transpose),
         ("bit-complement", TrafficPattern::BitComplement),
     ] {
         println!("\n--- {name} ---");
-        println!("{:>8} {:>10} {:>10} {:>9}", "load", "delivered", "avg lat", "backlog");
+        println!(
+            "{:>8} {:>10} {:>10} {:>9}",
+            "load", "delivered", "avg lat", "backlog"
+        );
         for load in [0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40] {
             let mut net: Network<()> = Network::new(Mesh::new(8, 4), cfg);
             let p = characterize(&mut net, pattern, load, 5, cycles, 11);

@@ -43,7 +43,10 @@ fn main() {
     );
     let lengths = lengths_from_args();
     let apps = workload(8).apps();
-    for (label, algo) in [("X-Y routing", RoutingAlgorithm::XY), ("Y-X routing", RoutingAlgorithm::YX)] {
+    for (label, algo) in [
+        ("X-Y routing", RoutingAlgorithm::XY),
+        ("Y-X routing", RoutingAlgorithm::YX),
+    ] {
         let mut cfg = SystemConfig::baseline_32();
         cfg.noc.routing = algo;
         let r = run_mix(&cfg, &apps, lengths);

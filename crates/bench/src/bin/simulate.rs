@@ -40,7 +40,8 @@ fn parse_args() -> Result<Args, String> {
     while i < argv.len() {
         let key = argv[i].as_str();
         let value = |i: usize| -> Result<&String, String> {
-            argv.get(i + 1).ok_or_else(|| format!("{key} needs a value"))
+            argv.get(i + 1)
+                .ok_or_else(|| format!("{key} needs a value"))
         };
         match key {
             "--workload" => args.workload = value(i)?.parse().map_err(|e| format!("{e}"))?,
@@ -116,6 +117,16 @@ fn main() {
     if let Some(seed) = args.seed {
         cfg.seed = seed;
     }
+    if !(1..=18).contains(&args.workload) {
+        eprintln!("error: workload {} out of range (1..=18)", args.workload);
+        usage();
+        std::process::exit(2);
+    }
+    if args.measure == 0 {
+        eprintln!("error: --measure must be at least 1 cycle");
+        usage();
+        std::process::exit(2);
+    }
 
     let w = workload(args.workload);
     let apps = if args.cores == 16 {
@@ -125,8 +136,14 @@ fn main() {
     };
     println!(
         "simulating {} ({:?}) on {} cores, scheme={}, routing={}, sched={}, {}+{} cycles",
-        w.name(), w.kind, args.cores, args.scheme, args.routing, args.sched,
-        args.warmup, args.measure
+        w.name(),
+        w.kind,
+        args.cores,
+        args.scheme,
+        args.routing,
+        args.sched,
+        args.warmup,
+        args.measure
     );
     let t0 = std::time::Instant::now();
     let r = run_mix(

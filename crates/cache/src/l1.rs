@@ -68,7 +68,7 @@ impl L1Cache {
     pub fn new(size_bytes: usize, line_bytes: usize) -> Self {
         assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
         assert!(
-            size_bytes % line_bytes == 0 && size_bytes >= line_bytes,
+            size_bytes.is_multiple_of(line_bytes) && size_bytes >= line_bytes,
             "capacity must be a whole number of lines"
         );
         L1Cache {
@@ -185,10 +185,7 @@ mod tests {
         let mut c = cache();
         let stride = 512 * 64;
         c.access(0, false);
-        assert_eq!(
-            c.access(stride, false),
-            L1Access::Miss { writeback: None }
-        );
+        assert_eq!(c.access(stride, false), L1Access::Miss { writeback: None });
     }
 
     #[test]

@@ -100,7 +100,7 @@ impl L2Bank {
         assert!(interleave > 0 && bank_index < interleave, "bad interleave");
         let lines = size_bytes / line_bytes;
         assert!(
-            lines % associativity == 0 && lines >= associativity,
+            lines.is_multiple_of(associativity) && lines >= associativity,
             "capacity must be a whole number of sets"
         );
         let num_sets = lines / associativity;

@@ -3,7 +3,7 @@
 //! behavior must match an oracle built from plain maps.
 
 use noclat_cache::{L1Access, L1Cache, L2Access, L2Bank, MshrAlloc, MshrFile};
-use proptest::prelude::*;
+use noclat_sim::check::{self, range_u64};
 use std::collections::HashMap;
 
 /// Reference model for a direct-mapped cache.
@@ -35,48 +35,52 @@ impl RefL1 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn l1_matches_reference_model(
-        ops in prop::collection::vec((0u64..1 << 16, any::<bool>()), 1..500),
-    ) {
+#[test]
+fn l1_matches_reference_model() {
+    check::cases(64, |rng| {
+        let n = range_u64(rng, 1, 500) as usize;
+        let ops: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.below(1 << 16), rng.chance(0.5)))
+            .collect();
         let mut l1 = L1Cache::new(4 * 1024, 64); // 64 sets: force conflicts
         let mut oracle = RefL1::default();
         for (addr, write) in ops {
             let got = l1.access(addr, write);
             let (hit, wb) = oracle.access(addr, write, 64);
             match got {
-                L1Access::Hit => prop_assert!(hit, "model hit, oracle miss at {addr:#x}"),
+                L1Access::Hit => assert!(hit, "model hit, oracle miss at {addr:#x}"),
                 L1Access::Miss { writeback } => {
-                    prop_assert!(!hit, "model miss, oracle hit at {addr:#x}");
-                    prop_assert_eq!(writeback, wb, "writeback mismatch at {:#x}", addr);
+                    assert!(!hit, "model miss, oracle hit at {addr:#x}");
+                    assert_eq!(writeback, wb, "writeback mismatch at {addr:#x}");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn l2_never_exceeds_capacity_and_recent_lines_hit(
-        addrs in prop::collection::vec(0u64..1 << 20, 1..400),
-    ) {
+#[test]
+fn l2_never_exceeds_capacity_and_recent_lines_hit() {
+    check::cases(64, |rng| {
+        let n = range_u64(rng, 1, 400) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| rng.below(1 << 20)).collect();
         // Small bank: 16 KB, 4-way, 64 sets.
         let mut l2 = L2Bank::new(16 * 1024, 64, 4);
         for &a in &addrs {
             let _ = l2.access(a & !63, false);
             // Immediately re-accessing the same line must hit.
-            prop_assert_eq!(l2.access(a & !63, false), L2Access::Hit);
+            assert_eq!(l2.access(a & !63, false), L2Access::Hit);
         }
         // Hits+misses add up (each address touched twice).
         let s = l2.stats();
-        prop_assert_eq!(s.hits.get() + s.misses.get(), addrs.len() as u64 * 2);
-    }
+        assert_eq!(s.hits.get() + s.misses.get(), addrs.len() as u64 * 2);
+    });
+}
 
-    #[test]
-    fn l2_interleaved_banks_partition_the_line_space(
-        lines in prop::collection::vec(0u64..1 << 16, 1..200),
-    ) {
+#[test]
+fn l2_interleaved_banks_partition_the_line_space() {
+    check::cases(64, |rng| {
+        let n = range_u64(rng, 1, 200) as usize;
+        let lines: Vec<u64> = (0..n).map(|_| rng.below(1 << 16)).collect();
         let banks: usize = 8;
         let mut arr: Vec<L2Bank> = (0..banks)
             .map(|b| L2Bank::new_interleaved(16 * 1024, 64, 4, banks, b))
@@ -85,36 +89,46 @@ proptest! {
             let addr = l * 64;
             let b = (l % banks as u64) as usize;
             let _ = arr[b].access(addr, true);
-            prop_assert!(arr[b].probe(addr));
+            assert!(arr[b].probe(addr));
         }
         // Every dirty line evicted from a bank must map back to that bank.
         for (b, bank) in arr.iter_mut().enumerate() {
             for probe in 0..64u64 {
                 let line = probe * banks as u64 + b as u64;
-                if let L2Access::Miss { writeback: Some(wb) } = bank.access(line * 64, false) {
-                    prop_assert_eq!(((wb / 64) % banks as u64) as usize, b);
+                if let L2Access::Miss {
+                    writeback: Some(wb),
+                } = bank.access(line * 64, false)
+                {
+                    assert_eq!(((wb / 64) % banks as u64) as usize, b);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn mshr_waiters_conserve(
-        ops in prop::collection::vec((0u64..32, 0u32..1000), 1..300),
-    ) {
+#[test]
+fn mshr_waiters_conserve() {
+    check::cases(64, |rng| {
+        let n = range_u64(rng, 1, 300) as usize;
+        let ops: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.below(32), rng.below(1000) as u32))
+            .collect();
         let mut mshr: MshrFile<u32> = MshrFile::new(8);
         let mut outstanding: HashMap<u64, Vec<u32>> = HashMap::new();
         for (line, waiter) in ops {
             match mshr.alloc(line, waiter) {
                 MshrAlloc::Primary => {
-                    prop_assert!(!outstanding.contains_key(&line));
+                    assert!(!outstanding.contains_key(&line));
                     outstanding.insert(line, vec![waiter]);
                 }
                 MshrAlloc::Secondary => {
-                    outstanding.get_mut(&line).expect("primary exists").push(waiter);
+                    outstanding
+                        .get_mut(&line)
+                        .expect("primary exists")
+                        .push(waiter);
                 }
                 MshrAlloc::Full => {
-                    prop_assert_eq!(outstanding.len(), 8, "Full only at capacity");
+                    assert_eq!(outstanding.len(), 8, "Full only at capacity");
                 }
             }
             // Randomly complete the oldest line to keep the file churning.
@@ -122,7 +136,7 @@ proptest! {
                 let (&l, _) = outstanding.iter().next().expect("non-empty");
                 let waiters = mshr.complete(l);
                 let expect = outstanding.remove(&l).expect("tracked");
-                prop_assert_eq!(waiters, expect);
+                assert_eq!(waiters, expect);
             }
         }
         // Drain: every tracked line completes with its exact waiter list.
@@ -130,8 +144,8 @@ proptest! {
         for l in keys {
             let waiters = mshr.complete(l);
             let expect = outstanding.remove(&l).expect("tracked");
-            prop_assert_eq!(waiters, expect);
+            assert_eq!(waiters, expect);
         }
-        prop_assert!(mshr.is_empty());
-    }
+        assert!(mshr.is_empty());
+    });
 }

@@ -35,6 +35,7 @@ pub mod scheme1;
 pub mod scheme2;
 pub mod system;
 pub mod trace;
+pub mod watchdog;
 
 pub use experiment::{
     alone_ipc, alone_ipc_table, canonical_core, run_mix, weighted_speedup, weighted_speedup_of,
@@ -45,11 +46,15 @@ pub use metrics::{AppLatency, LatencyTracker, SegmentRow, TxnTimes};
 pub use report::{ControllerReport, NetworkReport, SystemReport};
 pub use scheme1::{Scheme1, ThresholdTable};
 pub use scheme2::BankHistoryTable;
-pub use system::System;
+pub use system::{RobustnessStats, System};
 pub use trace::{TraceLog, TxnRecord};
+pub use watchdog::{LivenessViolation, Watchdog};
 
 // Re-export the configuration types callers need to drive experiments.
 pub use noclat_sim::config::{
     ConfigError, MemSchedPolicy, RouterPipeline, Scheme1Config, Scheme2Config, SystemConfig,
+    WatchdogConfig,
 };
+pub use noclat_sim::error::{FaultError, SimError};
+pub use noclat_sim::faults::FaultPlan;
 pub use noclat_sim::Cycle;

@@ -6,6 +6,7 @@
 use noclat_sim::stats::{Histogram, Summary};
 
 use crate::experiment::MixResult;
+use crate::system::RobustnessStats;
 
 /// Per-controller digest.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +51,8 @@ pub struct SystemReport {
     pub controllers: Vec<ControllerReport>,
     /// Network digest.
     pub network: NetworkReport,
+    /// Fault-recovery and liveness counters.
+    pub robustness: RobustnessStats,
 }
 
 impl SystemReport {
@@ -90,6 +93,7 @@ impl SystemReport {
                 flit_hops: rc.flits_traversed,
                 bypassed: rc.flits_bypassed,
             },
+            robustness: r.system.robustness(),
         }
     }
 
@@ -124,10 +128,16 @@ impl std::fmt::Display for SystemReport {
             "network: {} packets ({} high-priority), request leg {:.0} cyc, response leg {:.0} cyc",
             n.packets, n.high_priority, n.request_leg, n.response_leg
         )?;
-        write!(
+        writeln!(
             f,
             "routers: {} flit-hops, {} bypassed",
             n.flit_hops, n.bypassed
+        )?;
+        let r = &self.robustness;
+        write!(
+            f,
+            "robustness: {} packets dropped, {} retries, {} timeouts, {} lost, {} violations",
+            r.packets_dropped, r.retries, r.timeouts, r.lost_txns, r.violations
         )
     }
 }

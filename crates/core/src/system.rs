@@ -9,7 +9,7 @@
 //! work, and finally the memory controllers.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use noclat_cache::{L1Access, L1Cache, L2Access, L2Bank, MshrFile, SnucaMap};
 use noclat_cpu::{InstrStream, MemAccess, MemToken, MemoryPort, OooCore};
@@ -17,21 +17,29 @@ use noclat_mem::{AddressMap, IdlenessMonitor, MemoryController};
 use noclat_noc::{
     accumulate_age, flits_for_payload, Mesh, Network, NodeId, Priority, RouterCounters, VNet,
 };
-use noclat_sim::config::{ConfigError, SystemConfig};
+use noclat_sim::config::SystemConfig;
+use noclat_sim::error::SimError;
 use noclat_sim::rng::SimRng;
 use noclat_sim::Cycle;
 use noclat_workloads::{SpecApp, SyntheticStream};
 
 use crate::messages::{MemMsg, TxnId};
 use crate::metrics::{LatencyTracker, TxnTimes};
-use crate::trace::{TraceLog, TxnRecord};
 use crate::scheme1::{Scheme1, ThresholdTable};
 use crate::scheme2::BankHistoryTable;
+use crate::trace::{TraceLog, TxnRecord};
+use crate::watchdog::{LivenessViolation, Snapshot, Watchdog};
 
 /// Token bit marking controller writeback tokens (no response expected).
 const WB_FLAG: u64 = 1 << 63;
 /// Retry delay when an L2 bank's MSHRs are exhausted.
 const MSHR_RETRY_DELAY: Cycle = 8;
+/// Base delay before a dropped packet's first re-injection; doubles per
+/// attempt (exponential backoff keeps retry storms off a faulty link).
+const RETRY_BACKOFF_BASE: Cycle = 64;
+/// How often the per-transaction timeout backstop scans in-flight
+/// transactions.
+const TIMEOUT_SCAN_PERIOD: Cycle = 512;
 
 /// In-flight transaction state (one per L1 miss).
 #[derive(Debug, Clone, Copy)]
@@ -43,10 +51,52 @@ struct Txn {
     at_mc: Cycle,
     mc_done: Cycle,
     back_at_l2: Cycle,
+    /// Last cycle this transaction made observable progress (a leg arrived
+    /// or a retry was scheduled); drives the timeout backstop.
+    touched: Cycle,
     /// The access missed in L2 and went to memory.
     offchip: bool,
     /// The access merged into another transaction's L2 MSHR entry.
     merged: bool,
+}
+
+/// Fault-recovery counters, exposed through [`System::robustness`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessStats {
+    /// Packets the network reported dropped by injected link faults.
+    pub packets_dropped: u64,
+    /// Flits belonging to dropped packets.
+    pub flits_dropped: u64,
+    /// Dropped packets re-injected by the recovery layer.
+    pub retries: u64,
+    /// Transactions flagged by the timeout backstop (no progress for longer
+    /// than the recovery timeout).
+    pub timeouts: u64,
+    /// Transactions abandoned after exhausting retries or the timeout
+    /// budget.
+    pub lost_txns: u64,
+    /// Liveness/conservation violations raised by the watchdog.
+    pub violations: u64,
+}
+
+/// Identity of a droppable message for retry accounting: transactions
+/// retry per transaction, writebacks per line, threshold updates per core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RetryKey {
+    Txn(TxnId),
+    Line(u64),
+    Threshold(usize),
+}
+
+fn retry_key(msg: &MemMsg) -> RetryKey {
+    match *msg {
+        MemMsg::L2Req { txn, .. }
+        | MemMsg::MemReq { txn, .. }
+        | MemMsg::MemResp { txn, .. }
+        | MemMsg::L2Resp { txn, .. } => RetryKey::Txn(txn),
+        MemMsg::L1Writeback { line } | MemMsg::MemWriteback { line } => RetryKey::Line(line),
+        MemMsg::ThresholdUpdate { core, .. } => RetryKey::Threshold(core),
+    }
 }
 
 /// Deferred work modeling cache-bank access latencies.
@@ -60,8 +110,18 @@ enum Action {
     L2Fill {
         node: usize,
         txn: TxnId,
+        line: u64,
         age: u32,
         high: bool,
+    },
+    /// Re-inject a dropped packet after its backoff delay.
+    Reinject {
+        src: usize,
+        dest: usize,
+        vnet: VNet,
+        priority: Priority,
+        flits: u8,
+        msg: MemMsg,
     },
     /// A data response reached the core tile; fill L1 and wake the core.
     CoreFill {
@@ -107,6 +167,7 @@ struct McPending {
     age_at_arrival: u32,
     l2_bank: usize,
     core: usize,
+    line: u64,
 }
 
 /// Messages a core tile emits during one core tick.
@@ -161,6 +222,7 @@ impl MemoryPort for TilePort<'_> {
                         at_mc: now,
                         mc_done: now,
                         back_at_l2: now,
+                        touched: now,
                         offchip: false,
                         merged: false,
                     },
@@ -200,6 +262,10 @@ pub struct System {
     addr_map: AddressMap,
     snuca: SnucaMap,
     data_flits: u8,
+    watchdog: Watchdog,
+    retry_attempts: HashMap<RetryKey, u32>,
+    timed_out: HashSet<TxnId>,
+    robust: RobustnessStats,
 }
 
 impl std::fmt::Debug for System {
@@ -221,9 +287,9 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Returns a [`ConfigError`] if the configuration is inconsistent or
+    /// Returns a [`SimError`] if the configuration is inconsistent or
     /// `apps.len()` differs from the core count.
-    pub fn new(cfg: SystemConfig, apps: &[SpecApp]) -> Result<System, ConfigError> {
+    pub fn new(cfg: SystemConfig, apps: &[SpecApp]) -> Result<System, SimError> {
         let rng = SimRng::new(cfg.seed);
         let streams: Vec<Box<dyn InstrStream>> = apps
             .iter()
@@ -242,18 +308,18 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Returns a [`ConfigError`] if the configuration is inconsistent or
+    /// Returns a [`SimError`] if the configuration is inconsistent or
     /// the stream count differs from the core count.
     pub fn with_streams(
         cfg: SystemConfig,
         streams: Vec<Box<dyn InstrStream>>,
-    ) -> Result<System, ConfigError> {
+    ) -> Result<System, SimError> {
         cfg.validate()?;
         let n = cfg.num_cores();
         if streams.len() != n {
-            return Err(ConfigError::MeshTooSmall {
-                width: cfg.topology.width,
-                height: cfg.topology.height,
+            return Err(SimError::StreamCountMismatch {
+                streams: streams.len(),
+                cores: n,
             });
         }
         let mesh = Mesh::new(cfg.topology.width, cfg.topology.height);
@@ -272,7 +338,7 @@ impl System {
                 mc_at_node[node.index()] = Some(i);
                 McNode {
                     node: node.index(),
-                    ctrl: MemoryController::new(cfg.mem),
+                    ctrl: MemoryController::with_faults(cfg.mem, &cfg.faults, i),
                     thresholds: ThresholdTable::new(n),
                     pending: HashMap::new(),
                     monitor: IdlenessMonitor::new(
@@ -284,7 +350,7 @@ impl System {
             })
             .collect();
         let mut sys = System {
-            net: Network::new(mesh, cfg.noc),
+            net: Network::with_faults(mesh, cfg.noc, &cfg.faults),
             cores: (0..n).map(|_| OooCore::new(cfg.cpu)).collect(),
             apps: vec![None; n],
             streams,
@@ -303,7 +369,9 @@ impl System {
                     )
                 })
                 .collect(),
-            l2_mshrs: (0..n).map(|_| MshrFile::new(cfg.l2.mshrs_per_bank)).collect(),
+            l2_mshrs: (0..n)
+                .map(|_| MshrFile::new(cfg.l2.mshrs_per_bank))
+                .collect(),
             work: BinaryHeap::new(),
             work_seq: 0,
             mcs,
@@ -322,6 +390,23 @@ impl System {
             addr_map,
             snuca: SnucaMap::new(n, cfg.l2.line_bytes),
             data_flits: flits_for_payload(cfg.l2.line_bytes, cfg.noc.flit_bits),
+            watchdog: Watchdog::new(cfg.watchdog, {
+                // The wall-clock starvation bound scales off the age guard,
+                // but a disabled (0) or beyond-the-age-field guard can never
+                // fire in arbitration — fall back to the representable age
+                // ceiling so the watchdog still bounds waiting time when the
+                // anti-starvation mechanism itself is switched off.
+                let guard = cfg.noc.starvation_age_guard;
+                let basis = if guard == 0 || guard > cfg.noc.max_age() {
+                    cfg.noc.max_age()
+                } else {
+                    guard
+                };
+                Cycle::from(cfg.watchdog.starvation_factor) * Cycle::from(basis)
+            }),
+            retry_attempts: HashMap::new(),
+            timed_out: HashSet::new(),
+            robust: RobustnessStats::default(),
             now: 0,
             cfg,
         };
@@ -459,6 +544,33 @@ impl System {
         self.txns.len()
     }
 
+    /// Liveness and conservation violations detected so far.
+    #[must_use]
+    pub fn violations(&self) -> &[LivenessViolation] {
+        self.watchdog.violations()
+    }
+
+    /// Fault-recovery counters (drops, retries, timeouts, losses).
+    #[must_use]
+    pub fn robustness(&self) -> RobustnessStats {
+        let ns = self.net.stats();
+        RobustnessStats {
+            packets_dropped: ns.packets_dropped.get(),
+            flits_dropped: ns.flits_dropped.get(),
+            violations: self.watchdog.violations().len() as u64,
+            ..self.robust
+        }
+    }
+
+    /// Captures the diagnostic state attached to violations.
+    fn snapshot(&self, now: Cycle) -> Snapshot {
+        Snapshot {
+            cycle: now,
+            txns_in_flight: self.txns.len(),
+            queue_depths: self.net.router_queue_depths(),
+        }
+    }
+
     /// Runs the system for `cycles` cycles.
     pub fn run(&mut self, cycles: Cycle) {
         for _ in 0..cycles {
@@ -493,9 +605,11 @@ impl System {
         self.tick_cores(now);
         self.scheme1_updates(now);
         self.net.tick(now);
+        self.handle_drops(now);
         self.handle_deliveries(now);
         self.process_work(now);
         self.tick_mcs(now);
+        self.audit(now);
         self.now += 1;
     }
 
@@ -508,6 +622,7 @@ impl System {
         }));
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn inject(
         &mut self,
         src: usize,
@@ -519,16 +634,195 @@ impl System {
         msg: MemMsg,
         now: Cycle,
     ) {
-        self.net.inject(
-            NodeId(src as u16),
-            NodeId(dest as u16),
-            vnet,
-            priority,
-            flits,
-            age,
-            msg,
-            now,
-        );
+        // The system only builds packets between nodes it owns, so a
+        // rejection here is a wiring bug, not a runtime condition.
+        self.net
+            .inject(
+                NodeId(src as u16),
+                NodeId(dest as u16),
+                vnet,
+                priority,
+                flits,
+                age,
+                msg,
+                now,
+            )
+            .expect("system injections are admissible");
+    }
+
+    /// Collects packets the network dropped this cycle and schedules their
+    /// re-injection (bounded retries with exponential backoff). With
+    /// recovery disabled the drops are only counted; the timeout backstop
+    /// and watchdog surface the consequences.
+    fn handle_drops(&mut self, now: Cycle) {
+        for (meta, msg) in self.net.take_dropped() {
+            if !self.cfg.recovery.enabled {
+                continue;
+            }
+            let key = retry_key(&msg);
+            let attempts = self.retry_attempts.entry(key).or_insert(0);
+            *attempts += 1;
+            let attempt = *attempts;
+            if attempt > self.cfg.recovery.max_retries {
+                if let RetryKey::Txn(txn) = key {
+                    self.lose_txn(txn, now);
+                }
+                continue;
+            }
+            self.robust.retries += 1;
+            let backoff = RETRY_BACKOFF_BASE << (attempt - 1).min(16);
+            if let RetryKey::Txn(txn) = key {
+                if let Some(t) = self.txns.get_mut(&txn) {
+                    t.touched = now + backoff;
+                }
+            }
+            self.push_work(
+                now + backoff,
+                Action::Reinject {
+                    src: meta.src.index(),
+                    dest: meta.dest.index(),
+                    vnet: meta.vnet,
+                    priority: meta.priority,
+                    flits: meta.num_flits,
+                    msg,
+                },
+            );
+        }
+    }
+
+    /// Abandons a transaction whose packets cannot be recovered: records a
+    /// [`LivenessViolation::Lost`], releases controller- and cache-side
+    /// bookkeeping, and wakes the cores waiting on it so the simulation
+    /// degrades instead of wedging.
+    fn lose_txn(&mut self, txn: TxnId, now: Cycle) {
+        let Some(t) = self.txns.remove(&txn) else {
+            return;
+        };
+        self.robust.lost_txns += 1;
+        let snapshot = self.snapshot(now);
+        self.watchdog.record(LivenessViolation::Lost {
+            txn: Some(txn),
+            count: 1,
+            snapshot,
+        });
+        self.timed_out.remove(&txn);
+        self.retry_attempts.remove(&RetryKey::Txn(txn));
+        for mc in &mut self.mcs {
+            mc.pending.remove(&txn);
+        }
+        // Release the L2 MSHR entry; merged waiters on the same line go
+        // down with the primary (their fill will never arrive either).
+        let bank = self.snuca.bank_of(t.line);
+        let mut casualties = vec![t.core];
+        if self.l2_mshrs[bank].contains(t.line) {
+            for waiter in self.l2_mshrs[bank].complete(t.line) {
+                if waiter == txn {
+                    continue;
+                }
+                if let Some(w) = self.txns.remove(&waiter) {
+                    self.timed_out.remove(&waiter);
+                    casualties.push(w.core);
+                }
+            }
+        }
+        for core in casualties {
+            for token in self.l1_mshrs[core].complete(t.line) {
+                self.cores[core].complete(token, now);
+            }
+        }
+    }
+
+    /// Watchdog checks and the per-transaction timeout backstop.
+    fn audit(&mut self, now: Cycle) {
+        if self.cfg.recovery.enabled && now % TIMEOUT_SCAN_PERIOD == TIMEOUT_SCAN_PERIOD - 1 {
+            self.timeout_scan(now);
+        }
+        if !self.watchdog.enabled() {
+            return;
+        }
+        let rc = self.net.router_counters();
+        if let Some(quiet_for) =
+            self.watchdog
+                .observe_progress(now, rc.flits_traversed, self.txns.len())
+        {
+            let snapshot = self.snapshot(now);
+            self.watchdog.record(LivenessViolation::Deadlock {
+                quiet_for,
+                snapshot,
+            });
+        }
+        if !self.watchdog.poll_due(now) {
+            return;
+        }
+        let wait = self.net.max_buffered_wait(now);
+        if let Some(limit) = self.watchdog.observe_wait(wait.map(|(_, w)| w)) {
+            let (node, waited) = wait.expect("a wait tripped the limit");
+            let snapshot = self.snapshot(now);
+            self.watchdog.record(LivenessViolation::Starvation {
+                node: node.0,
+                waited,
+                limit,
+                snapshot,
+            });
+        }
+        if let Some(saturations) = self.watchdog.observe_saturations(rc.age_saturations) {
+            let snapshot = self.snapshot(now);
+            self.watchdog.record(LivenessViolation::AgeOverflow {
+                saturations,
+                snapshot,
+            });
+        }
+        let ns = self.net.stats();
+        let injected = ns.packets_injected.get();
+        let accounted = ns.packets_delivered.get()
+            + ns.packets_dropped.get()
+            + self.net.packets_in_flight() as u64;
+        if let Some(delta) = self.watchdog.observe_conservation(injected, accounted) {
+            let snapshot = self.snapshot(now);
+            self.watchdog.record(if delta < 0 {
+                LivenessViolation::Lost {
+                    txn: None,
+                    count: delta.unsigned_abs(),
+                    snapshot,
+                }
+            } else {
+                LivenessViolation::Duplicated {
+                    count: delta.unsigned_abs(),
+                    snapshot,
+                }
+            });
+        }
+    }
+
+    /// Flags transactions with no progress for longer than the recovery
+    /// timeout; past the full retry budget they are abandoned as lost.
+    fn timeout_scan(&mut self, now: Cycle) {
+        let timeout = self.cfg.recovery.timeout;
+        let give_up = timeout.saturating_mul(Cycle::from(self.cfg.recovery.max_retries) + 1);
+        let mut stuck: Vec<TxnId> = Vec::new();
+        let mut lost: Vec<TxnId> = Vec::new();
+        for (&txn, t) in &self.txns {
+            // Merged transactions ride on their primary's packets; the
+            // primary's fate decides theirs.
+            if t.merged {
+                continue;
+            }
+            let idle = now.saturating_sub(t.touched);
+            if idle > timeout {
+                stuck.push(txn);
+            }
+            if idle > give_up {
+                lost.push(txn);
+            }
+        }
+        for txn in stuck {
+            if self.timed_out.insert(txn) {
+                self.robust.timeouts += 1;
+            }
+        }
+        for txn in lost {
+            self.lose_txn(txn, now);
+        }
     }
 
     fn tick_cores(&mut self, now: Cycle) {
@@ -633,6 +927,7 @@ impl System {
                     MemMsg::L2Req { txn, .. } => {
                         if let Some(t) = self.txns.get_mut(&txn) {
                             t.at_l2 = now;
+                            t.touched = now;
                         }
                         self.push_work(
                             now + l2_latency,
@@ -649,10 +944,15 @@ impl System {
                     MemMsg::MemReq { txn, line } => {
                         let mc_idx = self.mc_at_node[node]
                             .expect("MemReq delivered to a non-controller node");
-                        let core = self.txns[&txn].core;
-                        if let Some(t) = self.txns.get_mut(&txn) {
-                            t.at_mc = now;
-                        }
+                        // A request for an abandoned transaction (timed out
+                        // while this packet crawled through a faulty mesh)
+                        // has nobody waiting: drop it at the controller door.
+                        let Some(t) = self.txns.get_mut(&txn) else {
+                            continue;
+                        };
+                        let core = t.core;
+                        t.at_mc = now;
+                        t.touched = now;
                         let decoded = self.addr_map.decode(line);
                         debug_assert_eq!(decoded.controller, mc_idx, "MC interleaving mismatch");
                         let mc = &mut self.mcs[mc_idx];
@@ -662,9 +962,12 @@ impl System {
                                 age_at_arrival: d.final_age,
                                 l2_bank: d.meta.src.index(),
                                 core,
+                                line,
                             },
                         );
-                        mc.ctrl.enqueue(txn, decoded.bank, decoded.row, false, now);
+                        mc.ctrl
+                            .enqueue(txn, decoded.bank, decoded.row, false, now)
+                            .expect("decoded bank is in range");
                     }
                     MemMsg::MemWriteback { line } => {
                         let mc_idx = self.mc_at_node[node]
@@ -674,17 +977,20 @@ impl System {
                         let token = WB_FLAG | self.next_wb_token;
                         self.mcs[mc_idx]
                             .ctrl
-                            .enqueue(token, decoded.bank, decoded.row, true, now);
+                            .enqueue(token, decoded.bank, decoded.row, true, now)
+                            .expect("decoded bank is in range");
                     }
-                    MemMsg::MemResp { txn, .. } => {
+                    MemMsg::MemResp { txn, line } => {
                         if let Some(t) = self.txns.get_mut(&txn) {
                             t.back_at_l2 = now;
+                            t.touched = now;
                         }
                         self.push_work(
                             now + l2_latency,
                             Action::L2Fill {
                                 node,
                                 txn,
+                                line,
                                 age: d.final_age,
                                 high: d.meta.priority == Priority::High,
                             },
@@ -713,11 +1019,7 @@ impl System {
     }
 
     fn process_work(&mut self, now: Cycle) {
-        while self
-            .work
-            .peek()
-            .is_some_and(|Reverse(w)| w.ready <= now)
-        {
+        while self.work.peek().is_some_and(|Reverse(w)| w.ready <= now) {
             let Reverse(item) = self.work.pop().expect("checked peek");
             match item.action {
                 Action::L2Request { node, txn, age } => self.l2_request(node, txn, age, now),
@@ -725,9 +1027,10 @@ impl System {
                 Action::L2Fill {
                     node,
                     txn,
+                    line,
                     age,
                     high,
-                } => self.l2_fill(node, txn, age, high, now),
+                } => self.l2_fill(node, txn, line, age, high, now),
                 Action::CoreFill {
                     core,
                     txn,
@@ -735,15 +1038,29 @@ impl System {
                     age,
                     high,
                 } => self.core_fill(core, txn, line, age, high, now),
+                Action::Reinject {
+                    src,
+                    dest,
+                    vnet,
+                    priority,
+                    flits,
+                    msg,
+                } => {
+                    // Restart the age field: the paper's so-far delay rides
+                    // in the dropped header and is gone with it.
+                    self.inject(src, dest, vnet, priority, flits, 0, msg, now);
+                }
             }
         }
     }
 
     fn l2_request(&mut self, node: usize, txn: TxnId, age: u32, now: Cycle) {
-        let (line, core) = {
-            let t = &self.txns[&txn];
-            (t.line, t.core)
+        // The transaction may have been abandoned while this request was
+        // queued at the bank; there is nobody left to answer.
+        let Some(t) = self.txns.get(&txn) else {
+            return;
         };
+        let (line, core) = (t.line, t.core);
         let l2_latency = self.cfg.l2.latency as u32;
         // Merge with an in-flight fill before consulting the tag array (the
         // tag is already allocated while the fill is outstanding).
@@ -839,18 +1156,26 @@ impl System {
         );
     }
 
-    fn l2_fill(&mut self, node: usize, txn: TxnId, age: u32, high: bool, now: Cycle) {
-        let line = self.txns[&txn].line;
+    fn l2_fill(&mut self, node: usize, txn: TxnId, line: u64, age: u32, high: bool, now: Cycle) {
+        // A fill for an abandoned transaction finds no waiters: the MSHR
+        // entry was already torn down when the transaction was lost.
         let waiters = self.l2_mshrs[node].complete(line);
         debug_assert!(
-            waiters.contains(&txn),
-            "fill for a line with no matching MSHR entry"
+            waiters.contains(&txn) || !self.txns.contains_key(&txn),
+            "fill for a live transaction with no matching MSHR entry"
         );
         let flits = self.data_flits;
         let out_age = accumulate_age(age, self.cfg.l2.latency, 1, self.cfg.noc.max_age());
-        let priority = if high { Priority::High } else { Priority::Normal };
+        let priority = if high {
+            Priority::High
+        } else {
+            Priority::Normal
+        };
         for waiter in waiters {
-            let core = self.txns[&waiter].core;
+            let Some(t) = self.txns.get(&waiter) else {
+                continue;
+            };
+            let core = t.core;
             self.inject(
                 node,
                 core,
@@ -869,6 +1194,8 @@ impl System {
             self.cores[core].complete(token, now);
         }
         if let Some(t) = self.txns.remove(&txn) {
+            self.timed_out.remove(&txn);
+            self.retry_attempts.remove(&RetryKey::Txn(txn));
             if t.offchip {
                 if !t.merged {
                     self.tracker
@@ -912,12 +1239,14 @@ impl System {
                     continue; // writebacks need no response
                 }
                 let txn = c.req.token;
-                let pending = self.mcs[m]
-                    .pending
-                    .remove(&txn)
-                    .expect("completion for unknown transaction");
+                // The transaction may have been abandoned while the access
+                // was queued in DRAM; its completion needs no response.
+                let Some(pending) = self.mcs[m].pending.remove(&txn) else {
+                    continue;
+                };
                 if let Some(t) = self.txns.get_mut(&txn) {
                     t.mc_done = now;
+                    t.touched = now;
                 }
                 let age = accumulate_age(
                     pending.age_at_arrival,
@@ -926,16 +1255,20 @@ impl System {
                     self.cfg.noc.max_age(),
                 );
                 self.tracker.record_so_far(pending.core, age);
-                let late = self.scheme1.is_some()
-                    && self.mcs[m].thresholds.is_late(pending.core, age);
-                let line = self.txns[&txn].line;
+                let late =
+                    self.scheme1.is_some() && self.mcs[m].thresholds.is_late(pending.core, age);
+                let line = pending.line;
                 let mc_node = self.mcs[m].node;
                 let flits = self.data_flits;
                 self.inject(
                     mc_node,
                     pending.l2_bank,
                     VNet::Response,
-                    if late { Priority::High } else { Priority::Normal },
+                    if late {
+                        Priority::High
+                    } else {
+                        Priority::Normal
+                    },
                     flits,
                     age,
                     MemMsg::MemResp { txn, line },

@@ -1,0 +1,345 @@
+//! Liveness watchdog and end-to-end conservation auditing.
+//!
+//! The watchdog observes cheap global progress signals every cycle (total
+//! switch traversals, transactions in flight) and runs more expensive scans
+//! — buffered-flit waits, packet conservation, age-field saturation — on a
+//! configurable polling period. Instead of hanging or panicking, a wedged or
+//! lossy system raises typed [`LivenessViolation`]s carrying a structured
+//! [`Snapshot`] of the moment the condition tripped, so harnesses can assert
+//! on them and humans can debug them.
+//!
+//! The watchdog never changes simulation behaviour: it only observes.
+//! Detection latches so a persistent condition is reported once, not once
+//! per cycle, and re-arms when the condition clears.
+
+use noclat_sim::config::WatchdogConfig;
+use noclat_sim::Cycle;
+
+/// Diagnostic state captured when a violation trips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Cycle the violation was detected.
+    pub cycle: Cycle,
+    /// Memory transactions in flight at detection time.
+    pub txns_in_flight: usize,
+    /// Buffered flits per router (index = node id, row-major), showing
+    /// where traffic piled up.
+    pub queue_depths: Vec<usize>,
+}
+
+/// A detected liveness or conservation violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LivenessViolation {
+    /// No flit traversed any router for `quiet_for` cycles while memory
+    /// transactions were in flight.
+    Deadlock {
+        /// Cycles without a single switch traversal.
+        quiet_for: Cycle,
+        /// State at detection.
+        snapshot: Snapshot,
+    },
+    /// A buffered flit waited longer than the starvation limit without
+    /// winning arbitration.
+    Starvation {
+        /// Router holding the starved flit.
+        node: u16,
+        /// Cycles the flit has been buffered.
+        waited: Cycle,
+        /// The configured wait limit it exceeded.
+        limit: Cycle,
+        /// State at detection.
+        snapshot: Snapshot,
+    },
+    /// Traffic disappeared: a transaction was abandoned (retries exhausted
+    /// or timed out), or the packet-conservation audit found injected
+    /// packets that are neither in flight, delivered, nor reported dropped.
+    Lost {
+        /// The abandoned transaction, when the loss is transaction-level;
+        /// `None` when the packet audit found the discrepancy.
+        txn: Option<u64>,
+        /// Unaccounted packets (1 for a transaction-level loss).
+        count: u64,
+        /// State at detection.
+        snapshot: Snapshot,
+    },
+    /// The conservation audit found more deliveries than injections.
+    Duplicated {
+        /// Surplus packets.
+        count: u64,
+        /// State at detection.
+        snapshot: Snapshot,
+    },
+    /// Traversals saturated the 12-bit age field; so-far-delay comparisons
+    /// above the cap are no longer meaningful (Section 3.1).
+    AgeOverflow {
+        /// New saturating traversals since the previous poll.
+        saturations: u64,
+        /// State at detection.
+        snapshot: Snapshot,
+    },
+}
+
+impl LivenessViolation {
+    /// The captured diagnostic state.
+    #[must_use]
+    pub fn snapshot(&self) -> &Snapshot {
+        match self {
+            LivenessViolation::Deadlock { snapshot, .. }
+            | LivenessViolation::Starvation { snapshot, .. }
+            | LivenessViolation::Lost { snapshot, .. }
+            | LivenessViolation::Duplicated { snapshot, .. }
+            | LivenessViolation::AgeOverflow { snapshot, .. } => snapshot,
+        }
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LivenessViolation::Deadlock { .. } => "deadlock",
+            LivenessViolation::Starvation { .. } => "starvation",
+            LivenessViolation::Lost { .. } => "lost",
+            LivenessViolation::Duplicated { .. } => "duplicated",
+            LivenessViolation::AgeOverflow { .. } => "age-overflow",
+        }
+    }
+}
+
+/// The liveness watchdog: latched detectors plus the violation log.
+#[derive(Debug)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    starvation_limit: Cycle,
+    last_traversed: u64,
+    last_progress: Cycle,
+    next_poll: Cycle,
+    seen_saturations: u64,
+    deadlock_latched: bool,
+    starvation_latched: bool,
+    last_conservation_delta: i64,
+    violations: Vec<LivenessViolation>,
+}
+
+impl Watchdog {
+    /// Creates a watchdog; `starvation_limit` is the buffered-wait bound in
+    /// cycles (typically `starvation_factor × starvation_age_guard`).
+    #[must_use]
+    pub fn new(cfg: WatchdogConfig, starvation_limit: Cycle) -> Self {
+        Watchdog {
+            next_poll: cfg.poll_period,
+            cfg,
+            starvation_limit,
+            last_traversed: 0,
+            last_progress: 0,
+            seen_saturations: 0,
+            deadlock_latched: false,
+            starvation_latched: false,
+            last_conservation_delta: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Whether the watchdog is observing at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The buffered-wait bound used by the starvation detector.
+    #[must_use]
+    pub fn starvation_limit(&self) -> Cycle {
+        self.starvation_limit
+    }
+
+    /// Violations detected so far, in detection order.
+    #[must_use]
+    pub fn violations(&self) -> &[LivenessViolation] {
+        &self.violations
+    }
+
+    /// Appends a violation detected outside the watchdog's own detectors
+    /// (e.g. the recovery layer abandoning a transaction).
+    pub fn record(&mut self, violation: LivenessViolation) {
+        self.violations.push(violation);
+    }
+
+    /// Per-cycle progress check. `traversed` is the monotone total of switch
+    /// traversals across all routers. Returns `Some(quiet_for)` exactly once
+    /// per stall: when no flit has moved for `deadlock_cycles` while
+    /// transactions are in flight. Re-arms as soon as progress resumes.
+    pub fn observe_progress(
+        &mut self,
+        now: Cycle,
+        traversed: u64,
+        txns_in_flight: usize,
+    ) -> Option<Cycle> {
+        if traversed != self.last_traversed || txns_in_flight == 0 {
+            self.last_traversed = traversed;
+            self.last_progress = now;
+            self.deadlock_latched = false;
+            return None;
+        }
+        let quiet = now.saturating_sub(self.last_progress);
+        if quiet >= self.cfg.deadlock_cycles && !self.deadlock_latched {
+            self.deadlock_latched = true;
+            return Some(quiet);
+        }
+        None
+    }
+
+    /// Whether the expensive polled scans are due this cycle; advances the
+    /// poll schedule when they are.
+    pub fn poll_due(&mut self, now: Cycle) -> bool {
+        if now < self.next_poll {
+            return false;
+        }
+        self.next_poll = now + self.cfg.poll_period;
+        true
+    }
+
+    /// Starvation check against the oldest buffered wait observed at a
+    /// poll. Returns `Some(limit)` exactly once per episode; re-arms when
+    /// the wait falls back under the limit.
+    pub fn observe_wait(&mut self, waited: Option<Cycle>) -> Option<Cycle> {
+        match waited {
+            Some(w) if w > self.starvation_limit => {
+                if self.starvation_latched {
+                    None
+                } else {
+                    self.starvation_latched = true;
+                    Some(self.starvation_limit)
+                }
+            }
+            _ => {
+                self.starvation_latched = false;
+                None
+            }
+        }
+    }
+
+    /// Age-saturation check against the monotone saturation total. Returns
+    /// the number of new saturating traversals since the previous poll.
+    pub fn observe_saturations(&mut self, total: u64) -> Option<u64> {
+        let delta = total.saturating_sub(self.seen_saturations);
+        self.seen_saturations = total;
+        (delta > 0).then_some(delta)
+    }
+
+    /// Packet-conservation check: `injected` vs packets `accounted` for
+    /// (delivered + dropped + in flight). Returns the *change* in the
+    /// discrepancy since the last poll — a steady, already-reported
+    /// discrepancy is not re-reported.
+    pub fn observe_conservation(&mut self, injected: u64, accounted: u64) -> Option<i64> {
+        let delta = i64::try_from(accounted).unwrap_or(i64::MAX)
+            - i64::try_from(injected).unwrap_or(i64::MAX);
+        if delta == self.last_conservation_delta {
+            return None;
+        }
+        self.last_conservation_delta = delta;
+        (delta != 0).then_some(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wd(deadlock_cycles: Cycle, poll: Cycle) -> Watchdog {
+        Watchdog::new(
+            WatchdogConfig {
+                enabled: true,
+                deadlock_cycles,
+                starvation_factor: 8,
+                poll_period: poll,
+            },
+            8_000,
+        )
+    }
+
+    #[test]
+    fn deadlock_trips_once_and_rearms_on_progress() {
+        let mut w = wd(10, 100);
+        // Progress at t=0, then the counter freezes with work in flight.
+        assert_eq!(w.observe_progress(0, 5, 3), None);
+        for t in 1..10 {
+            assert_eq!(w.observe_progress(t, 5, 3), None);
+        }
+        assert_eq!(w.observe_progress(10, 5, 3), Some(10));
+        // Latched: no repeat reports while still stuck.
+        assert_eq!(w.observe_progress(11, 5, 3), None);
+        // Progress resumes, then a second stall trips again.
+        assert_eq!(w.observe_progress(12, 6, 3), None);
+        for t in 13..22 {
+            assert_eq!(w.observe_progress(t, 6, 3), None);
+        }
+        assert_eq!(w.observe_progress(22, 6, 3), Some(10));
+    }
+
+    #[test]
+    fn idle_system_is_not_a_deadlock() {
+        let mut w = wd(10, 100);
+        for t in 0..1000 {
+            assert_eq!(w.observe_progress(t, 0, 0), None, "idle != deadlocked");
+        }
+    }
+
+    #[test]
+    fn poll_schedule_advances() {
+        let mut w = wd(10, 100);
+        assert!(!w.poll_due(0));
+        assert!(!w.poll_due(99));
+        assert!(w.poll_due(100));
+        assert!(!w.poll_due(101));
+        assert!(w.poll_due(200));
+        // A skipped poll window still fires once, then re-arms from `now`.
+        assert!(w.poll_due(1_000));
+        assert!(!w.poll_due(1_050));
+        assert!(w.poll_due(1_100));
+    }
+
+    #[test]
+    fn starvation_latches_per_episode() {
+        let mut w = wd(10, 100);
+        assert_eq!(w.observe_wait(Some(100)), None);
+        assert_eq!(w.observe_wait(Some(9_000)), Some(8_000));
+        assert_eq!(w.observe_wait(Some(9_500)), None, "latched");
+        assert_eq!(w.observe_wait(None), None);
+        assert_eq!(w.observe_wait(Some(10_000)), Some(8_000), "re-armed");
+    }
+
+    #[test]
+    fn saturation_reports_deltas() {
+        let mut w = wd(10, 100);
+        assert_eq!(w.observe_saturations(0), None);
+        assert_eq!(w.observe_saturations(7), Some(7));
+        assert_eq!(w.observe_saturations(7), None);
+        assert_eq!(w.observe_saturations(9), Some(2));
+    }
+
+    #[test]
+    fn conservation_reports_changes_only() {
+        let mut w = wd(10, 100);
+        assert_eq!(w.observe_conservation(10, 10), None);
+        assert_eq!(w.observe_conservation(12, 10), Some(-2), "2 packets lost");
+        assert_eq!(w.observe_conservation(13, 11), None, "steady discrepancy");
+        assert_eq!(w.observe_conservation(13, 14), Some(1), "1 duplicated");
+    }
+
+    #[test]
+    fn violation_accessors() {
+        let snap = Snapshot {
+            cycle: 42,
+            txns_in_flight: 3,
+            queue_depths: vec![0, 1],
+        };
+        let v = LivenessViolation::Deadlock {
+            quiet_for: 10,
+            snapshot: snap.clone(),
+        };
+        assert_eq!(v.kind(), "deadlock");
+        assert_eq!(v.snapshot(), &snap);
+        let mut w = wd(10, 100);
+        w.record(v);
+        assert_eq!(w.violations().len(), 1);
+    }
+}

@@ -17,7 +17,13 @@ fn all_cores_make_progress() {
     let apps = workload(2).apps();
     let r = run_mix(&SystemConfig::baseline_32(), &apps, quick());
     for a in &r.per_app {
-        assert!(a.ipc > 0.01, "core {} ({}) stalled: ipc {}", a.core, a.app, a.ipc);
+        assert!(
+            a.ipc > 0.01,
+            "core {} ({}) stalled: ipc {}",
+            a.core,
+            a.app,
+            a.ipc
+        );
     }
 }
 
@@ -220,16 +226,12 @@ fn dirty_writebacks_flow_all_the_way_to_memory() {
     let apps = workload(8).apps(); // write-heavy intensive apps
     let mut sys = System::new(cfg, &apps).expect("valid config");
     sys.run(60_000);
-    let writes: u64 = (0..4)
-        .map(|m| sys.controller_stats(m).writes.get())
-        .sum();
+    let writes: u64 = (0..4).map(|m| sys.controller_stats(m).writes.get()).sum();
     assert!(
         writes > 0,
         "dirty L2 victims must reach memory as writebacks"
     );
-    let reads: u64 = (0..4)
-        .map(|m| sys.controller_stats(m).reads.get())
-        .sum();
+    let reads: u64 = (0..4).map(|m| sys.controller_stats(m).reads.get()).sum();
     assert!(reads > writes, "reads should still dominate");
 }
 

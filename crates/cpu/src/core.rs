@@ -106,11 +106,7 @@ impl OooCore {
     /// squashed by a stats reset — they never are in this simulator, but the
     /// interface stays total).
     pub fn complete(&mut self, token: MemToken, now: Cycle) {
-        if let Some(e) = self
-            .window
-            .iter_mut()
-            .find(|e| e.token == Some(token))
-        {
+        if let Some(e) = self.window.iter_mut().find(|e| e.token == Some(token)) {
             e.done_at = Some(now);
             e.token = None;
         }
@@ -262,7 +258,7 @@ mod tests {
         fn access(&mut self, _addr: u64, _is_write: bool, now: Cycle) -> MemAccess {
             self.count += 1;
             if let Some(n) = self.pending_after {
-                if self.count % n == 0 {
+                if self.count.is_multiple_of(n) {
                     let token = MemToken(self.next_token);
                     self.next_token += 1;
                     self.issued.push_back((token, now));
@@ -304,7 +300,10 @@ mod tests {
             core.tick(t, &mut stream, &mut mem);
         }
         let ipc = core.stats().ipc();
-        assert!(ipc > 3.0, "L1-resident workload should stay fast, got {ipc}");
+        assert!(
+            ipc > 3.0,
+            "L1-resident workload should stay fast, got {ipc}"
+        );
     }
 
     #[test]
@@ -339,17 +338,16 @@ mod tests {
         let period = 10u64;
         let mut core = OooCore::new(cfg());
         let mut pattern = vec![Instr::Load { addr: 0 }];
-        pattern.extend(std::iter::repeat(Instr::Compute { latency: 1 }).take(period as usize - 1));
+        pattern.extend(std::iter::repeat_n(
+            Instr::Compute { latency: 1 },
+            period as usize - 1,
+        ));
         let mut stream = PatternStream::new(pattern);
         let mut mem = FakeMem::pending_every(1, 3);
         let horizon = 30_000u64;
         for t in 0..horizon {
             // Complete accesses after `latency` cycles.
-            while mem
-                .issued
-                .front()
-                .is_some_and(|&(_, at)| at + latency <= t)
-            {
+            while mem.issued.front().is_some_and(|&(_, at)| at + latency <= t) {
                 let (tok, _) = mem.issued.pop_front().unwrap();
                 core.complete(tok, t);
             }

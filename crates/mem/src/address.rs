@@ -43,7 +43,7 @@ impl AddressMap {
         assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
         assert!(num_controllers > 0 && banks_per_controller > 0);
         assert!(
-            row_bytes % line_bytes == 0 && row_bytes >= line_bytes,
+            row_bytes.is_multiple_of(line_bytes) && row_bytes >= line_bytes,
             "row must hold a whole number of lines"
         );
         AddressMap {

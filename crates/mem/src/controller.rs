@@ -18,6 +18,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use noclat_sim::config::{MemConfig, MemSchedPolicy, PagePolicy};
+use noclat_sim::error::SimError;
+use noclat_sim::faults::{ControllerFaultState, FaultPlan};
 use noclat_sim::stats::{Counter, RunningMean};
 use noclat_sim::Cycle;
 
@@ -93,14 +95,26 @@ pub struct MemoryController {
     /// policy, which bounds row-hit streaks).
     hit_streak: Vec<u32>,
     stats: ControllerStats,
+    /// Injected DRAM bank faults and ingress stalls for this controller
+    /// (empty state = healthy, zero cost).
+    faults: ControllerFaultState,
 }
 
 impl MemoryController {
-    /// Creates a controller with `cfg.banks_per_controller` idle banks.
+    /// Creates a healthy controller with `cfg.banks_per_controller` idle
+    /// banks.
     #[must_use]
     pub fn new(cfg: MemConfig) -> Self {
+        Self::with_faults(cfg, &FaultPlan::none(), 0)
+    }
+
+    /// Creates a controller that honors the bank/ingress faults targeting
+    /// `controller_idx` in `plan`.
+    #[must_use]
+    pub fn with_faults(cfg: MemConfig, plan: &FaultPlan, controller_idx: usize) -> Self {
         let refresh_interval = Cycle::from(cfg.refresh_period) * Cycle::from(cfg.bus_multiplier);
         MemoryController {
+            faults: ControllerFaultState::new(plan, controller_idx),
             hit_streak: vec![0; cfg.banks_per_controller],
             banks: (0..cfg.banks_per_controller).map(|_| Bank::new()).collect(),
             front: VecDeque::new(),
@@ -149,11 +163,24 @@ impl MemoryController {
 
     /// Hands a request to the controller at cycle `now`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bank` is out of range.
-    pub fn enqueue(&mut self, token: u64, bank: usize, row: u64, is_write: bool, now: Cycle) {
-        assert!(bank < self.banks.len(), "bank {bank} out of range");
+    /// Returns [`SimError::BankOutOfRange`] if `bank` does not name one of
+    /// this controller's banks.
+    pub fn enqueue(
+        &mut self,
+        token: u64,
+        bank: usize,
+        row: u64,
+        is_write: bool,
+        now: Cycle,
+    ) -> Result<(), SimError> {
+        if bank >= self.banks.len() {
+            return Err(SimError::BankOutOfRange {
+                bank,
+                banks: self.banks.len(),
+            });
+        }
         let req = MemRequest {
             token,
             bank,
@@ -162,6 +189,7 @@ impl MemoryController {
             arrived: now,
         };
         self.front.push_back((now + self.cfg.ctl_latency, req));
+        Ok(())
     }
 
     /// Advances the controller one cycle; returns accesses that finished.
@@ -187,6 +215,11 @@ impl MemoryController {
     }
 
     fn drain_front(&mut self, now: Cycle) {
+        // An ingress backpressure fault holds requests in the front pipeline:
+        // they keep their arrival stamps but cannot reach the bank queues.
+        if self.faults.is_active() && self.faults.ingress_stalled(now) {
+            return;
+        }
         while self.front.front().is_some_and(|&(ready, _)| ready <= now) {
             let (_, req) = self.front.pop_front().expect("checked front");
             self.banks[req.bank].enqueue(req);
@@ -206,6 +239,11 @@ impl MemoryController {
         let mut best: Option<(bool, Cycle, usize, usize)> = None; // (hit, arrived, bank, idx)
         for (b, bank) in self.banks.iter().enumerate() {
             if !bank.is_ready(now) {
+                continue;
+            }
+            // An offline bank holds its queue but issues nothing; requests
+            // resume (in order) when the fault window closes.
+            if self.faults.is_active() && self.faults.bank_offline(b, now) {
                 continue;
             }
             let pick = match self.cfg.scheduler {
@@ -246,11 +284,14 @@ impl MemoryController {
     fn issue(&mut self, bank_idx: usize, req_idx: usize, now: Cycle) {
         let mult = Cycle::from(self.cfg.bus_multiplier);
         let will_hit = self.banks[bank_idx].hit_at(req_idx).expect("valid pick");
-        let access_dram = if will_hit {
+        let mut access_dram = if will_hit {
             Cycle::from(self.cfg.row_hit_latency)
         } else {
             Cycle::from(self.cfg.bank_busy)
         };
+        if self.faults.is_active() {
+            access_dram *= Cycle::from(self.faults.bank_slowdown(bank_idx, now));
+        }
         let rank = self.rank_of(bank_idx);
         let mut penalty_dram: Cycle = 0;
         if self.last_rank.is_some_and(|r| r != rank) {
@@ -342,7 +383,7 @@ mod tests {
     fn single_read_completes_with_expected_latency() {
         let c = cfg();
         let mut mc = MemoryController::new(c);
-        mc.enqueue(1, 0, 5, false, 0);
+        mc.enqueue(1, 0, 5, false, 0).unwrap();
         let done = run(&mut mc, 0, 1000);
         assert_eq!(done.len(), 1);
         let d = done[0];
@@ -363,10 +404,10 @@ mod tests {
     fn row_hit_is_much_faster_than_miss() {
         let c = cfg();
         let mut mc = MemoryController::new(c);
-        mc.enqueue(1, 0, 5, false, 0);
+        mc.enqueue(1, 0, 5, false, 0).unwrap();
         let first = run(&mut mc, 0, 2000);
         let t0 = first[0].finished;
-        mc.enqueue(2, 0, 5, false, t0 + 1);
+        mc.enqueue(2, 0, 5, false, t0 + 1).unwrap();
         let second = run(&mut mc, t0 + 1, t0 + 2000);
         assert!(second[0].row_hit);
         assert!(
@@ -382,32 +423,37 @@ mod tests {
         let c = cfg();
         // Two requests to different banks, same instant.
         let mut mc = MemoryController::new(c);
-        mc.enqueue(1, 0, 5, false, 0);
-        mc.enqueue(2, 1, 9, false, 0);
+        mc.enqueue(1, 0, 5, false, 0).unwrap();
+        mc.enqueue(2, 1, 9, false, 0).unwrap();
         let done = run(&mut mc, 0, 3000);
         assert_eq!(done.len(), 2);
         let gap = done[1].finished - done[0].finished;
-        let serial =
-            Cycle::from(c.bank_busy + c.burst_latency) * Cycle::from(c.bus_multiplier);
+        let serial = Cycle::from(c.bank_busy + c.burst_latency) * Cycle::from(c.bus_multiplier);
         assert!(
             gap < serial,
             "bank-level parallelism missing: gap {gap} ≥ serial {serial}"
         );
         let burst = Cycle::from(c.burst_latency) * Cycle::from(c.bus_multiplier);
-        assert!(gap >= burst, "bus must serialize bursts (gap {gap} < burst {burst})");
+        assert!(
+            gap >= burst,
+            "bus must serialize bursts (gap {gap} < burst {burst})"
+        );
     }
 
     #[test]
     fn same_bank_requests_serialize() {
         let c = cfg();
         let mut mc = MemoryController::new(c);
-        mc.enqueue(1, 0, 5, false, 0);
-        mc.enqueue(2, 0, 9, false, 0);
+        mc.enqueue(1, 0, 5, false, 0).unwrap();
+        mc.enqueue(2, 0, 9, false, 0).unwrap();
         let done = run(&mut mc, 0, 4000);
         assert_eq!(done.len(), 2);
         let gap = done[1].finished - done[0].finished;
         let one_access = Cycle::from(c.bank_busy) * Cycle::from(c.bus_multiplier);
-        assert!(gap >= one_access, "same-bank gap {gap} < access {one_access}");
+        assert!(
+            gap >= one_access,
+            "same-bank gap {gap} < access {one_access}"
+        );
     }
 
     #[test]
@@ -419,10 +465,10 @@ mod tests {
             // Open row 5 with a first access; while the bank is busy serving
             // it, an older miss (row 9) and a younger hit (row 5) pile up in
             // the queue.
-            mc.enqueue(0, 0, 5, false, 0);
+            mc.enqueue(0, 0, 5, false, 0).unwrap();
             let _ = run(&mut mc, 0, 30); // past the front pipeline; in service
-            mc.enqueue(1, 0, 9, false, 30);
-            mc.enqueue(2, 0, 5, false, 31);
+            mc.enqueue(1, 0, 9, false, 30).unwrap();
+            mc.enqueue(2, 0, 5, false, 31).unwrap();
             let done = run(&mut mc, 30, 6000);
             done.iter().map(|d| d.req.token).collect::<Vec<_>>()
         };
@@ -438,7 +484,7 @@ mod tests {
         let span = |banks: [usize; 4]| -> Cycle {
             let mut mc = MemoryController::new(c);
             for (i, &b) in banks.iter().enumerate() {
-                mc.enqueue(i as u64, b, 5, false, 0);
+                mc.enqueue(i as u64, b, 5, false, 0).unwrap();
             }
             let done = run(&mut mc, 0, 6000);
             assert_eq!(done.len(), 4);
@@ -459,7 +505,7 @@ mod tests {
         let span = |writes: [bool; 4]| -> Cycle {
             let mut mc = MemoryController::new(c);
             for (i, &w) in writes.iter().enumerate() {
-                mc.enqueue(i as u64, i, 5, w, 0); // distinct banks, same rank
+                mc.enqueue(i as u64, i, 5, w, 0).unwrap(); // distinct banks, same rank
             }
             let done = run(&mut mc, 0, 6000);
             assert_eq!(done.len(), 4);
@@ -480,10 +526,13 @@ mod tests {
         assert!(mc.idle_banks().iter().all(|&b| b));
         // Two requests to the same bank: while the first is in service, the
         // second waits in the bank queue, so the bank is not idle.
-        mc.enqueue(1, 3, 5, false, 0);
-        mc.enqueue(2, 3, 9, false, 0);
+        mc.enqueue(1, 3, 5, false, 0).unwrap();
+        mc.enqueue(2, 3, 9, false, 0).unwrap();
         let _ = run(&mut mc, 0, c.ctl_latency + 2);
-        assert!(!mc.idle_banks()[3], "second request must be queued at bank 3");
+        assert!(
+            !mc.idle_banks()[3],
+            "second request must be queued at bank 3"
+        );
         let _ = run(&mut mc, c.ctl_latency + 2, 4000);
         assert!(mc.idle_banks()[3]);
     }
@@ -492,15 +541,18 @@ mod tests {
     fn refresh_closes_rows() {
         let c = cfg();
         let mut mc = MemoryController::new(c);
-        mc.enqueue(1, 0, 5, false, 0);
+        mc.enqueue(1, 0, 5, false, 0).unwrap();
         let first = run(&mut mc, 0, 2000);
         let t0 = first[0].finished;
         // Wait past a refresh boundary, then access the same row again: the
         // refresh closed it, so it must miss.
         let refresh_at = Cycle::from(c.refresh_period) * Cycle::from(c.bus_multiplier);
         let t1 = refresh_at + Cycle::from(c.refresh_duration) * Cycle::from(c.bus_multiplier) + 10;
-        assert!(t1 > t0, "test assumes first access completes before refresh");
-        mc.enqueue(2, 0, 5, false, t1);
+        assert!(
+            t1 > t0,
+            "test assumes first access completes before refresh"
+        );
+        mc.enqueue(2, 0, 5, false, t1).unwrap();
         let second = run(&mut mc, t0 + 1, t1 + 4000);
         assert_eq!(second.len(), 1);
         assert!(!second[0].row_hit, "refresh must close the row buffer");
@@ -511,8 +563,8 @@ mod tests {
     fn stats_track_reads_writes_and_hits() {
         let c = cfg();
         let mut mc = MemoryController::new(c);
-        mc.enqueue(1, 0, 5, false, 0);
-        mc.enqueue(2, 0, 5, true, 1);
+        mc.enqueue(1, 0, 5, false, 0).unwrap();
+        mc.enqueue(2, 0, 5, true, 1).unwrap();
         let done = run(&mut mc, 0, 3000);
         assert_eq!(done.len(), 2);
         assert_eq!(mc.stats().reads.get(), 1);
@@ -527,8 +579,8 @@ mod tests {
         let c = cfg();
         let mut mc = MemoryController::new(c);
         assert_eq!(mc.occupancy(), 0);
-        mc.enqueue(1, 0, 5, false, 0);
-        mc.enqueue(2, 1, 6, false, 0);
+        mc.enqueue(1, 0, 5, false, 0).unwrap();
+        mc.enqueue(2, 1, 6, false, 0).unwrap();
         assert_eq!(mc.occupancy(), 2);
         let _ = run(&mut mc, 0, 3000);
         assert_eq!(mc.occupancy(), 0);
@@ -543,13 +595,13 @@ mod tests {
             let mut c = cfg();
             c.scheduler = policy;
             let mut mc = MemoryController::new(c);
-            mc.enqueue(0, 0, 5, false, 0); // opens row 5
-            // While the opener is still in flight, pile up one old row miss
-            // and six younger row hits behind it.
+            mc.enqueue(0, 0, 5, false, 0).unwrap(); // opens row 5
+                                                    // While the opener is still in flight, pile up one old row miss
+                                                    // and six younger row hits behind it.
             let _ = run(&mut mc, 0, 25);
-            mc.enqueue(100, 0, 9, false, 25); // the row miss, oldest
+            mc.enqueue(100, 0, 9, false, 25).unwrap(); // the row miss, oldest
             for i in 0..6u64 {
-                mc.enqueue(i + 1, 0, 5, false, 26 + i); // younger hits
+                mc.enqueue(i + 1, 0, 5, false, 26 + i).unwrap(); // younger hits
             }
             run(&mut mc, 25, 20_000)
                 .iter()
@@ -560,7 +612,11 @@ mod tests {
         let plain = serve_order(MemSchedPolicy::FrFcfs);
         let capped = serve_order(MemSchedPolicy::FrFcfsCap(2));
         let pos = |v: &[u64]| v.iter().position(|&t| t == 100).unwrap();
-        assert_eq!(pos(&plain), plain.len() - 1, "plain FR-FCFS starves the miss");
+        assert_eq!(
+            pos(&plain),
+            plain.len() - 1,
+            "plain FR-FCFS starves the miss"
+        );
         assert!(
             pos(&capped) <= 3,
             "cap must bound the streak (miss served at {})",
@@ -573,8 +629,8 @@ mod tests {
         let mut c = cfg();
         c.page_policy = noclat_sim::config::PagePolicy::Closed;
         let mut mc = MemoryController::new(c);
-        mc.enqueue(1, 0, 5, false, 0);
-        mc.enqueue(2, 0, 5, false, 1);
+        mc.enqueue(1, 0, 5, false, 0).unwrap();
+        mc.enqueue(2, 0, 5, false, 1).unwrap();
         let done = run(&mut mc, 0, 4000);
         assert_eq!(done.len(), 2);
         assert!(done.iter().all(|d| !d.row_hit), "closed page cannot hit");
@@ -582,10 +638,101 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn bad_bank_rejected() {
         let c = cfg();
+        let banks = c.banks_per_controller;
         let mut mc = MemoryController::new(c);
-        mc.enqueue(1, 99, 0, false, 0);
+        assert_eq!(
+            mc.enqueue(1, 99, 0, false, 0),
+            Err(SimError::BankOutOfRange { bank: 99, banks })
+        );
+        assert_eq!(mc.occupancy(), 0, "rejected request must not be queued");
+    }
+
+    #[test]
+    fn offline_bank_defers_service_until_window_ends() {
+        use noclat_sim::faults::{BankFault, BankFaultKind, CycleWindow, FaultPlan};
+        let c = cfg();
+        let mut plan = FaultPlan::none();
+        plan.banks.push(BankFault {
+            controller: 0,
+            bank: Some(0),
+            kind: BankFaultKind::Offline,
+            window: CycleWindow {
+                start: 0,
+                end: 2_000,
+            },
+        });
+        let mut mc = MemoryController::with_faults(c, &plan, 0);
+        mc.enqueue(1, 0, 5, false, 0).unwrap();
+        let early = run(&mut mc, 0, 2_000);
+        assert!(early.is_empty(), "offline bank must not serve requests");
+        assert_eq!(mc.occupancy(), 1, "request must be held, not lost");
+        let late = run(&mut mc, 2_000, 6_000);
+        assert_eq!(late.len(), 1, "service resumes after the window");
+        assert!(late[0].finished >= 2_000);
+    }
+
+    #[test]
+    fn offline_fault_on_other_controller_is_ignored() {
+        use noclat_sim::faults::{BankFault, BankFaultKind, CycleWindow, FaultPlan};
+        let c = cfg();
+        let mut plan = FaultPlan::none();
+        plan.banks.push(BankFault {
+            controller: 3,
+            bank: None,
+            kind: BankFaultKind::Offline,
+            window: CycleWindow::ALWAYS,
+        });
+        let mut mc = MemoryController::with_faults(c, &plan, 0);
+        mc.enqueue(1, 0, 5, false, 0).unwrap();
+        assert_eq!(run(&mut mc, 0, 2_000).len(), 1);
+    }
+
+    #[test]
+    fn bank_slowdown_lengthens_access_time() {
+        use noclat_sim::faults::{BankFault, BankFaultKind, CycleWindow, FaultPlan};
+        let c = cfg();
+        let delay_with = |plan: &FaultPlan| -> Cycle {
+            let mut mc = MemoryController::with_faults(c, plan, 0);
+            mc.enqueue(1, 0, 5, false, 0).unwrap();
+            let done = run(&mut mc, 0, 20_000);
+            assert_eq!(done.len(), 1);
+            done[0].controller_delay
+        };
+        let healthy = delay_with(&FaultPlan::none());
+        let mut plan = FaultPlan::none();
+        plan.banks.push(BankFault {
+            controller: 0,
+            bank: Some(0),
+            kind: BankFaultKind::Slowdown(4),
+            window: CycleWindow::ALWAYS,
+        });
+        let slowed = delay_with(&plan);
+        assert!(
+            slowed > healthy,
+            "slowdown must lengthen the access ({slowed} <= {healthy})"
+        );
+    }
+
+    #[test]
+    fn ingress_stall_holds_requests_in_the_front_end() {
+        use noclat_sim::faults::{CycleWindow, FaultPlan, IngressStall};
+        let c = cfg();
+        let mut plan = FaultPlan::none();
+        plan.ingress.push(IngressStall {
+            controller: 0,
+            window: CycleWindow {
+                start: 0,
+                end: 1_500,
+            },
+        });
+        let mut mc = MemoryController::with_faults(c, &plan, 0);
+        mc.enqueue(1, 0, 5, false, 0).unwrap();
+        let early = run(&mut mc, 0, 1_500);
+        assert!(early.is_empty(), "stalled ingress must not admit requests");
+        let late = run(&mut mc, 1_500, 6_000);
+        assert_eq!(late.len(), 1);
+        assert!(late[0].finished >= 1_500);
     }
 }

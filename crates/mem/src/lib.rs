@@ -17,7 +17,7 @@
 //! let map = AddressMap::new(64, cfg.mem.num_controllers, cfg.mem.banks_per_controller, cfg.mem.row_bytes);
 //! let mut mc = MemoryController::new(cfg.mem);
 //! let d = map.decode(0x4_0000);
-//! mc.enqueue(1, d.bank, d.row, false, 0);
+//! mc.enqueue(1, d.bank, d.row, false, 0).expect("bank in range");
 //! let mut done = Vec::new();
 //! for t in 0..2000 {
 //!     done.extend(mc.tick(t));

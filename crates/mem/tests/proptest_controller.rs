@@ -3,8 +3,9 @@
 //! request indefinitely under finite traffic.
 
 use noclat_mem::MemoryController;
+use noclat_sim::check::{self, pick, range_u64};
 use noclat_sim::config::{MemSchedPolicy, SystemConfig};
-use proptest::prelude::*;
+use noclat_sim::rng::SimRng;
 
 #[derive(Debug, Clone)]
 struct Req {
@@ -14,23 +15,23 @@ struct Req {
     at: u64,
 }
 
-fn req_strategy(banks: usize, horizon: u64) -> impl Strategy<Value = Req> {
-    (0..banks, 0u64..64, any::<bool>(), 0..horizon).prop_map(|(bank, row, write, at)| Req {
-        bank,
-        row,
-        write,
-        at,
-    })
+fn random_requests(rng: &mut SimRng, banks: usize, horizon: u64) -> Vec<Req> {
+    let n = range_u64(rng, 1, 200) as usize;
+    (0..n)
+        .map(|_| Req {
+            bank: rng.below(banks as u64) as usize,
+            row: rng.below(64),
+            write: rng.chance(0.5),
+            at: rng.below(horizon),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn every_request_completes_exactly_once(
-        reqs in prop::collection::vec(req_strategy(16, 5_000), 1..200),
-        policy in prop::sample::select(vec![MemSchedPolicy::FrFcfs, MemSchedPolicy::Fcfs]),
-    ) {
+#[test]
+fn every_request_completes_exactly_once() {
+    check::cases(32, |rng| {
+        let reqs = random_requests(rng, 16, 5_000);
+        let policy = pick(rng, &[MemSchedPolicy::FrFcfs, MemSchedPolicy::Fcfs]);
         let mut cfg = SystemConfig::baseline_32().mem;
         cfg.scheduler = policy;
         let mut mc = MemoryController::new(cfg);
@@ -40,43 +41,45 @@ proptest! {
         let mut next = 0usize;
         let mut t = 0u64;
         while done.iter().any(|&d| !d) {
-            prop_assert!(t < 2_000_000, "requests starved (t={t})");
+            assert!(t < 2_000_000, "requests starved (t={t})");
             while next < sorted.len() && sorted[next].at <= t {
                 let r = &sorted[next];
-                mc.enqueue(next as u64, r.bank, r.row, r.write, t);
+                mc.enqueue(next as u64, r.bank, r.row, r.write, t)
+                    .expect("bank index in range");
                 next += 1;
             }
             for c in mc.tick(t) {
                 let idx = c.req.token as usize;
-                prop_assert!(!done[idx], "duplicate completion for {idx}");
+                assert!(!done[idx], "duplicate completion for {idx}");
                 done[idx] = true;
                 // Timing sanity: total delay covers at least the front-end
                 // pipeline plus one burst.
-                let min = cfg.ctl_latency
-                    + u64::from(cfg.burst_latency) * u64::from(cfg.bus_multiplier);
-                prop_assert!(
+                let min =
+                    cfg.ctl_latency + u64::from(cfg.burst_latency) * u64::from(cfg.bus_multiplier);
+                assert!(
                     c.controller_delay >= min,
                     "impossible service time {} < {min}",
                     c.controller_delay
                 );
                 // Completion is never earlier than arrival.
-                prop_assert!(c.finished >= c.req.arrived);
+                assert!(c.finished >= c.req.arrived);
             }
             t += 1;
         }
-        prop_assert_eq!(mc.occupancy(), 0);
-    }
+        assert_eq!(mc.occupancy(), 0);
+    });
+}
 
-    #[test]
-    fn row_hits_are_never_slower_than_misses_on_an_idle_bank(
-        row in 0u64..64,
-        gap in 1u64..50,
-    ) {
+#[test]
+fn row_hits_are_never_slower_than_misses_on_an_idle_bank() {
+    check::cases(32, |rng| {
+        let row = rng.below(64);
+        let gap = range_u64(rng, 1, 49);
         let cfg = SystemConfig::baseline_32().mem;
         // First access opens the row (miss); second, after the bank is free,
         // hits it.
         let mut mc = MemoryController::new(cfg);
-        mc.enqueue(0, 0, row, false, 0);
+        mc.enqueue(0, 0, row, false, 0).expect("bank in range");
         let mut first = None;
         let mut t = 0u64;
         while first.is_none() {
@@ -84,11 +87,11 @@ proptest! {
                 first = Some(c);
             }
             t += 1;
-            prop_assert!(t < 10_000);
+            assert!(t < 10_000);
         }
         let first = first.unwrap();
         let t1 = first.finished + gap;
-        mc.enqueue(1, 0, row, false, t1);
+        mc.enqueue(1, 0, row, false, t1).expect("bank in range");
         let mut second = None;
         let mut t = t1;
         while second.is_none() {
@@ -96,15 +99,15 @@ proptest! {
                 second = Some(c);
             }
             t += 1;
-            prop_assert!(t < t1 + 10_000);
+            assert!(t < t1 + 10_000);
         }
         let second = second.unwrap();
-        prop_assert!(second.row_hit, "row must stay open across a short gap");
-        prop_assert!(
+        assert!(second.row_hit, "row must stay open across a short gap");
+        assert!(
             second.controller_delay <= first.controller_delay,
             "hit ({}) slower than cold miss ({})",
             second.controller_delay,
             first.controller_delay
         );
-    }
+    });
 }

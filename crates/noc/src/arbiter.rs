@@ -52,9 +52,7 @@ pub fn batching_key(batch: u32, priority: Priority, effective_age: u64) -> u64 {
 pub fn key_for(policy: StarvationPolicy, guard: u32, c: &Candidate) -> u64 {
     match policy {
         StarvationPolicy::AgeGuard => arbitration_key(c.priority, c.effective_age, guard),
-        StarvationPolicy::Batching { .. } => {
-            batching_key(c.batch, c.priority, c.effective_age)
-        }
+        StarvationPolicy::Batching { .. } => batching_key(c.batch, c.priority, c.effective_age),
     }
 }
 
@@ -79,11 +77,7 @@ impl RoundRobinArbiter {
     /// there are no candidates. Advances the round-robin pointer past the
     /// winner.
     pub fn pick(&mut self, candidates: &[Candidate], starvation_guard: u32) -> Option<usize> {
-        self.pick_with(
-            candidates,
-            StarvationPolicy::AgeGuard,
-            starvation_guard,
-        )
+        self.pick_with(candidates, StarvationPolicy::AgeGuard, starvation_guard)
     }
 
     /// Like [`RoundRobinArbiter::pick`], under an explicit starvation
@@ -134,10 +128,7 @@ mod tests {
     fn high_beats_normal_within_guard() {
         let mut arb = RoundRobinArbiter::new();
         let got = arb.pick(
-            &[
-                cand(0, Priority::Normal, 100),
-                cand(1, Priority::High, 10),
-            ],
+            &[cand(0, Priority::Normal, 100), cand(1, Priority::High, 10)],
             1000,
         );
         assert_eq!(got, Some(1));
@@ -149,10 +140,7 @@ mod tests {
         // condition 2), so it must win.
         let mut arb = RoundRobinArbiter::new();
         let got = arb.pick(
-            &[
-                cand(0, Priority::Normal, 1500),
-                cand(1, Priority::High, 10),
-            ],
+            &[cand(0, Priority::Normal, 1500), cand(1, Priority::High, 10)],
             1000,
         );
         assert_eq!(got, Some(0));
@@ -163,10 +151,7 @@ mod tests {
         // age_normal == age_high + T is "not more than T greater" → high wins.
         let mut arb = RoundRobinArbiter::new();
         let got = arb.pick(
-            &[
-                cand(0, Priority::Normal, 1010),
-                cand(1, Priority::High, 10),
-            ],
+            &[cand(0, Priority::Normal, 1010), cand(1, Priority::High, 10)],
             1000,
         );
         assert_eq!(got, Some(1));
@@ -250,9 +235,6 @@ mod tests {
 
     #[test]
     fn key_saturates() {
-        assert_eq!(
-            arbitration_key(Priority::High, u64::MAX, 1000),
-            u64::MAX
-        );
+        assert_eq!(arbitration_key(Priority::High, u64::MAX, 1000), u64::MAX);
     }
 }

@@ -49,5 +49,5 @@ pub mod traffic;
 pub use network::{flits_for_payload, Network, NetworkStats};
 pub use packet::{accumulate_age, Delivered, Flit, FlitKind, PacketId, PacketMeta, Priority, VNet};
 pub use router::{Router, RouterCounters};
-pub use traffic::{characterize, LoadPoint, TrafficPattern};
 pub use topology::{Coord, Dir, Mesh, NodeId};
+pub use traffic::{characterize, LoadPoint, TrafficPattern};

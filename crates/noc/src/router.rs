@@ -99,6 +99,9 @@ pub struct RouterCounters {
     pub flits_bypassed: u64,
     /// High-priority flits that traversed the switch.
     pub high_priority_traversed: u64,
+    /// Traversals whose accumulated so-far delay saturated the age field
+    /// (Section 3.1's 12-bit header field clips at 4095).
+    pub age_saturations: u64,
 }
 
 /// A single mesh router.
@@ -209,8 +212,7 @@ impl Router {
             );
             b.buf.is_empty()
         };
-        let bypass =
-            self.cfg.bypass_enabled && flit.priority == Priority::High && buf_empty;
+        let bypass = self.cfg.bypass_enabled && flit.priority == Priority::High && buf_empty;
         flit.arrived_at = now;
         flit.ready_at = now
             + if bypass {
@@ -273,7 +275,8 @@ impl Router {
                         "body flit at VC front without a route (wormhole violation)"
                     );
                     if front.kind.is_head() {
-                        state.route = Some(self.mesh.route(self.cfg.routing, self.node, front.dest));
+                        state.route =
+                            Some(self.mesh.route(self.cfg.routing, self.node, front.dest));
                     }
                 }
             }
@@ -326,7 +329,11 @@ impl Router {
                     break;
                 }
                 let winner_tag = self.va_arb[out_port]
-                    .pick_with(&grantable, self.cfg.starvation, self.cfg.starvation_age_guard)
+                    .pick_with(
+                        &grantable,
+                        self.cfg.starvation,
+                        self.cfg.starvation_age_guard,
+                    )
                     .expect("non-empty grantable set");
                 let (port, vc) = untag(winner_tag, self.cfg.vcs_per_port);
                 let vnet = self.inputs[port].vcs[vc]
@@ -405,8 +412,7 @@ impl Router {
                     Some(Candidate {
                         tag,
                         priority: front.priority,
-                        effective_age: u64::from(front.age)
-                            + now.saturating_sub(front.arrived_at),
+                        effective_age: u64::from(front.age) + now.saturating_sub(front.arrived_at),
                         batch: front.batch,
                     })
                 })
@@ -432,6 +438,11 @@ impl Router {
         let out_vc = state.out_vc.expect("traversing flit has an output VC");
         let mut flit = state.buf.pop_front().expect("traversing flit exists");
         self.occupancy -= 1;
+        let unsaturated = u128::from(flit.age)
+            + u128::from(now.saturating_sub(flit.arrived_at)) * u128::from(self.cfg.freq_mult);
+        if unsaturated > u128::from(self.cfg.max_age()) {
+            self.counters.age_saturations += 1;
+        }
         flit.age = accumulate_age(
             flit.age,
             now.saturating_sub(flit.arrived_at),
@@ -471,6 +482,19 @@ impl Router {
             .flat_map(|p| p.vcs.iter())
             .map(|v| v.buf.len())
             .sum()
+    }
+
+    /// Longest time any buffered flit has waited at this router (watchdog
+    /// starvation probe). Only the front flit of each VC is inspected: VC
+    /// buffers are FIFOs, so the front is the oldest.
+    #[must_use]
+    pub fn oldest_buffered_wait(&self, now: Cycle) -> Option<Cycle> {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.vcs.iter())
+            .filter_map(|v| v.buf.front())
+            .map(|f| now.saturating_sub(f.arrived_at))
+            .max()
     }
 }
 
@@ -771,7 +795,10 @@ mod tests {
         for t in 0..12 {
             per_cycle.push(r.tick(t).traversals.len());
         }
-        assert!(per_cycle.iter().all(|&n| n <= 1), "ejected >1 flit in a cycle");
+        assert!(
+            per_cycle.iter().all(|&n| n <= 1),
+            "ejected >1 flit in a cycle"
+        );
         assert_eq!(per_cycle.iter().sum::<usize>(), 2);
     }
 

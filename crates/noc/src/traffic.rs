@@ -45,9 +45,7 @@ impl TrafficPattern {
                 };
                 mesh.node_at(t)
             }
-            TrafficPattern::BitComplement => {
-                NodeId((mesh.num_nodes() - 1 - src.index()) as u16)
-            }
+            TrafficPattern::BitComplement => NodeId((mesh.num_nodes() - 1 - src.index()) as u16),
             TrafficPattern::CornerHotspot { percent } => {
                 if rng.below(100) < u64::from(percent.min(100)) {
                     let corners = mesh.corner_nodes(4);
@@ -103,7 +101,8 @@ pub fn characterize(
                     0,
                     (),
                     t,
-                );
+                )
+                .expect("synthetic injection is admissible");
             }
         }
         net.tick(t);

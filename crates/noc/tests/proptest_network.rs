@@ -3,8 +3,9 @@
 //! and the age field never decreases along a path.
 
 use noclat_noc::{flits_for_payload, Mesh, Network, NodeId, Priority, VNet};
+use noclat_sim::check::{self, pick, range_u64};
 use noclat_sim::config::{RouterPipeline, SystemConfig};
-use proptest::prelude::*;
+use noclat_sim::rng::SimRng;
 
 /// One injected packet description.
 #[derive(Debug, Clone)]
@@ -17,23 +18,18 @@ struct Inj {
     initial_age: u32,
 }
 
-fn inj_strategy(nodes: u16, horizon: u64) -> impl Strategy<Value = Inj> {
-    (
-        0..nodes,
-        0..nodes,
-        any::<bool>(),
-        any::<bool>(),
-        0..horizon,
-        0u32..500,
-    )
-        .prop_map(|(src, dest, response, high, at, initial_age)| Inj {
-            src,
-            dest,
-            response,
-            high,
-            at,
-            initial_age,
+fn random_injections(rng: &mut SimRng, nodes: u16, horizon: u64) -> Vec<Inj> {
+    let n = range_u64(rng, 1, 150) as usize;
+    (0..n)
+        .map(|_| Inj {
+            src: rng.below(u64::from(nodes)) as u16,
+            dest: rng.below(u64::from(nodes)) as u16,
+            response: rng.chance(0.5),
+            high: rng.chance(0.5),
+            at: rng.below(horizon),
+            initial_age: rng.below(500) as u32,
         })
+        .collect()
 }
 
 fn run_traffic(
@@ -61,16 +57,26 @@ fn run_traffic(
             } else {
                 1
             };
-            let id = net.inject(
-                NodeId(i.src),
-                NodeId(i.dest),
-                if i.response { VNet::Response } else { VNet::Request },
-                if i.high { Priority::High } else { Priority::Normal },
-                flits,
-                i.initial_age,
-                next,
-                t,
-            );
+            let id = net
+                .inject(
+                    NodeId(i.src),
+                    NodeId(i.dest),
+                    if i.response {
+                        VNet::Response
+                    } else {
+                        VNet::Request
+                    },
+                    if i.high {
+                        Priority::High
+                    } else {
+                        Priority::Normal
+                    },
+                    flits,
+                    i.initial_age,
+                    next,
+                    t,
+                )
+                .expect("admissible injection");
             ids.insert(id, next);
             next += 1;
         }
@@ -94,15 +100,12 @@ fn run_traffic(
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn conservation_and_physics(
-        injections in prop::collection::vec(inj_strategy(32, 3_000), 1..150),
-        pipeline in prop::sample::select(vec![RouterPipeline::FiveStage, RouterPipeline::TwoStage]),
-        bypass in any::<bool>(),
-    ) {
+#[test]
+fn conservation_and_physics() {
+    check::cases(16, |rng| {
+        let injections = random_injections(rng, 32, 3_000);
+        let pipeline = pick(rng, &[RouterPipeline::FiveStage, RouterPipeline::TwoStage]);
+        let bypass = rng.chance(0.5);
         let mesh = Mesh::new(8, 4);
         let results = run_traffic(injections, pipeline, bypass);
         for (inj, delivered_at, final_age) in results {
@@ -115,18 +118,88 @@ proptest! {
             // hops+1 routers traversed (incl. ejection), link per hop.
             let floor = (hops + 1) * (min_residency + 1);
             let latency = delivered_at - inj.at;
-            prop_assert!(
+            assert!(
                 latency + 1 >= floor,
                 "{}->{} delivered in {latency} < floor {floor}",
-                inj.src, inj.dest
+                inj.src,
+                inj.dest
             );
             // The age field never loses the delay accumulated before
             // injection (it saturates at 4095).
-            prop_assert!(
+            assert!(
                 final_age >= inj.initial_age.min(4095),
                 "age shrank: {} -> {final_age}",
                 inj.initial_age
             );
         }
-    }
+    });
+}
+
+#[test]
+fn conservation_under_random_drop_faults() {
+    use noclat_sim::faults::FaultPlan;
+    // Every injected packet either arrives or is reported dropped — never
+    // both, never neither — and the network always drains.
+    check::cases(12, |rng| {
+        let injections = random_injections(rng, 32, 2_000);
+        let plan = FaultPlan::uniform_drop(rng.next_u64(), 0.01);
+        let cfg = SystemConfig::baseline_32().noc;
+        let mut net: Network<usize> = Network::with_faults(Mesh::new(8, 4), cfg, &plan);
+        let mut sorted = injections;
+        sorted.sort_by_key(|i| i.at);
+        let mut outcome: Vec<Option<&'static str>> = vec![None; sorted.len()];
+        let mut ids = std::collections::HashMap::new();
+        let mut next = 0usize;
+        for t in 0..40_000u64 {
+            while next < sorted.len() && sorted[next].at <= t {
+                let i = &sorted[next];
+                let id = net
+                    .inject(
+                        NodeId(i.src),
+                        NodeId(i.dest),
+                        if i.response {
+                            VNet::Response
+                        } else {
+                            VNet::Request
+                        },
+                        if i.high {
+                            Priority::High
+                        } else {
+                            Priority::Normal
+                        },
+                        if i.response { 5 } else { 1 },
+                        i.initial_age,
+                        next,
+                        t,
+                    )
+                    .expect("admissible injection");
+                ids.insert(id, next);
+                next += 1;
+            }
+            net.tick(t);
+            for node in 0..32 {
+                for d in net.take_delivered(NodeId(node as u16)) {
+                    let idx = ids[&d.meta.id];
+                    assert_eq!(outcome[idx], None, "double outcome");
+                    outcome[idx] = Some("delivered");
+                }
+            }
+            for (meta, payload) in net.take_dropped() {
+                let idx = ids[&meta.id];
+                assert_eq!(idx, payload, "payload follows its packet");
+                assert_eq!(outcome[idx], None, "double outcome");
+                outcome[idx] = Some("dropped");
+            }
+            if next == sorted.len() && net.packets_in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(net.packets_in_flight(), 0, "network failed to drain");
+        assert!(
+            outcome.iter().all(Option::is_some),
+            "every packet needs exactly one outcome"
+        );
+        let dropped = outcome.iter().filter(|o| **o == Some("dropped")).count() as u64;
+        assert_eq!(net.stats().packets_dropped.get(), dropped);
+    });
 }

@@ -6,6 +6,8 @@
 //! [`SystemConfig::baseline_32`]; the 16-core system of Figure 15 is
 //! [`SystemConfig::baseline_16`].
 
+use crate::error::FaultError;
+use crate::faults::FaultPlan;
 use crate::Cycle;
 
 /// Mesh dimensions and node count.
@@ -265,6 +267,69 @@ pub struct Scheme2Config {
     pub idle_threshold: u32,
 }
 
+/// Liveness watchdog parameters.
+///
+/// The watchdog observes the running system from the outside — it never
+/// changes arbitration — and raises typed violations (deadlock, starvation,
+/// lost/duplicated transactions, age-field saturation) with diagnostic
+/// snapshots instead of letting the simulation hang or panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Whether the watchdog runs at all.
+    pub enabled: bool,
+    /// Declare deadlock when no flit traverses any router for this many
+    /// cycles while transactions are in flight. Must comfortably exceed the
+    /// longest legitimate quiet period (a refresh plus a full DRAM access).
+    pub deadlock_cycles: Cycle,
+    /// Declare starvation when a buffered flit has waited longer than
+    /// `starvation_factor × starvation_age_guard` cycles without winning
+    /// arbitration. Uses wall-clock waiting time, not the (saturating)
+    /// in-header age field.
+    pub starvation_factor: u32,
+    /// Period of the expensive scans (per-router queue sweeps). Cheap
+    /// checks run every cycle.
+    pub poll_period: Cycle,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            deadlock_cycles: 10_000,
+            starvation_factor: 8,
+            poll_period: 1_000,
+        }
+    }
+}
+
+/// Recovery parameters for fault-dropped messages.
+///
+/// When the fault model drops a request or response packet, the originating
+/// tile notices via a per-transaction timeout and re-injects, with
+/// exponential backoff, up to `max_retries` times. With retries exhausted
+/// the transaction is reported lost (a watchdog violation) rather than
+/// hanging the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Whether timed-out transactions are re-injected.
+    pub enabled: bool,
+    /// Base per-transaction timeout in cycles; attempt `n` waits
+    /// `timeout << n` (exponential backoff) before re-injecting.
+    pub timeout: Cycle,
+    /// Maximum number of re-injections per transaction.
+    pub max_retries: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            enabled: true,
+            timeout: 20_000,
+            max_retries: 4,
+        }
+    }
+}
+
 /// Complete system configuration (the union of Table 1 and the scheme
 /// parameters of Section 3).
 #[derive(Debug, Clone, PartialEq)]
@@ -289,6 +354,12 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Sampling interval for the bank idleness monitor (Figures 6, 13, 14).
     pub idleness_sample_period: Cycle,
+    /// Fault-injection plan (empty by default: a healthy machine).
+    pub faults: FaultPlan,
+    /// Liveness watchdog parameters.
+    pub watchdog: WatchdogConfig,
+    /// Dropped-message recovery parameters.
+    pub recovery: RecoveryConfig,
 }
 
 impl SystemConfig {
@@ -366,6 +437,9 @@ impl SystemConfig {
             },
             seed: 0x0c5e_ed12,
             idleness_sample_period: 100,
+            faults: FaultPlan::none(),
+            watchdog: WatchdogConfig::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -420,12 +494,18 @@ impl SystemConfig {
                 height: self.topology.height,
             });
         }
+        if self.mem.num_controllers > self.topology.num_nodes() {
+            return Err(ConfigError::ControllersExceedNodes {
+                controllers: self.mem.num_controllers,
+                nodes: self.topology.num_nodes(),
+            });
+        }
         if !matches!(self.mem.num_controllers, 1 | 2 | 4) {
             return Err(ConfigError::UnsupportedControllerCount(
                 self.mem.num_controllers,
             ));
         }
-        if self.noc.vcs_per_port < 2 || self.noc.vcs_per_port % 2 != 0 {
+        if self.noc.vcs_per_port < 2 || !self.noc.vcs_per_port.is_multiple_of(2) {
             return Err(ConfigError::BadVcCount(self.noc.vcs_per_port));
         }
         if self.noc.buffer_depth == 0 {
@@ -440,11 +520,40 @@ impl SystemConfig {
         if !self.l1.line_bytes.is_power_of_two() {
             return Err(ConfigError::LineSizeNotPowerOfTwo(self.l1.line_bytes));
         }
+        if self.l1.size_bytes == 0 || !self.l1.size_bytes.is_multiple_of(self.l1.line_bytes) {
+            return Err(ConfigError::CacheSizeNotLineMultiple {
+                cache: "L1",
+                size: self.l1.size_bytes,
+                line: self.l1.line_bytes,
+            });
+        }
+        let l2_quantum = self.l2.line_bytes * self.l2.associativity.max(1);
+        if self.l2.bank_size_bytes == 0
+            || self.l2.associativity == 0
+            || !self.l2.bank_size_bytes.is_multiple_of(l2_quantum)
+        {
+            return Err(ConfigError::CacheSizeNotLineMultiple {
+                cache: "L2",
+                size: self.l2.bank_size_bytes,
+                line: l2_quantum,
+            });
+        }
         if self.scheme1.threshold_factor <= 0.0 {
             return Err(ConfigError::BadThresholdFactor(
                 self.scheme1.threshold_factor,
             ));
         }
+        if self.watchdog.enabled
+            && (self.watchdog.deadlock_cycles == 0 || self.watchdog.poll_period == 0)
+        {
+            return Err(ConfigError::ZeroWatchdogInterval);
+        }
+        if self.recovery.enabled && self.recovery.timeout == 0 {
+            return Err(ConfigError::ZeroRecoveryTimeout);
+        }
+        self.faults
+            .validate()
+            .map_err(ConfigError::InvalidFaultPlan)?;
         Ok(())
     }
 }
@@ -482,6 +591,28 @@ pub enum ConfigError {
     LineSizeNotPowerOfTwo(usize),
     /// Scheme-1 threshold factor must be positive.
     BadThresholdFactor(f64),
+    /// More memory controllers than mesh nodes to attach them to.
+    ControllersExceedNodes {
+        /// Configured controller count.
+        controllers: usize,
+        /// Nodes in the mesh.
+        nodes: usize,
+    },
+    /// A cache capacity is zero or not a multiple of its allocation quantum.
+    CacheSizeNotLineMultiple {
+        /// Which cache ("L1" or "L2").
+        cache: &'static str,
+        /// Configured capacity in bytes.
+        size: usize,
+        /// Allocation quantum (line size, or line × associativity).
+        line: usize,
+    },
+    /// Watchdog intervals must be positive when the watchdog is enabled.
+    ZeroWatchdogInterval,
+    /// Recovery timeout must be positive when recovery is enabled.
+    ZeroRecoveryTimeout,
+    /// The fault plan failed validation.
+    InvalidFaultPlan(FaultError),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -491,7 +622,10 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "mesh {width}x{height} is smaller than 2x2")
             }
             ConfigError::UnsupportedControllerCount(n) => {
-                write!(f, "unsupported memory controller count {n} (need 1, 2 or 4)")
+                write!(
+                    f,
+                    "unsupported memory controller count {n} (need 1, 2 or 4)"
+                )
             }
             ConfigError::BadVcCount(n) => {
                 write!(f, "virtual channel count {n} is not an even number >= 2")
@@ -506,11 +640,37 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadThresholdFactor(x) => {
                 write!(f, "scheme-1 threshold factor {x} is not positive")
             }
+            ConfigError::ControllersExceedNodes { controllers, nodes } => {
+                write!(
+                    f,
+                    "{controllers} memory controllers for a {nodes}-node mesh"
+                )
+            }
+            ConfigError::CacheSizeNotLineMultiple { cache, size, line } => {
+                write!(
+                    f,
+                    "{cache} capacity {size} B is not a positive multiple of {line} B"
+                )
+            }
+            ConfigError::ZeroWatchdogInterval => {
+                write!(f, "watchdog intervals must be positive")
+            }
+            ConfigError::ZeroRecoveryTimeout => {
+                write!(f, "recovery timeout must be positive")
+            }
+            ConfigError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
 
-impl std::error::Error for ConfigError {}
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::InvalidFaultPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -589,6 +749,50 @@ mod tests {
             cfg.validate(),
             Err(ConfigError::BadThresholdFactor(_))
         ));
+
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.mem.num_controllers = 64;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ControllersExceedNodes { .. })
+        ));
+
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.l1.size_bytes = 32 * 1024 + 1;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::CacheSizeNotLineMultiple { cache: "L1", .. })
+        ));
+
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.l2.bank_size_bytes = 512 * 1024 + 64;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::CacheSizeNotLineMultiple { cache: "L2", .. })
+        ));
+
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.watchdog.deadlock_cycles = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ZeroWatchdogInterval)
+        ));
+        cfg.watchdog.enabled = false;
+        assert!(cfg.validate().is_ok(), "disabled watchdog is unchecked");
+
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.recovery.timeout = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ZeroRecoveryTimeout)
+        ));
+
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.faults = crate::faults::FaultPlan::uniform_drop(1, 2.0);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidFaultPlan(_))
+        ));
     }
 
     #[test]
@@ -625,6 +829,18 @@ mod tests {
             ConfigError::LineSizeMismatch { l1: 32, l2: 64 },
             ConfigError::LineSizeNotPowerOfTwo(48),
             ConfigError::BadThresholdFactor(-1.0),
+            ConfigError::ControllersExceedNodes {
+                controllers: 64,
+                nodes: 32,
+            },
+            ConfigError::CacheSizeNotLineMultiple {
+                cache: "L1",
+                size: 1000,
+                line: 64,
+            },
+            ConfigError::ZeroWatchdogInterval,
+            ConfigError::ZeroRecoveryTimeout,
+            ConfigError::InvalidFaultPlan(FaultError::BadProbability(2.0)),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -1,0 +1,159 @@
+//! Typed errors for the simulation stack's public API surface.
+//!
+//! Panic paths reachable through public APIs (bad node indices, zero-flit
+//! packets, misconfigured clocks, out-of-range banks) surface as
+//! [`SimError`] values instead of aborting the process; `debug_assert!`s on
+//! hot inner loops remain assertions because they guard internal invariants
+//! the library itself must uphold.
+
+use crate::config::ConfigError;
+use crate::Cycle;
+
+/// An error raised by a public simulator API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// A node index fell outside the mesh.
+    NodeOutOfRange {
+        /// Offending node index.
+        node: usize,
+        /// Number of nodes in the mesh.
+        nodes: usize,
+    },
+    /// A packet must carry at least one flit.
+    ZeroFlitPacket,
+    /// A router clock period must be positive.
+    ZeroClockPeriod,
+    /// A DRAM bank index fell outside the controller.
+    BankOutOfRange {
+        /// Offending bank index.
+        bank: usize,
+        /// Banks behind this controller.
+        banks: usize,
+    },
+    /// The stream count handed to a system builder does not match the core
+    /// count of the configured mesh.
+    StreamCountMismatch {
+        /// Streams provided.
+        streams: usize,
+        /// Cores configured.
+        cores: usize,
+    },
+    /// A fault-plan entry is inconsistent (empty window, bad probability…).
+    Fault(FaultError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} outside the {nodes}-node mesh")
+            }
+            SimError::ZeroFlitPacket => write!(f, "packet must carry at least one flit"),
+            SimError::ZeroClockPeriod => write!(f, "router clock period must be positive"),
+            SimError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} outside the {banks}-bank controller")
+            }
+            SimError::StreamCountMismatch { streams, cores } => {
+                write!(f, "{streams} instruction streams for {cores} cores")
+            }
+            SimError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<FaultError> for SimError {
+    fn from(e: FaultError) -> Self {
+        SimError::Fault(e)
+    }
+}
+
+/// An inconsistency inside a [`FaultPlan`](crate::faults::FaultPlan).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultError {
+    /// A probability fell outside `[0, 1]`.
+    BadProbability(f64),
+    /// A window's end does not exceed its start.
+    EmptyWindow {
+        /// Window start cycle.
+        start: Cycle,
+        /// Window end cycle.
+        end: Cycle,
+    },
+    /// A bank slowdown multiplier must be at least 1.
+    BadSlowdown(u32),
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::BadProbability(p) => write!(f, "probability {p} outside [0, 1]"),
+            FaultError::EmptyWindow { start, end } => {
+                write!(f, "fault window [{start}, {end}) is empty")
+            }
+            FaultError::BadSlowdown(m) => write!(f, "slowdown multiplier {m} must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let errors: Vec<SimError> = vec![
+            SimError::Config(ConfigError::ZeroBufferDepth),
+            SimError::NodeOutOfRange {
+                node: 40,
+                nodes: 32,
+            },
+            SimError::ZeroFlitPacket,
+            SimError::ZeroClockPeriod,
+            SimError::BankOutOfRange {
+                bank: 99,
+                banks: 16,
+            },
+            SimError::StreamCountMismatch {
+                streams: 4,
+                cores: 32,
+            },
+            SimError::Fault(FaultError::BadProbability(2.0)),
+            SimError::Fault(FaultError::EmptyWindow { start: 5, end: 5 }),
+            SimError::Fault(FaultError::BadSlowdown(0)),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let e: SimError = ConfigError::ZeroBufferDepth.into();
+        assert!(matches!(e, SimError::Config(_)));
+        let e: SimError = FaultError::BadSlowdown(0).into();
+        assert!(matches!(e, SimError::Fault(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -10,7 +10,12 @@
 //! * [`rng`] — seeded, splittable random number generation so whole-system
 //!   runs are reproducible bit-for-bit,
 //! * [`stats`] — counters, histograms, CDF/PDF extraction and windowed time
-//!   series used to regenerate the paper's figures.
+//!   series used to regenerate the paper's figures,
+//! * [`faults`] — deterministic fault injection plans (link drops/delays,
+//!   router stalls, DRAM bank faults, controller backpressure),
+//! * [`error`] — typed errors ([`error::SimError`]) raised by public APIs
+//!   instead of panicking,
+//! * [`check`] — a dependency-free seeded property-testing harness.
 //!
 //! # Example
 //!
@@ -22,7 +27,10 @@
 //! assert_eq!(cfg.mem.num_controllers, 4);
 //! ```
 
+pub mod check;
 pub mod config;
+pub mod error;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 

@@ -1,24 +1,26 @@
 //! Seeded, splittable random number generation.
 //!
 //! Every stochastic component of the simulator (address generators,
-//! tie-breaking, workload construction) draws from a [`SimRng`] derived from
-//! the single master seed in
+//! tie-breaking, workload construction, fault injection) draws from a
+//! [`SimRng`] derived from the single master seed in
 //! [`SystemConfig::seed`](crate::config::SystemConfig), so whole-system runs
 //! are reproducible bit-for-bit and independent of component iteration order.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is an in-tree xoshiro256++ (Blackman & Vigna), seeded
+//! through a SplitMix64 expansion. No external crates are involved, so the
+//! stream is stable across toolchains and fully under our control — a
+//! prerequisite for replaying fault scenarios from a seed alone.
 
 /// A deterministic random stream.
 ///
-/// Wraps [`SmallRng`] and adds [`SimRng::split`], which derives statistically
-/// independent child streams from `(seed, stream_id)` pairs via a SplitMix64
-/// finalizer, so adding a component never perturbs another component's
-/// stream.
+/// Wraps an in-tree xoshiro256++ core and adds [`SimRng::split`], which
+/// derives statistically independent child streams from `(seed, stream_id)`
+/// pairs via a SplitMix64 finalizer, so adding a component never perturbs
+/// another component's stream.
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 /// SplitMix64 finalizer: maps correlated inputs to well-distributed outputs.
@@ -36,10 +38,19 @@ impl SimRng {
     /// Creates a stream from a master seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            seed,
-            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        // Expand the seed into four non-zero words with SplitMix64 (the
+        // xoshiro authors' recommended seeding procedure).
+        let mut s = splitmix64(seed);
+        let mut state = [0u64; 4];
+        for w in &mut state {
+            s = splitmix64(s);
+            *w = s;
         }
+        // The all-zero state is the one fixed point; nudge away from it.
+        if state.iter().all(|&w| w == 0) {
+            state[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        SimRng { seed, state }
     }
 
     /// Derives an independent child stream identified by `stream_id`.
@@ -51,9 +62,18 @@ impl SimRng {
         SimRng::new(splitmix64(self.seed ^ splitmix64(stream_id)))
     }
 
-    /// Uniform `u64`.
+    /// Uniform `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform value in `[0, bound)`.
@@ -63,7 +83,16 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below() requires a positive bound");
-        self.inner.gen_range(0..bound)
+        // Lemire's widening-multiply reduction with a rejection pass for
+        // exact uniformity.
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform `usize` in `[0, bound)`.
@@ -73,12 +102,12 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "index() requires a positive bound");
-        self.inner.gen_range(0..bound)
+        self.below(bound as u64) as usize
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -88,7 +117,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            self.unit() < p
         }
     }
 
@@ -164,6 +193,16 @@ mod tests {
             assert!(rng.below(10) < 10);
             assert!(rng.index(3) < 3);
         }
+    }
+
+    #[test]
+    fn below_covers_small_ranges() {
+        let mut rng = SimRng::new(19);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.index(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every residue must appear");
     }
 
     #[test]

@@ -1,49 +1,54 @@
 //! Property-based tests of the statistics containers against naive
-//! reference computations.
+//! reference computations, driven by the in-tree `check` harness.
 
+use noclat_sim::check::{self, range_f64, range_u64};
+use noclat_sim::rng::SimRng;
 use noclat_sim::stats::{Histogram, RunningMean, TimeSeries};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_values(rng: &mut SimRng, max: u64) -> Vec<u64> {
+    let n = range_u64(rng, 1, 300) as usize;
+    (0..n).map(|_| rng.below(max)).collect()
+}
 
-    #[test]
-    fn histogram_mean_and_count_match_reference(
-        values in prop::collection::vec(0u64..5_000, 1..300),
-    ) {
+#[test]
+fn histogram_mean_and_count_match_reference() {
+    check::cases(128, |rng| {
+        let values = random_values(rng, 5_000);
         let mut h = Histogram::new(25, 4000);
         for &v in &values {
             h.record(v);
         }
         let mean: f64 = values.iter().sum::<u64>() as f64 / values.len() as f64;
-        prop_assert_eq!(h.count(), values.len() as u64);
-        prop_assert!((h.mean() - mean).abs() < 1e-9);
-        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
-    }
+        assert_eq!(h.count(), values.len() as u64);
+        assert!((h.mean() - mean).abs() < 1e-9);
+        assert_eq!(h.max(), *values.iter().max().unwrap());
+    });
+}
 
-    #[test]
-    fn histogram_cdf_is_monotone_and_normalized(
-        values in prop::collection::vec(0u64..5_000, 1..300),
-    ) {
+#[test]
+fn histogram_cdf_is_monotone_and_normalized() {
+    check::cases(128, |rng| {
+        let values = random_values(rng, 5_000);
         let mut h = Histogram::new(25, 4000);
         for &v in &values {
             h.record(v);
         }
         let pts = h.cdf_points();
         for w in pts.windows(2) {
-            prop_assert!(w[1].1 >= w[0].1);
-            prop_assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 > w[0].0);
         }
-        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
         let pdf_sum: f64 = h.pdf_points().iter().map(|(_, f)| f).sum();
-        prop_assert!((pdf_sum - 1.0).abs() < 1e-12);
-    }
+        assert!((pdf_sum - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn histogram_percentile_brackets_reference(
-        values in prop::collection::vec(0u64..4_000, 1..300),
-        p in 0.0f64..1.0,
-    ) {
+#[test]
+fn histogram_percentile_brackets_reference() {
+    check::cases(128, |rng| {
+        let values = random_values(rng, 4_000);
+        let p = range_f64(rng, 0.0, 1.0);
         let mut h = Histogram::new(25, 4000);
         for &v in &values {
             h.record(v);
@@ -54,32 +59,38 @@ proptest! {
         let exact = sorted[idx];
         let approx = h.percentile(p);
         // Bin-quantized percentile may differ by at most one bin width.
-        prop_assert!(
+        assert!(
             approx <= exact && exact < approx + 2 * 25,
             "percentile({p}) = {approx}, exact {exact}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn running_mean_matches_reference(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn running_mean_matches_reference() {
+    check::cases(128, |rng| {
+        let n = range_u64(rng, 1, 200) as usize;
+        let values: Vec<f64> = (0..n).map(|_| range_f64(rng, -1e6, 1e6)).collect();
         let mut m = RunningMean::new();
         for &v in &values {
             m.record(v);
         }
         let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
-        prop_assert!((m.mean().unwrap() - mean).abs() < 1e-6);
-    }
+        assert!((m.mean().unwrap() - mean).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn time_series_overall_mean_matches_reference(
-        samples in prop::collection::vec((0u64..10_000, 0.0f64..1.0), 1..200),
-    ) {
+#[test]
+fn time_series_overall_mean_matches_reference() {
+    check::cases(128, |rng| {
+        let n = range_u64(rng, 1, 200) as usize;
+        let samples: Vec<(u64, f64)> = (0..n).map(|_| (rng.below(10_000), rng.unit())).collect();
         let mut ts = TimeSeries::new(500);
         for &(t, v) in &samples {
             ts.record(t, v);
         }
         let mean: f64 = samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len() as f64;
-        prop_assert!((ts.overall_mean().unwrap() - mean).abs() < 1e-9);
-        prop_assert!(ts.len() <= 21);
-    }
+        assert!((ts.overall_mean().unwrap() - mean).abs() < 1e-9);
+        assert!(ts.len() <= 21);
+    });
 }

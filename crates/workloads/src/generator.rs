@@ -140,9 +140,13 @@ impl SyntheticStream {
         self.phase_left = 1 + self.rng.below(2 * mean.max(1));
         if self.phase_hot {
             // Each hot phase hammers a fresh, narrow slice of the footprint.
-            self.hot_window_base = self
-                .rng
-                .below(self.profile.footprint_lines - self.profile.hot_window_lines.min(self.profile.footprint_lines));
+            self.hot_window_base = self.rng.below(
+                self.profile.footprint_lines
+                    - self
+                        .profile
+                        .hot_window_lines
+                        .min(self.profile.footprint_lines),
+            );
             self.cursor = self.hot_window_base;
         }
     }
@@ -208,7 +212,10 @@ impl SyntheticStream {
         if self.rng.chance(self.profile.row_locality) {
             self.cursor = (self.cursor + 1) % self.profile.footprint_lines;
         } else if self.phase_hot {
-            let window = self.profile.hot_window_lines.min(self.profile.footprint_lines);
+            let window = self
+                .profile
+                .hot_window_lines
+                .min(self.profile.footprint_lines);
             self.cursor = self.hot_window_base + self.rng.below(window.max(1));
             self.cursor %= self.profile.footprint_lines;
         } else {
@@ -278,7 +285,9 @@ impl InstrStream for SyntheticStream {
     /// region is L2-resident.
     fn resident_lines(&self) -> ResidentSet {
         ResidentSet {
-            l1: (0..self.profile.hot_lines).map(|l| self.translate(l)).collect(),
+            l1: (0..self.profile.hot_lines)
+                .map(|l| self.translate(l))
+                .collect(),
             l2: (0..self.profile.warm_lines)
                 .map(|l| self.translate(WARM_BASE_LINE + l))
                 .collect(),
@@ -394,7 +403,10 @@ mod tests {
         let c = s.counts();
         let frac = c.stores as f64 / c.mem_ops as f64;
         let target = SpecApp::Lbm.profile().write_fraction;
-        assert!((frac - target).abs() < 0.05, "write frac {frac} vs {target}");
+        assert!(
+            (frac - target).abs() < 0.05,
+            "write frac {frac} vs {target}"
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl Workload {
     pub fn apps(&self) -> Vec<SpecApp> {
         self.entries
             .iter()
-            .flat_map(|&(app, n)| std::iter::repeat(app).take(n))
+            .flat_map(|&(app, n)| std::iter::repeat_n(app, n))
             .collect()
     }
 
@@ -72,8 +72,7 @@ impl Workload {
                     .copied()
                     .filter(|a| a.profile().class == MemClass::NonIntensive)
                     .collect();
-                let mut half: Vec<SpecApp> =
-                    intensive[..intensive.len() / 2].to_vec();
+                let mut half: Vec<SpecApp> = intensive[..intensive.len() / 2].to_vec();
                 half.extend_from_slice(&non[..non.len() / 2]);
                 half
             }
@@ -93,151 +92,350 @@ pub fn workload(index: usize) -> Workload {
         1 => (
             WorkloadKind::Mixed,
             vec![
-                (Mcf, 3), (Lbm, 2), (Xalancbmk, 1), (Milc, 2), (Libquantum, 1),
-                (Leslie3d, 5), (GemsFDTD, 1), (Soplex, 1), (Omnetpp, 2),
-                (Perlbench, 1), (Astar, 1), (Wrf, 1), (Tonto, 1), (Sjeng, 1),
-                (Namd, 1), (Hmmer, 1), (H264ref, 1), (Gamess, 1), (Calculix, 1),
-                (Bzip2, 3), (Bwaves, 1),
+                (Mcf, 3),
+                (Lbm, 2),
+                (Xalancbmk, 1),
+                (Milc, 2),
+                (Libquantum, 1),
+                (Leslie3d, 5),
+                (GemsFDTD, 1),
+                (Soplex, 1),
+                (Omnetpp, 2),
+                (Perlbench, 1),
+                (Astar, 1),
+                (Wrf, 1),
+                (Tonto, 1),
+                (Sjeng, 1),
+                (Namd, 1),
+                (Hmmer, 1),
+                (H264ref, 1),
+                (Gamess, 1),
+                (Calculix, 1),
+                (Bzip2, 3),
+                (Bwaves, 1),
             ],
         ),
         2 => (
             WorkloadKind::Mixed,
             vec![
-                (Mcf, 4), (Lbm, 2), (Xalancbmk, 2), (Milc, 3), (Libquantum, 2),
-                (GemsFDTD, 1), (Soplex, 2), (Perlbench, 2), (Astar, 3), (Wrf, 3),
-                (Povray, 1), (Namd, 3), (Hmmer, 1), (H264ref, 1), (Gcc, 1),
+                (Mcf, 4),
+                (Lbm, 2),
+                (Xalancbmk, 2),
+                (Milc, 3),
+                (Libquantum, 2),
+                (GemsFDTD, 1),
+                (Soplex, 2),
+                (Perlbench, 2),
+                (Astar, 3),
+                (Wrf, 3),
+                (Povray, 1),
+                (Namd, 3),
+                (Hmmer, 1),
+                (H264ref, 1),
+                (Gcc, 1),
                 (Dealii, 1),
             ],
         ),
         3 => (
             WorkloadKind::Mixed,
             vec![
-                (Mcf, 4), (Lbm, 1), (Milc, 2), (Libquantum, 5), (Leslie3d, 2),
-                (Sphinx3, 1), (GemsFDTD, 1), (Omnetpp, 1), (Astar, 2),
-                (Zeusmp, 2), (Wrf, 2), (Tonto, 1), (Sjeng, 1), (H264ref, 1),
-                (Gobmk, 1), (Gcc, 1), (Gamess, 1), (Dealii, 1), (Calculix, 1),
+                (Mcf, 4),
+                (Lbm, 1),
+                (Milc, 2),
+                (Libquantum, 5),
+                (Leslie3d, 2),
+                (Sphinx3, 1),
+                (GemsFDTD, 1),
+                (Omnetpp, 1),
+                (Astar, 2),
+                (Zeusmp, 2),
+                (Wrf, 2),
+                (Tonto, 1),
+                (Sjeng, 1),
+                (H264ref, 1),
+                (Gobmk, 1),
+                (Gcc, 1),
+                (Gamess, 1),
+                (Dealii, 1),
+                (Calculix, 1),
                 (Bwaves, 1),
             ],
         ),
         4 => (
             WorkloadKind::Mixed,
             vec![
-                (Mcf, 1), (Lbm, 2), (Xalancbmk, 3), (Milc, 2), (Leslie3d, 1),
-                (Sphinx3, 3), (GemsFDTD, 1), (Soplex, 3), (Omnetpp, 1),
-                (Astar, 2), (Zeusmp, 1), (Wrf, 1), (Tonto, 1), (Sjeng, 1),
-                (H264ref, 2), (Gcc, 1), (Gamess, 3), (Bzip2, 2), (Bwaves, 1),
+                (Mcf, 1),
+                (Lbm, 2),
+                (Xalancbmk, 3),
+                (Milc, 2),
+                (Leslie3d, 1),
+                (Sphinx3, 3),
+                (GemsFDTD, 1),
+                (Soplex, 3),
+                (Omnetpp, 1),
+                (Astar, 2),
+                (Zeusmp, 1),
+                (Wrf, 1),
+                (Tonto, 1),
+                (Sjeng, 1),
+                (H264ref, 2),
+                (Gcc, 1),
+                (Gamess, 3),
+                (Bzip2, 2),
+                (Bwaves, 1),
             ],
         ),
         5 => (
             WorkloadKind::Mixed,
             vec![
-                (Mcf, 4), (Lbm, 2), (Xalancbmk, 3), (Milc, 1), (Leslie3d, 1),
-                (Sphinx3, 1), (Soplex, 4), (Astar, 2), (Zeusmp, 2), (Wrf, 1),
-                (Sjeng, 1), (Povray, 2), (Namd, 1), (Hmmer, 1), (H264ref, 2),
-                (Gromacs, 1), (Gcc, 1), (Calculix, 1), (Bwaves, 1),
+                (Mcf, 4),
+                (Lbm, 2),
+                (Xalancbmk, 3),
+                (Milc, 1),
+                (Leslie3d, 1),
+                (Sphinx3, 1),
+                (Soplex, 4),
+                (Astar, 2),
+                (Zeusmp, 2),
+                (Wrf, 1),
+                (Sjeng, 1),
+                (Povray, 2),
+                (Namd, 1),
+                (Hmmer, 1),
+                (H264ref, 2),
+                (Gromacs, 1),
+                (Gcc, 1),
+                (Calculix, 1),
+                (Bwaves, 1),
             ],
         ),
         6 => (
             WorkloadKind::Mixed,
             vec![
-                (Mcf, 2), (Xalancbmk, 2), (Milc, 1), (Libquantum, 1),
-                (Leslie3d, 2), (Sphinx3, 3), (GemsFDTD, 3), (Soplex, 2),
-                (Omnetpp, 1), (Perlbench, 2), (Wrf, 1), (Tonto, 2), (Hmmer, 1),
-                (Gromacs, 1), (Gobmk, 1), (Gcc, 1), (Gamess, 1), (Dealii, 2),
+                (Mcf, 2),
+                (Xalancbmk, 2),
+                (Milc, 1),
+                (Libquantum, 1),
+                (Leslie3d, 2),
+                (Sphinx3, 3),
+                (GemsFDTD, 3),
+                (Soplex, 2),
+                (Omnetpp, 1),
+                (Perlbench, 2),
+                (Wrf, 1),
+                (Tonto, 2),
+                (Hmmer, 1),
+                (Gromacs, 1),
+                (Gobmk, 1),
+                (Gcc, 1),
+                (Gamess, 1),
+                (Dealii, 2),
                 (Bzip2, 3),
             ],
         ),
         7 => (
             WorkloadKind::MemIntensive,
             vec![
-                (Mcf, 1), (Lbm, 5), (Xalancbmk, 5), (Milc, 1), (Libquantum, 5),
-                (Leslie3d, 4), (Sphinx3, 3), (GemsFDTD, 6), (Soplex, 2),
+                (Mcf, 1),
+                (Lbm, 5),
+                (Xalancbmk, 5),
+                (Milc, 1),
+                (Libquantum, 5),
+                (Leslie3d, 4),
+                (Sphinx3, 3),
+                (GemsFDTD, 6),
+                (Soplex, 2),
             ],
         ),
         8 => (
             WorkloadKind::MemIntensive,
             vec![
-                (Mcf, 3), (Lbm, 2), (Xalancbmk, 4), (Milc, 3), (Libquantum, 8),
-                (Leslie3d, 3), (Sphinx3, 4), (GemsFDTD, 5),
+                (Mcf, 3),
+                (Lbm, 2),
+                (Xalancbmk, 4),
+                (Milc, 3),
+                (Libquantum, 8),
+                (Leslie3d, 3),
+                (Sphinx3, 4),
+                (GemsFDTD, 5),
             ],
         ),
         9 => (
             WorkloadKind::MemIntensive,
             vec![
-                (Mcf, 4), (Lbm, 5), (Xalancbmk, 4), (Milc, 3), (Libquantum, 4),
-                (Leslie3d, 2), (Sphinx3, 6), (GemsFDTD, 2), (Soplex, 2),
+                (Mcf, 4),
+                (Lbm, 5),
+                (Xalancbmk, 4),
+                (Milc, 3),
+                (Libquantum, 4),
+                (Leslie3d, 2),
+                (Sphinx3, 6),
+                (GemsFDTD, 2),
+                (Soplex, 2),
             ],
         ),
         10 => (
             WorkloadKind::MemIntensive,
             vec![
-                (Mcf, 4), (Lbm, 3), (Xalancbmk, 3), (Milc, 2), (Libquantum, 4),
-                (Leslie3d, 3), (Sphinx3, 4), (GemsFDTD, 8), (Soplex, 1),
+                (Mcf, 4),
+                (Lbm, 3),
+                (Xalancbmk, 3),
+                (Milc, 2),
+                (Libquantum, 4),
+                (Leslie3d, 3),
+                (Sphinx3, 4),
+                (GemsFDTD, 8),
+                (Soplex, 1),
             ],
         ),
         11 => (
             WorkloadKind::MemIntensive,
             vec![
-                (Mcf, 3), (Lbm, 6), (Xalancbmk, 2), (Milc, 5), (Libquantum, 1),
-                (Leslie3d, 2), (Sphinx3, 4), (GemsFDTD, 4), (Soplex, 5),
+                (Mcf, 3),
+                (Lbm, 6),
+                (Xalancbmk, 2),
+                (Milc, 5),
+                (Libquantum, 1),
+                (Leslie3d, 2),
+                (Sphinx3, 4),
+                (GemsFDTD, 4),
+                (Soplex, 5),
             ],
         ),
         12 => (
             WorkloadKind::MemIntensive,
             vec![
-                (Mcf, 2), (Lbm, 3), (Xalancbmk, 3), (Milc, 6), (Libquantum, 5),
-                (Leslie3d, 4), (Sphinx3, 4), (GemsFDTD, 5),
+                (Mcf, 2),
+                (Lbm, 3),
+                (Xalancbmk, 3),
+                (Milc, 6),
+                (Libquantum, 5),
+                (Leslie3d, 4),
+                (Sphinx3, 4),
+                (GemsFDTD, 5),
             ],
         ),
         13 => (
             WorkloadKind::MemNonIntensive,
             vec![
-                (Perlbench, 1), (Astar, 3), (Zeusmp, 2), (Wrf, 2), (Sjeng, 3),
-                (Povray, 2), (Hmmer, 1), (Gromacs, 2), (Gcc, 1), (Gamess, 2),
-                (Dealii, 2), (Calculix, 5), (Bzip2, 2), (Bwaves, 4),
+                (Perlbench, 1),
+                (Astar, 3),
+                (Zeusmp, 2),
+                (Wrf, 2),
+                (Sjeng, 3),
+                (Povray, 2),
+                (Hmmer, 1),
+                (Gromacs, 2),
+                (Gcc, 1),
+                (Gamess, 2),
+                (Dealii, 2),
+                (Calculix, 5),
+                (Bzip2, 2),
+                (Bwaves, 4),
             ],
         ),
         14 => (
             WorkloadKind::MemNonIntensive,
             vec![
-                (Omnetpp, 3), (Perlbench, 1), (Zeusmp, 2), (Tonto, 1),
-                (Sjeng, 1), (Povray, 2), (Namd, 2), (Hmmer, 4), (H264ref, 3),
-                (Gromacs, 2), (Gobmk, 3), (Gamess, 3), (Bzip2, 1), (Bwaves, 4),
+                (Omnetpp, 3),
+                (Perlbench, 1),
+                (Zeusmp, 2),
+                (Tonto, 1),
+                (Sjeng, 1),
+                (Povray, 2),
+                (Namd, 2),
+                (Hmmer, 4),
+                (H264ref, 3),
+                (Gromacs, 2),
+                (Gobmk, 3),
+                (Gamess, 3),
+                (Bzip2, 1),
+                (Bwaves, 4),
             ],
         ),
         15 => (
             WorkloadKind::MemNonIntensive,
             vec![
-                (Omnetpp, 2), (Perlbench, 2), (Astar, 1), (Zeusmp, 3),
-                (Sjeng, 1), (Povray, 1), (Namd, 1), (Hmmer, 2), (H264ref, 1),
-                (Gromacs, 2), (Gobmk, 3), (Gcc, 2), (Gamess, 1), (Dealii, 4),
-                (Calculix, 2), (Bzip2, 2), (Bwaves, 2),
+                (Omnetpp, 2),
+                (Perlbench, 2),
+                (Astar, 1),
+                (Zeusmp, 3),
+                (Sjeng, 1),
+                (Povray, 1),
+                (Namd, 1),
+                (Hmmer, 2),
+                (H264ref, 1),
+                (Gromacs, 2),
+                (Gobmk, 3),
+                (Gcc, 2),
+                (Gamess, 1),
+                (Dealii, 4),
+                (Calculix, 2),
+                (Bzip2, 2),
+                (Bwaves, 2),
             ],
         ),
         16 => (
             WorkloadKind::MemNonIntensive,
             vec![
-                (Omnetpp, 3), (Perlbench, 3), (Astar, 2), (Zeusmp, 1), (Wrf, 2),
-                (Sjeng, 3), (Povray, 3), (Namd, 1), (Hmmer, 2), (H264ref, 1),
-                (Gobmk, 1), (Gcc, 4), (Gamess, 2), (Dealii, 2), (Bzip2, 1),
+                (Omnetpp, 3),
+                (Perlbench, 3),
+                (Astar, 2),
+                (Zeusmp, 1),
+                (Wrf, 2),
+                (Sjeng, 3),
+                (Povray, 3),
+                (Namd, 1),
+                (Hmmer, 2),
+                (H264ref, 1),
+                (Gobmk, 1),
+                (Gcc, 4),
+                (Gamess, 2),
+                (Dealii, 2),
+                (Bzip2, 1),
                 (Bwaves, 1),
             ],
         ),
         17 => (
             WorkloadKind::MemNonIntensive,
             vec![
-                (Omnetpp, 2), (Perlbench, 2), (Astar, 1), (Zeusmp, 2), (Wrf, 1),
-                (Tonto, 2), (Sjeng, 1), (Povray, 2), (Namd, 1), (Hmmer, 4),
-                (H264ref, 1), (Gobmk, 2), (Gcc, 2), (Gamess, 1), (Dealii, 3),
-                (Calculix, 2), (Bzip2, 3),
+                (Omnetpp, 2),
+                (Perlbench, 2),
+                (Astar, 1),
+                (Zeusmp, 2),
+                (Wrf, 1),
+                (Tonto, 2),
+                (Sjeng, 1),
+                (Povray, 2),
+                (Namd, 1),
+                (Hmmer, 4),
+                (H264ref, 1),
+                (Gobmk, 2),
+                (Gcc, 2),
+                (Gamess, 1),
+                (Dealii, 3),
+                (Calculix, 2),
+                (Bzip2, 3),
             ],
         ),
         18 => (
             WorkloadKind::MemNonIntensive,
             vec![
-                (Omnetpp, 2), (Perlbench, 4), (Zeusmp, 2), (Wrf, 2), (Tonto, 2),
-                (Sjeng, 2), (Namd, 1), (Hmmer, 2), (H264ref, 1), (Gromacs, 2),
-                (Gobmk, 2), (Gcc, 4), (Gamess, 2), (Calculix, 2), (Bzip2, 1),
+                (Omnetpp, 2),
+                (Perlbench, 4),
+                (Zeusmp, 2),
+                (Wrf, 2),
+                (Tonto, 2),
+                (Sjeng, 2),
+                (Namd, 1),
+                (Hmmer, 2),
+                (H264ref, 1),
+                (Gromacs, 2),
+                (Gobmk, 2),
+                (Gcc, 4),
+                (Gamess, 2),
+                (Calculix, 2),
+                (Bzip2, 1),
                 (Bwaves, 1),
             ],
         ),

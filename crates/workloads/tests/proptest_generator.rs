@@ -3,76 +3,74 @@
 //! slots.
 
 use noclat_cpu::{Instr, InstrStream};
+use noclat_sim::check::{self, pick};
 use noclat_sim::rng::SimRng;
 use noclat_workloads::{workload, MemClass, SpecApp, SyntheticStream};
-use proptest::prelude::*;
 
-fn any_app() -> impl Strategy<Value = SpecApp> {
-    prop::sample::select(SpecApp::ALL.to_vec())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn addresses_stay_in_the_slot_space(
-        app in any_app(),
-        slot in 0usize..32,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn addresses_stay_in_the_slot_space() {
+    check::cases(48, |rng| {
+        let app = pick(rng, SpecApp::ALL);
+        let slot = rng.index(32);
+        let seed = rng.next_u64();
         let mut s = SyntheticStream::new(app, slot, &SimRng::new(seed));
         for _ in 0..2_000 {
             if let Instr::Load { addr } | Instr::Store { addr } = s.next_instr() {
-                prop_assert_eq!(
+                assert_eq!(
                     addr >> 40,
                     slot as u64 + 1,
-                    "address {:#x} escaped slot {}", addr, slot
+                    "address {addr:#x} escaped slot {slot}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn counts_are_internally_consistent(
-        app in any_app(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn counts_are_internally_consistent() {
+    check::cases(48, |rng| {
+        let app = pick(rng, SpecApp::ALL);
+        let seed = rng.next_u64();
         let mut s = SyntheticStream::new(app, 0, &SimRng::new(seed));
         let n = 20_000;
         for _ in 0..n {
             let _ = s.next_instr();
         }
         let c = s.counts();
-        prop_assert_eq!(c.instructions, n);
-        prop_assert!(c.mem_ops <= c.instructions);
-        prop_assert!(c.stores <= c.mem_ops);
-        prop_assert!(c.stream_ops <= c.mem_ops);
-    }
+        assert_eq!(c.instructions, n);
+        assert!(c.mem_ops <= c.instructions);
+        assert!(c.stores <= c.mem_ops);
+        assert!(c.stream_ops <= c.mem_ops);
+    });
+}
 
-    #[test]
-    fn resident_set_sizes_match_profile(app in any_app(), slot in 0usize..32) {
+#[test]
+fn resident_set_sizes_match_profile() {
+    check::cases(48, |rng| {
+        let app = pick(rng, SpecApp::ALL);
+        let slot = rng.index(32);
         let s = SyntheticStream::new(app, slot, &SimRng::new(1));
         let r = s.resident_lines();
         let p = app.profile();
-        prop_assert_eq!(r.l1.len() as u64, p.hot_lines);
-        prop_assert_eq!(r.l2.len() as u64, p.warm_lines);
+        assert_eq!(r.l1.len() as u64, p.hot_lines);
+        assert_eq!(r.l2.len() as u64, p.warm_lines);
         // Resident lines live in the slot's space too.
         for &a in r.l1.iter().chain(&r.l2) {
-            prop_assert_eq!(a >> 40, slot as u64 + 1);
+            assert_eq!(a >> 40, slot as u64 + 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hot_phase_intensity_exceeds_cold(
-        app in prop::sample::select(
-            SpecApp::ALL
-                .iter()
-                .copied()
-                .filter(|a| a.profile().class == MemClass::Intensive)
-                .collect::<Vec<_>>()
-        ),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn hot_phase_intensity_exceeds_cold() {
+    let intensive: Vec<SpecApp> = SpecApp::ALL
+        .iter()
+        .copied()
+        .filter(|a| a.profile().class == MemClass::Intensive)
+        .collect();
+    check::cases(12, |rng| {
+        let app = pick(rng, &intensive);
+        let seed = rng.next_u64();
         let mut s = SyntheticStream::new(app, 0, &SimRng::new(seed));
         let mut hot = (0u64, 0u64); // (stream ops, instrs)
         let mut cold = (0u64, 0u64);
@@ -88,14 +86,16 @@ proptest! {
                 cold.1 += 1;
             }
         }
-        prop_assume!(hot.1 > 20_000 && cold.1 > 20_000);
+        if hot.1 <= 20_000 || cold.1 <= 20_000 {
+            return; // too few samples in one phase for a stable rate estimate
+        }
         let hot_rate = hot.0 as f64 / hot.1 as f64;
         let cold_rate = cold.0 as f64 / cold.1 as f64;
-        prop_assert!(
+        assert!(
             hot_rate > cold_rate * 1.5,
             "hot {hot_rate:.4} not clearly above cold {cold_rate:.4}"
         );
-    }
+    });
 }
 
 #[test]
@@ -126,7 +126,10 @@ fn hot_phases_concentrate_stream_jumps_spatially() {
             }
         }
     }
-    assert!(hot_n > 1_000 && cold_n > 1_000, "need samples in both phases");
+    assert!(
+        hot_n > 1_000 && cold_n > 1_000,
+        "need samples in both phases"
+    );
     let hot_diversity = hot_pages.len() as f64 / hot_n as f64;
     let cold_diversity = cold_pages.len() as f64 / cold_n as f64;
     assert!(

@@ -37,7 +37,10 @@ fn main() {
     let bs = bars(&is2);
     println!("{:>4} {:>8} {:42} {:>8}", "bank", "default", "", "scheme2");
     for b in 0..ib.len() {
-        println!("{b:>4} {:>8.3} {:20}|{:20} {:>8.3}", ib[b], bb[b], bs[b], is2[b]);
+        println!(
+            "{b:>4} {:>8.3} {:20}|{:20} {:>8.3}",
+            ib[b], bb[b], bs[b], is2[b]
+        );
     }
 
     for m in 0..base.system.num_controllers() {

@@ -66,7 +66,7 @@ impl Streamer {
 impl InstrStream for Streamer {
     fn next_instr(&mut self) -> Instr {
         self.cursor += 1;
-        if self.cursor % 16 == 0 {
+        if self.cursor.is_multiple_of(16) {
             Instr::Load {
                 addr: self.base + (self.cursor / 16) * 64,
             }
@@ -115,7 +115,10 @@ fn main() {
     let (c0, s0) = run(base.clone());
     let (c1, s1) = run(base.with_both_schemes());
     println!("mean IPC over 16 instances of each microkernel:\n");
-    println!("{:>16} {:>9} {:>9} {:>8}", "kernel", "baseline", "schemes", "delta");
+    println!(
+        "{:>16} {:>9} {:>9} {:>8}",
+        "kernel", "baseline", "schemes", "delta"
+    );
     println!(
         "{:>16} {:>9.3} {:>9.3} {:>+7.1}%",
         "pointer-chase",

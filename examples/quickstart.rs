@@ -18,7 +18,12 @@ fn main() {
     // Workload-2 from Table 2: a mixed bag of memory-intensive and
     // non-intensive SPEC CPU2006 applications, one per core.
     let mix = workload(2);
-    println!("running {} ({:?}, {} apps)...", mix.name(), mix.kind, mix.apps().len());
+    println!(
+        "running {} ({:?}, {} apps)...",
+        mix.name(),
+        mix.kind,
+        mix.apps().len()
+    );
 
     // Short demo windows; the figure harnesses use longer ones.
     let lengths = RunLengths {
@@ -30,7 +35,10 @@ fn main() {
     let schemes = run_mix(&baseline.clone().with_both_schemes(), &mix.apps(), lengths);
 
     println!("\nper-application IPC (first 8 cores):");
-    println!("{:>4} {:>12} {:>9} {:>9}", "core", "app", "baseline", "schemes");
+    println!(
+        "{:>4} {:>12} {:>9} {:>9}",
+        "core", "app", "baseline", "schemes"
+    );
     for core in 0..8 {
         println!(
             "{:>4} {:>12} {:>9.3} {:>9.3}",

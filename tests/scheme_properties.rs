@@ -1,9 +1,10 @@
 //! Property-style integration tests of the two schemes' externally
-//! observable guarantees, run through the public API.
+//! observable guarantees, run through the public API — plus the robustness
+//! guarantees of the fault-injection/recovery layer.
 
+use noclat_repro::sim::check::{self, pick, range_f64, range_u64};
 use noclat_repro::workloads::workload;
-use noclat_repro::{run_mix, RunLengths, SystemConfig};
-use proptest::prelude::*;
+use noclat_repro::{run_mix, FaultPlan, RunLengths, SystemConfig};
 
 fn quick() -> RunLengths {
     RunLengths {
@@ -48,29 +49,77 @@ fn combined_schemes_do_not_collapse_throughput() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Any valid scheme parameterization must produce a functioning system:
-    /// all cores progress and all injected packets eventually deliver.
-    #[test]
-    fn arbitrary_scheme_parameters_are_safe(
-        factor in 0.5f64..2.5,
-        window in 50u64..800,
-        idle_th in 1u32..4,
-        guard in prop::sample::select(vec![0u32, 200, 1000, 4000]),
-    ) {
+/// Any valid scheme parameterization must produce a functioning system:
+/// all cores progress and all injected packets eventually deliver.
+#[test]
+fn arbitrary_scheme_parameters_are_safe() {
+    check::cases(8, |rng| {
         let mut cfg = SystemConfig::baseline_32().with_both_schemes();
-        cfg.scheme1.threshold_factor = factor;
-        cfg.scheme2.history_window = window;
-        cfg.scheme2.idle_threshold = idle_th;
-        cfg.noc.starvation_age_guard = guard;
+        cfg.scheme1.threshold_factor = range_f64(rng, 0.5, 2.5);
+        cfg.scheme2.history_window = range_u64(rng, 50, 800);
+        cfg.scheme2.idle_threshold = range_u64(rng, 1, 4) as u32;
+        cfg.noc.starvation_age_guard = pick(rng, &[0u32, 200, 1000, 4000]);
         let apps = workload(1).apps();
-        let r = run_mix(&cfg, &apps, RunLengths { warmup: 1_000, measure: 8_000 });
+        let r = run_mix(
+            &cfg,
+            &apps,
+            RunLengths {
+                warmup: 1_000,
+                measure: 8_000,
+            },
+        );
         for a in &r.per_app {
-            prop_assert!(a.ipc > 0.0, "core {} starved with {:?}", a.core, cfg.scheme1);
+            assert!(
+                a.ipc > 0.0,
+                "core {} starved with {:?}",
+                a.core,
+                cfg.scheme1
+            );
         }
         // No unbounded packet leakage.
-        prop_assert!(r.system.txns_in_flight() <= 32 * cfg.cpu.lsq_size);
+        assert!(r.system.txns_in_flight() <= 32 * cfg.cpu.lsq_size);
+    });
+}
+
+/// With fault injection disabled, the liveness watchdog and conservation
+/// audit must stay silent: every run is clean by construction, so any
+/// violation would be a false positive.
+#[test]
+fn fault_free_runs_report_zero_violations() {
+    for cfg in [
+        SystemConfig::baseline_32(),
+        SystemConfig::baseline_32().with_both_schemes(),
+    ] {
+        let r = run_mix(&cfg, &workload(2).apps(), quick());
+        let rb = r.system.robustness();
+        assert_eq!(rb.violations, 0, "fault-free run raised violations");
+        assert_eq!(rb.packets_dropped, 0);
+        assert_eq!(rb.lost_txns, 0);
+        assert_eq!(rb.retries, 0);
+        assert!(r.system.violations().is_empty());
     }
+}
+
+/// Under random link flit drops, the recovery layer (detection + bounded
+/// re-injection) must retire every transaction: drops are observed (the
+/// fault plan really fires) but nothing is permanently lost.
+#[test]
+fn drop_faults_with_recovery_retire_all_transactions() {
+    check::cases(4, |rng| {
+        let rate = pick(rng, &[1e-4, 5e-4, 1e-3]);
+        let mut cfg = SystemConfig::baseline_32().with_both_schemes();
+        cfg.faults = FaultPlan::uniform_drop(rng.next_u64(), rate);
+        let r = run_mix(&cfg, &workload(2).apps(), quick());
+        let rb = r.system.robustness();
+        assert!(
+            rb.packets_dropped > 0,
+            "drop plan at rate {rate} never fired"
+        );
+        assert!(rb.retries > 0, "drops must trigger re-injection");
+        assert_eq!(
+            rb.lost_txns, 0,
+            "recovery lost {} transactions at drop rate {rate}",
+            rb.lost_txns
+        );
+    });
 }
