@@ -3,32 +3,90 @@
 //! FR-FCFS is the paper's (and industry's) baseline; FCFS destroys row
 //! locality and shows how much the schemes depend on a competent scheduler
 //! downstream.
+//!
+//! Two parallel phases: alone-IPC denominators (one hardware point per
+//! scheduler — the schedulers genuinely differ even alone), then the
+//! 2 × 2 cell grid.
 
-use noclat::{MemSchedPolicy, SystemConfig};
-use noclat_bench::{banner, lengths_from_args, pct, run_with_ws, w, AloneTable};
+use noclat::{run_mix, weighted_speedup_of, MemSchedPolicy, SystemConfig};
+use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
+use noclat_bench::{banner, pct, w};
+
+const SCHEDS: [MemSchedPolicy; 2] = [MemSchedPolicy::FrFcfs, MemSchedPolicy::Fcfs];
+
+fn hw_with_sched(seed: u64, sched: MemSchedPolicy) -> SystemConfig {
+    let mut hw = SystemConfig::baseline_32();
+    hw.seed = seed;
+    hw.mem.scheduler = sched;
+    hw
+}
 
 fn main() {
+    let args = SweepArgs::parse(&format!("ablation_memsched {}", sweep::SWEEP_USAGE));
     banner(
         "Ablation: FR-FCFS vs FCFS memory scheduling (workload-8)",
         "Baseline WS and Scheme-1+2 gains per scheduler.",
     );
-    let lengths = lengths_from_args();
-    let mut alone = AloneTable::new();
+    let lengths = args.lengths;
     let apps = w(8).apps();
-    for sched in [MemSchedPolicy::FrFcfs, MemSchedPolicy::Fcfs] {
-        let mut hw = SystemConfig::baseline_32();
-        hw.mem.scheduler = sched;
-        let table = alone.table(&hw, &apps, lengths);
-        let (rb, base) = run_with_ws(&hw, &apps, &table, lengths);
-        let (_, both) = run_with_ws(&hw.clone().with_both_schemes(), &apps, &table, lengths);
-        let hit_rate: f64 = (0..rb.system.num_controllers())
-            .map(|m| rb.system.controller_stats(m).row_hit_rate())
-            .sum::<f64>()
-            / rb.system.num_controllers() as f64;
+
+    let requests: Vec<_> = SCHEDS
+        .iter()
+        .map(|&s| (hw_with_sched(args.seed, s), apps.clone()))
+        .collect();
+    let alone = AloneMap::compute(&args, &requests);
+
+    let mut jobs = Vec::new();
+    for &sched in &SCHEDS {
+        let hw = hw_with_sched(args.seed, sched);
+        let table = alone.table(&hw, &apps);
+        for both in [false, true] {
+            let cfg = if both {
+                hw.clone().with_both_schemes()
+            } else {
+                hw.clone()
+            };
+            let apps = apps.clone();
+            let table = table.clone();
+            let label = if both { "both" } else { "base" };
+            jobs.push(Job::new(format!("memsched/{sched:?}/{label}"), move || {
+                let r = run_mix(&cfg, &apps, lengths);
+                let ws = weighted_speedup_of(&r, &table);
+                let hit_rate: f64 = (0..r.system.num_controllers())
+                    .map(|m| r.system.controller_stats(m).row_hit_rate())
+                    .sum::<f64>()
+                    / r.system.num_controllers() as f64;
+                (ws, hit_rate)
+            }));
+        }
+    }
+    let results = sweep::run_grid(&args, jobs);
+
+    let mut rows_json = Vec::new();
+    for (k, &sched) in SCHEDS.iter().enumerate() {
+        let (base, hit_rate) = results[k * 2];
+        let (both, _) = results[k * 2 + 1];
         println!(
-            "{sched:?}: base WS {base:.3}, row-hit rate {:.2}, Scheme-1+2 {}",
-            hit_rate,
+            "{sched:?}: base WS {base:.3}, row-hit rate {hit_rate:.2}, Scheme-1+2 {}",
             pct(both / base)
         );
+        rows_json.push(
+            Obj::new()
+                .field("scheduler", format!("{sched:?}"))
+                .field("base_ws", base)
+                .field("row_hit_rate", hit_rate)
+                .field("both_over_base", both / base)
+                .build(),
+        );
     }
+
+    let json = sweep::report(
+        "ablation_memsched",
+        &args,
+        Obj::new()
+            .field("workload", 8u64)
+            .field("schedulers", Json::Arr(rows_json))
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

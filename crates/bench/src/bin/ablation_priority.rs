@@ -4,43 +4,73 @@
 //! priority only), (b) the starvation age guard reduced to zero (strict
 //! priority), and (c) Scheme-2 alone. Workload-8 (memory-intensive) is the
 //! most sensitive to all three.
+//!
+//! Two parallel phases: alone-IPC denominators, then the six-variant grid.
 
 use noclat::SystemConfig;
-use noclat_bench::{banner, lengths_from_args, pct, run_with_ws, w, AloneTable};
+use noclat_bench::sweep::{self, AloneMap, Job, Obj, SweepArgs};
+use noclat_bench::{banner, pct, run_with_ws, w};
 
 fn main() {
+    let args = SweepArgs::parse(&format!("ablation_priority {}", sweep::SWEEP_USAGE));
     banner(
         "Ablation: prioritization machinery (workload-8)",
         "Normalized WS of Scheme-1+2 variants against the unprioritized baseline.",
     );
-    let lengths = lengths_from_args();
-    let mut alone = AloneTable::new();
+    let lengths = args.lengths;
     let apps = w(8).apps();
-    let hw = SystemConfig::baseline_32();
-    let table = alone.table(&hw, &apps, lengths);
-    let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
+    let mut hw = SystemConfig::baseline_32();
+    hw.seed = args.seed;
+    let alone = AloneMap::compute(&args, &[(hw.clone(), apps.clone())]);
+    let table = alone.table(&hw, &apps);
 
     let full = hw.clone().with_both_schemes();
-    let (_, ws_full) = run_with_ws(&full, &apps, &table, lengths);
-
     let mut no_bypass = full.clone();
     no_bypass.noc.bypass_enabled = false;
-    let (_, ws_nb) = run_with_ws(&no_bypass, &apps, &table, lengths);
-
     let mut strict = full.clone();
     strict.noc.starvation_age_guard = 0;
-    let (_, ws_strict) = run_with_ws(&strict, &apps, &table, lengths);
 
-    let s2_only = hw.clone().with_scheme2();
-    let (_, ws_s2) = run_with_ws(&s2_only, &apps, &table, lengths);
-
-    let s1_only = hw.clone().with_scheme1();
-    let (_, ws_s1) = run_with_ws(&s1_only, &apps, &table, lengths);
+    let variants: Vec<(&str, SystemConfig)> = vec![
+        ("baseline", hw.clone()),
+        ("s1", hw.clone().with_scheme1()),
+        ("s2", hw.clone().with_scheme2()),
+        ("full", full),
+        ("no_bypass", no_bypass),
+        ("strict", strict),
+    ];
+    let jobs: Vec<Job<f64>> = variants
+        .iter()
+        .map(|(name, cfg)| {
+            let cfg = cfg.clone();
+            let apps = apps.clone();
+            let table = table.clone();
+            Job::new(format!("priority/{name}"), move || {
+                run_with_ws(&cfg, &apps, &table, lengths).1
+            })
+        })
+        .collect();
+    let ws = sweep::run_grid(&args, jobs);
+    let base = ws[0];
 
     println!("baseline WS                    : {base:.3}");
-    println!("Scheme-1 only                  : {}", pct(ws_s1 / base));
-    println!("Scheme-2 only                  : {}", pct(ws_s2 / base));
-    println!("Scheme-1+2 (full)              : {}", pct(ws_full / base));
-    println!("Scheme-1+2, no bypassing       : {}", pct(ws_nb / base));
-    println!("Scheme-1+2, zero age guard     : {}", pct(ws_strict / base));
+    println!("Scheme-1 only                  : {}", pct(ws[1] / base));
+    println!("Scheme-2 only                  : {}", pct(ws[2] / base));
+    println!("Scheme-1+2 (full)              : {}", pct(ws[3] / base));
+    println!("Scheme-1+2, no bypassing       : {}", pct(ws[4] / base));
+    println!("Scheme-1+2, zero age guard     : {}", pct(ws[5] / base));
+
+    let json = sweep::report(
+        "ablation_priority",
+        &args,
+        Obj::new()
+            .field("workload", 8u64)
+            .field("base_ws", base)
+            .field("s1", ws[1] / base)
+            .field("s2", ws[2] / base)
+            .field("full", ws[3] / base)
+            .field("no_bypass", ws[4] / base)
+            .field("strict", ws[5] / base)
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

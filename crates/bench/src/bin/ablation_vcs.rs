@@ -1,28 +1,83 @@
 //! Ablation — virtual channel count sweep (2/4/8 VCs per port) under the
 //! combined schemes. More VCs reduce head-of-line blocking, which shrinks
 //! the queueing the schemes can jump.
+//!
+//! Two parallel phases: alone-IPC denominators (one hardware point per VC
+//! count — alone runs depend on the NoC too, and the [`AloneMap`] keys by
+//! the full hardware configuration), then the 3 × 2 cell grid.
 
 use noclat::SystemConfig;
-use noclat_bench::{banner, lengths_from_args, pct, run_with_ws, w, AloneTable};
+use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
+use noclat_bench::{banner, pct, run_with_ws, w};
+
+const VCS: [usize; 3] = [2, 4, 8];
+
+fn hw_with_vcs(seed: u64, vcs: usize) -> SystemConfig {
+    let mut hw = SystemConfig::baseline_32();
+    hw.seed = seed;
+    hw.noc.vcs_per_port = vcs;
+    hw
+}
 
 fn main() {
+    let args = SweepArgs::parse(&format!("ablation_vcs {}", sweep::SWEEP_USAGE));
     banner(
         "Ablation: VCs per port (workload-2)",
         "Baseline WS and Scheme-1+2 gains per VC count.",
     );
-    let lengths = lengths_from_args();
+    let lengths = args.lengths;
     let apps = w(2).apps();
-    for vcs in [2usize, 4, 8] {
-        let mut hw = SystemConfig::baseline_32();
-        hw.noc.vcs_per_port = vcs;
-        // Alone runs depend on the NoC too; rebuild the table per config.
-        let mut alone = AloneTable::new();
-        let table = alone.table(&hw, &apps, lengths);
-        let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
-        let (_, both) = run_with_ws(&hw.clone().with_both_schemes(), &apps, &table, lengths);
+
+    let requests: Vec<_> = VCS
+        .iter()
+        .map(|&v| (hw_with_vcs(args.seed, v), apps.clone()))
+        .collect();
+    let alone = AloneMap::compute(&args, &requests);
+
+    let mut jobs = Vec::new();
+    for &vcs in &VCS {
+        let hw = hw_with_vcs(args.seed, vcs);
+        let table = alone.table(&hw, &apps);
+        for both in [false, true] {
+            let cfg = if both {
+                hw.clone().with_both_schemes()
+            } else {
+                hw.clone()
+            };
+            let apps = apps.clone();
+            let table = table.clone();
+            let label = if both { "both" } else { "base" };
+            jobs.push(Job::new(format!("vcs/{vcs}/{label}"), move || {
+                run_with_ws(&cfg, &apps, &table, lengths).1
+            }));
+        }
+    }
+    let ws = sweep::run_grid(&args, jobs);
+
+    let mut rows_json = Vec::new();
+    for (k, &vcs) in VCS.iter().enumerate() {
+        let base = ws[k * 2];
+        let both = ws[k * 2 + 1];
         println!(
             "{vcs} VCs/port: base WS {base:.3}, Scheme-1+2 {}",
             pct(both / base)
         );
+        rows_json.push(
+            Obj::new()
+                .field("vcs_per_port", vcs)
+                .field("base_ws", base)
+                .field("both_over_base", both / base)
+                .build(),
+        );
     }
+
+    let json = sweep::report(
+        "ablation_vcs",
+        &args,
+        Obj::new()
+            .field("workload", 2u64)
+            .field("points", Json::Arr(rows_json))
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

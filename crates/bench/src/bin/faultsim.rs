@@ -1,7 +1,8 @@
 //! Fault-injection sweep: link drop rates × prioritization schemes.
 //!
 //! ```text
-//! faultsim [--warmup CYCLES] [--measure CYCLES] [--workload N] [--seed SEED]
+//! faultsim [--jobs N] [--json PATH] [--workload N]
+//!          [--warmup CYCLES] [--measure CYCLES] [--seed SEED]
 //! ```
 //!
 //! Runs the paper's baseline 32-core system under uniformly random link
@@ -11,51 +12,18 @@
 //! retries, timeouts, lost transactions, and watchdog violations. With the
 //! recovery layer on (the default), every drop rate must retire all
 //! transactions — lost must stay zero.
+//!
+//! All 16 cells run as one pool grid.
 
-use noclat::{run_mix, FaultPlan, RunLengths, SystemConfig};
+use noclat::{run_mix, FaultPlan, SystemConfig};
+use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
 use noclat_workloads::workload;
 
-struct Args {
-    warmup: u64,
-    measure: u64,
-    workload: usize,
-    seed: u64,
-}
+const USAGE: &str =
+    "faultsim [--jobs N] [--json PATH] [--workload 1..18] [--warmup N] [--measure N] [--seed N]";
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        warmup: 5_000,
-        measure: 40_000,
-        workload: 2,
-        seed: 42,
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        let key = argv[i].as_str();
-        let value = |i: usize| -> Result<&String, String> {
-            argv.get(i + 1)
-                .ok_or_else(|| format!("{key} needs a value"))
-        };
-        match key {
-            "--warmup" => args.warmup = value(i)?.parse().map_err(|e| format!("{e}"))?,
-            "--measure" => args.measure = value(i)?.parse().map_err(|e| format!("{e}"))?,
-            "--workload" => args.workload = value(i)?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => args.seed = value(i)?.parse().map_err(|e| format!("{e}"))?,
-            "--help" | "-h" => return Err("help".into()),
-            other => return Err(format!("unknown argument {other}")),
-        }
-        i += 2;
-    }
-    if !(1..=18).contains(&args.workload) {
-        return Err(format!("workload {} out of range (1..=18)", args.workload));
-    }
-    Ok(args)
-}
-
-fn usage() {
-    eprintln!("usage: faultsim [--warmup N] [--measure N] [--workload 1..18] [--seed N]");
-}
+const DROP_RATES: [f64; 4] = [0.0, 1e-5, 1e-4, 1e-3];
+const SCHEMES: [&str; 4] = ["baseline", "s1", "s2", "both"];
 
 fn scheme_config(name: &str) -> SystemConfig {
     let mut cfg = SystemConfig::baseline_32();
@@ -69,27 +37,64 @@ fn scheme_config(name: &str) -> SystemConfig {
     cfg
 }
 
+/// One sweep cell: completed off-chip accesses, aggregate IPC, and the
+/// robustness counters.
+type Cell = (u64, f64, u64, u64, u64, u64, u64);
+
 fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
+    // The fault sweep keeps its historical short default window and seed;
+    // explicit flags (which follow the injected defaults) override them.
+    let mut argv: Vec<String> = ["--warmup", "5000", "--measure", "40000", "--seed", "42"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    argv.extend(std::env::args().skip(1));
+    let (args, rest) = match SweepArgs::parse_argv(&argv) {
+        Ok(pair) => pair,
         Err(e) => {
-            if e != "help" {
+            let help = e == "help";
+            if !help {
                 eprintln!("error: {e}");
             }
-            usage();
-            std::process::exit(if e == "help" { 0 } else { 2 });
+            eprintln!("usage: {USAGE}");
+            std::process::exit(if help { 0 } else { 2 });
         }
     };
-    let drop_rates = [0.0f64, 1e-5, 1e-4, 1e-3];
-    let schemes = ["baseline", "s1", "s2", "both"];
-    let apps = workload(args.workload).apps();
-    let lengths = RunLengths {
-        warmup: args.warmup,
-        measure: args.measure,
-    };
+    let mut widx = 2usize;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--workload" => {
+                let Some(v) = rest.get(i + 1) else {
+                    eprintln!("error: --workload needs a value");
+                    std::process::exit(2);
+                };
+                widx = match v.parse() {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("error: --workload: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                eprintln!("usage: {USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(1..=18).contains(&widx) {
+        eprintln!("error: workload {widx} out of range (1..=18)");
+        std::process::exit(2);
+    }
+
+    let apps = workload(widx).apps();
+    let lengths = args.lengths;
     println!(
-        "fault sweep: workload {}, {}+{} cycles, drop rates {:?}",
-        args.workload, args.warmup, args.measure, drop_rates
+        "fault sweep: workload {widx}, {}+{} cycles, drop rates {:?}",
+        lengths.warmup, lengths.measure, DROP_RATES
     );
     println!(
         "{:>9} {:>9} {:>9} {:>7.7} {:>8} {:>8} {:>8} {:>6} {:>10}",
@@ -103,32 +108,64 @@ fn main() {
         "lost",
         "violations"
     );
+
+    let mut jobs = Vec::new();
+    for scheme in SCHEMES {
+        for &rate in &DROP_RATES {
+            let apps = apps.clone();
+            let seed = args.seed;
+            jobs.push(Job::new(
+                format!("faultsim/{scheme}/{rate:e}"),
+                move || -> Cell {
+                    let mut cfg = scheme_config(scheme);
+                    cfg.seed = seed;
+                    if rate > 0.0 {
+                        cfg.faults = FaultPlan::uniform_drop(seed ^ rate.to_bits(), rate);
+                    }
+                    let r = run_mix(&cfg, &apps, lengths);
+                    let offchip: u64 = r.per_app.iter().map(|a| a.offchip).sum();
+                    let ipc: f64 = r.per_app.iter().map(|a| a.ipc).sum();
+                    let rb = r.system.robustness();
+                    (
+                        offchip,
+                        ipc,
+                        rb.packets_dropped,
+                        rb.retries,
+                        rb.timeouts,
+                        rb.lost_txns,
+                        rb.violations,
+                    )
+                },
+            ));
+        }
+    }
+    let cells = sweep::run_grid(&args, jobs);
+
     let mut all_retired = true;
-    for scheme in schemes {
-        for &rate in &drop_rates {
-            let mut cfg = scheme_config(scheme);
-            cfg.seed = args.seed;
-            if rate > 0.0 {
-                cfg.faults = FaultPlan::uniform_drop(args.seed ^ rate.to_bits(), rate);
-            }
-            let r = run_mix(&cfg, &apps, lengths);
-            let offchip: u64 = r.per_app.iter().map(|a| a.offchip).sum();
-            let ipc: f64 = r.per_app.iter().map(|a| a.ipc).sum();
-            let rb = r.system.robustness();
-            if rb.lost_txns > 0 {
+    let mut cells_json = Vec::new();
+    for (k, scheme) in SCHEMES.iter().enumerate() {
+        for (j, &rate) in DROP_RATES.iter().enumerate() {
+            let (offchip, ipc, dropped, retries, timeouts, lost, violations) =
+                cells[k * DROP_RATES.len() + j];
+            if lost > 0 {
                 all_retired = false;
             }
             println!(
-                "{:>9} {:>9.0e} {:>9} {:>7.3} {:>8} {:>8} {:>8} {:>6} {:>10}",
-                scheme,
-                rate,
-                offchip,
-                ipc,
-                rb.packets_dropped,
-                rb.retries,
-                rb.timeouts,
-                rb.lost_txns,
-                rb.violations
+                "{scheme:>9} {rate:>9.0e} {offchip:>9} {ipc:>7.3} {dropped:>8} {retries:>8} \
+                 {timeouts:>8} {lost:>6} {violations:>10}"
+            );
+            cells_json.push(
+                Obj::new()
+                    .field("scheme", *scheme)
+                    .field("drop_rate", rate)
+                    .field("offchip", offchip)
+                    .field("ipc", ipc)
+                    .field("dropped", dropped)
+                    .field("retries", retries)
+                    .field("timeouts", timeouts)
+                    .field("lost", lost)
+                    .field("violations", violations)
+                    .build(),
             );
         }
     }
@@ -136,6 +173,19 @@ fn main() {
         println!("\nall transactions retired under every drop rate (zero lost)");
     } else {
         println!("\nWARNING: some transactions were lost despite recovery");
+    }
+
+    let json = sweep::report(
+        "faultsim",
+        &args,
+        Obj::new()
+            .field("workload", widx)
+            .field("all_retired", all_retired)
+            .field("cells", Json::Arr(cells_json))
+            .build(),
+    );
+    sweep::finish(&args, &json);
+    if !all_retired {
         std::process::exit(1);
     }
 }

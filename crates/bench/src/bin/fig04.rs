@@ -6,25 +6,42 @@
 //! grows steeply with the delay range, and the network components also grow,
 //! so late accesses are late because of both memory queueing and network
 //! contention.
+//!
+//! The measurement is sharded across independently seeded replicates on the
+//! worker pool; breakdown rows merge exactly, so reports are identical for
+//! every `--jobs` value.
 
-use noclat::{run_mix, SystemConfig};
-use noclat_bench::{banner, core_of, lengths_from_args};
+use noclat::{run_mix, AppLatency, SystemConfig};
+use noclat_bench::sweep::{self, Json, Obj, SweepArgs, DEFAULT_SHARDS};
+use noclat_bench::{banner, core_of};
 use noclat_workloads::{workload, SpecApp};
 
 fn main() {
+    let args = SweepArgs::parse(&format!("fig04 {}", sweep::SWEEP_USAGE));
     banner(
         "Figure 4: Per-range breakdown of off-chip access delay (milc, workload-2)",
         "Columns: delay range start | count | L1->L2 | L2->Mem | Mem | Mem->L2 | L2->L1",
     );
-    let lengths = lengths_from_args();
-    let r = run_mix(&SystemConfig::baseline_32(), &workload(2).apps(), lengths);
-    let core = core_of(&r, SpecApp::Milc).expect("workload-2 contains milc");
+    let lengths = args.lengths;
+    let shards = sweep::run_shards(&args, "fig04/w2", DEFAULT_SHARDS, move |_, seed| {
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.seed = seed;
+        let r = run_mix(&cfg, &workload(2).apps(), lengths);
+        let core = core_of(&r, SpecApp::Milc).expect("workload-2 contains milc");
+        (core, r.system.tracker().app(core).clone())
+    });
+    let core = shards[0].0;
+    let mut app = AppLatency::empty();
+    for (_, shard) in &shards {
+        app.merge(shard);
+    }
     println!("milc runs on core {core}\n");
     println!(
         "{:>7} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "range", "count", "L1->L2", "L2->Mem", "Mem", "Mem->L2", "L2->L1", "total"
     );
-    for (range, row) in r.system.tracker().app(core).breakdown() {
+    let mut rows_json = Vec::new();
+    for (range, row) in app.breakdown() {
         let a = row.averages();
         println!(
             "{:>7} {:>6} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0}",
@@ -37,11 +54,35 @@ fn main() {
             a[4],
             a.iter().sum::<f64>()
         );
+        rows_json.push(
+            Obj::new()
+                .field("range", range)
+                .field("count", row.count)
+                .field("l1_to_l2", a[0])
+                .field("l2_to_mem", a[1])
+                .field("mem", a[2])
+                .field("mem_to_l2", a[3])
+                .field("l2_to_l1", a[4])
+                .build(),
+        );
     }
-    let app = r.system.tracker().app(core);
     println!(
         "\nmilc off-chip accesses: {}  mean round-trip: {:.0} cycles (paper: ~350)",
         app.total.count(),
         app.total.mean()
     );
+    let json = sweep::report(
+        "fig04",
+        &args,
+        Obj::new()
+            .field("workload", 2u64)
+            .field("app", "milc")
+            .field("core", core)
+            .field("shards", DEFAULT_SHARDS)
+            .field("offchip", app.total.count())
+            .field("mean_round_trip", app.total.mean())
+            .field("breakdown", Json::Arr(rows_json))
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

@@ -4,20 +4,34 @@
 //! Paper shape to reproduce: most accesses cluster around the average, with
 //! a small but heavy tail of very slow accesses (the "late" accesses
 //! Scheme-1 targets).
+//!
+//! Sharded across independently seeded replicates on the worker pool; the
+//! merged histogram is identical for every `--jobs` value.
 
-use noclat::{run_mix, SystemConfig};
-use noclat_bench::{banner, core_of, lengths_from_args};
+use noclat::{run_mix, AppLatency, SystemConfig};
+use noclat_bench::sweep::{self, histogram_json, Obj, SweepArgs, DEFAULT_SHARDS};
+use noclat_bench::{banner, core_of};
 use noclat_workloads::{workload, SpecApp};
 
 fn main() {
+    let args = SweepArgs::parse(&format!("fig05 {}", sweep::SWEEP_USAGE));
     banner(
         "Figure 5: Latency distribution of milc's off-chip accesses (workload-2)",
         "Columns: delay bin center | fraction of accesses | bar",
     );
-    let lengths = lengths_from_args();
-    let r = run_mix(&SystemConfig::baseline_32(), &workload(2).apps(), lengths);
-    let core = core_of(&r, SpecApp::Milc).expect("workload-2 contains milc");
-    let h = &r.system.tracker().app(core).total;
+    let lengths = args.lengths;
+    let shards = sweep::run_shards(&args, "fig05/w2", DEFAULT_SHARDS, move |_, seed| {
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.seed = seed;
+        let r = run_mix(&cfg, &workload(2).apps(), lengths);
+        let core = core_of(&r, SpecApp::Milc).expect("workload-2 contains milc");
+        r.system.tracker().app(core).clone()
+    });
+    let mut app = AppLatency::empty();
+    for shard in &shards {
+        app.merge(shard);
+    }
+    let h = &app.total;
     for (center, frac) in h.pdf_points() {
         if frac > 0.0005 {
             let bar = "#".repeat((frac * 400.0).round() as usize);
@@ -36,4 +50,16 @@ fn main() {
         "fraction of accesses beyond 1.7 x mean: {:.1}% (paper: ~10% beyond 600 with mean ~350)",
         tail * 100.0
     );
+    let json = sweep::report(
+        "fig05",
+        &args,
+        Obj::new()
+            .field("workload", 2u64)
+            .field("app", "milc")
+            .field("shards", DEFAULT_SHARDS)
+            .field("latency", histogram_json(h))
+            .field("tail_beyond_1p7x_mean", tail)
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

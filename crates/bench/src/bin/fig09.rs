@@ -6,21 +6,36 @@
 //! Paper shape to reproduce: the so-far distribution sits left of the
 //! round-trip distribution; the threshold `1.2 × Delay_avg` cuts off the
 //! so-far tail (the accesses Scheme-1 expedites).
+//!
+//! The measurement is sharded: [`DEFAULT_SHARDS`] independently seeded
+//! replicates run on the worker pool (`--jobs N`) and their histograms merge
+//! exactly, so `--jobs 1` and `--jobs 8` print and serialize identical
+//! reports.
 
-use noclat::{run_mix, SystemConfig};
-use noclat_bench::{banner, core_of, lengths_from_args};
+use noclat::{run_mix, AppLatency, SystemConfig};
+use noclat_bench::sweep::{self, histogram_json, Obj, SweepArgs, DEFAULT_SHARDS};
+use noclat_bench::{banner, core_of};
 use noclat_workloads::{workload, SpecApp};
 
 fn main() {
+    let args = SweepArgs::parse(&format!("fig09 {}", sweep::SWEEP_USAGE));
     banner(
         "Figure 9: Round-trip vs so-far delay distributions (milc, workload-2)",
         "Columns: bin center | round-trip fraction | so-far fraction",
     );
-    let lengths = lengths_from_args();
-    let cfg = SystemConfig::baseline_32();
-    let r = run_mix(&cfg, &workload(2).apps(), lengths);
-    let core = core_of(&r, SpecApp::Milc).expect("workload-2 contains milc");
-    let app = r.system.tracker().app(core);
+    let lengths = args.lengths;
+    let shards = sweep::run_shards(&args, "fig09/w2", DEFAULT_SHARDS, move |_, seed| {
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.seed = seed;
+        let r = run_mix(&cfg, &workload(2).apps(), lengths);
+        let core = core_of(&r, SpecApp::Milc).expect("workload-2 contains milc");
+        r.system.tracker().app(core).clone()
+    });
+    let mut app = AppLatency::empty();
+    for shard in &shards {
+        app.merge(shard);
+    }
+
     let rt = app.total.pdf_points();
     let sf = app.so_far.pdf_points();
     let n = rt.len().max(sf.len());
@@ -32,6 +47,7 @@ fn main() {
             println!("{c1:>6} {f1:>11.4} {f2:>9.4}");
         }
     }
+    let cfg = SystemConfig::baseline_32();
     let delay_avg = app.total.mean();
     let threshold = cfg.scheme1.threshold_factor * delay_avg;
     println!("\nDelay_avg (round-trip)       : {delay_avg:.0} cycles");
@@ -48,4 +64,21 @@ fn main() {
         "so-far fraction beyond it    : {:.1}% (these become 'late')",
         late * 100.0
     );
+
+    let json = sweep::report(
+        "fig09",
+        &args,
+        Obj::new()
+            .field("workload", 2u64)
+            .field("app", "milc")
+            .field("shards", DEFAULT_SHARDS)
+            .field("round_trip", histogram_json(&app.total))
+            .field("so_far", histogram_json(&app.so_far))
+            .field("delay_avg", delay_avg)
+            .field("threshold_factor", cfg.scheme1.threshold_factor)
+            .field("threshold", threshold)
+            .field("late_fraction", late)
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

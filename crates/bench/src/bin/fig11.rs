@@ -6,20 +6,51 @@
 //! workloads gain the most, non-intensive the least; one or two workloads
 //! may dip slightly below 1.0 under Scheme-1 alone (the paper saw this for
 //! workloads 2 and 9).
+//!
+//! Two parallel phases: the alone-IPC denominators (one pool job per app)
+//! and the 18 × 3 workload × scheme mix grid.
 
 use noclat::SystemConfig;
-use noclat_bench::{banner, lengths_from_args, normalized_ws, pct, w, AloneTable};
+use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
+use noclat_bench::{banner, pct, run_with_ws, w};
 use noclat_sim::stats::geomean;
 use noclat_workloads::{indices_of, WorkloadKind};
 
 fn main() {
+    let args = SweepArgs::parse(&format!("fig11 {}", sweep::SWEEP_USAGE));
     banner(
         "Figure 11: Normalized weighted speedup, 18 workloads, 32-core system",
         "Bars: Scheme-1 and Scheme-1+Scheme-2, normalized to the baseline.",
     );
-    let lengths = lengths_from_args();
-    let hw = SystemConfig::baseline_32();
-    let mut alone = AloneTable::new();
+    let lengths = args.lengths;
+    let mut hw = SystemConfig::baseline_32();
+    hw.seed = args.seed;
+
+    let requests: Vec<_> = (1..=18).map(|i| (hw.clone(), w(i).apps())).collect();
+    let alone = AloneMap::compute(&args, &requests);
+
+    let mut jobs = Vec::new();
+    for i in 1..=18 {
+        let apps = w(i).apps();
+        let table = alone.table(&hw, &apps);
+        for variant in ["base", "s1", "both"] {
+            let cfg = match variant {
+                "base" => hw.clone(),
+                "s1" => hw.clone().with_scheme1(),
+                _ => hw.clone().with_both_schemes(),
+            };
+            let apps = apps.clone();
+            let table = table.clone();
+            jobs.push(Job::new(
+                format!("fig11/{}/{variant}", w(i).name()),
+                move || run_with_ws(&cfg, &apps, &table, lengths).1,
+            ));
+        }
+    }
+    let ws = sweep::run_grid(&args, jobs);
+
+    let mut rows_json = Vec::new();
+    let mut geo_json = Obj::new();
     for kind in [
         WorkloadKind::Mixed,
         WorkloadKind::MemIntensive,
@@ -33,17 +64,27 @@ fn main() {
         let mut s1s = Vec::new();
         let mut boths = Vec::new();
         for i in indices_of(kind) {
-            let workload = w(i);
-            let nws = normalized_ws(&hw, &workload, &mut alone, lengths);
+            let base = ws[(i - 1) * 3];
+            let s1 = ws[(i - 1) * 3 + 1] / base;
+            let both = ws[(i - 1) * 3 + 2] / base;
             println!(
                 "{:>12} {:>9.3} {:>10.3} {:>12.3}",
-                workload.name(),
-                nws.base,
-                nws.s1,
-                nws.both
+                w(i).name(),
+                base,
+                s1,
+                both
             );
-            s1s.push(nws.s1);
-            boths.push(nws.both);
+            s1s.push(s1);
+            boths.push(both);
+            rows_json.push(
+                Obj::new()
+                    .field("workload", w(i).name())
+                    .field("kind", format!("{kind:?}"))
+                    .field("base_ws", base)
+                    .field("s1", s1)
+                    .field("both", both)
+                    .build(),
+            );
         }
         let g1 = geomean(&s1s).unwrap_or(1.0);
         let g2 = geomean(&boths).unwrap_or(1.0);
@@ -56,7 +97,21 @@ fn main() {
             pct(g1),
             pct(g2)
         );
+        geo_json = geo_json.field(
+            format!("{kind:?}"),
+            Obj::new().field("s1", g1).field("both", g2).build(),
+        );
     }
     println!("\nPaper: up to +13% (mixed), +15% (intensive), +1% (non-intensive) for Scheme-1+2.");
     println!("See EXPERIMENTS.md for the magnitude discussion.");
+
+    let json = sweep::report(
+        "fig11",
+        &args,
+        Obj::new()
+            .field("workloads", Json::Arr(rows_json))
+            .field("geomeans", geo_json.build())
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

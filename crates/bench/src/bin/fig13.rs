@@ -7,48 +7,90 @@
 //! The paper plots workload-1; in our calibration the mixed workloads leave
 //! banks mostly idle, so the memory-intensive workload-8 — where bank
 //! pressure actually exists — is reported alongside it.
+//!
+//! All four (workload × scheme) cells run as one pool grid.
 
-use noclat::{run_mix, MixResult, RunLengths, SystemConfig};
-use noclat_bench::{banner, lengths_from_args};
+use noclat::{run_mix, SystemConfig};
+use noclat_bench::banner;
+use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
 use noclat_workloads::workload;
 
-fn report(widx: usize, base: &MixResult, s2: &MixResult) {
-    println!("\n--- workload-{widx} ---");
-    let ib = base.system.idleness(0).per_bank_idleness();
-    let is2 = s2.system.idleness(0).per_bank_idleness();
-    println!(
-        "{:>5} {:>9} {:>9} {:>8}",
-        "bank", "default", "scheme2", "delta"
-    );
-    let mut reduced = 0;
-    for b in 0..ib.len() {
-        let d = is2[b] - ib[b];
-        if d < 0.0 {
-            reduced += 1;
-        }
-        println!("{b:>5} {:>9.3} {:>9.3} {d:>+8.3}", ib[b], is2[b]);
-    }
-    println!(
-        "overall idleness: {:.4} -> {:.4}  (reduced in {reduced}/{} banks)",
-        base.system.idleness(0).overall(),
-        s2.system.idleness(0).overall(),
-        ib.len()
-    );
-}
-
-fn run_for(widx: usize, lengths: RunLengths) {
-    let apps = workload(widx).apps();
-    let base = run_mix(&SystemConfig::baseline_32(), &apps, lengths);
-    let s2 = run_mix(&SystemConfig::baseline_32().with_scheme2(), &apps, lengths);
-    report(widx, &base, &s2);
-}
+const WORKLOADS: [usize; 2] = [1, 8];
 
 fn main() {
+    let args = SweepArgs::parse(&format!("fig13 {}", sweep::SWEEP_USAGE));
     banner(
         "Figure 13: Bank idleness of controller 0, default vs Scheme-2",
         "A bank is idle when its queue is empty at a sampling instant.",
     );
-    let lengths = lengths_from_args();
-    run_for(1, lengths); // the paper's choice
-    run_for(8, lengths); // where bank pressure is visible in our calibration
+    let lengths = args.lengths;
+    let mut jobs = Vec::new();
+    for &widx in &WORKLOADS {
+        for scheme2 in [false, true] {
+            let seed = args.seed;
+            let label = if scheme2 { "scheme2" } else { "default" };
+            jobs.push(Job::new(format!("fig13/w{widx}/{label}"), move || {
+                let mut cfg = SystemConfig::baseline_32();
+                if scheme2 {
+                    cfg = cfg.with_scheme2();
+                }
+                cfg.seed = seed;
+                let r = run_mix(&cfg, &workload(widx).apps(), lengths);
+                (
+                    r.system.idleness(0).per_bank_idleness(),
+                    r.system.idleness(0).overall(),
+                )
+            }));
+        }
+    }
+    let results = sweep::run_grid(&args, jobs);
+
+    let mut rows_json = Vec::new();
+    for (k, &widx) in WORKLOADS.iter().enumerate() {
+        let (ib, overall_b) = &results[k * 2];
+        let (is2, overall_s) = &results[k * 2 + 1];
+        println!("\n--- workload-{widx} ---");
+        println!(
+            "{:>5} {:>9} {:>9} {:>8}",
+            "bank", "default", "scheme2", "delta"
+        );
+        let mut reduced = 0;
+        for b in 0..ib.len() {
+            let d = is2[b] - ib[b];
+            if d < 0.0 {
+                reduced += 1;
+            }
+            println!("{b:>5} {:>9.3} {:>9.3} {d:>+8.3}", ib[b], is2[b]);
+        }
+        println!(
+            "overall idleness: {overall_b:.4} -> {overall_s:.4}  (reduced in {reduced}/{} banks)",
+            ib.len()
+        );
+        rows_json.push(
+            Obj::new()
+                .field("workload", widx)
+                .field(
+                    "default",
+                    Json::Arr(ib.iter().map(|&v| Json::Num(v)).collect()),
+                )
+                .field(
+                    "scheme2",
+                    Json::Arr(is2.iter().map(|&v| Json::Num(v)).collect()),
+                )
+                .field("overall_default", *overall_b)
+                .field("overall_scheme2", *overall_s)
+                .field("banks_reduced", reduced as u64)
+                .build(),
+        );
+    }
+
+    let json = sweep::report(
+        "fig13",
+        &args,
+        Obj::new()
+            .field("controller", 0u64)
+            .field("workloads", Json::Arr(rows_json))
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

@@ -3,35 +3,64 @@
 //!
 //! Paper shape to reproduce: 1.2x is the sweet spot; 1.4x marks too few
 //! messages, 1.0x marks too many (prioritizing everything hurts the rest).
+//!
+//! Two parallel phases: alone-IPC denominators, then the 6 × 4 cell grid
+//! (baseline plus three thresholds per workload).
 
 use noclat::SystemConfig;
-use noclat_bench::{banner, lengths_from_args, run_with_ws, w, AloneTable};
+use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
+use noclat_bench::{banner, run_with_ws, w};
 use noclat_sim::stats::geomean;
 
+const FACTORS: [f64; 3] = [1.0, 1.2, 1.4];
+
 fn main() {
+    let args = SweepArgs::parse(&format!("fig16a {}", sweep::SWEEP_USAGE));
     banner(
         "Figure 16a: Threshold sensitivity (workloads 1-6, Scheme-1+2)",
         "Normalized WS for thresholds 1.0x, 1.2x and 1.4x Delay_avg.",
     );
-    let lengths = lengths_from_args();
-    let mut alone = AloneTable::new();
+    let lengths = args.lengths;
+    let mut hw = SystemConfig::baseline_32();
+    hw.seed = args.seed;
+
+    let requests: Vec<_> = (1..=6).map(|i| (hw.clone(), w(i).apps())).collect();
+    let alone = AloneMap::compute(&args, &requests);
+
+    let mut jobs = Vec::new();
+    for i in 1..=6 {
+        let apps = w(i).apps();
+        let table = alone.table(&hw, &apps);
+        for factor in [0.0].iter().chain(FACTORS.iter()) {
+            // factor 0.0 marks the unprioritized baseline cell
+            let cfg = if *factor == 0.0 {
+                hw.clone()
+            } else {
+                let mut c = hw.clone().with_both_schemes();
+                c.scheme1.threshold_factor = *factor;
+                c
+            };
+            let apps = apps.clone();
+            let table = table.clone();
+            jobs.push(Job::new(
+                format!("fig16a/{}/t{factor}", w(i).name()),
+                move || run_with_ws(&cfg, &apps, &table, lengths).1,
+            ));
+        }
+    }
+    let ws = sweep::run_grid(&args, jobs);
+
     println!(
         "{:>12} {:>8} {:>8} {:>8}",
         "workload", "1.0x", "1.2x", "1.4x"
     );
     let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut rows_json = Vec::new();
     for i in 1..=6 {
-        let apps = w(i).apps();
-        let hw = SystemConfig::baseline_32();
-        let table = alone.table(&hw, &apps, lengths);
-        let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
-        let mut row = Vec::new();
-        for (k, factor) in [1.0, 1.2, 1.4].into_iter().enumerate() {
-            let mut cfg = hw.clone().with_both_schemes();
-            cfg.scheme1.threshold_factor = factor;
-            let (_, ws) = run_with_ws(&cfg, &apps, &table, lengths);
-            row.push(ws / base);
-            cols[k].push(ws / base);
+        let base = ws[(i - 1) * 4];
+        let row: Vec<f64> = (0..3).map(|k| ws[(i - 1) * 4 + 1 + k] / base).collect();
+        for (k, v) in row.iter().enumerate() {
+            cols[k].push(*v);
         }
         println!(
             "{:>12} {:>8.3} {:>8.3} {:>8.3}",
@@ -40,12 +69,40 @@ fn main() {
             row[1],
             row[2]
         );
+        rows_json.push(
+            Obj::new()
+                .field("workload", w(i).name())
+                .field("base_ws", base)
+                .field("t1.0", row[0])
+                .field("t1.2", row[1])
+                .field("t1.4", row[2])
+                .build(),
+        );
     }
+    let geo: Vec<f64> = cols.iter().map(|c| geomean(c).unwrap_or(1.0)).collect();
     println!(
         "{:>12} {:>8.3} {:>8.3} {:>8.3}",
-        "geomean",
-        geomean(&cols[0]).unwrap_or(1.0),
-        geomean(&cols[1]).unwrap_or(1.0),
-        geomean(&cols[2]).unwrap_or(1.0)
+        "geomean", geo[0], geo[1], geo[2]
     );
+
+    let json = sweep::report(
+        "fig16a",
+        &args,
+        Obj::new()
+            .field(
+                "factors",
+                Json::Arr(FACTORS.iter().map(|&f| Json::Num(f)).collect()),
+            )
+            .field("workloads", Json::Arr(rows_json))
+            .field(
+                "geomeans",
+                Obj::new()
+                    .field("t1.0", geo[0])
+                    .field("t1.2", geo[1])
+                    .field("t1.4", geo[2])
+                    .build(),
+            )
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

@@ -3,35 +3,64 @@
 //!
 //! Paper shape to reproduce: T=200 is best on average; T=400 expedites too
 //! few requests, T=100 misjudges idle banks.
+//!
+//! Two parallel phases: alone-IPC denominators, then the 6 × 4 cell grid
+//! (baseline plus three window lengths per workload).
 
 use noclat::SystemConfig;
-use noclat_bench::{banner, lengths_from_args, run_with_ws, w, AloneTable};
+use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
+use noclat_bench::{banner, run_with_ws, w};
 use noclat_sim::stats::geomean;
 
+const WINDOWS: [u64; 3] = [100, 200, 400];
+
 fn main() {
+    let args = SweepArgs::parse(&format!("fig16b {}", sweep::SWEEP_USAGE));
     banner(
         "Figure 16b: Bank-history-length sensitivity (workloads 1-6, Scheme-1+2)",
         "Normalized WS for T = 100, 200 and 400 cycles.",
     );
-    let lengths = lengths_from_args();
-    let mut alone = AloneTable::new();
+    let lengths = args.lengths;
+    let mut hw = SystemConfig::baseline_32();
+    hw.seed = args.seed;
+
+    let requests: Vec<_> = (1..=6).map(|i| (hw.clone(), w(i).apps())).collect();
+    let alone = AloneMap::compute(&args, &requests);
+
+    let mut jobs = Vec::new();
+    for i in 1..=6 {
+        let apps = w(i).apps();
+        let table = alone.table(&hw, &apps);
+        for t in [0u64].iter().chain(WINDOWS.iter()) {
+            // window 0 marks the unprioritized baseline cell
+            let cfg = if *t == 0 {
+                hw.clone()
+            } else {
+                let mut c = hw.clone().with_both_schemes();
+                c.scheme2.history_window = *t;
+                c
+            };
+            let apps = apps.clone();
+            let table = table.clone();
+            jobs.push(Job::new(
+                format!("fig16b/{}/T{t}", w(i).name()),
+                move || run_with_ws(&cfg, &apps, &table, lengths).1,
+            ));
+        }
+    }
+    let ws = sweep::run_grid(&args, jobs);
+
     println!(
         "{:>12} {:>8} {:>8} {:>8}",
         "workload", "T=100", "T=200", "T=400"
     );
     let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut rows_json = Vec::new();
     for i in 1..=6 {
-        let apps = w(i).apps();
-        let hw = SystemConfig::baseline_32();
-        let table = alone.table(&hw, &apps, lengths);
-        let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
-        let mut row = Vec::new();
-        for (k, t) in [100u64, 200, 400].into_iter().enumerate() {
-            let mut cfg = hw.clone().with_both_schemes();
-            cfg.scheme2.history_window = t;
-            let (_, ws) = run_with_ws(&cfg, &apps, &table, lengths);
-            row.push(ws / base);
-            cols[k].push(ws / base);
+        let base = ws[(i - 1) * 4];
+        let row: Vec<f64> = (0..3).map(|k| ws[(i - 1) * 4 + 1 + k] / base).collect();
+        for (k, v) in row.iter().enumerate() {
+            cols[k].push(*v);
         }
         println!(
             "{:>12} {:>8.3} {:>8.3} {:>8.3}",
@@ -40,12 +69,40 @@ fn main() {
             row[1],
             row[2]
         );
+        rows_json.push(
+            Obj::new()
+                .field("workload", w(i).name())
+                .field("base_ws", base)
+                .field("T100", row[0])
+                .field("T200", row[1])
+                .field("T400", row[2])
+                .build(),
+        );
     }
+    let geo: Vec<f64> = cols.iter().map(|c| geomean(c).unwrap_or(1.0)).collect();
     println!(
         "{:>12} {:>8.3} {:>8.3} {:>8.3}",
-        "geomean",
-        geomean(&cols[0]).unwrap_or(1.0),
-        geomean(&cols[1]).unwrap_or(1.0),
-        geomean(&cols[2]).unwrap_or(1.0)
+        "geomean", geo[0], geo[1], geo[2]
     );
+
+    let json = sweep::report(
+        "fig16b",
+        &args,
+        Obj::new()
+            .field(
+                "windows",
+                Json::Arr(WINDOWS.iter().map(|&t| Json::Uint(t)).collect()),
+            )
+            .field("workloads", Json::Arr(rows_json))
+            .field(
+                "geomeans",
+                Obj::new()
+                    .field("T100", geo[0])
+                    .field("T200", geo[1])
+                    .field("T400", geo[2])
+                    .build(),
+            )
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

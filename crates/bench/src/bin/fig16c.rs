@@ -4,38 +4,99 @@
 //! Paper shape to reproduce: with fewer controllers, pressure per controller
 //! rises, there are more late accesses for Scheme-1 to catch, and combined
 //! gains are slightly higher (with exceptions, e.g. the paper's w-2/w-3).
+//!
+//! Two parallel phases: alone-IPC denominators (one hardware point per
+//! controller count — the [`AloneMap`] keeps them distinct), then the
+//! 6 × 2 × 2 cell grid.
 
 use noclat::SystemConfig;
-use noclat_bench::{banner, lengths_from_args, run_with_ws, w, AloneTable};
+use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
+use noclat_bench::{banner, run_with_ws, w};
 use noclat_sim::stats::geomean;
 
+const MCS: [usize; 2] = [4, 2];
+
+fn hw_with_mcs(seed: u64, mcs: usize) -> SystemConfig {
+    let mut hw = SystemConfig::baseline_32();
+    hw.seed = seed;
+    hw.mem.num_controllers = mcs;
+    hw
+}
+
 fn main() {
+    let args = SweepArgs::parse(&format!("fig16c {}", sweep::SWEEP_USAGE));
     banner(
         "Figure 16c: 2 vs 4 memory controllers (workloads 1-6, Scheme-1+2)",
         "Normalized WS per controller count.",
     );
-    let lengths = lengths_from_args();
-    let mut alone = AloneTable::new();
-    println!("{:>12} {:>8} {:>8}", "workload", "4 MCs", "2 MCs");
-    let mut cols: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let lengths = args.lengths;
+
+    let mut requests = Vec::new();
+    for &mcs in &MCS {
+        for i in 1..=6 {
+            requests.push((hw_with_mcs(args.seed, mcs), w(i).apps()));
+        }
+    }
+    let alone = AloneMap::compute(&args, &requests);
+
+    let mut jobs = Vec::new();
     for i in 1..=6 {
         let apps = w(i).apps();
+        for &mcs in &MCS {
+            let hw = hw_with_mcs(args.seed, mcs);
+            let table = alone.table(&hw, &apps);
+            for both in [false, true] {
+                let cfg = if both {
+                    hw.clone().with_both_schemes()
+                } else {
+                    hw.clone()
+                };
+                let apps = apps.clone();
+                let table = table.clone();
+                let label = if both { "both" } else { "base" };
+                jobs.push(Job::new(
+                    format!("fig16c/{}/{mcs}mc/{label}", w(i).name()),
+                    move || run_with_ws(&cfg, &apps, &table, lengths).1,
+                ));
+            }
+        }
+    }
+    let ws = sweep::run_grid(&args, jobs);
+
+    println!("{:>12} {:>8} {:>8}", "workload", "4 MCs", "2 MCs");
+    let mut cols: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let mut rows_json = Vec::new();
+    for i in 1..=6 {
         let mut row = Vec::new();
-        for (k, mcs) in [4usize, 2].into_iter().enumerate() {
-            let mut hw = SystemConfig::baseline_32();
-            hw.mem.num_controllers = mcs;
-            let table = alone.table(&hw, &apps, lengths);
-            let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
-            let (_, ws) = run_with_ws(&hw.clone().with_both_schemes(), &apps, &table, lengths);
-            row.push(ws / base);
-            cols[k].push(ws / base);
+        for (k, col) in cols.iter_mut().enumerate() {
+            let at = (i - 1) * 4 + k * 2;
+            let v = ws[at + 1] / ws[at];
+            row.push(v);
+            col.push(v);
         }
         println!("{:>12} {:>8.3} {:>8.3}", w(i).name(), row[0], row[1]);
+        rows_json.push(
+            Obj::new()
+                .field("workload", w(i).name())
+                .field("mc4", row[0])
+                .field("mc2", row[1])
+                .build(),
+        );
     }
-    println!(
-        "{:>12} {:>8.3} {:>8.3}",
-        "geomean",
-        geomean(&cols[0]).unwrap_or(1.0),
-        geomean(&cols[1]).unwrap_or(1.0)
+    let g4 = geomean(&cols[0]).unwrap_or(1.0);
+    let g2 = geomean(&cols[1]).unwrap_or(1.0);
+    println!("{:>12} {:>8.3} {:>8.3}", "geomean", g4, g2);
+
+    let json = sweep::report(
+        "fig16c",
+        &args,
+        Obj::new()
+            .field("workloads", Json::Arr(rows_json))
+            .field(
+                "geomeans",
+                Obj::new().field("mc4", g4).field("mc2", g2).build(),
+            )
+            .build(),
     );
+    sweep::finish(&args, &json);
 }

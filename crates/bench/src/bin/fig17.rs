@@ -4,36 +4,83 @@
 //! Paper shape to reproduce: gains persist with 2-stage routers but shrink
 //! by 25-40% (shallower pipelines leave less network latency to save, and
 //! pipeline bypassing has nothing left to skip).
+//!
+//! Two parallel phases: alone-IPC denominators (one hardware point per
+//! pipeline depth), then the 6 × 2 × 2 cell grid.
 
 use noclat::{RouterPipeline, SystemConfig};
-use noclat_bench::{banner, lengths_from_args, run_with_ws, w, AloneTable};
+use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
+use noclat_bench::{banner, run_with_ws, w};
 use noclat_sim::stats::geomean;
 
+const PIPES: [RouterPipeline; 2] = [RouterPipeline::FiveStage, RouterPipeline::TwoStage];
+
+fn hw_with_pipe(seed: u64, pipe: RouterPipeline) -> SystemConfig {
+    let mut hw = SystemConfig::baseline_32();
+    hw.seed = seed;
+    hw.noc.pipeline = pipe;
+    hw
+}
+
 fn main() {
+    let args = SweepArgs::parse(&format!("fig17 {}", sweep::SWEEP_USAGE));
     banner(
         "Figure 17: 5-stage vs 2-stage router pipelines (workloads 1-6, Scheme-1+2)",
         "Normalized WS per pipeline depth.",
     );
-    let lengths = lengths_from_args();
-    let mut alone = AloneTable::new();
-    println!("{:>12} {:>9} {:>9}", "workload", "5-stage", "2-stage");
-    let mut cols: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let lengths = args.lengths;
+
+    let mut requests = Vec::new();
+    for &pipe in &PIPES {
+        for i in 1..=6 {
+            requests.push((hw_with_pipe(args.seed, pipe), w(i).apps()));
+        }
+    }
+    let alone = AloneMap::compute(&args, &requests);
+
+    let mut jobs = Vec::new();
     for i in 1..=6 {
         let apps = w(i).apps();
+        for &pipe in &PIPES {
+            let hw = hw_with_pipe(args.seed, pipe);
+            let table = alone.table(&hw, &apps);
+            for both in [false, true] {
+                let cfg = if both {
+                    hw.clone().with_both_schemes()
+                } else {
+                    hw.clone()
+                };
+                let apps = apps.clone();
+                let table = table.clone();
+                let label = if both { "both" } else { "base" };
+                jobs.push(Job::new(
+                    format!("fig17/{}/{pipe:?}/{label}", w(i).name()),
+                    move || run_with_ws(&cfg, &apps, &table, lengths).1,
+                ));
+            }
+        }
+    }
+    let ws = sweep::run_grid(&args, jobs);
+
+    println!("{:>12} {:>9} {:>9}", "workload", "5-stage", "2-stage");
+    let mut cols: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let mut rows_json = Vec::new();
+    for i in 1..=6 {
         let mut row = Vec::new();
-        for (k, pipe) in [RouterPipeline::FiveStage, RouterPipeline::TwoStage]
-            .into_iter()
-            .enumerate()
-        {
-            let mut hw = SystemConfig::baseline_32();
-            hw.noc.pipeline = pipe;
-            let table = alone.table(&hw, &apps, lengths);
-            let (_, base) = run_with_ws(&hw, &apps, &table, lengths);
-            let (_, ws) = run_with_ws(&hw.clone().with_both_schemes(), &apps, &table, lengths);
-            row.push(ws / base);
-            cols[k].push(ws / base);
+        for (k, col) in cols.iter_mut().enumerate() {
+            let at = (i - 1) * 4 + k * 2;
+            let v = ws[at + 1] / ws[at];
+            row.push(v);
+            col.push(v);
         }
         println!("{:>12} {:>9.3} {:>9.3}", w(i).name(), row[0], row[1]);
+        rows_json.push(
+            Obj::new()
+                .field("workload", w(i).name())
+                .field("five_stage", row[0])
+                .field("two_stage", row[1])
+                .build(),
+        );
     }
     let g5 = geomean(&cols[0]).unwrap_or(1.0);
     let g2 = geomean(&cols[1]).unwrap_or(1.0);
@@ -44,4 +91,20 @@ fn main() {
             (g2 - 1.0) / (g5 - 1.0) * 100.0
         );
     }
+
+    let json = sweep::report(
+        "fig17",
+        &args,
+        Obj::new()
+            .field("workloads", Json::Arr(rows_json))
+            .field(
+                "geomeans",
+                Obj::new()
+                    .field("five_stage", g5)
+                    .field("two_stage", g2)
+                    .build(),
+            )
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

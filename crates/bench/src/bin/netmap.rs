@@ -4,14 +4,16 @@
 //! The request traffic of an S-NUCA system converges on the corner memory
 //! controllers; the heat-map makes the resulting hot rows/columns visible,
 //! and shows how the routing algorithm moves them.
+//!
+//! Both routing runs execute as one pool grid.
 
-use noclat::{run_mix, MixResult, SystemConfig};
-use noclat_bench::{banner, lengths_from_args};
+use noclat::{run_mix, SystemConfig};
+use noclat_bench::banner;
+use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
 use noclat_sim::config::RoutingAlgorithm;
 use noclat_workloads::workload;
 
-fn print_heat(label: &str, r: &MixResult, width: usize, height: usize) {
-    let heat = r.system.forwarding_heat();
+fn print_heat(label: &str, heat: &[u64], width: usize, height: usize) {
     let max = *heat.iter().max().unwrap_or(&1) as f64;
     println!("\n--- {label} (flits forwarded per router; # = load) ---");
     for y in 0..height {
@@ -37,19 +39,51 @@ fn print_heat(label: &str, r: &MixResult, width: usize, height: usize) {
 }
 
 fn main() {
+    let args = SweepArgs::parse(&format!("netmap {}", sweep::SWEEP_USAGE));
     banner(
         "Network heat-map (extension): router forwarding load, X-Y vs Y-X",
         "Workload-8 (memory-intensive); corners host the memory controllers.",
     );
-    let lengths = lengths_from_args();
+    let lengths = args.lengths;
     let apps = workload(8).apps();
-    for (label, algo) in [
+    let algos = [
         ("X-Y routing", RoutingAlgorithm::XY),
         ("Y-X routing", RoutingAlgorithm::YX),
-    ] {
-        let mut cfg = SystemConfig::baseline_32();
-        cfg.noc.routing = algo;
-        let r = run_mix(&cfg, &apps, lengths);
-        print_heat(label, &r, 8, 4);
+    ];
+
+    let mut jobs = Vec::new();
+    for (label, algo) in algos {
+        let apps = apps.clone();
+        let seed = args.seed;
+        jobs.push(Job::new(format!("netmap/{label}"), move || {
+            let mut cfg = SystemConfig::baseline_32();
+            cfg.noc.routing = algo;
+            cfg.seed = seed;
+            run_mix(&cfg, &apps, lengths).system.forwarding_heat()
+        }));
     }
+    let results = sweep::run_grid(&args, jobs);
+
+    let mut maps_json = Vec::new();
+    for ((label, _), heat) in algos.iter().zip(&results) {
+        print_heat(label, heat, 8, 4);
+        maps_json.push(
+            Obj::new()
+                .field("routing", *label)
+                .field("heat", heat.clone())
+                .build(),
+        );
+    }
+
+    let json = sweep::report(
+        "netmap",
+        &args,
+        Obj::new()
+            .field("workload", 8u64)
+            .field("width", 8u64)
+            .field("height", 4u64)
+            .field("maps", Json::Arr(maps_json))
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

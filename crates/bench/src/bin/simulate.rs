@@ -4,82 +4,87 @@
 //! simulate [--workload N] [--scheme none|s1|s2|both] [--cores 16|32]
 //!          [--warmup CYCLES] [--measure CYCLES] [--seed SEED]
 //!          [--routing xy|yx] [--sched frfcfs|frfcfs-cap|fcfs]
+//!          [--jobs N] [--json PATH]
 //! ```
 //!
 //! Prints a full report: per-application IPC and off-chip behaviour,
 //! latency distribution summary, controller and network statistics.
+//! `--json PATH` additionally writes the per-application numbers as a
+//! structured report.
 
-use noclat::{run_mix, MemSchedPolicy, RunLengths, SystemConfig, SystemReport};
+use noclat::{run_mix, MemSchedPolicy, SystemConfig, SystemReport};
+use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
 use noclat_sim::config::RoutingAlgorithm;
 use noclat_workloads::workload;
 
-struct Args {
+const USAGE: &str = "simulate [--workload 1..18] [--scheme none|s1|s2|both] \
+     [--cores 16|32] [--warmup N] [--measure N] [--seed N] \
+     [--routing xy|yx] [--sched frfcfs|frfcfs-cap|fcfs] [--jobs N] [--json PATH]";
+
+struct Extra {
     workload: usize,
     scheme: String,
     cores: usize,
-    warmup: u64,
-    measure: u64,
-    seed: Option<u64>,
     routing: String,
     sched: String,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
+fn parse_extra(rest: &[String]) -> Result<Extra, String> {
+    let mut extra = Extra {
         workload: 2,
         scheme: "both".into(),
         cores: 32,
-        warmup: 20_000,
-        measure: 150_000,
-        seed: None,
         routing: "xy".into(),
         sched: "frfcfs".into(),
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    while i < argv.len() {
-        let key = argv[i].as_str();
-        let value = |i: usize| -> Result<&String, String> {
-            argv.get(i + 1)
+    while i < rest.len() {
+        let key = rest[i].as_str();
+        let value = || -> Result<&String, String> {
+            rest.get(i + 1)
                 .ok_or_else(|| format!("{key} needs a value"))
         };
         match key {
-            "--workload" => args.workload = value(i)?.parse().map_err(|e| format!("{e}"))?,
-            "--scheme" => args.scheme = value(i)?.clone(),
-            "--cores" => args.cores = value(i)?.parse().map_err(|e| format!("{e}"))?,
-            "--warmup" => args.warmup = value(i)?.parse().map_err(|e| format!("{e}"))?,
-            "--measure" => args.measure = value(i)?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => args.seed = Some(value(i)?.parse().map_err(|e| format!("{e}"))?),
-            "--routing" => args.routing = value(i)?.clone(),
-            "--sched" => args.sched = value(i)?.clone(),
-            "--help" | "-h" => return Err("help".into()),
+            "--workload" => extra.workload = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--scheme" => extra.scheme = value()?.clone(),
+            "--cores" => extra.cores = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--routing" => extra.routing = value()?.clone(),
+            "--sched" => extra.sched = value()?.clone(),
             other => return Err(format!("unknown argument {other}")),
         }
         i += 2;
     }
-    Ok(args)
-}
-
-fn usage() {
-    eprintln!(
-        "usage: simulate [--workload 1..18] [--scheme none|s1|s2|both] \
-         [--cores 16|32] [--warmup N] [--measure N] [--seed N] \
-         [--routing xy|yx] [--sched frfcfs|frfcfs-cap|fcfs]"
-    );
+    Ok(extra)
 }
 
 fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
+    // The CLI keeps its historical default window; explicit flags (which
+    // follow the injected defaults) override it.
+    let mut argv: Vec<String> = ["--warmup", "20000", "--measure", "150000"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    argv.extend(std::env::args().skip(1));
+    let (args, rest) = match SweepArgs::parse_argv(&argv) {
+        Ok(pair) => pair,
         Err(e) => {
-            if e != "help" {
+            let help = e == "help";
+            if !help {
                 eprintln!("error: {e}");
             }
-            usage();
-            std::process::exit(if e == "help" { 0 } else { 2 });
+            eprintln!("usage: {USAGE}");
+            std::process::exit(if help { 0 } else { 2 });
         }
     };
-    let mut cfg = match args.cores {
+    let extra = match parse_extra(&rest) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: {USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = match extra.cores {
         32 => SystemConfig::baseline_32(),
         16 => SystemConfig::baseline_16(),
         n => {
@@ -87,7 +92,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match args.scheme.as_str() {
+    match extra.scheme.as_str() {
         "none" => {}
         "s1" => cfg.scheme1.enabled = true,
         "s2" => cfg.scheme2.enabled = true,
@@ -97,7 +102,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    cfg.noc.routing = match args.routing.as_str() {
+    cfg.noc.routing = match extra.routing.as_str() {
         "xy" => RoutingAlgorithm::XY,
         "yx" => RoutingAlgorithm::YX,
         other => {
@@ -105,7 +110,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    cfg.mem.scheduler = match args.sched.as_str() {
+    cfg.mem.scheduler = match extra.sched.as_str() {
         "frfcfs" => MemSchedPolicy::FrFcfs,
         "frfcfs-cap" => MemSchedPolicy::FrFcfsCap(4),
         "fcfs" => MemSchedPolicy::Fcfs,
@@ -114,22 +119,15 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Some(seed) = args.seed {
-        cfg.seed = seed;
-    }
-    if !(1..=18).contains(&args.workload) {
-        eprintln!("error: workload {} out of range (1..=18)", args.workload);
-        usage();
-        std::process::exit(2);
-    }
-    if args.measure == 0 {
-        eprintln!("error: --measure must be at least 1 cycle");
-        usage();
+    cfg.seed = args.seed;
+    if !(1..=18).contains(&extra.workload) {
+        eprintln!("error: workload {} out of range (1..=18)", extra.workload);
+        eprintln!("usage: {USAGE}");
         std::process::exit(2);
     }
 
-    let w = workload(args.workload);
-    let apps = if args.cores == 16 {
+    let w = workload(extra.workload);
+    let apps = if extra.cores == 16 {
         w.first_half()
     } else {
         w.apps()
@@ -138,22 +136,50 @@ fn main() {
         "simulating {} ({:?}) on {} cores, scheme={}, routing={}, sched={}, {}+{} cycles",
         w.name(),
         w.kind,
-        args.cores,
-        args.scheme,
-        args.routing,
-        args.sched,
-        args.warmup,
-        args.measure
+        extra.cores,
+        extra.scheme,
+        extra.routing,
+        extra.sched,
+        args.lengths.warmup,
+        args.lengths.measure
     );
+    let lengths = args.lengths;
     let t0 = std::time::Instant::now();
-    let r = run_mix(
-        &cfg,
-        &apps,
-        RunLengths {
-            warmup: args.warmup,
-            measure: args.measure,
-        },
+    let jobs = vec![Job::new("simulate".to_string(), move || {
+        let r = run_mix(&cfg, &apps, lengths);
+        let per_app: Vec<(String, f64, u64)> = r
+            .per_app
+            .iter()
+            .map(|a| (a.app.name().to_string(), a.ipc, a.offchip))
+            .collect();
+        (format!("{}", SystemReport::from_result(&r)), per_app)
+    })];
+    let mut results = sweep::run_grid(&args, jobs);
+    let (report_text, per_app) = results.remove(0);
+    eprintln!("simulated in {:?}", t0.elapsed());
+    println!("{report_text}");
+
+    let apps_json: Vec<Json> = per_app
+        .iter()
+        .map(|(name, ipc, offchip)| {
+            Obj::new()
+                .field("app", name.clone())
+                .field("ipc", *ipc)
+                .field("offchip", *offchip)
+                .build()
+        })
+        .collect();
+    let json = sweep::report(
+        "simulate",
+        &args,
+        Obj::new()
+            .field("workload", extra.workload)
+            .field("scheme", extra.scheme)
+            .field("cores", extra.cores)
+            .field("routing", extra.routing)
+            .field("sched", extra.sched)
+            .field("per_app", Json::Arr(apps_json))
+            .build(),
     );
-    println!("simulated in {:?}\n", t0.elapsed());
-    println!("{}", SystemReport::from_result(&r));
+    sweep::finish(&args, &json);
 }

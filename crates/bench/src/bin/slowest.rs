@@ -2,48 +2,105 @@
 //! narrative made concrete — for one workload, print the slowest off-chip
 //! accesses of the run with their five-path breakdowns, under the baseline
 //! and under Scheme-1.
+//!
+//! Both runs execute as one pool grid; the jobs return plain rows, so the
+//! report is identical for every `--jobs` value.
 
-use noclat::{run_mix, MixResult, SystemConfig};
-use noclat_bench::{banner, lengths_from_args};
+use noclat::{run_mix, SystemConfig};
+use noclat_bench::banner;
+use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
 use noclat_workloads::workload;
 
-fn print_slowest(label: &str, r: &MixResult, k: usize) {
-    println!("\n--- {label}: {k} slowest off-chip accesses ---");
+const TOP_K: usize = 15;
+
+/// One slowest-access row: core, app name, total, five path segments.
+type Row = (usize, String, u64, [u64; 5]);
+
+fn print_slowest(label: &str, rows: &[Row]) {
+    println!("\n--- {label}: {TOP_K} slowest off-chip accesses ---");
     println!(
         "{:>5} {:>12} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "core", "app", "total", "L1->L2", "L2->Mem", "Mem", "Mem->L2", "L2->L1"
     );
-    for rec in r.system.slowest_transactions().iter().take(k) {
-        let s = rec.times.segments();
+    for (core, app, total, s) in rows {
         println!(
-            "{:>5} {:>12} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            rec.core,
-            r.per_app[rec.core].app.name(),
-            rec.total(),
-            s[0],
-            s[1],
-            s[2],
-            s[3],
-            s[4]
+            "{core:>5} {app:>12} {total:>7} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            s[0], s[1], s[2], s[3], s[4]
         );
     }
 }
 
+fn rows_json(rows: &[Row]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|(core, app, total, s)| {
+                Obj::new()
+                    .field("core", *core)
+                    .field("app", app.clone())
+                    .field("total", *total)
+                    .field("segments", s.to_vec())
+                    .build()
+            })
+            .collect(),
+    )
+}
+
 fn main() {
+    let args = SweepArgs::parse(&format!("slowest {}", sweep::SWEEP_USAGE));
     banner(
         "Slowest transactions (extension): where do late accesses lose time?",
         "Workload-8; baseline vs Scheme-1.",
     );
-    let lengths = lengths_from_args();
+    let lengths = args.lengths;
     let apps = workload(8).apps();
-    let base = run_mix(&SystemConfig::baseline_32(), &apps, lengths);
-    print_slowest("baseline", &base, 15);
-    let s1 = run_mix(&SystemConfig::baseline_32().with_scheme1(), &apps, lengths);
-    print_slowest("Scheme-1", &s1, 15);
-    let worst = |r: &MixResult| r.system.slowest_transactions()[0].total();
+
+    let mut jobs = Vec::new();
+    for scheme1 in [false, true] {
+        let apps = apps.clone();
+        let seed = args.seed;
+        let label = if scheme1 { "s1" } else { "base" };
+        jobs.push(Job::new(format!("slowest/{label}"), move || {
+            let mut cfg = SystemConfig::baseline_32();
+            if scheme1 {
+                cfg = cfg.with_scheme1();
+            }
+            cfg.seed = seed;
+            let r = run_mix(&cfg, &apps, lengths);
+            r.system
+                .slowest_transactions()
+                .iter()
+                .take(TOP_K)
+                .map(|rec| {
+                    (
+                        rec.core,
+                        r.per_app[rec.core].app.name().to_string(),
+                        rec.total(),
+                        rec.times.segments(),
+                    )
+                })
+                .collect::<Vec<Row>>()
+        }));
+    }
+    let results = sweep::run_grid(&args, jobs);
+    let (base, s1) = (&results[0], &results[1]);
+
+    print_slowest("baseline", base);
+    print_slowest("Scheme-1", s1);
+    let worst = |rows: &[Row]| rows.first().map_or(0, |r| r.2);
     println!(
         "\nworst-case access: {} -> {} cycles",
-        worst(&base),
-        worst(&s1)
+        worst(base),
+        worst(s1)
     );
+
+    let json = sweep::report(
+        "slowest",
+        &args,
+        Obj::new()
+            .field("workload", 8u64)
+            .field("baseline", rows_json(base))
+            .field("scheme1", rows_json(s1))
+            .build(),
+    );
+    sweep::finish(&args, &json);
 }

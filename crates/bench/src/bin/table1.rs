@@ -2,12 +2,15 @@
 //!
 //! Prints the simulated system's configuration in the layout of the paper's
 //! Table 1, so any divergence from the published parameters is visible at a
-//! glance (calibrated DRAM timings are flagged).
+//! glance (calibrated DRAM timings are flagged). `--json PATH` writes the
+//! same rows as a structured report.
 
 use noclat::SystemConfig;
 use noclat_bench::banner;
+use noclat_bench::sweep::{self, Json, Obj, SweepArgs};
 
 fn main() {
+    let args = SweepArgs::parse(&format!("table1 {}", sweep::SWEEP_USAGE));
     banner(
         "Table 1: Baseline configuration",
         "Paper values in parentheses where our model deviates (see DESIGN.md).",
@@ -100,7 +103,20 @@ fn main() {
             ),
         ),
     ];
-    for (k, v) in rows {
+    let mut rows_json = Vec::new();
+    for (k, v) in &rows {
         println!("{k:34} | {v}");
+        rows_json.push(
+            Obj::new()
+                .field("parameter", *k)
+                .field("value", v.clone())
+                .build(),
+        );
     }
+    let json = sweep::report(
+        "table1",
+        &args,
+        Obj::new().field("rows", Json::Arr(rows_json)).build(),
+    );
+    sweep::finish(&args, &json);
 }

@@ -1,15 +1,19 @@
 //! Table 2 — the 18 multiprogrammed workloads, exactly as listed in the
-//! paper (instance counts in parentheses).
+//! paper (instance counts in parentheses). `--json PATH` writes the same
+//! listing as a structured report.
 
 use noclat_bench::banner;
+use noclat_bench::sweep::{self, Json, Obj, SweepArgs};
 use noclat_workloads::{all_workloads, WorkloadKind};
 
 fn main() {
+    let args = SweepArgs::parse(&format!("table2 {}", sweep::SWEEP_USAGE));
     banner(
         "Table 2: Workloads used in the 32-core experiments",
         "18 mixes of SPEC CPU2006 applications (instance counts in parentheses).",
     );
     let mut current = None;
+    let mut rows_json = Vec::new();
     for w in all_workloads() {
         if current != Some(w.kind) {
             current = Some(w.kind);
@@ -27,5 +31,18 @@ fn main() {
             .collect();
         println!("{:12} {}", w.name(), desc.join(", "));
         assert_eq!(w.num_apps(), 32);
+        rows_json.push(
+            Obj::new()
+                .field("workload", w.name())
+                .field("kind", format!("{:?}", w.kind))
+                .field("apps", desc)
+                .build(),
+        );
     }
+    let json = sweep::report(
+        "table2",
+        &args,
+        Obj::new().field("workloads", Json::Arr(rows_json)).build(),
+    );
+    sweep::finish(&args, &json);
 }

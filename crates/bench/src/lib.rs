@@ -13,6 +13,8 @@ use noclat::{
 use noclat_sim::stats::Histogram;
 use noclat_workloads::{workload, SpecApp, Workload};
 
+pub mod sweep;
+
 /// Simulation windows selected from the command line (`quick` argument or
 /// `NOCLAT_QUICK=1` environment variable shrink them).
 #[must_use]

@@ -1,0 +1,664 @@
+//! Parallel sweep engine for the figure/table harnesses.
+//!
+//! Every binary in `src/bin/` describes its experiment as a *grid* of
+//! independent jobs (one per workload × scheme × knob cell, or one per
+//! replicate shard of a distribution measurement) and hands the grid to
+//! [`run_grid`], which fans it out over `--jobs N` worker threads via
+//! [`noclat_sim::pool`]. Determinism is preserved by construction:
+//!
+//! * each job is self-contained and seeded only from
+//!   `(base seed, job index)` via [`job_seed`],
+//! * results come back in job-index order regardless of scheduling,
+//! * all rendering (text and JSON) happens after the grid completes, from
+//!   the ordered results.
+//!
+//! Running the same sweep with `--jobs 1` and `--jobs 8` therefore produces
+//! byte-identical reports; only the wall-clock time changes. Progress notes
+//! go to stderr so stdout stays comparable across worker counts.
+//!
+//! The `--json PATH` flag writes a structured report through the in-tree
+//! [`Json`] value type (field order is explicit, so serialization is
+//! deterministic; no external serialization crates are involved).
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use noclat::{alone_ipc, RunLengths, SimError, SystemConfig};
+use noclat_workloads::SpecApp;
+
+pub use noclat_sim::pool::{job_rng, job_seed, run_jobs, Job};
+
+/// Number of replicate shards the distribution harnesses (fig04/05/06/09/12)
+/// split their measurement into. Each shard is a full, independently seeded
+/// run; shard statistics merge exactly, so more shards mean both more
+/// parallelism and more samples.
+pub const DEFAULT_SHARDS: u64 = 8;
+
+/// Command-line arguments shared by every sweep binary.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Worker threads for the job grid (`--jobs N`; defaults to the
+    /// machine's available parallelism).
+    pub jobs: usize,
+    /// Where to write the JSON report (`--json PATH`), if anywhere.
+    pub json: Option<PathBuf>,
+    /// Base RNG seed for the sweep (`--seed N`); per-job seeds derive from
+    /// it via [`job_seed`].
+    pub seed: u64,
+    /// Simulation window (`quick`/`--quick` shrink it; `--warmup N` and
+    /// `--measure N` override individual components).
+    pub lengths: RunLengths,
+}
+
+/// Flags accepted by [`SweepArgs::parse`], for inclusion in usage strings.
+pub const SWEEP_USAGE: &str =
+    "[--jobs N] [--json PATH] [--seed N] [--warmup N] [--measure N] [quick]";
+
+impl SweepArgs {
+    fn defaults() -> Self {
+        SweepArgs {
+            jobs: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            json: None,
+            seed: SystemConfig::baseline_32().seed,
+            lengths: RunLengths::standard(),
+        }
+    }
+
+    /// Parses `std::env::args`, accepting only the shared sweep flags.
+    ///
+    /// Exits with status 2 (printing `usage`) on an unknown argument, and
+    /// with status 0 on `--help`.
+    #[must_use]
+    pub fn parse(usage: &str) -> SweepArgs {
+        let (args, rest) = Self::parse_with_rest(usage);
+        if let Some(unknown) = rest.first() {
+            eprintln!("error: unknown argument {unknown}");
+            eprintln!("usage: {usage}");
+            std::process::exit(2);
+        }
+        args
+    }
+
+    /// Parses `std::env::args`, returning unrecognized arguments for the
+    /// binary to interpret (used by `faultsim`/`simulate`, which add their
+    /// own flags on top of the shared set).
+    #[must_use]
+    pub fn parse_with_rest(usage: &str) -> (SweepArgs, Vec<String>) {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse_argv(&argv) {
+            Ok(pair) => pair,
+            Err(e) => {
+                let help = e == "help";
+                if !help {
+                    eprintln!("error: {e}");
+                }
+                eprintln!("usage: {usage}");
+                std::process::exit(if help { 0 } else { 2 });
+            }
+        }
+    }
+
+    /// Pure parsing core (testable without process state).
+    pub fn parse_argv(argv: &[String]) -> Result<(SweepArgs, Vec<String>), String> {
+        let mut args = Self::defaults();
+        let mut quick = std::env::var("NOCLAT_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let mut warmup_override = None;
+        let mut measure_override = None;
+        let mut rest = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i].as_str();
+            let value = || -> Result<&String, String> {
+                argv.get(i + 1)
+                    .ok_or_else(|| format!("{key} needs a value"))
+            };
+            match key {
+                "--jobs" => {
+                    args.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                    if args.jobs == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    i += 2;
+                }
+                "--json" => {
+                    args.json = Some(PathBuf::from(value()?));
+                    i += 2;
+                }
+                "--seed" => {
+                    args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+                    i += 2;
+                }
+                "--warmup" => {
+                    warmup_override = Some(value()?.parse().map_err(|e| format!("--warmup: {e}"))?);
+                    i += 2;
+                }
+                "--measure" => {
+                    let m: u64 = value()?.parse().map_err(|e| format!("--measure: {e}"))?;
+                    if m == 0 {
+                        return Err("--measure must be at least 1 cycle".into());
+                    }
+                    measure_override = Some(m);
+                    i += 2;
+                }
+                "quick" | "--quick" => {
+                    quick = true;
+                    i += 1;
+                }
+                "--help" | "-h" => return Err("help".into()),
+                _ => {
+                    rest.push(argv[i].clone());
+                    i += 1;
+                }
+            }
+        }
+        if quick {
+            args.lengths = RunLengths::quick();
+        }
+        if let Some(w) = warmup_override {
+            args.lengths.warmup = w;
+        }
+        if let Some(m) = measure_override {
+            args.lengths.measure = m;
+        }
+        Ok((args, rest))
+    }
+}
+
+/// Runs a job grid under the sweep's worker budget and returns results in
+/// job order, aborting the process with a per-job diagnostic if any job
+/// failed.
+///
+/// The abort path reports *every* failing cell (a panicking cell does not
+/// hide its siblings' outcomes) and exits with status 1.
+#[must_use]
+pub fn run_grid<T: Send>(args: &SweepArgs, jobs: Vec<Job<T>>) -> Vec<T> {
+    let results = try_run_grid(args, jobs);
+    let mut failed = false;
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    out
+}
+
+/// Like [`run_grid`], but surfaces per-job failures as values instead of
+/// aborting (the library entry point the tests drive).
+#[must_use]
+pub fn try_run_grid<T: Send>(args: &SweepArgs, jobs: Vec<Job<T>>) -> Vec<Result<T, SimError>> {
+    if jobs.len() > 1 {
+        eprintln!(
+            "sweep: {} jobs on {} worker(s)",
+            jobs.len(),
+            args.jobs.clamp(1, jobs.len())
+        );
+    }
+    run_jobs(args.jobs, jobs)
+}
+
+/// Fans `shards` replicate runs of one measurement out to the pool: shard
+/// `s` calls `make(s, job_seed(args.seed, s))` and the results come back in
+/// shard order, ready to be merged. `make` must be deterministic in its
+/// arguments.
+#[must_use]
+pub fn run_shards<T, F>(args: &SweepArgs, label: &str, shards: u64, make: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Send + Sync + 'static,
+{
+    let make = Arc::new(make);
+    let jobs: Vec<Job<T>> = (0..shards)
+        .map(|s| {
+            let make = Arc::clone(&make);
+            let seed = job_seed(args.seed, s);
+            Job::new(format!("{label}/shard-{s}"), move || make(s, seed))
+        })
+        .collect();
+    run_grid(args, jobs)
+}
+
+/// A table of alone-run IPCs (the weighted-speedup denominators), computed
+/// as its own parallel phase so the mix-run grid never recomputes them.
+///
+/// Entries are keyed by the *full* hardware configuration (schemes
+/// stripped, since alone runs never contend) plus the application, so
+/// distinct hardware points — different meshes, VC counts, schedulers,
+/// pipelines — never alias each other's denominators.
+#[derive(Debug, Default)]
+pub struct AloneMap {
+    map: HashMap<(String, SpecApp), f64>,
+}
+
+/// Cache key of a hardware configuration for alone-run purposes: the Debug
+/// rendering of the config with both schemes disabled (alone runs are
+/// scheme-independent by construction — there is nothing to contend with).
+#[must_use]
+pub fn alone_key(cfg: &SystemConfig) -> String {
+    let mut base = cfg.clone();
+    base.scheme1.enabled = false;
+    base.scheme2.enabled = false;
+    format!("{base:?}")
+}
+
+impl AloneMap {
+    /// Computes alone IPCs for every distinct `(hardware, app)` pair in
+    /// `requests`, one pool job per pair.
+    #[must_use]
+    pub fn compute(args: &SweepArgs, requests: &[(SystemConfig, Vec<SpecApp>)]) -> AloneMap {
+        let lengths = args.lengths;
+        let mut pairs: Vec<(String, SystemConfig, SpecApp)> = Vec::new();
+        let mut seen: HashSet<(String, SpecApp)> = HashSet::new();
+        for (cfg, apps) in requests {
+            let key = alone_key(cfg);
+            for &app in apps {
+                if seen.insert((key.clone(), app)) {
+                    pairs.push((key.clone(), cfg.clone(), app));
+                }
+            }
+        }
+        let jobs: Vec<Job<f64>> = pairs
+            .iter()
+            .map(|(_, cfg, app)| {
+                let cfg = cfg.clone();
+                let app = *app;
+                Job::new(format!("alone/{}", app.name()), move || {
+                    alone_ipc(&cfg, app, lengths)
+                })
+            })
+            .collect();
+        let ipcs = run_grid(args, jobs);
+        let map = pairs
+            .into_iter()
+            .zip(ipcs)
+            .map(|((key, _, app), ipc)| ((key, app), ipc))
+            .collect();
+        AloneMap { map }
+    }
+
+    /// The alone IPC of `app` on `cfg`'s hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was not part of [`AloneMap::compute`].
+    #[must_use]
+    pub fn ipc(&self, cfg: &SystemConfig, app: SpecApp) -> f64 {
+        *self
+            .map
+            .get(&(alone_key(cfg), app))
+            .unwrap_or_else(|| panic!("alone IPC of {} not precomputed", app.name()))
+    }
+
+    /// Alone IPCs for every distinct app of a workload, in the shape
+    /// [`noclat::weighted_speedup_of`] consumes.
+    #[must_use]
+    pub fn table(&self, cfg: &SystemConfig, apps: &[SpecApp]) -> HashMap<SpecApp, f64> {
+        apps.iter().map(|&a| (a, self.ipc(cfg, a))).collect()
+    }
+
+    /// Number of distinct `(hardware, app)` entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries have been computed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON output
+// ---------------------------------------------------------------------------
+
+/// An ordered, dependency-free JSON value.
+///
+/// Object fields keep their insertion order, and all numeric formatting is
+/// the standard library's deterministic shortest-roundtrip rendering, so
+/// serializing the same value always yields the same bytes — the property
+/// the `--jobs N` equivalence checks pin.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also produced for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    Uint(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A floating-point number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with explicit field order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Uint(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Uint(u64::from(v))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Uint(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Builder for [`Json::Obj`] with ergonomic field chaining.
+#[derive(Debug, Default)]
+pub struct Obj(Vec<(String, Json)>);
+
+impl Obj {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a field.
+    #[must_use]
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<Json>) -> Self {
+        self.0.push((key.into(), value.into()));
+        self
+    }
+
+    /// Finishes the object.
+    #[must_use]
+    pub fn build(self) -> Json {
+        Json::Obj(self.0)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Json {
+    fn render(&self, out: &mut String, indent: usize) {
+        const PAD: &str = "  ";
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Uint(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&PAD.repeat(indent + 1));
+                    item.render(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&PAD.repeat(indent + 1));
+                    out.push('"');
+                    escape_into(out, k);
+                    out.push_str("\": ");
+                    v.render(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serializes to a pretty-printed, deterministic JSON string (trailing
+    /// newline included, as written to report files).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_json_string())
+    }
+}
+
+/// JSON rendering of a latency histogram: the five-number summary plus the
+/// non-empty PDF bins (center → fraction), in bin order.
+#[must_use]
+pub fn histogram_json(h: &noclat_sim::stats::Histogram) -> Json {
+    let s = h.summary();
+    let pdf: Vec<Json> = h
+        .pdf_points()
+        .iter()
+        .filter(|(_, f)| *f > 0.0)
+        .map(|&(center, frac)| {
+            Obj::new()
+                .field("center", center)
+                .field("frac", frac)
+                .build()
+        })
+        .collect();
+    Obj::new()
+        .field("count", s.count)
+        .field("mean", s.mean)
+        .field("p50", s.p50)
+        .field("p90", s.p90)
+        .field("p99", s.p99)
+        .field("max", s.max)
+        .field("pdf", Json::Arr(pdf))
+        .build()
+}
+
+/// Standard envelope for a sweep's JSON report: the harness name, the seed
+/// and simulation window it ran with, and the harness-specific body. Worker
+/// count is deliberately excluded so reports are comparable across `--jobs`.
+#[must_use]
+pub fn report(name: &str, args: &SweepArgs, body: Json) -> Json {
+    Obj::new()
+        .field("harness", name)
+        .field("seed", args.seed)
+        .field("warmup", args.lengths.warmup)
+        .field("measure", args.lengths.measure)
+        .field("results", body)
+        .build()
+}
+
+/// Writes the report to `--json PATH` when requested (noting it on stderr).
+/// Call at the end of every sweep binary.
+pub fn finish(args: &SweepArgs, report: &Json) {
+    if let Some(path) = &args.json {
+        if let Err(e) = write_json_file(path, report) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote JSON report to {}", path.display());
+    }
+}
+
+/// Writes a JSON value to a file.
+pub fn write_json_file(path: &Path, json: &Json) -> std::io::Result<()> {
+    std::fs::write(path, json.to_json_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let (args, rest) = SweepArgs::parse_argv(&argv(&[])).unwrap();
+        assert!(args.jobs >= 1);
+        assert!(args.json.is_none());
+        assert_eq!(args.lengths, RunLengths::standard());
+        assert!(rest.is_empty());
+
+        let (args, rest) = SweepArgs::parse_argv(&argv(&[
+            "--jobs",
+            "4",
+            "--json",
+            "/tmp/x.json",
+            "--seed",
+            "7",
+            "quick",
+            "--measure",
+            "123",
+            "--extra",
+        ]))
+        .unwrap();
+        assert_eq!(args.jobs, 4);
+        assert_eq!(args.json.as_deref(), Some(Path::new("/tmp/x.json")));
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.lengths.warmup, RunLengths::quick().warmup);
+        assert_eq!(args.lengths.measure, 123);
+        assert_eq!(rest, vec!["--extra".to_string()]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_values() {
+        assert!(SweepArgs::parse_argv(&argv(&["--jobs", "0"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--jobs"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--measure", "0"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--seed", "donkey"])).is_err());
+        assert_eq!(
+            SweepArgs::parse_argv(&argv(&["--help"])).unwrap_err(),
+            "help"
+        );
+    }
+
+    #[test]
+    fn json_serialization_is_deterministic_and_escaped() {
+        let j = Obj::new()
+            .field("name", "fig\"09\"\n")
+            .field("count", 3u64)
+            .field("mean", 282.5)
+            .field("whole", 2.0)
+            .field("nan", f64::NAN)
+            .field("flag", true)
+            .field("cells", vec![1u64, 2, 3])
+            .field("empty", Json::Arr(vec![]))
+            .build();
+        let a = j.to_json_string();
+        assert_eq!(a, j.to_json_string());
+        assert!(a.contains("\"fig\\\"09\\\"\\n\""));
+        assert!(a.contains("\"mean\": 282.5"));
+        assert!(a.contains("\"whole\": 2"));
+        assert!(a.contains("\"nan\": null"));
+        assert!(a.ends_with("}\n"));
+        // Field order is insertion order, not alphabetical.
+        assert!(a.find("name").unwrap() < a.find("count").unwrap());
+    }
+
+    #[test]
+    fn alone_key_strips_schemes_but_keeps_hardware() {
+        let base = SystemConfig::baseline_32();
+        assert_eq!(
+            alone_key(&base),
+            alone_key(&base.clone().with_both_schemes())
+        );
+        let mut more_vcs = base.clone();
+        more_vcs.noc.vcs_per_port = 8;
+        assert_ne!(alone_key(&base), alone_key(&more_vcs));
+        let mut other_seed = base.clone();
+        other_seed.seed ^= 1;
+        assert_ne!(alone_key(&base), alone_key(&other_seed));
+    }
+}

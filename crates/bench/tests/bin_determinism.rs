@@ -1,0 +1,62 @@
+//! End-to-end `--jobs` equivalence of a real harness binary: fig09 (the
+//! sharded distribution figure) must print and serialize byte-identical
+//! reports whether its shards run serially or on four workers.
+
+use std::process::Command;
+
+#[test]
+fn fig09_reports_are_byte_identical_across_jobs() {
+    let dir = std::env::temp_dir().join(format!("noclat-bin-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut outputs = Vec::new();
+    for jobs in ["1", "4"] {
+        let json = dir.join(format!("fig09-{jobs}.json"));
+        let out = Command::new(env!("CARGO_BIN_EXE_fig09"))
+            .args([
+                "--warmup",
+                "200",
+                "--measure",
+                "1000",
+                "--jobs",
+                jobs,
+                "--json",
+            ])
+            .arg(&json)
+            .output()
+            .expect("fig09 spawns");
+        assert!(
+            out.status.success(),
+            "fig09 --jobs {jobs} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let report = std::fs::read(&json).expect("fig09 wrote the JSON report");
+        assert!(!report.is_empty());
+        outputs.push((out.stdout, report));
+    }
+    assert_eq!(
+        outputs[0].0, outputs[1].0,
+        "stdout must not depend on --jobs"
+    );
+    assert_eq!(
+        outputs[0].1, outputs[1].1,
+        "the JSON report must not depend on --jobs"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The shared flag parser rejects unknown arguments with exit status 2 (so
+/// CI scripts fail fast on typos) and honors `--help` with status 0.
+#[test]
+fn fig09_rejects_unknown_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig09"))
+        .arg("--frobnicate")
+        .output()
+        .expect("fig09 spawns");
+    assert_eq!(out.status.code(), Some(2));
+    let help = Command::new(env!("CARGO_BIN_EXE_fig09"))
+        .arg("--help")
+        .output()
+        .expect("fig09 spawns");
+    assert_eq!(help.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&help.stderr).contains("--jobs"));
+}

@@ -57,4 +57,5 @@ pub use noclat_sim::config::{
 };
 pub use noclat_sim::error::{FaultError, SimError};
 pub use noclat_sim::faults::FaultPlan;
+pub use noclat_sim::pool::{job_rng, job_seed, run_jobs, Job};
 pub use noclat_sim::Cycle;

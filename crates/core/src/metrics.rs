@@ -70,6 +70,14 @@ impl SegmentRow {
             self.sums.map(|s| s / self.count as f64)
         }
     }
+
+    /// Merges another row into this one (shard reduction).
+    pub fn merge(&mut self, other: &SegmentRow) {
+        self.count += other.count;
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+    }
 }
 
 /// Latency statistics for one application (core).
@@ -102,6 +110,25 @@ impl AppLatency {
             .filter(|(_, r)| r.count > 0)
             .map(|(i, r)| (i as u64 * BREAKDOWN_BUCKET, *r))
             .collect()
+    }
+
+    /// An empty per-application accumulator with the standard geometry, for
+    /// use as the identity of a shard reduction.
+    #[must_use]
+    pub fn empty() -> Self {
+        AppLatency::new()
+    }
+
+    /// Merges another application's statistics into this one (shard
+    /// reduction): histograms and breakdown rows add sample-for-sample, so
+    /// merging the shards of a sharded sweep yields exactly the aggregate a
+    /// serial pass over the same runs would produce.
+    pub fn merge(&mut self, other: &AppLatency) {
+        self.total.merge(&other.total);
+        self.so_far.merge(&other.so_far);
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            a.merge(b);
+        }
     }
 }
 
@@ -209,6 +236,24 @@ impl LatencyTracker {
     pub fn completions(&self) -> Vec<u64> {
         self.apps.iter().map(|a| a.total.count()).collect()
     }
+
+    /// Merges another tracker into this one (shard reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trackers cover different application counts.
+    pub fn merge(&mut self, other: &LatencyTracker) {
+        assert_eq!(
+            self.apps.len(),
+            other.apps.len(),
+            "tracker app counts must match"
+        );
+        for (a, b) in self.apps.iter_mut().zip(&other.apps) {
+            a.merge(b);
+        }
+        self.expedited_return.merge(&other.expedited_return);
+        self.normal_return.merge(&other.normal_return);
+    }
 }
 
 #[cfg(test)]
@@ -272,5 +317,42 @@ mod tests {
         tr.record_completion(0, &times(0, [1, 1, 1, 1, 1]));
         tr.reset();
         assert_eq!(tr.app(0).total.count(), 0);
+    }
+
+    #[test]
+    fn tracker_merge_equals_unsharded() {
+        let recs = [
+            (0usize, times(0, [20, 30, 150, 25, 15])),
+            (1, times(0, [10, 10, 400, 10, 10])),
+            (0, times(0, [5, 5, 50, 5, 5])),
+            (1, times(0, [8, 9, 10, 11, 12])),
+        ];
+        let mut whole = LatencyTracker::new(2);
+        let mut a = LatencyTracker::new(2);
+        let mut b = LatencyTracker::new(2);
+        for (i, (core, t)) in recs.iter().enumerate() {
+            whole.record_completion(*core, t);
+            whole.record_so_far(*core, t.total() as u32);
+            whole.record_return_leg(i % 2 == 0, t.total());
+            let shard = if i < 2 { &mut a } else { &mut b };
+            shard.record_completion(*core, t);
+            shard.record_so_far(*core, t.total() as u32);
+            shard.record_return_leg(i % 2 == 0, t.total());
+        }
+        a.merge(&b);
+        for core in 0..2 {
+            assert_eq!(a.app(core).total, whole.app(core).total);
+            assert_eq!(a.app(core).so_far, whole.app(core).so_far);
+            assert_eq!(a.app(core).breakdown(), whole.app(core).breakdown());
+        }
+        assert_eq!(a.return_leg_means(), whole.return_leg_means());
+    }
+
+    #[test]
+    #[should_panic(expected = "tracker app counts must match")]
+    fn tracker_merge_rejects_shape_mismatch() {
+        let mut a = LatencyTracker::new(1);
+        let b = LatencyTracker::new(2);
+        a.merge(&b);
     }
 }

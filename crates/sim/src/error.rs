@@ -42,6 +42,16 @@ pub enum SimError {
     },
     /// A fault-plan entry is inconsistent (empty window, bad probability…).
     Fault(FaultError),
+    /// A sweep job panicked on a worker thread; the pool isolated it and
+    /// reports the failing configuration instead of aborting the harness.
+    JobPanicked {
+        /// Label of the failing job (the configuration it was running).
+        job: String,
+        /// Index of the job within its grid.
+        index: usize,
+        /// The panic message, when one was attached.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -60,6 +70,13 @@ impl std::fmt::Display for SimError {
                 write!(f, "{streams} instruction streams for {cores} cores")
             }
             SimError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+            SimError::JobPanicked {
+                job,
+                index,
+                message,
+            } => {
+                write!(f, "sweep job #{index} ({job}) panicked: {message}")
+            }
         }
     }
 }
@@ -141,6 +158,11 @@ mod tests {
             SimError::Fault(FaultError::BadProbability(2.0)),
             SimError::Fault(FaultError::EmptyWindow { start: 5, end: 5 }),
             SimError::Fault(FaultError::BadSlowdown(0)),
+            SimError::JobPanicked {
+                job: "w2/both".into(),
+                index: 3,
+                message: "boom".into(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -15,7 +15,9 @@
 //!   router stalls, DRAM bank faults, controller backpressure),
 //! * [`error`] — typed errors ([`error::SimError`]) raised by public APIs
 //!   instead of panicking,
-//! * [`check`] — a dependency-free seeded property-testing harness.
+//! * [`check`] — a dependency-free seeded property-testing harness,
+//! * [`pool`] — a scoped worker pool with deterministic per-job seeding and
+//!   panic isolation, backing the parallel sweep harnesses.
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@ pub mod check;
 pub mod config;
 pub mod error;
 pub mod faults;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 

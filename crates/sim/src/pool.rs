@@ -1,0 +1,231 @@
+//! Scoped worker pool for fanning independent simulation jobs across cores.
+//!
+//! The paper's evaluation is a grid of independent simulations (per-workload,
+//! per-scheme, per-load cells); this module runs such a grid on `N` worker
+//! threads while keeping the results *deterministic*: every job is
+//! self-contained, seeded only from `(base_seed, job_index)` via
+//! [`job_seed`], and results are returned in job-index order regardless of
+//! which worker ran which job or in what order they finished. Running the
+//! same grid with 1 worker or 16 therefore produces byte-identical output.
+//!
+//! A panicking job is isolated: the panic is caught on the worker, converted
+//! into [`SimError::JobPanicked`] naming the job, and sibling jobs keep
+//! running to completion. The pool never aborts the harness.
+//!
+//! Built on `std::thread::scope` only — no external thread-pool crates, so
+//! the workspace builds offline.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::error::SimError;
+use crate::rng::{splitmix64, SimRng};
+
+/// Domain-separation salt for [`job_seed`], so job streams never collide
+/// with component streams split from the same master seed.
+const JOB_SEED_SALT: u64 = 0x6a6f_625f_7365_6564; // "job_seed"
+
+/// Deterministic per-job seed derived from `(base_seed, job_index)`.
+///
+/// The derivation is a SplitMix64 finalizer chain (the same construction as
+/// [`SimRng::split`]) under a dedicated salt, so:
+///
+/// * the same `(base_seed, job_index)` always yields the same seed,
+///   independent of worker count and scheduling order, and
+/// * seeds of neighbouring indices are statistically independent.
+#[must_use]
+pub fn job_seed(base_seed: u64, job_index: u64) -> u64 {
+    splitmix64(base_seed ^ splitmix64(job_index ^ JOB_SEED_SALT))
+}
+
+/// Deterministic per-job RNG; shorthand for `SimRng::new(job_seed(..))`.
+#[must_use]
+pub fn job_rng(base_seed: u64, job_index: u64) -> SimRng {
+    SimRng::new(job_seed(base_seed, job_index))
+}
+
+/// One unit of work for [`run_jobs`]: a label (used in error reports and
+/// progress output) plus the closure that produces the job's result.
+pub struct Job<T> {
+    label: String,
+    run: Box<dyn FnOnce() -> T + Send>,
+}
+
+impl<T> Job<T> {
+    /// Packages a closure as a labelled job.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> T + Send + 'static) -> Self {
+        Job {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The job's label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl<T> std::fmt::Debug for Job<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("label", &self.label).finish()
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `jobs` on up to `workers` threads and returns their results in
+/// job-index order.
+///
+/// * `workers` is clamped to `[1, jobs.len()]`; `workers == 1` runs the grid
+///   on one spawned thread (the degenerate serial case used for equivalence
+///   checks).
+/// * A job that panics yields `Err(SimError::JobPanicked { .. })` in its
+///   slot; all other jobs run to completion unaffected.
+/// * Result order depends only on the order of `jobs`, never on scheduling.
+pub fn run_jobs<T: Send>(workers: usize, jobs: Vec<Job<T>>) -> Vec<Result<T, SimError>> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let next = AtomicUsize::new(0);
+    let tasks: Vec<Mutex<Option<Job<T>>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<Result<T, SimError>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = tasks[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("each job is claimed exactly once");
+                let label = job.label;
+                let run = job.run;
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(run)).map_err(|payload| SimError::JobPanicked {
+                        job: label,
+                        index: i,
+                        message: panic_message(payload.as_ref()),
+                    });
+                *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed job stores a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for workers in [1, 2, 4, 8] {
+            let jobs: Vec<Job<usize>> = (0..16)
+                .map(|i| Job::new(format!("job-{i}"), move || i * i))
+                .collect();
+            let out: Vec<usize> = run_jobs(workers, jobs)
+                .into_iter()
+                .map(|r| r.expect("no job panics"))
+                .collect();
+            assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let grid = |workers: usize| -> Vec<u64> {
+            let jobs: Vec<Job<u64>> = (0..10)
+                .map(|i| {
+                    Job::new(format!("cell-{i}"), move || {
+                        let mut rng = job_rng(42, i);
+                        (0..100).map(|_| rng.below(1000)).sum()
+                    })
+                })
+                .collect();
+            run_jobs(workers, jobs)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect()
+        };
+        let serial = grid(1);
+        assert_eq!(serial, grid(4));
+        assert_eq!(serial, grid(8));
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_named() {
+        let jobs = vec![
+            Job::new("healthy-0", || 1u32),
+            Job::new("doomed", || panic!("synthetic failure")),
+            Job::new("healthy-2", || 3u32),
+        ];
+        let out = run_jobs(2, jobs);
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[2], Ok(3));
+        match &out[1] {
+            Err(SimError::JobPanicked {
+                job,
+                index,
+                message,
+            }) => {
+                assert_eq!(job, "doomed");
+                assert_eq!(*index, 1);
+                assert!(message.contains("synthetic failure"));
+            }
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<Result<u8, _>> = run_jobs(4, Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let jobs = vec![Job::new("only", || 7u8)];
+        let out = run_jobs(64, jobs);
+        assert_eq!(out, vec![Ok(7)]);
+    }
+
+    #[test]
+    fn job_seed_is_stable_and_spread() {
+        assert_eq!(job_seed(1, 0), job_seed(1, 0));
+        assert_ne!(job_seed(1, 0), job_seed(1, 1));
+        assert_ne!(job_seed(1, 0), job_seed(2, 0));
+        // Job streams must not collide with component splits of the same seed.
+        let mut component = SimRng::new(1).split(0);
+        let mut job = job_rng(1, 0);
+        let same = (0..64)
+            .filter(|_| component.next_u64() == job.next_u64())
+            .count();
+        assert!(same < 4);
+    }
+}

@@ -26,6 +26,11 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0
     }
+
+    /// Merges another counter into this one (shard reduction).
+    pub fn merge(&mut self, other: &Counter) {
+        self.0 += other.0;
+    }
 }
 
 /// Running arithmetic mean over all recorded samples.
@@ -73,6 +78,18 @@ impl RunningMean {
     #[must_use]
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Merges another running mean into this one.
+    ///
+    /// Because the mean is kept as `(count, sum)`, merging shards in any
+    /// grouping yields exactly the aggregate a single unsharded pass over
+    /// the same samples would produce (floating-point addition is performed
+    /// in shard-index order by the sweep reducers, so the result is also
+    /// bit-stable).
+    pub fn merge(&mut self, other: &RunningMean) {
+        self.count += other.count;
+        self.sum += other.sum;
     }
 }
 
@@ -129,6 +146,35 @@ mod tests {
         c.inc();
         c.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn counter_merge_adds() {
+        let mut a = Counter::new();
+        a.add(3);
+        let mut b = Counter::new();
+        b.add(4);
+        a.merge(&b);
+        assert_eq!(a.get(), 7);
+    }
+
+    #[test]
+    fn running_mean_merge_equals_unsharded() {
+        let samples = [1.0, 2.5, 3.25, 10.0, 0.5];
+        let mut whole = RunningMean::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut left = RunningMean::new();
+        let mut right = RunningMean::new();
+        for &s in &samples[..2] {
+            left.record(s);
+        }
+        for &s in &samples[2..] {
+            right.record(s);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
     }
 
     #[test]

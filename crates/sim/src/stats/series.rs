@@ -74,6 +74,27 @@ impl TimeSeries {
         let n: u64 = self.counts.iter().sum();
         (n > 0).then(|| self.sums.iter().sum::<f64>() / n as f64)
     }
+
+    /// Merges another series into this one (shard reduction): per-interval
+    /// sums and sample counts add, so the merged per-interval averages equal
+    /// those of a single pass over the union of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval lengths differ.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(self.interval, other.interval, "interval mismatch");
+        if other.sums.len() > self.sums.len() {
+            self.sums.resize(other.sums.len(), 0.0);
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +126,40 @@ mod tests {
         ts.record(0, 2.0);
         ts.record(100, 4.0);
         assert_eq!(ts.overall_mean(), Some(3.0));
+    }
+
+    #[test]
+    fn merge_equals_unsharded() {
+        let mut whole = TimeSeries::new(10);
+        let mut a = TimeSeries::new(10);
+        let mut b = TimeSeries::new(10);
+        for (t, v) in [(0, 1.0), (5, 3.0), (25, 2.0), (40, 8.0)] {
+            whole.record(t, v);
+            if t < 20 {
+                a.record(t, v);
+            } else {
+                b.record(t, v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        // Merging the shorter shard into the longer one works too.
+        let mut c = TimeSeries::new(10);
+        c.record(40, 8.0);
+        let mut d = TimeSeries::new(10);
+        d.record(0, 1.0);
+        d.record(5, 3.0);
+        d.record(25, 2.0);
+        c.merge(&d);
+        assert_eq!(c, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval mismatch")]
+    fn merge_rejects_mismatched_intervals() {
+        let mut a = TimeSeries::new(10);
+        let b = TimeSeries::new(20);
+        a.merge(&b);
     }
 
     #[test]

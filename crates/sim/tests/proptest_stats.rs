@@ -81,6 +81,94 @@ fn running_mean_matches_reference() {
 }
 
 #[test]
+fn histogram_merge_of_arbitrary_shards_equals_unsharded() {
+    check::cases(128, |rng| {
+        let values = random_values(rng, 5_000);
+        let shards = range_u64(rng, 1, 9) as usize;
+        // Unsharded reference aggregate.
+        let mut whole = Histogram::new(25, 4000);
+        for &v in &values {
+            whole.record(v);
+        }
+        // Scatter the samples across shards (arbitrary assignment), then
+        // reduce the shards in index order.
+        let mut parts = vec![Histogram::new(25, 4000); shards];
+        for &v in &values {
+            parts[rng.index(shards)].record(v);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, whole, "sharded reduction must be exact");
+    });
+}
+
+#[test]
+fn running_mean_merge_of_arbitrary_shards_equals_unsharded() {
+    check::cases(128, |rng| {
+        let n = range_u64(rng, 1, 200) as usize;
+        let values: Vec<f64> = (0..n).map(|_| range_f64(rng, -1e6, 1e6)).collect();
+        let shards = range_u64(rng, 1, 9) as usize;
+        // Assign contiguous slices to shards so intra-shard addition order
+        // matches the unsharded pass; the merged (count, sum) pair is then
+        // bit-identical, not merely close.
+        let mut bounds: Vec<usize> = (0..shards - 1).map(|_| rng.index(n + 1)).collect();
+        bounds.sort_unstable();
+        bounds.insert(0, 0);
+        bounds.push(n);
+        let mut whole = RunningMean::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut merged = RunningMean::new();
+        for w in bounds.windows(2) {
+            let mut shard = RunningMean::new();
+            for &v in &values[w[0]..w[1]] {
+                shard.record(v);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.count(), whole.count());
+        let (a, b) = (merged.mean().unwrap(), whole.mean().unwrap());
+        assert!(
+            (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+            "merged mean {a} drifted from unsharded {b}"
+        );
+    });
+}
+
+#[test]
+fn time_series_merge_of_arbitrary_shards_equals_unsharded() {
+    check::cases(128, |rng| {
+        let n = range_u64(rng, 1, 200) as usize;
+        let samples: Vec<(u64, f64)> = (0..n).map(|_| (rng.below(10_000), rng.unit())).collect();
+        let shards = range_u64(rng, 1, 6) as usize;
+        let mut whole = TimeSeries::new(500);
+        for &(t, v) in &samples {
+            whole.record(t, v);
+        }
+        let mut parts = vec![TimeSeries::new(500); shards];
+        for &(t, v) in &samples {
+            parts[rng.index(shards)].record(t, v);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.len(), whole.len());
+        let (am, wm) = (
+            merged.overall_mean().unwrap(),
+            whole.overall_mean().unwrap(),
+        );
+        assert!((am - wm).abs() < 1e-9);
+        for (a, b) in merged.averages(0.0).iter().zip(whole.averages(0.0)) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    });
+}
+
+#[test]
 fn time_series_overall_mean_matches_reference() {
     check::cases(128, |rng| {
         let n = range_u64(rng, 1, 200) as usize;
