@@ -41,7 +41,8 @@ fn main() {
     let jobs: Vec<Job<f64>> = variants
         .iter()
         .map(|(name, cfg)| {
-            let cfg = cfg.clone();
+            let mut cfg = cfg.clone();
+            args.apply_policy(&mut cfg);
             let apps = apps.clone();
             let table = table.clone();
             Job::new(format!("priority/{name}"), move || {

@@ -39,11 +39,12 @@ fn main() {
         let hw = hw_with_vcs(args.seed, vcs);
         let table = alone.table(&hw, &apps);
         for both in [false, true] {
-            let cfg = if both {
+            let mut cfg = if both {
                 hw.clone().with_both_schemes()
             } else {
                 hw.clone()
             };
+            args.apply_policy(&mut cfg);
             let apps = apps.clone();
             let table = table.clone();
             let label = if both { "both" } else { "base" };

@@ -19,8 +19,8 @@ use noclat::{run_mix, FaultPlan, SystemConfig};
 use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
 use noclat_workloads::workload;
 
-const USAGE: &str =
-    "faultsim [--jobs N] [--json PATH] [--workload 1..18] [--warmup N] [--measure N] [--seed N]";
+const USAGE: &str = "faultsim [--jobs N] [--json PATH] [--workload 1..18] [--warmup N] \
+     [--measure N] [--seed N] [--policy req=NAME,resp=NAME,arb=NAME]";
 
 const DROP_RATES: [f64; 4] = [0.0, 1e-5, 1e-4, 1e-3];
 const SCHEMES: [&str; 4] = ["baseline", "s1", "s2", "both"];
@@ -114,11 +114,13 @@ fn main() {
         for &rate in &DROP_RATES {
             let apps = apps.clone();
             let seed = args.seed;
+            let policy = args.policy.clone();
             jobs.push(Job::new(
                 format!("faultsim/{scheme}/{rate:e}"),
                 move || -> Cell {
                     let mut cfg = scheme_config(scheme);
                     cfg.seed = seed;
+                    policy.apply(&mut cfg);
                     if rate > 0.0 {
                         cfg.faults = FaultPlan::uniform_drop(seed ^ rate.to_bits(), rate);
                     }

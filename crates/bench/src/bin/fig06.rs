@@ -21,9 +21,11 @@ fn main() {
         "A bank is idle when its queue is empty at a sampling instant.",
     );
     let lengths = args.lengths;
+    let policy = args.policy.clone();
     let shards = sweep::run_shards(&args, "fig06/w2", DEFAULT_SHARDS, move |_, seed| {
         let mut cfg = SystemConfig::baseline_32();
         cfg.seed = seed;
+        policy.apply(&mut cfg);
         let r = run_mix(&cfg, &workload(2).apps(), lengths);
         (
             r.system.idleness(0).per_bank_idleness(),

@@ -61,6 +61,7 @@ fn main() {
         for s in 0..DEFAULT_SHARDS {
             let seed = job_seed(args.seed, s); // paired across variants
             let apps = apps.clone();
+            let policy = args.policy.clone();
             let label = if scheme1 { "fig12/s1" } else { "fig12/base" };
             jobs.push(Job::new(format!("{label}/shard-{s}"), move || {
                 let mut cfg = SystemConfig::baseline_32();
@@ -68,6 +69,7 @@ fn main() {
                     cfg = cfg.with_scheme1();
                 }
                 cfg.seed = seed;
+                policy.apply(&mut cfg);
                 run_mix(&cfg, &apps, lengths).system.tracker().clone()
             }));
         }

@@ -28,6 +28,7 @@ fn main() {
     for &widx in &WORKLOADS {
         for scheme2 in [false, true] {
             let seed = args.seed;
+            let policy = args.policy.clone();
             let label = if scheme2 { "scheme2" } else { "default" };
             jobs.push(Job::new(format!("fig13/w{widx}/{label}"), move || {
                 let mut cfg = SystemConfig::baseline_32();
@@ -35,6 +36,7 @@ fn main() {
                     cfg = cfg.with_scheme2();
                 }
                 cfg.seed = seed;
+                policy.apply(&mut cfg);
                 let r = run_mix(&cfg, &workload(widx).apps(), lengths);
                 (
                     r.system.idleness(0).per_bank_idleness(),

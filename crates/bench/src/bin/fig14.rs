@@ -25,6 +25,7 @@ fn main() {
     for &widx in &WORKLOADS {
         for scheme2 in [false, true] {
             let seed = args.seed;
+            let policy = args.policy.clone();
             let label = if scheme2 { "scheme2" } else { "default" };
             jobs.push(Job::new(format!("fig14/w{widx}/{label}"), move || {
                 let mut cfg = SystemConfig::baseline_32();
@@ -32,6 +33,7 @@ fn main() {
                     cfg = cfg.with_scheme2();
                 }
                 cfg.seed = seed;
+                policy.apply(&mut cfg);
                 let r = run_mix(&cfg, &workload(widx).apps(), lengths);
                 r.system.idleness(0).idleness_over_time()
             }));

@@ -33,11 +33,12 @@ fn main() {
         let apps = w(i).first_half();
         let table = alone.table(&hw, &apps);
         for variant in ["base", "s1", "both"] {
-            let cfg = match variant {
+            let mut cfg = match variant {
                 "base" => hw.clone(),
                 "s1" => hw.clone().with_scheme1(),
                 _ => hw.clone().with_both_schemes(),
             };
+            args.apply_policy(&mut cfg);
             let apps = apps.clone();
             let table = table.clone();
             jobs.push(Job::new(

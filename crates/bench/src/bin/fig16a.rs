@@ -33,13 +33,14 @@ fn main() {
         let table = alone.table(&hw, &apps);
         for factor in [0.0].iter().chain(FACTORS.iter()) {
             // factor 0.0 marks the unprioritized baseline cell
-            let cfg = if *factor == 0.0 {
+            let mut cfg = if *factor == 0.0 {
                 hw.clone()
             } else {
                 let mut c = hw.clone().with_both_schemes();
                 c.scheme1.threshold_factor = *factor;
                 c
             };
+            args.apply_policy(&mut cfg);
             let apps = apps.clone();
             let table = table.clone();
             jobs.push(Job::new(

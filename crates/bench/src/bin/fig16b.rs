@@ -33,13 +33,14 @@ fn main() {
         let table = alone.table(&hw, &apps);
         for t in [0u64].iter().chain(WINDOWS.iter()) {
             // window 0 marks the unprioritized baseline cell
-            let cfg = if *t == 0 {
+            let mut cfg = if *t == 0 {
                 hw.clone()
             } else {
                 let mut c = hw.clone().with_both_schemes();
                 c.scheme2.history_window = *t;
                 c
             };
+            args.apply_policy(&mut cfg);
             let apps = apps.clone();
             let table = table.clone();
             jobs.push(Job::new(

@@ -29,7 +29,12 @@ fn main() {
         "NoC load-latency curves (extension)",
         "Table-1 network, 5-flit packets; latency in cycles vs offered load.",
     );
-    let cfg = SystemConfig::baseline_32().noc;
+    // Only the arbitration slot of --policy can matter here (the request/
+    // response policies live above the raw network), so apply the override
+    // before extracting the NoC configuration.
+    let mut sys_cfg = SystemConfig::baseline_32();
+    args.apply_policy(&mut sys_cfg);
+    let cfg = sys_cfg.noc;
     // The synthetic-traffic driver has its own notion of run length.
     let quick = args.lengths.measure <= noclat::RunLengths::quick().measure;
     let cycles = if quick { 2_000 } else { 8_000 };

@@ -55,10 +55,12 @@ fn main() {
     for (label, algo) in algos {
         let apps = apps.clone();
         let seed = args.seed;
+        let policy = args.policy.clone();
         jobs.push(Job::new(format!("netmap/{label}"), move || {
             let mut cfg = SystemConfig::baseline_32();
             cfg.noc.routing = algo;
             cfg.seed = seed;
+            policy.apply(&mut cfg);
             run_mix(&cfg, &apps, lengths).system.forwarding_heat()
         }));
     }

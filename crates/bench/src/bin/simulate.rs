@@ -4,7 +4,7 @@
 //! simulate [--workload N] [--scheme none|s1|s2|both] [--cores 16|32]
 //!          [--warmup CYCLES] [--measure CYCLES] [--seed SEED]
 //!          [--routing xy|yx] [--sched frfcfs|frfcfs-cap|fcfs]
-//!          [--jobs N] [--json PATH]
+//!          [--policy req=NAME,resp=NAME,arb=NAME] [--jobs N] [--json PATH]
 //! ```
 //!
 //! Prints a full report: per-application IPC and off-chip behaviour,
@@ -19,7 +19,8 @@ use noclat_workloads::workload;
 
 const USAGE: &str = "simulate [--workload 1..18] [--scheme none|s1|s2|both] \
      [--cores 16|32] [--warmup N] [--measure N] [--seed N] \
-     [--routing xy|yx] [--sched frfcfs|frfcfs-cap|fcfs] [--jobs N] [--json PATH]";
+     [--routing xy|yx] [--sched frfcfs|frfcfs-cap|fcfs] \
+     [--policy req=NAME,resp=NAME,arb=NAME] [--jobs N] [--json PATH]";
 
 struct Extra {
     workload: usize,
@@ -120,6 +121,7 @@ fn main() {
         }
     };
     cfg.seed = args.seed;
+    args.apply_policy(&mut cfg);
     if !(1..=18).contains(&extra.workload) {
         eprintln!("error: workload {} out of range (1..=18)", extra.workload);
         eprintln!("usage: {USAGE}");
@@ -132,8 +134,11 @@ fn main() {
     } else {
         w.apps()
     };
+    let req_policy = cfg.policy.request_name(cfg.scheme2.enabled).to_string();
+    let resp_policy = cfg.policy.response_name(cfg.scheme1.enabled).to_string();
     println!(
-        "simulating {} ({:?}) on {} cores, scheme={}, routing={}, sched={}, {}+{} cycles",
+        "simulating {} ({:?}) on {} cores, scheme={}, policy={req_policy}/{resp_policy}, \
+         routing={}, sched={}, {}+{} cycles",
         w.name(),
         w.kind,
         extra.cores,
@@ -175,6 +180,8 @@ fn main() {
         Obj::new()
             .field("workload", extra.workload)
             .field("scheme", extra.scheme)
+            .field("request_policy", req_policy)
+            .field("response_policy", resp_policy)
             .field("cores", extra.cores)
             .field("routing", extra.routing)
             .field("sched", extra.sched)

@@ -58,6 +58,7 @@ fn main() {
     for scheme1 in [false, true] {
         let apps = apps.clone();
         let seed = args.seed;
+        let policy = args.policy.clone();
         let label = if scheme1 { "s1" } else { "base" };
         jobs.push(Job::new(format!("slowest/{label}"), move || {
             let mut cfg = SystemConfig::baseline_32();
@@ -65,6 +66,7 @@ fn main() {
                 cfg = cfg.with_scheme1();
             }
             cfg.seed = seed;
+            policy.apply(&mut cfg);
             let r = run_mix(&cfg, &apps, lengths);
             r.system
                 .slowest_transactions()

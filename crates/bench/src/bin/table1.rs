@@ -15,7 +15,8 @@ fn main() {
         "Table 1: Baseline configuration",
         "Paper values in parentheses where our model deviates (see DESIGN.md).",
     );
-    let c = SystemConfig::baseline_32();
+    let mut c = SystemConfig::baseline_32();
+    args.apply_policy(&mut c);
     let rows: Vec<(&str, String)> = vec![
         (
             "Processors",
@@ -100,6 +101,15 @@ fn main() {
             format!(
                 "history window T = {} cycles, idle threshold {}",
                 c.scheme2.history_window, c.scheme2.idle_threshold
+            ),
+        ),
+        (
+            "Prioritization policies",
+            format!(
+                "request {}, response {}, arbitration {:?}",
+                c.policy.request_name(c.scheme2.enabled),
+                c.policy.response_name(c.scheme1.enabled),
+                c.noc.starvation
             ),
         ),
     ];

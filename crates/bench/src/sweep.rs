@@ -24,7 +24,7 @@ use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use noclat::{alone_ipc, RunLengths, SimError, SystemConfig};
+use noclat::{alone_ipc, PolicyConfig, PolicyOverride, RunLengths, SimError, SystemConfig};
 use noclat_workloads::SpecApp;
 
 pub use noclat_sim::pool::{job_rng, job_seed, run_jobs, Job};
@@ -49,11 +49,15 @@ pub struct SweepArgs {
     /// Simulation window (`quick`/`--quick` shrink it; `--warmup N` and
     /// `--measure N` override individual components).
     pub lengths: RunLengths,
+    /// Prioritization-policy overrides
+    /// (`--policy req=<name>,resp=<name>,arb=<name>`), applied to every
+    /// configuration the sweep builds via [`SweepArgs::apply_policy`].
+    pub policy: PolicyOverride,
 }
 
 /// Flags accepted by [`SweepArgs::parse`], for inclusion in usage strings.
-pub const SWEEP_USAGE: &str =
-    "[--jobs N] [--json PATH] [--seed N] [--warmup N] [--measure N] [quick]";
+pub const SWEEP_USAGE: &str = "[--jobs N] [--json PATH] [--seed N] [--warmup N] [--measure N] \
+     [--policy req=NAME,resp=NAME,arb=NAME] [quick]";
 
 impl SweepArgs {
     fn defaults() -> Self {
@@ -64,6 +68,7 @@ impl SweepArgs {
             json: None,
             seed: SystemConfig::baseline_32().seed,
             lengths: RunLengths::standard(),
+            policy: PolicyOverride::default(),
         }
     }
 
@@ -145,6 +150,12 @@ impl SweepArgs {
                     measure_override = Some(m);
                     i += 2;
                 }
+                "--policy" => {
+                    // PolicyOverride::parse already prefixes its errors
+                    // with "--policy:".
+                    args.policy = PolicyOverride::parse(value()?)?;
+                    i += 2;
+                }
                 "quick" | "--quick" => {
                     quick = true;
                     i += 1;
@@ -166,6 +177,14 @@ impl SweepArgs {
             args.lengths.measure = m;
         }
         Ok((args, rest))
+    }
+
+    /// Applies this sweep's `--policy` overrides to a configuration the
+    /// harness is about to run. Call on every cell of the grid so the
+    /// override reaches scheme variants and knob sweeps alike; a sweep run
+    /// without `--policy` is untouched.
+    pub fn apply_policy(&self, cfg: &mut SystemConfig) {
+        self.policy.apply(cfg);
     }
 }
 
@@ -250,6 +269,7 @@ pub fn alone_key(cfg: &SystemConfig) -> String {
     let mut base = cfg.clone();
     base.scheme1.enabled = false;
     base.scheme2.enabled = false;
+    base.policy = PolicyConfig::default();
     format!("{base:?}")
 }
 
@@ -618,10 +638,29 @@ mod tests {
         assert!(SweepArgs::parse_argv(&argv(&["--jobs"])).is_err());
         assert!(SweepArgs::parse_argv(&argv(&["--measure", "0"])).is_err());
         assert!(SweepArgs::parse_argv(&argv(&["--seed", "donkey"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--policy", "req=donkey"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--policy"])).is_err());
         assert_eq!(
             SweepArgs::parse_argv(&argv(&["--help"])).unwrap_err(),
             "help"
         );
+    }
+
+    #[test]
+    fn parse_policy_override_and_apply() {
+        let (args, rest) =
+            SweepArgs::parse_argv(&argv(&["--policy", "req=oldest-first,resp=static"])).unwrap();
+        assert!(rest.is_empty());
+        let mut cfg = SystemConfig::baseline_32();
+        args.apply_policy(&mut cfg);
+        assert_eq!(cfg.policy.request.as_deref(), Some("oldest-first"));
+        assert_eq!(cfg.policy.response.as_deref(), Some("static"));
+        cfg.validate().expect("override produces a valid config");
+        // No --policy: configurations pass through untouched.
+        let (args, _) = SweepArgs::parse_argv(&argv(&[])).unwrap();
+        let mut cfg = SystemConfig::baseline_32();
+        args.apply_policy(&mut cfg);
+        assert_eq!(cfg, SystemConfig::baseline_32());
     }
 
     #[test]
@@ -654,6 +693,11 @@ mod tests {
             alone_key(&base),
             alone_key(&base.clone().with_both_schemes())
         );
+        // Policy selection is also contention-only: alone runs share a key.
+        let mut with_policy = base.clone();
+        with_policy.policy.request = Some("oldest-first".to_string());
+        with_policy.policy.response = Some("static".to_string());
+        assert_eq!(alone_key(&base), alone_key(&with_policy));
         let mut more_vcs = base.clone();
         more_vcs.noc.vcs_per_port = 8;
         assert_ne!(alone_key(&base), alone_key(&more_vcs));

@@ -160,6 +160,7 @@ pub fn alone_ipc(cfg: &SystemConfig, app: SpecApp, lengths: RunLengths) -> f64 {
     let mut base = cfg.clone();
     base.scheme1.enabled = false;
     base.scheme2.enabled = false;
+    base.policy = noclat_sim::config::PolicyConfig::default();
     let rng = noclat_sim::rng::SimRng::new(base.seed);
     let streams: Vec<Box<dyn InstrStream>> = (0..base.num_cores())
         .map(|slot| {

@@ -30,6 +30,8 @@
 pub mod experiment;
 pub mod messages;
 pub mod metrics;
+pub mod policy;
+pub mod probe;
 pub mod report;
 pub mod scheme1;
 pub mod scheme2;
@@ -43,6 +45,11 @@ pub use experiment::{
 };
 pub use messages::{MemMsg, TxnId};
 pub use metrics::{AppLatency, LatencyTracker, SegmentRow, TxnTimes};
+pub use policy::{
+    build_request_policy, build_response_policy, BaselinePolicy, OldestFirstPolicy, RequestPolicy,
+    ResponsePolicy, Scheme1Policy, Scheme2Policy, StaticPolicy,
+};
+pub use probe::{CountingProbe, McDequeue, Probe, ProbeCounters, Retire};
 pub use report::{ControllerReport, NetworkReport, SystemReport};
 pub use scheme1::{Scheme1, ThresholdTable};
 pub use scheme2::BankHistoryTable;
@@ -52,8 +59,8 @@ pub use watchdog::{LivenessViolation, Watchdog};
 
 // Re-export the configuration types callers need to drive experiments.
 pub use noclat_sim::config::{
-    ConfigError, MemSchedPolicy, RouterPipeline, Scheme1Config, Scheme2Config, SystemConfig,
-    WatchdogConfig,
+    ConfigError, MemSchedPolicy, PolicyConfig, PolicyOverride, RouterPipeline, Scheme1Config,
+    Scheme2Config, SystemConfig, WatchdogConfig,
 };
 pub use noclat_sim::error::{FaultError, SimError};
 pub use noclat_sim::faults::FaultPlan;

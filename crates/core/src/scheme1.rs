@@ -37,6 +37,12 @@ impl Scheme1 {
         }
     }
 
+    /// Number of applications (cores) being tracked.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.delay_avg.len()
+    }
+
     /// Records a completed off-chip access's round-trip delay for `core`.
     pub fn record_round_trip(&mut self, core: usize, delay: Cycle) {
         self.delay_avg[core].record(delay as f64);
@@ -155,6 +161,44 @@ mod tests {
         assert!(!t.is_late(1, 400), "equal to threshold is not late");
         assert!(t.is_late(1, 401));
         assert!(!t.is_late(0, 401), "other cores unaffected");
+    }
+
+    #[test]
+    fn saturated_age_is_still_late_not_wrapped() {
+        use noclat_noc::accumulate_age;
+        // The so-far-delay field is 12 bits (Section 3.1): a message that
+        // has waited past 4095 cycles must saturate at the maximum, not
+        // wrap around to a small value that would read as "young" and lose
+        // its expedited treatment at the controller.
+        let max_age = SystemConfig::baseline_32().noc.max_age();
+        assert_eq!(max_age, 4095, "paper's 12-bit age field");
+        let near_full = max_age - 10;
+        let saturated = accumulate_age(near_full, 100, 1, max_age);
+        assert_eq!(saturated, max_age, "accumulation caps at the field max");
+        assert_eq!(
+            accumulate_age(saturated, 1, 1, max_age),
+            max_age,
+            "further hops stay pinned at the max"
+        );
+        let mut t = ThresholdTable::new(1);
+        t.set(0, 400);
+        assert!(
+            t.is_late(0, saturated),
+            "a saturated age must still exceed any realistic threshold"
+        );
+        // Wraparound would have produced (near_full + 100) mod 4096 = 89,
+        // which reads as a fresh message and silently drops the priority.
+        let wrapped = (u64::from(near_full) + 100) % (u64::from(max_age) + 1);
+        assert!(!t.is_late(0, wrapped as u32), "the bug saturation prevents");
+    }
+
+    #[test]
+    fn saturation_with_frequency_multiplier_cannot_overflow() {
+        use noclat_noc::accumulate_age;
+        let max_age = 4095;
+        // Even an absurd delay × multiplier product saturates cleanly.
+        assert_eq!(accumulate_age(4000, u64::MAX, u32::MAX, max_age), max_age);
+        assert_eq!(accumulate_age(max_age, 0, 1, max_age), max_age);
     }
 
     #[test]

@@ -4,9 +4,17 @@
 //! schemes of Section 3.
 //!
 //! One [`System::step`] advances everything by one core cycle, in a fixed
-//! deterministic order: cores (dispatch/commit, new L1 misses), Scheme-1
+//! deterministic order: cores (dispatch/commit, new L1 misses), policy
 //! threshold updates, the network, packet deliveries, delayed cache-bank
 //! work, and finally the memory controllers.
+//!
+//! Every network-priority decision is delegated to the pluggable policy
+//! layer ([`crate::policy`]): request injection at L2 miss goes through a
+//! [`RequestPolicy`], response injection at the controllers through a
+//! [`ResponsePolicy`], and router arbitration through the
+//! `ArbitrationPolicy` resolved inside each router. Observers can attach
+//! [`Probe`]s to watch hops, controller dequeues and retirements without
+//! perturbing the simulation.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -25,8 +33,8 @@ use noclat_workloads::{SpecApp, SyntheticStream};
 
 use crate::messages::{MemMsg, TxnId};
 use crate::metrics::{LatencyTracker, TxnTimes};
-use crate::scheme1::{Scheme1, ThresholdTable};
-use crate::scheme2::BankHistoryTable;
+use crate::policy::{build_request_policy, build_response_policy, RequestPolicy, ResponsePolicy};
+use crate::probe::{McDequeue, Probe, Retire};
 use crate::trace::{TraceLog, TxnRecord};
 use crate::watchdog::{LivenessViolation, Snapshot, Watchdog};
 
@@ -157,7 +165,6 @@ impl PartialOrd for WorkItem {
 struct McNode {
     node: usize,
     ctrl: MemoryController,
-    thresholds: ThresholdTable,
     pending: HashMap<TxnId, McPending>,
     monitor: IdlenessMonitor,
 }
@@ -252,8 +259,15 @@ pub struct System {
     work_seq: u64,
     mcs: Vec<McNode>,
     mc_at_node: Vec<Option<usize>>,
-    scheme1: Option<Scheme1>,
-    scheme2: Option<Vec<BankHistoryTable>>,
+    /// Decision point 1: priority of L2-miss requests entering the request
+    /// network (Scheme-2's seam).
+    req_policy: Box<dyn RequestPolicy>,
+    /// Decision point 2: priority of responses injected by the memory
+    /// controllers, plus the threshold side-channel (Scheme-1's seam).
+    resp_policy: Box<dyn ResponsePolicy>,
+    /// Attached observers; empty by default, in which case the system runs
+    /// the plain monomorphized network path with zero probe overhead.
+    probes: Vec<Box<dyn Probe>>,
     txns: HashMap<TxnId, Txn>,
     next_txn: u64,
     next_wb_token: u64,
@@ -275,8 +289,8 @@ impl std::fmt::Debug for System {
             .field("cores", &self.cores.len())
             .field("controllers", &self.mcs.len())
             .field("txns_in_flight", &self.txns.len())
-            .field("scheme1", &self.scheme1.is_some())
-            .field("scheme2", &self.scheme2.is_some())
+            .field("request_policy", &self.req_policy.name())
+            .field("response_policy", &self.resp_policy.name())
             .finish_non_exhaustive()
     }
 }
@@ -339,7 +353,6 @@ impl System {
                 McNode {
                     node: node.index(),
                     ctrl: MemoryController::with_faults(cfg.mem, &cfg.faults, i),
-                    thresholds: ThresholdTable::new(n),
                     pending: HashMap::new(),
                     monitor: IdlenessMonitor::new(
                         cfg.mem.banks_per_controller,
@@ -376,12 +389,9 @@ impl System {
             work_seq: 0,
             mcs,
             mc_at_node,
-            scheme1: cfg.scheme1.enabled.then(|| Scheme1::new(cfg.scheme1, n)),
-            scheme2: cfg.scheme2.enabled.then(|| {
-                (0..n)
-                    .map(|_| BankHistoryTable::new(cfg.scheme2, addr_map.total_banks()))
-                    .collect()
-            }),
+            req_policy: build_request_policy(&cfg, addr_map.total_banks())?,
+            resp_policy: build_response_policy(&cfg)?,
+            probes: Vec::new(),
             txns: HashMap::new(),
             next_txn: 0,
             next_wb_token: 0,
@@ -599,12 +609,41 @@ impl System {
         }
     }
 
+    /// Registry name of the active request-injection policy.
+    #[must_use]
+    pub fn request_policy_name(&self) -> &'static str {
+        self.req_policy.name()
+    }
+
+    /// Registry name of the active response-injection policy.
+    #[must_use]
+    pub fn response_policy_name(&self) -> &'static str {
+        self.resp_policy.name()
+    }
+
+    /// Attaches an observer to the per-hop, per-controller-dequeue and
+    /// per-retirement probe points. Probes only watch; they cannot change
+    /// timing or priorities. With none attached the system takes the plain
+    /// monomorphized network path, so the hooks cost nothing.
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
+        self.probes.push(probe);
+    }
+
     /// Advances the system by one cycle.
     pub fn step(&mut self) {
         let now = self.now;
         self.tick_cores(now);
-        self.scheme1_updates(now);
-        self.net.tick(now);
+        self.policy_updates(now);
+        if self.probes.is_empty() {
+            self.net.tick(now);
+        } else {
+            let System { net, probes, .. } = self;
+            net.tick_with(now, &mut |hop| {
+                for p in probes.iter_mut() {
+                    p.on_hop(hop);
+                }
+            });
+        }
         self.handle_drops(now);
         self.handle_deliveries(now);
         self.process_work(now);
@@ -887,19 +926,14 @@ impl System {
         }
     }
 
-    fn scheme1_updates(&mut self, now: Cycle) {
-        let num_cores = self.cores.len();
-        let updates: Vec<(usize, u32)> = match &mut self.scheme1 {
-            Some(s1) => {
-                if !s1.update_due(now) {
-                    return;
-                }
-                (0..num_cores)
-                    .filter_map(|c| s1.threshold(c).map(|t| (c, t)))
-                    .collect()
-            }
-            None => return,
-        };
+    /// Broadcasts whatever threshold updates the response policy wants to
+    /// send this cycle (Scheme-1's periodic `factor × Delay_avg` messages;
+    /// an empty poll — the common case — costs one virtual call).
+    fn policy_updates(&mut self, now: Cycle) {
+        let updates = self.resp_policy.poll_updates(now);
+        if updates.is_empty() {
+            return;
+        }
         let mc_nodes: Vec<usize> = self.mcs.iter().map(|m| m.node).collect();
         for (core, threshold) in updates {
             for &mc_node in &mc_nodes {
@@ -1011,7 +1045,7 @@ impl System {
                     MemMsg::ThresholdUpdate { core, threshold } => {
                         let mc_idx = self.mc_at_node[node]
                             .expect("ThresholdUpdate delivered to a non-controller node");
-                        self.mcs[mc_idx].thresholds.set(core, threshold);
+                        self.resp_policy.install_threshold(mc_idx, core, threshold);
                     }
                 }
             }
@@ -1102,18 +1136,9 @@ impl System {
                     t.offchip = true;
                 }
                 let bank = self.addr_map.global_bank(line);
-                let priority = match &mut self.scheme2 {
-                    Some(tables) => {
-                        let expedite = tables[node].should_expedite(bank, now);
-                        tables[node].record(bank, now);
-                        if expedite {
-                            Priority::High
-                        } else {
-                            Priority::Normal
-                        }
-                    }
-                    None => Priority::Normal,
-                };
+                // Decision point 1: the request policy picks the priority
+                // this miss rides to the controller with.
+                let priority = self.req_policy.request_priority(node, bank, core, age, now);
                 let mc_node = self.mcs[self.addr_map.decode(line).controller].node;
                 self.inject(
                     node,
@@ -1215,13 +1240,23 @@ impl System {
                         times,
                     });
                 }
-                if let Some(s1) = &mut self.scheme1 {
-                    // The paper reads the round-trip delay from the age
-                    // field of the returning message, so `Delay_avg` and the
-                    // so-far comparison at the controller share units.
-                    let final_age =
-                        accumulate_age(age, self.cfg.l1.latency, 1, self.cfg.noc.max_age());
-                    s1.record_round_trip(core, Cycle::from(final_age));
+                // The paper reads the round-trip delay from the age field
+                // of the returning message, so `Delay_avg` and the so-far
+                // comparison at the controller share units.
+                let final_age = accumulate_age(age, self.cfg.l1.latency, 1, self.cfg.noc.max_age());
+                self.resp_policy.record_round_trip(core, final_age);
+            }
+            if !self.probes.is_empty() {
+                let ev = Retire {
+                    core,
+                    line: t.line,
+                    offchip: t.offchip,
+                    merged: t.merged,
+                    total_latency: now.saturating_sub(t.issued),
+                    cycle: now,
+                };
+                for p in &mut self.probes {
+                    p.on_retire(&ev);
                 }
             }
         }
@@ -1255,8 +1290,24 @@ impl System {
                     self.cfg.noc.max_age(),
                 );
                 self.tracker.record_so_far(pending.core, age);
-                let late =
-                    self.scheme1.is_some() && self.mcs[m].thresholds.is_late(pending.core, age);
+                // Decision point 2: the response policy picks the priority
+                // of the reply's whole return path.
+                let priority = self
+                    .resp_policy
+                    .response_priority(m, pending.core, age, now);
+                if !self.probes.is_empty() {
+                    let ev = McDequeue {
+                        mc: m,
+                        core: pending.core,
+                        so_far_delay: age,
+                        queued_for: c.controller_delay,
+                        priority,
+                        cycle: now,
+                    };
+                    for p in &mut self.probes {
+                        p.on_mc_dequeue(&ev);
+                    }
+                }
                 let line = pending.line;
                 let mc_node = self.mcs[m].node;
                 let flits = self.data_flits;
@@ -1264,11 +1315,7 @@ impl System {
                     mc_node,
                     pending.l2_bank,
                     VNet::Response,
-                    if late {
-                        Priority::High
-                    } else {
-                        Priority::Normal
-                    },
+                    priority,
                     flits,
                     age,
                     MemMsg::MemResp { txn, line },

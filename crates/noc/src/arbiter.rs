@@ -53,6 +53,99 @@ pub fn key_for(policy: StarvationPolicy, guard: u32, c: &Candidate) -> u64 {
     match policy {
         StarvationPolicy::AgeGuard => arbitration_key(c.priority, c.effective_age, guard),
         StarvationPolicy::Batching { .. } => batching_key(c.batch, c.priority, c.effective_age),
+        StarvationPolicy::OldestFirst => c.effective_age,
+        StarvationPolicy::StaticPriority => u64::from(c.priority == Priority::High),
+    }
+}
+
+/// The arbitration-policy seam (decision point 3 of the policy layer): maps
+/// a [`Candidate`] to a scalar key; larger wins. Equal keys prefer the
+/// higher priority class, then round-robin — that tie-break lives in
+/// [`RoundRobinArbiter::pick_with`] and is shared by every policy.
+///
+/// Implementations must be stateless per-arbitration (the same candidate
+/// always maps to the same key within a cycle) so that VA and SA stages can
+/// share one policy object.
+pub trait ArbitrationPolicy: std::fmt::Debug + Send + Sync {
+    /// Scalar key for one candidate; larger wins.
+    fn key(&self, c: &Candidate) -> u64;
+    /// Registry name of this policy.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's Section-3.3 rule: high priority wins unless a normal
+/// candidate is older by more than the guard `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgeGuardArb {
+    /// The starvation guard `T` in cycles.
+    pub guard: u32,
+}
+
+impl ArbitrationPolicy for AgeGuardArb {
+    fn key(&self, c: &Candidate) -> u64 {
+        arbitration_key(c.priority, c.effective_age, self.guard)
+    }
+    fn name(&self) -> &'static str {
+        "age-guard"
+    }
+}
+
+/// The batching alternative the paper cites: older batch beats any priority
+/// difference; within a batch, priority then age.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchingArb;
+
+impl ArbitrationPolicy for BatchingArb {
+    fn key(&self, c: &Candidate) -> u64 {
+        batching_key(c.batch, c.priority, c.effective_age)
+    }
+    fn name(&self) -> &'static str {
+        "batching"
+    }
+}
+
+/// Pure global-age arbitration: oldest flit wins outright. Priority still
+/// breaks exact-age ties (via the shared tie-break), but never overrides an
+/// age difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OldestFirstArb;
+
+impl ArbitrationPolicy for OldestFirstArb {
+    fn key(&self, c: &Candidate) -> u64 {
+        c.effective_age
+    }
+    fn name(&self) -> &'static str {
+        "oldest-first"
+    }
+}
+
+/// Pure static-priority arbitration: the priority class alone decides;
+/// within a class, round-robin. No starvation protection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticArb;
+
+impl ArbitrationPolicy for StaticArb {
+    fn key(&self, c: &Candidate) -> u64 {
+        u64::from(c.priority == Priority::High)
+    }
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Resolves a [`StarvationPolicy`] configuration value to its policy
+/// object. Routers hold the result behind an [`std::sync::Arc`] so the
+/// router stays cheaply cloneable.
+#[must_use]
+pub fn arbitration_policy(
+    policy: StarvationPolicy,
+    guard: u32,
+) -> std::sync::Arc<dyn ArbitrationPolicy> {
+    match policy {
+        StarvationPolicy::AgeGuard => std::sync::Arc::new(AgeGuardArb { guard }),
+        StarvationPolicy::Batching { .. } => std::sync::Arc::new(BatchingArb),
+        StarvationPolicy::OldestFirst => std::sync::Arc::new(OldestFirstArb),
+        StarvationPolicy::StaticPriority => std::sync::Arc::new(StaticArb),
     }
 }
 
@@ -73,20 +166,24 @@ impl RoundRobinArbiter {
         Self::default()
     }
 
-    /// Picks a winner among `candidates`; returns its `tag`, or `None` when
-    /// there are no candidates. Advances the round-robin pointer past the
-    /// winner.
+    /// Picks a winner among `candidates` under the paper's age-guard rule;
+    /// returns its `tag`, or `None` when there are no candidates. Advances
+    /// the round-robin pointer past the winner.
     pub fn pick(&mut self, candidates: &[Candidate], starvation_guard: u32) -> Option<usize> {
-        self.pick_with(candidates, StarvationPolicy::AgeGuard, starvation_guard)
+        self.pick_with(
+            candidates,
+            &AgeGuardArb {
+                guard: starvation_guard,
+            },
+        )
     }
 
-    /// Like [`RoundRobinArbiter::pick`], under an explicit starvation
+    /// Like [`RoundRobinArbiter::pick`], under an explicit arbitration
     /// policy.
     pub fn pick_with(
         &mut self,
         candidates: &[Candidate],
-        policy: StarvationPolicy,
-        starvation_guard: u32,
+        policy: &dyn ArbitrationPolicy,
     ) -> Option<usize> {
         if candidates.is_empty() {
             return None;
@@ -96,7 +193,7 @@ impl RoundRobinArbiter {
         for offset in 0..n {
             let idx = (self.next + offset) % n;
             let c = candidates[idx];
-            let key = key_for(policy, starvation_guard, &c);
+            let key = policy.key(&c);
             let better = match best {
                 None => true,
                 Some((bk, bp, _)) => key > bk || (key == bk && c.priority > bp),
@@ -209,14 +306,15 @@ mod tests {
             effective_age: 900,
             batch: 3,
         };
-        let policy = StarvationPolicy::Batching { interval: 1000 };
         let mut arb = RoundRobinArbiter::new();
-        assert_eq!(arb.pick_with(&[old_normal, new_high], policy, 0), Some(0));
+        assert_eq!(
+            arb.pick_with(&[old_normal, new_high], &BatchingArb),
+            Some(0)
+        );
     }
 
     #[test]
     fn batching_same_batch_uses_priority_then_age() {
-        let policy = StarvationPolicy::Batching { interval: 1000 };
         let normal = Candidate {
             tag: 0,
             priority: Priority::Normal,
@@ -230,11 +328,83 @@ mod tests {
             batch: 7,
         };
         let mut arb = RoundRobinArbiter::new();
-        assert_eq!(arb.pick_with(&[normal, high], policy, 0), Some(1));
+        assert_eq!(arb.pick_with(&[normal, high], &BatchingArb), Some(1));
     }
 
     #[test]
     fn key_saturates() {
         assert_eq!(arbitration_key(Priority::High, u64::MAX, 1000), u64::MAX);
+    }
+
+    #[test]
+    fn age_guard_tie_at_exactly_equal_ages_prefers_high() {
+        // T_starve edge: with equal effective ages the keys differ by
+        // exactly the guard, and with guard 0 the keys are *equal* — the
+        // shared tie-break must still hand the grant to the High class.
+        let mut arb = RoundRobinArbiter::new();
+        let cands = [cand(0, Priority::Normal, 42), cand(1, Priority::High, 42)];
+        assert_eq!(arb.pick(&cands, 1000), Some(1));
+        let mut arb = RoundRobinArbiter::new();
+        assert_eq!(arb.pick(&cands, 0), Some(1), "equal keys break by class");
+    }
+
+    #[test]
+    fn policy_objects_match_key_for() {
+        let cands = [
+            cand(3, Priority::Normal, 1500),
+            cand(4, Priority::High, 10),
+            Candidate {
+                tag: 5,
+                priority: Priority::High,
+                effective_age: 700,
+                batch: 2,
+            },
+        ];
+        let table: [(StarvationPolicy, &dyn ArbitrationPolicy); 4] = [
+            (StarvationPolicy::AgeGuard, &AgeGuardArb { guard: 1000 }),
+            (StarvationPolicy::Batching { interval: 64 }, &BatchingArb),
+            (StarvationPolicy::OldestFirst, &OldestFirstArb),
+            (StarvationPolicy::StaticPriority, &StaticArb),
+        ];
+        for (cfg, obj) in table {
+            for c in &cands {
+                assert_eq!(
+                    key_for(cfg, 1000, c),
+                    obj.key(c),
+                    "{cfg:?} vs {}",
+                    obj.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oldest_first_ignores_priority_static_ignores_age() {
+        let old_normal = cand(0, Priority::Normal, 500);
+        let young_high = cand(1, Priority::High, 10);
+        let mut arb = RoundRobinArbiter::new();
+        assert_eq!(
+            arb.pick_with(&[old_normal, young_high], &OldestFirstArb),
+            Some(0)
+        );
+        let mut arb = RoundRobinArbiter::new();
+        assert_eq!(
+            arb.pick_with(&[old_normal, young_high], &StaticArb),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn factory_resolves_all_variants() {
+        let names: Vec<&str> = [
+            StarvationPolicy::AgeGuard,
+            StarvationPolicy::Batching { interval: 100 },
+            StarvationPolicy::OldestFirst,
+            StarvationPolicy::StaticPriority,
+        ]
+        .into_iter()
+        .map(|p| arbitration_policy(p, 1000).name())
+        .collect();
+        assert_eq!(names, ["age-guard", "batching", "oldest-first", "static"]);
     }
 }

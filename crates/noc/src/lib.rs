@@ -46,7 +46,11 @@ pub mod router;
 pub mod topology;
 pub mod traffic;
 
-pub use network::{flits_for_payload, Network, NetworkStats};
+pub use arbiter::{
+    arbitration_policy, AgeGuardArb, ArbitrationPolicy, BatchingArb, Candidate, OldestFirstArb,
+    RoundRobinArbiter, StaticArb,
+};
+pub use network::{flits_for_payload, Hop, Network, NetworkStats};
 pub use packet::{accumulate_age, Delivered, Flit, FlitKind, PacketId, PacketMeta, Priority, VNet};
 pub use router::{Router, RouterCounters};
 pub use topology::{Coord, Dir, Mesh, NodeId};

@@ -41,6 +41,28 @@ pub struct NetworkStats {
     pub flits_dropped: Counter,
 }
 
+/// One switch traversal, as seen by a [`Network::tick_with`] observer: a
+/// flit leaving `node` through `out_port` (`Local` = ejection at that node).
+///
+/// This is the per-hop probe point of the policy layer. The observer is a
+/// generic closure, so [`Network::tick`] — which passes an empty one —
+/// monomorphizes to exactly the pre-probe code.
+#[derive(Debug, Clone, Copy)]
+pub struct Hop {
+    /// Router the flit is leaving.
+    pub node: NodeId,
+    /// Output port (`Local` = ejection).
+    pub out_port: Dir,
+    /// Priority class of the flit.
+    pub priority: Priority,
+    /// Virtual network the flit travels on.
+    pub vnet: VNet,
+    /// So-far-delay field after this router's residency.
+    pub age: u32,
+    /// Cycle of the traversal.
+    pub cycle: Cycle,
+}
+
 /// A packet waiting at a node for a free injection VC.
 #[derive(Debug, Clone, Copy)]
 struct PendingPacket {
@@ -333,8 +355,15 @@ impl<P> Network<P> {
     /// high-priority body flit would never see the empty buffer that makes
     /// it bypass-eligible (Section 3.3).
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_with(now, &mut |_| {});
+    }
+
+    /// Like [`Network::tick`], invoking `observer` once per switch
+    /// traversal (the per-hop probe point). Monomorphized per closure type:
+    /// the no-op observer of `tick` compiles away entirely.
+    pub fn tick_with<F: FnMut(&Hop)>(&mut self, now: Cycle, observer: &mut F) {
         self.injection_step(now);
-        self.router_step(now);
+        self.router_step(now, observer);
         self.deliver_wires(now);
     }
 
@@ -424,7 +453,7 @@ impl<P> Network<P> {
                     StarvationPolicy::Batching { interval } => {
                         (meta.injected_at / Cycle::from(interval.max(1))) as u32
                     }
-                    StarvationPolicy::AgeGuard => 0,
+                    _ => 0,
                 };
                 let flit = Flit {
                     packet: active.id,
@@ -459,7 +488,7 @@ impl<P> Network<P> {
     }
 
     /// Ticks every router and routes its outputs onto wires / inboxes.
-    fn router_step(&mut self, now: Cycle) {
+    fn router_step<F: FnMut(&Hop)>(&mut self, now: Cycle, observer: &mut F) {
         let ports = Dir::ALL.len();
         for node in 0..self.routers.len() {
             let node_id = NodeId(node as u16);
@@ -481,6 +510,14 @@ impl<P> Network<P> {
             };
             for tr in out.0 {
                 self.link_flits[node * ports + tr.out_port.index()] += 1;
+                observer(&Hop {
+                    node: node_id,
+                    out_port: tr.out_port,
+                    priority: tr.flit.priority,
+                    vnet: tr.flit.vnet,
+                    age: tr.flit.age,
+                    cycle: now,
+                });
                 if tr.out_port == Dir::Local {
                     self.eject(node_id, tr.flit, now);
                 } else {

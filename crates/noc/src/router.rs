@@ -12,11 +12,12 @@
 //! residency from 5 cycles to 2.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use noclat_sim::config::NocConfig;
 use noclat_sim::Cycle;
 
-use crate::arbiter::{Candidate, RoundRobinArbiter};
+use crate::arbiter::{arbitration_policy, ArbitrationPolicy, Candidate, RoundRobinArbiter};
 use crate::packet::{accumulate_age, Flit, Priority, VNet};
 use crate::topology::{Dir, Mesh, NodeId};
 
@@ -115,6 +116,9 @@ pub struct Router {
     va_arb: Vec<RoundRobinArbiter>,
     sa_in_arb: Vec<RoundRobinArbiter>,
     sa_out_arb: Vec<RoundRobinArbiter>,
+    /// The arbitration policy shared by VA and both SA phases (decision
+    /// point 3 of the policy layer), resolved once from the configuration.
+    arb: Arc<dyn ArbitrationPolicy>,
     counters: RouterCounters,
     /// Total flits buffered across all input VCs (fast-path guard).
     occupancy: usize,
@@ -157,6 +161,7 @@ impl Router {
             va_arb: vec![RoundRobinArbiter::new(); Dir::ALL.len()],
             sa_in_arb: vec![RoundRobinArbiter::new(); Dir::ALL.len()],
             sa_out_arb: vec![RoundRobinArbiter::new(); Dir::ALL.len()],
+            arb: arbitration_policy(cfg.starvation, cfg.starvation_age_guard),
             counters: RouterCounters::default(),
             occupancy: 0,
             out: RouterOutput::default(),
@@ -329,11 +334,7 @@ impl Router {
                     break;
                 }
                 let winner_tag = self.va_arb[out_port]
-                    .pick_with(
-                        &grantable,
-                        self.cfg.starvation,
-                        self.cfg.starvation_age_guard,
-                    )
+                    .pick_with(&grantable, &*self.arb)
                     .expect("non-empty grantable set");
                 let (port, vc) = untag(winner_tag, self.cfg.vcs_per_port);
                 let vnet = self.inputs[port].vcs[vc]
@@ -388,11 +389,7 @@ impl Router {
                     batch: front.batch,
                 });
             }
-            if let Some(tag) = self.sa_in_arb[port].pick_with(
-                &candidates,
-                self.cfg.starvation,
-                self.cfg.starvation_age_guard,
-            ) {
+            if let Some(tag) = self.sa_in_arb[port].pick_with(&candidates, &*self.arb) {
                 phase1.push(tag);
             }
         }
@@ -417,11 +414,7 @@ impl Router {
                     })
                 })
                 .collect();
-            let Some(tag) = self.sa_out_arb[out_port].pick_with(
-                &candidates,
-                self.cfg.starvation,
-                self.cfg.starvation_age_guard,
-            ) else {
+            let Some(tag) = self.sa_out_arb[out_port].pick_with(&candidates, &*self.arb) else {
                 continue;
             };
             self.traverse(tag, now);

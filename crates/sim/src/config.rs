@@ -152,8 +152,9 @@ pub struct NocConfig {
     pub starvation: StarvationPolicy,
 }
 
-/// How prioritized arbitration avoids starving normal-priority traffic
-/// (Section 3.3 discusses both mechanisms).
+/// How prioritized arbitration treats competing flits (Section 3.3
+/// discusses the first two mechanisms; the last two are research ablations
+/// reachable via `--policy arb=<name>`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StarvationPolicy {
     /// The paper's mechanism: a normal flit wins over a high-priority one
@@ -167,6 +168,13 @@ pub enum StarvationPolicy {
         /// Batch interval in cycles.
         interval: u32,
     },
+    /// Pure global-age arbitration: the oldest flit wins regardless of its
+    /// priority class (the "oldest-first" ablation baseline).
+    OldestFirst,
+    /// Pure static-priority arbitration: the priority class alone decides;
+    /// ages never override it (no starvation protection — the watchdog is
+    /// the backstop).
+    StaticPriority,
 }
 
 impl NocConfig {
@@ -267,6 +275,156 @@ pub struct Scheme2Config {
     pub idle_threshold: u32,
 }
 
+/// Request-injection policy names accepted by the registry (decision
+/// point 1: the priority an L2 miss gets when it enters the request
+/// network). See `DESIGN.md` §10 for the registry contract.
+pub const REQUEST_POLICIES: &[&str] = &["baseline", "scheme2", "oldest-first", "static"];
+
+/// Response-injection policy names accepted by the registry (decision
+/// point 2: the priority a memory controller gives a reply).
+pub const RESPONSE_POLICIES: &[&str] = &["baseline", "scheme1", "oldest-first", "static"];
+
+/// Named prioritization-policy selection (the string-keyed registry).
+///
+/// `None` in a slot means "derive from the scheme flags": the request slot
+/// resolves to `scheme2` when [`Scheme2Config::enabled`] is set and
+/// `baseline` otherwise, and likewise the response slot resolves to
+/// `scheme1` or `baseline`. This keeps every pre-existing configuration —
+/// including the golden-result suite — byte-identical: selecting nothing
+/// selects exactly the hardwired behavior this layer replaced.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PolicyConfig {
+    /// Request-injection policy name (see [`REQUEST_POLICIES`]), or `None`
+    /// to derive from `scheme2.enabled`.
+    pub request: Option<String>,
+    /// Response-injection policy name (see [`RESPONSE_POLICIES`]), or
+    /// `None` to derive from `scheme1.enabled`.
+    pub response: Option<String>,
+}
+
+impl PolicyConfig {
+    /// The request-policy name this configuration resolves to.
+    #[must_use]
+    pub fn request_name(&self, scheme2_enabled: bool) -> &str {
+        match &self.request {
+            Some(name) => name,
+            None if scheme2_enabled => "scheme2",
+            None => "baseline",
+        }
+    }
+
+    /// The response-policy name this configuration resolves to.
+    #[must_use]
+    pub fn response_name(&self, scheme1_enabled: bool) -> &str {
+        match &self.response {
+            Some(name) => name,
+            None if scheme1_enabled => "scheme1",
+            None => "baseline",
+        }
+    }
+}
+
+/// A parsed `--policy req=<name>,resp=<name>,arb=<name>` override from the
+/// sweep CLI. Unset slots leave the configuration untouched, so a single
+/// override composes with each binary's own scheme/config sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolicyOverride {
+    /// Request-injection policy to select, if any.
+    pub request: Option<String>,
+    /// Response-injection policy to select, if any.
+    pub response: Option<String>,
+    /// Arbitration policy to select, if any.
+    pub arbitration: Option<StarvationPolicy>,
+}
+
+impl PolicyOverride {
+    /// Whether the override selects anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.request.is_none() && self.response.is_none() && self.arbitration.is_none()
+    }
+
+    /// Parses a `key=value` list, e.g. `req=scheme2,resp=scheme1` or
+    /// `arb=batching:2000`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown keys, unknown policy
+    /// names, or malformed values.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut out = PolicyOverride::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("--policy: expected key=value, got {part:?}"))?;
+            match key {
+                "req" | "request" => {
+                    if !REQUEST_POLICIES.contains(&value) {
+                        return Err(format!(
+                            "--policy: unknown request policy {value:?} (known: {})",
+                            REQUEST_POLICIES.join(", ")
+                        ));
+                    }
+                    out.request = Some(value.to_string());
+                }
+                "resp" | "response" => {
+                    if !RESPONSE_POLICIES.contains(&value) {
+                        return Err(format!(
+                            "--policy: unknown response policy {value:?} (known: {})",
+                            RESPONSE_POLICIES.join(", ")
+                        ));
+                    }
+                    out.response = Some(value.to_string());
+                }
+                "arb" | "arbitration" => {
+                    out.arbitration = Some(parse_arbitration(value)?);
+                }
+                _ => {
+                    return Err(format!(
+                        "--policy: unknown key {key:?} (known: req, resp, arb)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the selected slots to a configuration, leaving unset slots
+    /// untouched.
+    pub fn apply(&self, cfg: &mut SystemConfig) {
+        if let Some(req) = &self.request {
+            cfg.policy.request = Some(req.clone());
+        }
+        if let Some(resp) = &self.response {
+            cfg.policy.response = Some(resp.clone());
+        }
+        if let Some(arb) = self.arbitration {
+            cfg.noc.starvation = arb;
+        }
+    }
+}
+
+fn parse_arbitration(value: &str) -> Result<StarvationPolicy, String> {
+    if let Some(interval) = value.strip_prefix("batching:") {
+        let interval: u32 = interval
+            .parse()
+            .map_err(|_| format!("--policy: bad batching interval {interval:?}"))?;
+        if interval == 0 {
+            return Err("--policy: batching interval must be positive".to_string());
+        }
+        return Ok(StarvationPolicy::Batching { interval });
+    }
+    match value {
+        "age-guard" => Ok(StarvationPolicy::AgeGuard),
+        "oldest-first" => Ok(StarvationPolicy::OldestFirst),
+        "static" => Ok(StarvationPolicy::StaticPriority),
+        _ => Err(format!(
+            "--policy: unknown arbitration policy {value:?} \
+             (known: age-guard, batching:<interval>, oldest-first, static)"
+        )),
+    }
+}
+
 /// Liveness watchdog parameters.
 ///
 /// The watchdog observes the running system from the outside — it never
@@ -350,6 +508,9 @@ pub struct SystemConfig {
     pub scheme1: Scheme1Config,
     /// Scheme-2 parameters.
     pub scheme2: Scheme2Config,
+    /// Named prioritization-policy selection; defaults derive from the
+    /// scheme flags (see [`PolicyConfig`]).
+    pub policy: PolicyConfig,
     /// Master RNG seed; every component derives its stream from this.
     pub seed: u64,
     /// Sampling interval for the bank idleness monitor (Figures 6, 13, 14).
@@ -435,6 +596,7 @@ impl SystemConfig {
                 history_window: 200,
                 idle_threshold: 1,
             },
+            policy: PolicyConfig::default(),
             seed: 0x0c5e_ed12,
             idleness_sample_period: 100,
             faults: FaultPlan::none(),
@@ -551,6 +713,22 @@ impl SystemConfig {
         if self.recovery.enabled && self.recovery.timeout == 0 {
             return Err(ConfigError::ZeroRecoveryTimeout);
         }
+        if let Some(name) = &self.policy.request {
+            if !REQUEST_POLICIES.contains(&name.as_str()) {
+                return Err(ConfigError::UnknownPolicy {
+                    slot: "request",
+                    name: name.clone(),
+                });
+            }
+        }
+        if let Some(name) = &self.policy.response {
+            if !RESPONSE_POLICIES.contains(&name.as_str()) {
+                return Err(ConfigError::UnknownPolicy {
+                    slot: "response",
+                    name: name.clone(),
+                });
+            }
+        }
         self.faults
             .validate()
             .map_err(ConfigError::InvalidFaultPlan)?;
@@ -611,6 +789,13 @@ pub enum ConfigError {
     ZeroWatchdogInterval,
     /// Recovery timeout must be positive when recovery is enabled.
     ZeroRecoveryTimeout,
+    /// A prioritization-policy name is not in the registry.
+    UnknownPolicy {
+        /// Which slot ("request" or "response").
+        slot: &'static str,
+        /// The unrecognized name.
+        name: String,
+    },
     /// The fault plan failed validation.
     InvalidFaultPlan(FaultError),
 }
@@ -657,6 +842,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroRecoveryTimeout => {
                 write!(f, "recovery timeout must be positive")
+            }
+            ConfigError::UnknownPolicy { slot, name } => {
+                write!(f, "unknown {slot} policy {name:?}")
             }
             ConfigError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
         }
@@ -817,6 +1005,105 @@ mod tests {
     }
 
     #[test]
+    fn policy_names_derive_from_scheme_flags() {
+        let cfg = SystemConfig::baseline_32();
+        assert_eq!(cfg.policy, PolicyConfig::default());
+        assert_eq!(cfg.policy.request_name(false), "baseline");
+        assert_eq!(cfg.policy.request_name(true), "scheme2");
+        assert_eq!(cfg.policy.response_name(false), "baseline");
+        assert_eq!(cfg.policy.response_name(true), "scheme1");
+        let explicit = PolicyConfig {
+            request: Some("oldest-first".to_string()),
+            response: Some("static".to_string()),
+        };
+        // Explicit names win regardless of the scheme flags.
+        assert_eq!(explicit.request_name(true), "oldest-first");
+        assert_eq!(explicit.response_name(true), "static");
+    }
+
+    #[test]
+    fn validation_rejects_unknown_policy_names() {
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.policy.request = Some("fifo".to_string());
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::UnknownPolicy {
+                slot: "request",
+                ..
+            })
+        ));
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.policy.response = Some("scheme2".to_string());
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::UnknownPolicy {
+                slot: "response",
+                ..
+            })
+        ));
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.policy.request = Some("scheme2".to_string());
+        cfg.policy.response = Some("scheme1".to_string());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn policy_override_parses_and_applies() {
+        let ov = PolicyOverride::parse("req=scheme2,resp=scheme1,arb=batching:2000")
+            .expect("valid spec");
+        assert_eq!(ov.request.as_deref(), Some("scheme2"));
+        assert_eq!(ov.response.as_deref(), Some("scheme1"));
+        assert_eq!(
+            ov.arbitration,
+            Some(StarvationPolicy::Batching { interval: 2000 })
+        );
+        let mut cfg = SystemConfig::baseline_32();
+        ov.apply(&mut cfg);
+        assert_eq!(cfg.policy.request.as_deref(), Some("scheme2"));
+        assert_eq!(cfg.policy.response.as_deref(), Some("scheme1"));
+        assert_eq!(
+            cfg.noc.starvation,
+            StarvationPolicy::Batching { interval: 2000 }
+        );
+
+        // Partial overrides leave the other slots untouched.
+        let ov = PolicyOverride::parse("resp=oldest-first").expect("valid spec");
+        assert!(ov.request.is_none());
+        let mut cfg = SystemConfig::baseline_32();
+        ov.apply(&mut cfg);
+        assert!(cfg.policy.request.is_none());
+        assert_eq!(cfg.policy.response.as_deref(), Some("oldest-first"));
+        assert_eq!(cfg.noc.starvation, StarvationPolicy::AgeGuard);
+
+        assert!(PolicyOverride::parse("").expect("empty is fine").is_empty());
+        assert_eq!(
+            PolicyOverride::parse("arb=age-guard").unwrap().arbitration,
+            Some(StarvationPolicy::AgeGuard)
+        );
+        assert_eq!(
+            PolicyOverride::parse("arb=oldest-first")
+                .unwrap()
+                .arbitration,
+            Some(StarvationPolicy::OldestFirst)
+        );
+        assert_eq!(
+            PolicyOverride::parse("arb=static").unwrap().arbitration,
+            Some(StarvationPolicy::StaticPriority)
+        );
+    }
+
+    #[test]
+    fn policy_override_rejects_bad_specs() {
+        assert!(PolicyOverride::parse("req=fifo").is_err());
+        assert!(PolicyOverride::parse("resp=scheme2").is_err());
+        assert!(PolicyOverride::parse("req").is_err());
+        assert!(PolicyOverride::parse("mode=fast").is_err());
+        assert!(PolicyOverride::parse("arb=batching:0").is_err());
+        assert!(PolicyOverride::parse("arb=batching:x").is_err());
+        assert!(PolicyOverride::parse("arb=lottery").is_err());
+    }
+
+    #[test]
     fn config_error_display_nonempty() {
         let errors: Vec<ConfigError> = vec![
             ConfigError::MeshTooSmall {
@@ -840,6 +1127,10 @@ mod tests {
             },
             ConfigError::ZeroWatchdogInterval,
             ConfigError::ZeroRecoveryTimeout,
+            ConfigError::UnknownPolicy {
+                slot: "request",
+                name: "fifo".to_string(),
+            },
             ConfigError::InvalidFaultPlan(FaultError::BadProbability(2.0)),
         ];
         for e in errors {
