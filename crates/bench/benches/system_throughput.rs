@@ -1,31 +1,36 @@
 //! Bench: full-system simulation speed (cycles per second for the 32-core
 //! baseline running workload-2).
 
-use noclat::{System, SystemConfig};
+use noclat::{Simulation, SystemConfig};
 use noclat_bench::bench_loop;
 use noclat_workloads::workload;
 
 fn main() {
     let apps = workload(2).apps();
-    let mut sys = System::new(SystemConfig::baseline_32(), &apps).expect("valid");
-    sys.run(5_000); // warm
+    let build = |cfg: SystemConfig| {
+        Simulation::builder(cfg)
+            .workload(&apps)
+            .build()
+            .expect("valid")
+    };
+    let mut sim = build(SystemConfig::baseline_32());
+    sim.run(5_000); // warm
     bench_loop("baseline_32core_2k_cycles", 10, || {
-        sys.run(2_000);
-        sys.now()
+        sim.run(2_000);
+        sim.now()
     });
     let mut cfg = SystemConfig::baseline_32();
     cfg.watchdog.enabled = false;
-    let mut sys = System::new(cfg, &apps).expect("valid");
-    sys.run(5_000);
+    let mut sim = build(cfg);
+    sim.run(5_000);
     bench_loop("baseline_32core_2k_cycles_watchdog_off", 10, || {
-        sys.run(2_000);
-        sys.now()
+        sim.run(2_000);
+        sim.now()
     });
-    let mut sys =
-        System::new(SystemConfig::baseline_32().with_both_schemes(), &apps).expect("valid");
-    sys.run(5_000);
+    let mut sim = build(SystemConfig::baseline_32().with_both_schemes());
+    sim.run(5_000);
     bench_loop("schemes_32core_2k_cycles", 10, || {
-        sys.run(2_000);
-        sys.now()
+        sim.run(2_000);
+        sim.now()
     });
 }

@@ -20,7 +20,8 @@ use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
 use noclat_workloads::workload;
 
 const USAGE: &str = "faultsim [--jobs N] [--json PATH] [--workload 1..18] [--warmup N] \
-     [--measure N] [--seed N] [--policy req=NAME,resp=NAME,arb=NAME]";
+     [--measure N] [--seed N] [--policy req=NAME,resp=NAME,arb=NAME] \
+     [--kernel cycle|event]";
 
 const DROP_RATES: [f64; 4] = [0.0, 1e-5, 1e-4, 1e-3];
 const SCHEMES: [&str; 4] = ["baseline", "s1", "s2", "both"];
@@ -115,12 +116,14 @@ fn main() {
             let apps = apps.clone();
             let seed = args.seed;
             let policy = args.policy.clone();
+            let kernel = args.kernel;
             jobs.push(Job::new(
                 format!("faultsim/{scheme}/{rate:e}"),
                 move || -> Cell {
                     let mut cfg = scheme_config(scheme);
                     cfg.seed = seed;
                     policy.apply(&mut cfg);
+                    cfg.kernel = kernel;
                     if rate > 0.0 {
                         cfg.faults = FaultPlan::uniform_drop(seed ^ rate.to_bits(), rate);
                     }

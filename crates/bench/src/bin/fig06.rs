@@ -22,10 +22,12 @@ fn main() {
     );
     let lengths = args.lengths;
     let policy = args.policy.clone();
+    let kernel = args.kernel;
     let shards = sweep::run_shards(&args, "fig06/w2", DEFAULT_SHARDS, move |_, seed| {
         let mut cfg = SystemConfig::baseline_32();
         cfg.seed = seed;
         policy.apply(&mut cfg);
+        cfg.kernel = kernel;
         let r = run_mix(&cfg, &workload(2).apps(), lengths);
         (
             r.system.idleness(0).per_bank_idleness(),

@@ -25,10 +25,12 @@ fn main() {
     );
     let lengths = args.lengths;
     let policy = args.policy.clone();
+    let kernel = args.kernel;
     let shards = sweep::run_shards(&args, "fig09/w2", DEFAULT_SHARDS, move |_, seed| {
         let mut cfg = SystemConfig::baseline_32();
         cfg.seed = seed;
         policy.apply(&mut cfg);
+        cfg.kernel = kernel;
         let r = run_mix(&cfg, &workload(2).apps(), lengths);
         let core = core_of(&r, SpecApp::Milc).expect("workload-2 contains milc");
         r.system.tracker().app(core).clone()

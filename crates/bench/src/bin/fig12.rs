@@ -62,6 +62,7 @@ fn main() {
             let seed = job_seed(args.seed, s); // paired across variants
             let apps = apps.clone();
             let policy = args.policy.clone();
+            let kernel = args.kernel;
             let label = if scheme1 { "fig12/s1" } else { "fig12/base" };
             jobs.push(Job::new(format!("{label}/shard-{s}"), move || {
                 let mut cfg = SystemConfig::baseline_32();
@@ -70,6 +71,7 @@ fn main() {
                 }
                 cfg.seed = seed;
                 policy.apply(&mut cfg);
+                cfg.kernel = kernel;
                 run_mix(&cfg, &apps, lengths).system.tracker().clone()
             }));
         }

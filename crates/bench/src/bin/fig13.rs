@@ -29,6 +29,7 @@ fn main() {
         for scheme2 in [false, true] {
             let seed = args.seed;
             let policy = args.policy.clone();
+            let kernel = args.kernel;
             let label = if scheme2 { "scheme2" } else { "default" };
             jobs.push(Job::new(format!("fig13/w{widx}/{label}"), move || {
                 let mut cfg = SystemConfig::baseline_32();
@@ -37,6 +38,7 @@ fn main() {
                 }
                 cfg.seed = seed;
                 policy.apply(&mut cfg);
+                cfg.kernel = kernel;
                 let r = run_mix(&cfg, &workload(widx).apps(), lengths);
                 (
                     r.system.idleness(0).per_bank_idleness(),

@@ -1,0 +1,156 @@
+//! Bench: simulation-kernel throughput — cycles simulated per wall-second
+//! under the cycle-driven and event-wheel kernels on a pinned, idle-heavy
+//! 8×8 mesh.
+//!
+//! The workload is deliberately low-injection-rate: every core issues a long
+//! serializing compute burst, a train of single-cycle filler, then one cold
+//! load. Once the window fills behind the burst the core is provably idle
+//! for thousands of cycles — exactly the regime the event wheel exists for
+//! (the cycle kernel still scans all 64 routers and every bank each cycle).
+//!
+//! Writes `BENCH_kernel.json` (override with `--json PATH`) so CI can track
+//! the kernel-speed trajectory; also cross-checks that both kernels retire
+//! the same instruction count, a cheap smoke of the bit-identity contract.
+
+use std::time::Instant;
+
+use noclat::{KernelKind, Simulation, SystemConfig};
+use noclat_bench::banner;
+use noclat_bench::sweep::{self, Json, Obj, SweepArgs};
+use noclat_cpu::{Instr, InstrStream};
+
+/// Cycle-accurate idle-heavy traffic: a period-128 instruction pattern of
+/// one 8000-cycle serializing burst, single-cycle fillers, and — every
+/// eighth period, staggered by core — one cold load (a fresh line each
+/// time, so the cache never absorbs it).
+///
+/// The shape is deliberate on two counts. The load sits right *behind* the
+/// burst, so its data returns thousands of cycles before in-order commit
+/// reaches it: memory latency never feeds back into core timing and the 64
+/// cores stay in lockstep instead of drifting their memory episodes across
+/// the whole period. And only 8 of the 64 cores load per period, far below
+/// the DRAM drain rate, so the mesh and the controllers genuinely empty
+/// between episodes rather than trickling responses all period long.
+#[derive(Debug)]
+struct SparseTraffic {
+    slot: u64,
+    count: u64,
+}
+
+impl InstrStream for SparseTraffic {
+    fn next_instr(&mut self) -> Instr {
+        let phase = self.count % 128;
+        let period = self.count / 128;
+        self.count += 1;
+        match phase {
+            0 => Instr::Compute { latency: 8_000 },
+            1 if period % 8 == self.slot % 8 => Instr::Load {
+                // Private per-core region, new line each time: always cold.
+                addr: (1u64 << 41) | (self.slot << 32) | (period * 64),
+            },
+            _ => Instr::Compute { latency: 1 },
+        }
+    }
+}
+
+/// The pinned hardware point: the 32-core baseline stretched to a full
+/// 8×8 mesh (64 tiles), controllers still at the corners.
+fn pinned_config(kernel: KernelKind) -> SystemConfig {
+    let mut cfg = SystemConfig::baseline_32();
+    cfg.topology.height = 8;
+    cfg.kernel = kernel;
+    cfg
+}
+
+fn build(kernel: KernelKind) -> Simulation {
+    let cfg = pinned_config(kernel);
+    let streams: Vec<Box<dyn InstrStream>> = (0..cfg.num_cores())
+        .map(|slot| {
+            Box::new(SparseTraffic {
+                slot: slot as u64,
+                count: 0,
+            }) as Box<dyn InstrStream>
+        })
+        .collect();
+    Simulation::builder(cfg)
+        .streams(streams)
+        .build()
+        .expect("pinned 8x8 config is valid")
+}
+
+/// Simulated-cycles-per-wall-second of `kernel`, best of `reps` timed
+/// segments (first-touch allocation and frequency ramp land in the warmup
+/// and the slower segments).
+fn measure(kernel: KernelKind, cycles: u64, reps: u32) -> (f64, u64) {
+    let mut sim = build(kernel);
+    sim.warm_up(5_000);
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sim.run(cycles);
+        let wall = t0.elapsed().as_secs_f64();
+        best = best.max(cycles as f64 / wall);
+    }
+    let committed: u64 = (0..sim.system().config().num_cores())
+        .map(|c| sim.system().core_stats(c).committed)
+        .sum();
+    (best, committed)
+}
+
+fn main() {
+    let args = SweepArgs::parse(&format!("kernel_bench {}", sweep::SWEEP_USAGE));
+    banner(
+        "Kernel throughput: cycle-driven vs event-wheel",
+        "Idle-heavy 8x8 mesh; higher cycles/second is better, identical \
+         committed counts are mandatory.",
+    );
+    let cycles = args.lengths.measure;
+    let reps = 3;
+    let (cycle_rate, cycle_committed) = measure(KernelKind::Cycle, cycles, reps);
+    let (event_rate, event_committed) = measure(KernelKind::Event, cycles, reps);
+    assert_eq!(
+        cycle_committed, event_committed,
+        "kernels disagree on committed instructions — bit-identity broken"
+    );
+    let speedup = event_rate / cycle_rate;
+    println!(
+        "{:>8} kernel: {:>12.0} cycles/s",
+        KernelKind::Cycle.name(),
+        cycle_rate
+    );
+    println!(
+        "{:>8} kernel: {:>12.0} cycles/s",
+        KernelKind::Event.name(),
+        event_rate
+    );
+    println!("{:>8}        {speedup:>11.2}x", "speedup");
+
+    let kernels = Json::Arr(vec![
+        Obj::new()
+            .field("kernel", KernelKind::Cycle.name())
+            .field("cycles_per_wall_second", cycle_rate)
+            .build(),
+        Obj::new()
+            .field("kernel", KernelKind::Event.name())
+            .field("cycles_per_wall_second", event_rate)
+            .build(),
+    ]);
+    let body = Obj::new()
+        .field("config", "8x8 mesh, 64 cores, idle-heavy synthetic traffic")
+        .field("cycles_per_segment", cycles)
+        .field("segments", u64::from(reps))
+        .field("committed", cycle_committed)
+        .field("kernels", kernels)
+        .field("event_speedup", speedup)
+        .build();
+    let report = sweep::report("kernel_bench", &args, body);
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_kernel.json"));
+    if let Err(e) = sweep::write_json_file(&path, &report) {
+        eprintln!("error: failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote JSON report to {}", path.display());
+}

@@ -56,11 +56,13 @@ fn main() {
         let apps = apps.clone();
         let seed = args.seed;
         let policy = args.policy.clone();
+        let kernel = args.kernel;
         jobs.push(Job::new(format!("netmap/{label}"), move || {
             let mut cfg = SystemConfig::baseline_32();
             cfg.noc.routing = algo;
             cfg.seed = seed;
             policy.apply(&mut cfg);
+            cfg.kernel = kernel;
             run_mix(&cfg, &apps, lengths).system.forwarding_heat()
         }));
     }

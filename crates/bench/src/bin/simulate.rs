@@ -4,7 +4,8 @@
 //! simulate [--workload N] [--scheme none|s1|s2|both] [--cores 16|32]
 //!          [--warmup CYCLES] [--measure CYCLES] [--seed SEED]
 //!          [--routing xy|yx] [--sched frfcfs|frfcfs-cap|fcfs]
-//!          [--policy req=NAME,resp=NAME,arb=NAME] [--jobs N] [--json PATH]
+//!          [--policy req=NAME,resp=NAME,arb=NAME] [--kernel cycle|event]
+//!          [--jobs N] [--json PATH]
 //! ```
 //!
 //! Prints a full report: per-application IPC and off-chip behaviour,
@@ -20,7 +21,8 @@ use noclat_workloads::workload;
 const USAGE: &str = "simulate [--workload 1..18] [--scheme none|s1|s2|both] \
      [--cores 16|32] [--warmup N] [--measure N] [--seed N] \
      [--routing xy|yx] [--sched frfcfs|frfcfs-cap|fcfs] \
-     [--policy req=NAME,resp=NAME,arb=NAME] [--jobs N] [--json PATH]";
+     [--policy req=NAME,resp=NAME,arb=NAME] [--kernel cycle|event] \
+     [--jobs N] [--json PATH]";
 
 struct Extra {
     workload: usize,

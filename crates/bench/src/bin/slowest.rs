@@ -59,6 +59,7 @@ fn main() {
         let apps = apps.clone();
         let seed = args.seed;
         let policy = args.policy.clone();
+        let kernel = args.kernel;
         let label = if scheme1 { "s1" } else { "base" };
         jobs.push(Job::new(format!("slowest/{label}"), move || {
             let mut cfg = SystemConfig::baseline_32();
@@ -67,6 +68,7 @@ fn main() {
             }
             cfg.seed = seed;
             policy.apply(&mut cfg);
+            cfg.kernel = kernel;
             let r = run_mix(&cfg, &apps, lengths);
             r.system
                 .slowest_transactions()

@@ -24,7 +24,9 @@ use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use noclat::{alone_ipc, PolicyConfig, PolicyOverride, RunLengths, SimError, SystemConfig};
+use noclat::{
+    alone_ipc, KernelKind, PolicyConfig, PolicyOverride, RunLengths, SimError, SystemConfig,
+};
 use noclat_workloads::SpecApp;
 
 pub use noclat_sim::pool::{job_rng, job_seed, run_jobs, Job};
@@ -53,11 +55,15 @@ pub struct SweepArgs {
     /// (`--policy req=<name>,resp=<name>,arb=<name>`), applied to every
     /// configuration the sweep builds via [`SweepArgs::apply_policy`].
     pub policy: PolicyOverride,
+    /// Simulation kernel (`--kernel cycle|event`). Kernels are bit-identical
+    /// by contract (the equivalence suite enforces it), so this only trades
+    /// wall-clock time; reports are comparable across kernels.
+    pub kernel: KernelKind,
 }
 
 /// Flags accepted by [`SweepArgs::parse`], for inclusion in usage strings.
 pub const SWEEP_USAGE: &str = "[--jobs N] [--json PATH] [--seed N] [--warmup N] [--measure N] \
-     [--policy req=NAME,resp=NAME,arb=NAME] [quick]";
+     [--policy req=NAME,resp=NAME,arb=NAME] [--kernel cycle|event] [quick]";
 
 impl SweepArgs {
     fn defaults() -> Self {
@@ -69,6 +75,7 @@ impl SweepArgs {
             seed: SystemConfig::baseline_32().seed,
             lengths: RunLengths::standard(),
             policy: PolicyOverride::default(),
+            kernel: KernelKind::default(),
         }
     }
 
@@ -156,6 +163,12 @@ impl SweepArgs {
                     args.policy = PolicyOverride::parse(value()?)?;
                     i += 2;
                 }
+                "--kernel" => {
+                    // KernelKind::parse already prefixes its errors with
+                    // "--kernel:".
+                    args.kernel = KernelKind::parse(value()?)?;
+                    i += 2;
+                }
                 "quick" | "--quick" => {
                     quick = true;
                     i += 1;
@@ -179,12 +192,13 @@ impl SweepArgs {
         Ok((args, rest))
     }
 
-    /// Applies this sweep's `--policy` overrides to a configuration the
-    /// harness is about to run. Call on every cell of the grid so the
-    /// override reaches scheme variants and knob sweeps alike; a sweep run
-    /// without `--policy` is untouched.
+    /// Applies this sweep's `--policy` and `--kernel` overrides to a
+    /// configuration the harness is about to run. Call on every cell of the
+    /// grid so the overrides reach scheme variants and knob sweeps alike; a
+    /// sweep run without either flag is untouched.
     pub fn apply_policy(&self, cfg: &mut SystemConfig) {
         self.policy.apply(cfg);
+        cfg.kernel = self.kernel;
     }
 }
 
@@ -270,6 +284,9 @@ pub fn alone_key(cfg: &SystemConfig) -> String {
     base.scheme1.enabled = false;
     base.scheme2.enabled = false;
     base.policy = PolicyConfig::default();
+    // Kernels are bit-identical, so cycle- and event-kernel sweeps share
+    // their alone denominators (alone_ipc pins the default kernel too).
+    base.kernel = KernelKind::default();
     format!("{base:?}")
 }
 
@@ -574,6 +591,7 @@ pub fn report(name: &str, args: &SweepArgs, body: Json) -> Json {
         .field("seed", args.seed)
         .field("warmup", args.lengths.warmup)
         .field("measure", args.lengths.measure)
+        .field("kernel", args.kernel.name())
         .field("results", body)
         .build()
 }
@@ -640,6 +658,8 @@ mod tests {
         assert!(SweepArgs::parse_argv(&argv(&["--seed", "donkey"])).is_err());
         assert!(SweepArgs::parse_argv(&argv(&["--policy", "req=donkey"])).is_err());
         assert!(SweepArgs::parse_argv(&argv(&["--policy"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--kernel", "donkey"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--kernel"])).is_err());
         assert_eq!(
             SweepArgs::parse_argv(&argv(&["--help"])).unwrap_err(),
             "help"
@@ -657,6 +677,21 @@ mod tests {
         assert_eq!(cfg.policy.response.as_deref(), Some("static"));
         cfg.validate().expect("override produces a valid config");
         // No --policy: configurations pass through untouched.
+        let (args, _) = SweepArgs::parse_argv(&argv(&[])).unwrap();
+        let mut cfg = SystemConfig::baseline_32();
+        args.apply_policy(&mut cfg);
+        assert_eq!(cfg, SystemConfig::baseline_32());
+    }
+
+    #[test]
+    fn parse_kernel_override_and_apply() {
+        let (args, rest) = SweepArgs::parse_argv(&argv(&["--kernel", "event"])).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(args.kernel, KernelKind::Event);
+        let mut cfg = SystemConfig::baseline_32();
+        args.apply_policy(&mut cfg);
+        assert_eq!(cfg.kernel, KernelKind::Event);
+        // No --kernel: configurations pass through untouched.
         let (args, _) = SweepArgs::parse_argv(&argv(&[])).unwrap();
         let mut cfg = SystemConfig::baseline_32();
         args.apply_policy(&mut cfg);
@@ -704,5 +739,9 @@ mod tests {
         let mut other_seed = base.clone();
         other_seed.seed ^= 1;
         assert_ne!(alone_key(&base), alone_key(&other_seed));
+        // Kernel selection never changes results, so it never splits keys.
+        let mut event = base.clone();
+        event.kernel = KernelKind::Event;
+        assert_eq!(alone_key(&base), alone_key(&event));
     }
 }

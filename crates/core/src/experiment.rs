@@ -9,6 +9,7 @@ use noclat_sim::config::SystemConfig;
 use noclat_sim::Cycle;
 use noclat_workloads::SpecApp;
 
+use crate::simulation::Simulation;
 use crate::system::System;
 
 /// Warmup/measurement lengths for one simulation.
@@ -104,9 +105,13 @@ impl MixResult {
 /// configured core count.
 #[must_use]
 pub fn run_mix(cfg: &SystemConfig, apps: &[SpecApp], lengths: RunLengths) -> MixResult {
-    let mut system = System::new(cfg.clone(), apps).expect("valid experiment configuration");
-    system.warm_up(lengths.warmup);
-    system.run(lengths.measure);
+    let mut sim = Simulation::builder(cfg.clone())
+        .workload(apps)
+        .build()
+        .expect("valid experiment configuration");
+    sim.warm_up(lengths.warmup);
+    sim.run(lengths.measure);
+    let system = sim.into_system();
     let per_app = apps
         .iter()
         .enumerate()
@@ -161,6 +166,9 @@ pub fn alone_ipc(cfg: &SystemConfig, app: SpecApp, lengths: RunLengths) -> f64 {
     base.scheme1.enabled = false;
     base.scheme2.enabled = false;
     base.policy = noclat_sim::config::PolicyConfig::default();
+    // Alone IPCs are denominators shared across kernel comparisons; pin the
+    // default kernel so both sides normalize against the same runs.
+    base.kernel = noclat_sim::config::KernelKind::default();
     let rng = noclat_sim::rng::SimRng::new(base.seed);
     let streams: Vec<Box<dyn InstrStream>> = (0..base.num_cores())
         .map(|slot| {
@@ -172,10 +180,13 @@ pub fn alone_ipc(cfg: &SystemConfig, app: SpecApp, lengths: RunLengths) -> f64 {
             }
         })
         .collect();
-    let mut system = System::with_streams(base, streams).expect("valid configuration");
-    system.warm_up(lengths.warmup);
-    system.run(lengths.measure);
-    system.core_stats(core).ipc()
+    let mut sim = Simulation::builder(base)
+        .streams(streams)
+        .build()
+        .expect("valid configuration");
+    sim.warm_up(lengths.warmup);
+    sim.run(lengths.measure);
+    sim.system().core_stats(core).ipc()
 }
 
 /// Computes alone IPCs for every distinct application in `apps`.

@@ -35,6 +35,7 @@ pub mod probe;
 pub mod report;
 pub mod scheme1;
 pub mod scheme2;
+pub mod simulation;
 pub mod system;
 pub mod trace;
 pub mod watchdog;
@@ -53,14 +54,15 @@ pub use probe::{CountingProbe, McDequeue, Probe, ProbeCounters, Retire};
 pub use report::{ControllerReport, NetworkReport, SystemReport};
 pub use scheme1::{Scheme1, ThresholdTable};
 pub use scheme2::BankHistoryTable;
+pub use simulation::{Simulation, SimulationBuilder};
 pub use system::{RobustnessStats, System};
 pub use trace::{TraceLog, TxnRecord};
 pub use watchdog::{LivenessViolation, Watchdog};
 
 // Re-export the configuration types callers need to drive experiments.
 pub use noclat_sim::config::{
-    ConfigError, MemSchedPolicy, PolicyConfig, PolicyOverride, RouterPipeline, Scheme1Config,
-    Scheme2Config, SystemConfig, WatchdogConfig,
+    ConfigError, KernelKind, MemSchedPolicy, PolicyConfig, PolicyOverride, RouterPipeline,
+    Scheme1Config, Scheme2Config, StarvationPolicy, SystemConfig, WatchdogConfig,
 };
 pub use noclat_sim::error::{FaultError, SimError};
 pub use noclat_sim::faults::FaultPlan;

@@ -70,6 +70,14 @@ pub trait ResponsePolicy: std::fmt::Debug + Send {
         Vec::new()
     }
 
+    /// The next cycle at which [`ResponsePolicy::poll_updates`] could return
+    /// anything (the policy's wake-up for the event kernel). `None` — the
+    /// default, right for stateless policies — means the policy never
+    /// initiates traffic on its own.
+    fn next_update(&self) -> Option<Cycle> {
+        None
+    }
+
     /// Installs a threshold update delivered to controller `mc`.
     fn install_threshold(&mut self, mc: usize, core: usize, threshold: u32) {
         let _ = (mc, core, threshold);
@@ -194,6 +202,9 @@ impl ResponsePolicy for Scheme1Policy {
         (0..n)
             .filter_map(|c| self.s1.threshold(c).map(|t| (c, t)))
             .collect()
+    }
+    fn next_update(&self) -> Option<Cycle> {
+        Some(self.s1.next_update_at())
     }
     fn install_threshold(&mut self, mc: usize, core: usize, threshold: u32) {
         self.tables[mc].set(core, threshold);

@@ -63,6 +63,14 @@ impl Scheme1 {
             .map(|avg| (self.cfg.threshold_factor * avg).round().max(1.0) as u32)
     }
 
+    /// The cycle of the next scheduled threshold broadcast (the schedule's
+    /// wake-up for the event kernel: skipping past it would shift every
+    /// later update).
+    #[must_use]
+    pub fn next_update_at(&self) -> Cycle {
+        self.next_update
+    }
+
     /// Whether threshold-update messages are due at `now`; if so, advances
     /// the schedule and returns true. The caller then sends each core's
     /// [`Scheme1::threshold`] to every controller.

@@ -1,0 +1,356 @@
+//! The front door of the simulator: a validating builder plus a run-control
+//! handle.
+//!
+//! [`SimulationBuilder`] collects everything a run needs — configuration,
+//! kernel strategy, policies (by registry name or as a parsed
+//! [`PolicyOverride`]), fault plan, workload and probes — in one fluent
+//! chain, validates the combination once, and yields a [`Simulation`]. The
+//! handle owns the assembled [`System`] and exposes run control
+//! ([`Simulation::run_until`], [`Simulation::run_to_completion`]) without
+//! callers writing manual step loops.
+//!
+//! ```
+//! use noclat::{KernelKind, Simulation, SystemConfig};
+//! use noclat_workloads::workload;
+//!
+//! let mut sim = Simulation::builder(SystemConfig::baseline_32())
+//!     .kernel(KernelKind::Event)
+//!     .workload(&workload(2).apps())
+//!     .build()
+//!     .expect("valid configuration");
+//! sim.run_until(2_000);
+//! assert_eq!(sim.now(), 2_000);
+//! ```
+
+use noclat_cpu::InstrStream;
+use noclat_sim::config::{KernelKind, PolicyOverride, StarvationPolicy, SystemConfig};
+use noclat_sim::error::SimError;
+use noclat_sim::faults::FaultPlan;
+use noclat_sim::Cycle;
+use noclat_workloads::SpecApp;
+
+use crate::probe::Probe;
+use crate::system::System;
+
+/// Granularity of [`Simulation::run_to_completion`]'s drain loop.
+const DRAIN_CHUNK: Cycle = 512;
+/// How long the drain loop tolerates zero change in the in-flight counts
+/// before concluding the system is wedged. Generous enough for the deepest
+/// legitimate quiet spans (retry backoff, refresh, timeout scans).
+const DRAIN_STALL_LIMIT: Cycle = 200_000;
+
+/// What the builder will run: applications (synthetic streams derived per
+/// core) or caller-supplied instruction streams.
+enum Workload {
+    None,
+    Apps(Vec<SpecApp>),
+    Streams(Vec<Box<dyn InstrStream>>),
+}
+
+impl Workload {
+    fn kind(&self) -> &'static str {
+        match self {
+            Workload::None => "none",
+            Workload::Apps(_) => "apps",
+            Workload::Streams(_) => "streams",
+        }
+    }
+}
+
+/// Fluent, validating constructor for a [`Simulation`].
+///
+/// Every setter is sugar over a [`SystemConfig`] field or a [`System`]
+/// attachment; [`SimulationBuilder::build`] validates the combined
+/// configuration (unknown policy names, topology/bank inconsistencies,
+/// malformed fault plans) before anything is assembled.
+pub struct SimulationBuilder {
+    cfg: SystemConfig,
+    workload: Workload,
+    probes: Vec<Box<dyn Probe>>,
+}
+
+impl std::fmt::Debug for SimulationBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("kernel", &self.cfg.kernel)
+            .field("workload", &self.workload.kind())
+            .field("probes", &self.probes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimulationBuilder {
+    /// Starts a builder from a base configuration.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> Self {
+        SimulationBuilder {
+            cfg,
+            workload: Workload::None,
+            probes: Vec::new(),
+        }
+    }
+
+    /// Selects the simulation kernel ([`KernelKind::Cycle`] scans every
+    /// cycle; [`KernelKind::Event`] skips provably idle spans with
+    /// bit-identical results).
+    #[must_use]
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.cfg.kernel = kernel;
+        self
+    }
+
+    /// Selects the request-injection policy by registry name (see
+    /// `REQUEST_POLICIES`); unknown names are rejected at
+    /// [`SimulationBuilder::build`].
+    #[must_use]
+    pub fn request_policy(mut self, name: &str) -> Self {
+        self.cfg.policy.request = Some(name.to_string());
+        self
+    }
+
+    /// Selects the response-injection policy by registry name (see
+    /// `RESPONSE_POLICIES`); unknown names are rejected at
+    /// [`SimulationBuilder::build`].
+    #[must_use]
+    pub fn response_policy(mut self, name: &str) -> Self {
+        self.cfg.policy.response = Some(name.to_string());
+        self
+    }
+
+    /// Selects the router-arbitration starvation policy.
+    #[must_use]
+    pub fn arbitration(mut self, policy: StarvationPolicy) -> Self {
+        self.cfg.noc.starvation = policy;
+        self
+    }
+
+    /// Applies a parsed `req=…,resp=…,arb=…` override in one call (the
+    /// sweep binaries' `--policy` flag).
+    #[must_use]
+    pub fn policy_override(mut self, ov: &PolicyOverride) -> Self {
+        ov.apply(&mut self.cfg);
+        self
+    }
+
+    /// Injects a fault plan (link drops/delays, router stalls, bank and
+    /// ingress faults).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// Runs `apps[i]` on core `i` (one application per core, as in the
+    /// paper). Replaces any previously attached workload.
+    #[must_use]
+    pub fn workload(mut self, apps: &[SpecApp]) -> Self {
+        self.workload = Workload::Apps(apps.to_vec());
+        self
+    }
+
+    /// Runs caller-supplied instruction streams, one per core. Replaces any
+    /// previously attached workload.
+    #[must_use]
+    pub fn streams(mut self, streams: Vec<Box<dyn InstrStream>>) -> Self {
+        self.workload = Workload::Streams(streams);
+        self
+    }
+
+    /// Attaches an observer to the hop/dequeue/retire probe points.
+    #[must_use]
+    pub fn probe(mut self, probe: Box<dyn Probe>) -> Self {
+        self.probes.push(probe);
+        self
+    }
+
+    /// Validates the collected configuration and assembles the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MissingWorkload`] when neither
+    /// [`SimulationBuilder::workload`] nor [`SimulationBuilder::streams`]
+    /// was called, and any [`SimError`] the configuration validation or
+    /// assembly raises (unknown policy names, stream-count mismatches,
+    /// malformed fault plans…).
+    pub fn build(self) -> Result<Simulation, SimError> {
+        let mut sys = match self.workload {
+            Workload::Apps(apps) => System::assemble_apps(self.cfg, &apps)?,
+            Workload::Streams(streams) => System::assemble(self.cfg, streams)?,
+            Workload::None => return Err(SimError::MissingWorkload),
+        };
+        for p in self.probes {
+            sys.attach_probe(p);
+        }
+        Ok(Simulation { sys })
+    }
+}
+
+/// A built simulation: run control over an assembled [`System`].
+pub struct Simulation {
+    sys: System,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("system", &self.sys)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Starts a [`SimulationBuilder`] from a base configuration.
+    #[must_use]
+    pub fn builder(cfg: SystemConfig) -> SimulationBuilder {
+        SimulationBuilder::new(cfg)
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.sys.now()
+    }
+
+    /// Advances by `cycles` cycles.
+    pub fn run(&mut self, cycles: Cycle) {
+        self.sys.run(cycles);
+    }
+
+    /// Advances to the absolute cycle `cycle`; a target at or before
+    /// [`Simulation::now`] is a no-op (run control is monotone).
+    pub fn run_until(&mut self, cycle: Cycle) {
+        let now = self.sys.now();
+        if cycle > now {
+            self.sys.run(cycle - now);
+        }
+    }
+
+    /// Runs `cycles` of warmup, then clears measurement state while keeping
+    /// caches, queues and schemes warm.
+    pub fn warm_up(&mut self, cycles: Cycle) {
+        self.sys.warm_up(cycles);
+    }
+
+    /// Runs until every in-flight transaction and network packet has
+    /// drained, returning `true` on success. Returns `false` — instead of
+    /// looping forever — if the in-flight counts stop changing for
+    /// [`DRAIN_STALL_LIMIT`] cycles (a wedged system; consult
+    /// [`System::violations`] for the diagnosis).
+    pub fn run_to_completion(&mut self) -> bool {
+        let mut last = (self.sys.txns_in_flight(), self.sys.packets_in_flight());
+        let mut last_change = self.sys.now();
+        while last != (0, 0) {
+            self.sys.run(DRAIN_CHUNK);
+            let current = (self.sys.txns_in_flight(), self.sys.packets_in_flight());
+            if current != last {
+                last = current;
+                last_change = self.sys.now();
+            } else if self.sys.now().saturating_sub(last_change) >= DRAIN_STALL_LIMIT {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The underlying system, for metric extraction.
+    #[must_use]
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Mutable access to the underlying system (attaching probes mid-run,
+    /// injecting node clock changes…).
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.sys
+    }
+
+    /// Unwraps the handle into the underlying system.
+    #[must_use]
+    pub fn into_system(self) -> System {
+        self.sys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noclat_workloads::workload;
+
+    fn apps() -> Vec<SpecApp> {
+        workload(2).apps()
+    }
+
+    #[test]
+    fn build_requires_a_workload() {
+        let err = Simulation::builder(SystemConfig::baseline_32())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SimError::MissingWorkload);
+    }
+
+    #[test]
+    fn build_rejects_unknown_policy_names() {
+        let err = Simulation::builder(SystemConfig::baseline_32())
+            .request_policy("no-such-policy")
+            .workload(&apps())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn run_until_is_absolute_and_monotone() {
+        let mut sim = Simulation::builder(SystemConfig::baseline_32())
+            .workload(&apps())
+            .build()
+            .expect("valid");
+        sim.run_until(500);
+        assert_eq!(sim.now(), 500);
+        sim.run_until(300); // already past: no-op
+        assert_eq!(sim.now(), 500);
+        sim.run(100);
+        assert_eq!(sim.now(), 600);
+    }
+
+    #[test]
+    fn builder_attaches_policies_by_name() {
+        let sim = Simulation::builder(SystemConfig::baseline_32())
+            .request_policy("oldest-first")
+            .response_policy("static")
+            .workload(&apps())
+            .build()
+            .expect("valid");
+        assert_eq!(sim.system().request_policy_name(), "oldest-first");
+        assert_eq!(sim.system().response_policy_name(), "static");
+    }
+
+    #[test]
+    fn event_kernel_matches_cycle_kernel_on_a_short_run() {
+        let fingerprint = |kernel: KernelKind| {
+            let mut sim = Simulation::builder(SystemConfig::baseline_32())
+                .kernel(kernel)
+                .workload(&apps())
+                .build()
+                .expect("valid");
+            sim.run(3_000);
+            let sys = sim.system();
+            let stats = sys.network_stats();
+            (
+                sys.now(),
+                (0..sys.config().topology.num_nodes())
+                    .map(|c| {
+                        let s = sys.core_stats(c);
+                        (s.committed, s.cycles, s.mem_stall_cycles)
+                    })
+                    .collect::<Vec<_>>(),
+                stats.packets_injected.get(),
+                stats.packets_delivered.get(),
+                sys.txns_in_flight(),
+            )
+        };
+        assert_eq!(
+            fingerprint(KernelKind::Cycle),
+            fingerprint(KernelKind::Event)
+        );
+    }
+}

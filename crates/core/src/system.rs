@@ -25,7 +25,7 @@ use noclat_mem::{AddressMap, IdlenessMonitor, MemoryController};
 use noclat_noc::{
     accumulate_age, flits_for_payload, Mesh, Network, NodeId, Priority, RouterCounters, VNet,
 };
-use noclat_sim::config::SystemConfig;
+use noclat_sim::config::{KernelKind, SystemConfig};
 use noclat_sim::error::SimError;
 use noclat_sim::rng::SimRng;
 use noclat_sim::Cycle;
@@ -303,18 +303,10 @@ impl System {
     ///
     /// Returns a [`SimError`] if the configuration is inconsistent or
     /// `apps.len()` differs from the core count.
+    #[deprecated(note = "construct through the Simulation API: \
+                `Simulation::builder(cfg).workload(&apps).build()`")]
     pub fn new(cfg: SystemConfig, apps: &[SpecApp]) -> Result<System, SimError> {
-        let rng = SimRng::new(cfg.seed);
-        let streams: Vec<Box<dyn InstrStream>> = apps
-            .iter()
-            .enumerate()
-            .map(|(slot, &app)| {
-                Box::new(SyntheticStream::new(app, slot, &rng)) as Box<dyn InstrStream>
-            })
-            .collect();
-        let mut sys = Self::with_streams(cfg, streams)?;
-        sys.apps = apps.iter().copied().map(Some).collect();
-        Ok(sys)
+        Self::assemble_apps(cfg, apps)
     }
 
     /// Builds a system from caller-supplied instruction streams (one per
@@ -324,7 +316,35 @@ impl System {
     ///
     /// Returns a [`SimError`] if the configuration is inconsistent or
     /// the stream count differs from the core count.
+    #[deprecated(note = "construct through the Simulation API: \
+                `Simulation::builder(cfg).streams(streams).build()`")]
     pub fn with_streams(
+        cfg: SystemConfig,
+        streams: Vec<Box<dyn InstrStream>>,
+    ) -> Result<System, SimError> {
+        Self::assemble(cfg, streams)
+    }
+
+    /// [`System::new`]'s implementation, reachable without the deprecation
+    /// shim: synthesizes one stream per application and records the app
+    /// assignment for [`System::app`].
+    pub(crate) fn assemble_apps(cfg: SystemConfig, apps: &[SpecApp]) -> Result<System, SimError> {
+        let rng = SimRng::new(cfg.seed);
+        let streams: Vec<Box<dyn InstrStream>> = apps
+            .iter()
+            .enumerate()
+            .map(|(slot, &app)| {
+                Box::new(SyntheticStream::new(app, slot, &rng)) as Box<dyn InstrStream>
+            })
+            .collect();
+        let mut sys = Self::assemble(cfg, streams)?;
+        sys.apps = apps.iter().copied().map(Some).collect();
+        Ok(sys)
+    }
+
+    /// [`System::with_streams`]'s implementation, reachable without the
+    /// deprecation shim (the [`crate::simulation::SimulationBuilder`] path).
+    pub(crate) fn assemble(
         cfg: SystemConfig,
         streams: Vec<Box<dyn InstrStream>>,
     ) -> Result<System, SimError> {
@@ -554,6 +574,13 @@ impl System {
         self.txns.len()
     }
 
+    /// Packets currently inside the network (injected, not yet delivered or
+    /// dropped).
+    #[must_use]
+    pub fn packets_in_flight(&self) -> usize {
+        self.net.packets_in_flight()
+    }
+
     /// Liveness and conservation violations detected so far.
     #[must_use]
     pub fn violations(&self) -> &[LivenessViolation] {
@@ -581,11 +608,135 @@ impl System {
         }
     }
 
-    /// Runs the system for `cycles` cycles.
+    /// Runs the system for `cycles` cycles using the configured kernel
+    /// strategy: the cycle kernel steps every cycle; the event kernel
+    /// produces bit-identical results but fast-forwards over spans it can
+    /// prove no component will act in.
     pub fn run(&mut self, cycles: Cycle) {
-        for _ in 0..cycles {
-            self.step();
+        let end = self.now.saturating_add(cycles);
+        match self.cfg.kernel {
+            KernelKind::Cycle => {
+                while self.now < end {
+                    self.step();
+                }
+            }
+            KernelKind::Event => self.run_event(end),
         }
+    }
+
+    /// The event-wheel driver: steps only the cycles some component needs,
+    /// bulk-accounting the provably idle spans in between.
+    fn run_event(&mut self, end: Cycle) {
+        while self.now < end {
+            let wake = self.next_wake(self.now).unwrap_or(end).min(end);
+            if wake > self.now {
+                self.skip_to(wake);
+            } else {
+                self.step();
+            }
+        }
+    }
+
+    /// The earliest cycle at or after `now` at which stepping could have any
+    /// effect: the minimum over every component's own wake-up. `None` means
+    /// nothing is scheduled at all (then nothing can happen before the
+    /// caller's horizon).
+    /// The idleness monitors and the watchdog's polled scans are *not* wake
+    /// sources: their inputs are frozen across any span the other sources
+    /// allow skipping, so [`System::skip_to`] replays them in bulk at their
+    /// exact scheduled cycles instead of waking the whole system for them.
+    fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        let mut wake: Option<Cycle> = None;
+        let mut fold = |t: Cycle| match wake {
+            Some(w) if w <= t => {}
+            _ => wake = Some(t),
+        };
+        // Deferred cache-bank work. Each source checks for "busy right now"
+        // before folding the next: a step is already unavoidable then, and
+        // the remaining scans would only be thrown away.
+        if let Some(Reverse(w)) = self.work.peek() {
+            if w.ready <= now {
+                return Some(now);
+            }
+            fold(w.ready);
+        }
+        // Network: packets anywhere in the injectors, routers or wires.
+        if let Some(t) = self.net.next_event(now) {
+            if t == now {
+                return Some(now);
+            }
+            fold(t);
+        }
+        // Cores: dispatch opportunity or the head's completion time.
+        for c in &self.cores {
+            if let Some(t) = c.next_wake(now) {
+                if t == now {
+                    return Some(now);
+                }
+                fold(t);
+            }
+        }
+        // Controllers: command scheduling and refresh.
+        for mc in &self.mcs {
+            let t = mc.ctrl.next_event(now);
+            if t == now {
+                return Some(now);
+            }
+            fold(t);
+        }
+        // Policy layer: scheduled threshold broadcasts.
+        if let Some(t) = self.resp_policy.next_update() {
+            fold(t.max(now));
+        }
+        // Watchdog: the deadlock deadline, so a trip is detected — and
+        // time-stamped — exactly when a cycle-driven run detects it.
+        if self.watchdog.enabled() {
+            if let Some(t) = self.watchdog.next_deadlock_check(self.txns.len()) {
+                fold(t.max(now));
+            }
+        }
+        // Per-transaction timeout backstop scan.
+        if self.cfg.recovery.enabled && !self.txns.is_empty() {
+            fold(now + (TIMEOUT_SCAN_PERIOD - 1 - now % TIMEOUT_SCAN_PERIOD));
+        }
+        wake
+    }
+
+    /// Fast-forwards from `self.now` to `to` without stepping: every
+    /// component proved it cannot act before `to`, so the span's per-cycle
+    /// effects — the cores' idle accounting, the watchdog's progress clock,
+    /// idleness samples and polled scans — are replayed in bulk.
+    fn skip_to(&mut self, to: Cycle) {
+        debug_assert!(to > self.now, "skip must move forward");
+        let from = self.now;
+        let span = to - from;
+        for c in &mut self.cores {
+            c.account_idle(span);
+        }
+        // Idleness samples due inside the span: bank queues only change when
+        // a controller ticks or a request arrives, and neither can happen in
+        // a skipped cycle, so every sample sees the same frozen idle vector —
+        // at the exact cycle per-cycle stepping would have recorded it.
+        for i in 0..self.mcs.len() {
+            if self.mcs[i].monitor.next_sample_at() < to {
+                let idle = self.mcs[i].ctrl.idle_banks();
+                self.mcs[i].monitor.replay_idle_span(from, to, &idle);
+            }
+        }
+        if self.watchdog.enabled() {
+            // Polled scans due inside the span, each at its scheduled cycle:
+            // their inputs (router buffers, network counters) are equally
+            // frozen, so only the first can record anything new — but *it*
+            // must carry the cycle number a per-cycle run would stamp.
+            while self.watchdog.next_poll_at() < to {
+                let at = self.watchdog.next_poll_at().max(from);
+                let due = self.watchdog.poll_due(at);
+                debug_assert!(due, "replayed poll must be due");
+                self.poll_scan(at);
+            }
+            self.watchdog.observe_idle_span(to, self.txns.len());
+        }
+        self.now = to;
     }
 
     /// Runs `cycles` of warmup, then clears all measurement state (core
@@ -793,6 +944,15 @@ impl System {
         if !self.watchdog.poll_due(now) {
             return;
         }
+        self.poll_scan(now);
+    }
+
+    /// The expensive polled liveness scans (starvation, age saturation,
+    /// packet conservation), run when [`Watchdog::poll_due`] fires — from
+    /// [`System::audit`] on a stepped cycle, or replayed at the same cycle
+    /// by [`System::skip_to`] when the poll lands inside a skipped span.
+    fn poll_scan(&mut self, now: Cycle) {
+        let rc = self.net.router_counters();
         let wait = self.net.max_buffered_wait(now);
         if let Some(limit) = self.watchdog.observe_wait(wait.map(|(_, w)| w)) {
             let (node, waited) = wait.expect("a wait tripped the limit");

@@ -187,6 +187,43 @@ impl Watchdog {
         None
     }
 
+    /// The cycle of the next polled scan (the watchdog's wake-up for the
+    /// event kernel). Polls must run at their exact scheduled cycles even
+    /// across skipped idle spans, so that violation snapshots carry the same
+    /// cycle numbers either kernel produces.
+    #[must_use]
+    pub fn next_poll_at(&self) -> Cycle {
+        self.next_poll
+    }
+
+    /// The cycle at which the deadlock detector could trip, assuming no flit
+    /// moves and `txns_in_flight` stays nonzero until then; `None` when it
+    /// cannot trip at all (disabled, already latched, or nothing in flight).
+    /// An event kernel must not skip past this cycle: the violation has to
+    /// be detected — and time-stamped — exactly when a cycle-driven run
+    /// would have detected it.
+    #[must_use]
+    pub fn next_deadlock_check(&self, txns_in_flight: usize) -> Option<Cycle> {
+        if !self.cfg.enabled || self.deadlock_latched || txns_in_flight == 0 {
+            return None;
+        }
+        Some(self.last_progress.saturating_add(self.cfg.deadlock_cycles))
+    }
+
+    /// Accounts for an idle span the event kernel is about to skip: cycles
+    /// `[.., to_exclusive)` will never run [`Watchdog::observe_progress`].
+    /// With no transactions in flight every skipped cycle would have re-armed
+    /// the progress clock, so fast-forward it to the last skipped cycle. With
+    /// transactions in flight the skipped cycles change nothing (no flit
+    /// moved, the quiet window just grows), and the potential trip cycle is a
+    /// wake-up via [`Watchdog::next_deadlock_check`].
+    pub fn observe_idle_span(&mut self, to_exclusive: Cycle, txns_in_flight: usize) {
+        if txns_in_flight == 0 && to_exclusive > 0 {
+            self.last_progress = to_exclusive - 1;
+            self.deadlock_latched = false;
+        }
+    }
+
     /// Whether the expensive polled scans are due this cycle; advances the
     /// poll schedule when they are.
     pub fn poll_due(&mut self, now: Cycle) -> bool {
@@ -295,6 +332,50 @@ mod tests {
         assert!(w.poll_due(1_000));
         assert!(!w.poll_due(1_050));
         assert!(w.poll_due(1_100));
+    }
+
+    #[test]
+    fn next_poll_matches_poll_due_schedule() {
+        let mut w = wd(10, 100);
+        assert_eq!(w.next_poll_at(), 100);
+        assert!(w.poll_due(100));
+        assert_eq!(w.next_poll_at(), 200);
+    }
+
+    #[test]
+    fn idle_span_matches_per_cycle_progress_accounting() {
+        let mut per_cycle = wd(10, 100);
+        let mut skipped = wd(10, 100);
+        // Both see one real step with traffic, then the system drains.
+        assert_eq!(per_cycle.observe_progress(0, 7, 1), None);
+        assert_eq!(skipped.observe_progress(0, 7, 1), None);
+        // Reference: 499 idle cycles observed one by one.
+        for t in 1..500 {
+            assert_eq!(per_cycle.observe_progress(t, 7, 0), None);
+        }
+        // Event twin: one bulk skip over the same span.
+        skipped.observe_idle_span(500, 0);
+        // A transaction appears and wedges: both trip at the same cycle.
+        assert_eq!(per_cycle.next_deadlock_check(3), Some(509));
+        assert_eq!(skipped.next_deadlock_check(3), Some(509));
+        for t in 500..509 {
+            assert_eq!(per_cycle.observe_progress(t, 7, 3), None);
+            assert_eq!(skipped.observe_progress(t, 7, 3), None);
+        }
+        assert_eq!(per_cycle.observe_progress(509, 7, 3), Some(10));
+        assert_eq!(skipped.observe_progress(509, 7, 3), Some(10));
+    }
+
+    #[test]
+    fn idle_span_with_work_in_flight_keeps_the_quiet_clock() {
+        let mut w = wd(10, 100);
+        assert_eq!(w.observe_progress(0, 7, 1), None);
+        // Skipping while transactions are stuck must not re-arm the
+        // detector…
+        w.observe_idle_span(9, 1);
+        assert_eq!(w.next_deadlock_check(1), Some(10));
+        // …so the trip still happens at the original deadline.
+        assert_eq!(w.observe_progress(10, 7, 1), Some(10));
     }
 
     #[test]

@@ -2,9 +2,20 @@
 //! liveness violations* from the watchdog — never as a hung simulation —
 //! and windowed faults must heal once their window closes.
 
-use noclat::{LivenessViolation, System, SystemConfig};
-use noclat_sim::faults::{BankFault, BankFaultKind, CycleWindow, RouterStall};
-use noclat_workloads::workload;
+use noclat::{LivenessViolation, Simulation, System, SystemConfig};
+use noclat_sim::faults::{BankFault, BankFaultKind, CycleWindow, FaultPlan, RouterStall};
+use noclat_workloads::{workload, SpecApp};
+
+/// Builds the scenario system through the Simulation API, with the fault
+/// plan attached where a harness would attach it.
+fn build(cfg: SystemConfig, plan: FaultPlan, apps: &[SpecApp]) -> System {
+    Simulation::builder(cfg)
+        .fault_plan(plan)
+        .workload(apps)
+        .build()
+        .expect("valid config")
+        .into_system()
+}
 
 /// Stalling every router's arbitration forever wedges the whole mesh; the
 /// watchdog must report a deadlock (with a usable snapshot) instead of the
@@ -16,8 +27,9 @@ fn global_router_stall_is_reported_as_deadlock() {
     // Recovery re-injection cannot help when no router arbitrates; keep it
     // out of the way so the scenario stays a pure detection test.
     cfg.recovery.enabled = false;
+    let mut plan = FaultPlan::none();
     for node in 0..32 {
-        cfg.faults.router_stalls.push(RouterStall {
+        plan.router_stalls.push(RouterStall {
             node,
             window: CycleWindow {
                 start: 1_000,
@@ -26,7 +38,7 @@ fn global_router_stall_is_reported_as_deadlock() {
         });
     }
     let apps = workload(2).apps();
-    let mut sys = System::new(cfg, &apps).expect("valid config");
+    let mut sys = build(cfg, plan, &apps);
     // This returns (bounded by the cycle count) even though the mesh is
     // dead — the whole point of the watchdog is that nothing inside spins.
     sys.run(12_000);
@@ -65,8 +77,9 @@ fn corner_router_stalls_are_reported_as_starvation() {
     cfg.watchdog.starvation_factor = 2; // limit = 2 × 1000-cycle age guard
     cfg.watchdog.deadlock_cycles = 50_000; // keep deadlock out of the way
     cfg.recovery.enabled = false;
+    let mut plan = FaultPlan::none();
     for node in [0usize, 7, 24, 31] {
-        cfg.faults.router_stalls.push(RouterStall {
+        plan.router_stalls.push(RouterStall {
             node,
             window: CycleWindow {
                 start: 2_000,
@@ -75,7 +88,7 @@ fn corner_router_stalls_are_reported_as_starvation() {
         });
     }
     let apps = workload(2).apps();
-    let mut sys = System::new(cfg, &apps).expect("valid config");
+    let mut sys = build(cfg, plan, &apps);
     sys.run(14_000);
     let starved: Vec<_> = sys
         .violations()
@@ -105,8 +118,9 @@ fn disabled_age_guard_still_detects_starvation() {
     cfg.watchdog.starvation_factor = 1; // limit falls back to max_age (4095)
     cfg.watchdog.deadlock_cycles = 50_000;
     cfg.recovery.enabled = false;
+    let mut plan = FaultPlan::none();
     for node in [0usize, 7, 24, 31] {
-        cfg.faults.router_stalls.push(RouterStall {
+        plan.router_stalls.push(RouterStall {
             node,
             window: CycleWindow {
                 start: 2_000,
@@ -115,7 +129,7 @@ fn disabled_age_guard_still_detects_starvation() {
         });
     }
     let apps = workload(8).apps();
-    let mut sys = System::new(cfg, &apps).expect("valid config");
+    let mut sys = build(cfg, plan, &apps);
     sys.run(16_000);
     let starved = sys
         .violations()
@@ -135,8 +149,9 @@ fn disabled_age_guard_still_detects_starvation() {
 fn windowed_stall_recovers_after_the_window() {
     let mut cfg = SystemConfig::baseline_32();
     cfg.watchdog.deadlock_cycles = 2_000;
+    let mut plan = FaultPlan::none();
     for node in 0..32 {
-        cfg.faults.router_stalls.push(RouterStall {
+        plan.router_stalls.push(RouterStall {
             node,
             window: CycleWindow {
                 start: 2_000,
@@ -145,7 +160,7 @@ fn windowed_stall_recovers_after_the_window() {
         });
     }
     let apps = workload(2).apps();
-    let mut sys = System::new(cfg, &apps).expect("valid config");
+    let mut sys = build(cfg, plan, &apps);
     sys.run(8_000);
     let during = sys.violations().len();
     assert!(
@@ -172,8 +187,9 @@ fn windowed_stall_recovers_after_the_window() {
 /// conservation violations.
 #[test]
 fn offline_bank_window_degrades_gracefully() {
-    let mut cfg = SystemConfig::baseline_32();
-    cfg.faults.banks.push(BankFault {
+    let cfg = SystemConfig::baseline_32();
+    let mut plan = FaultPlan::none();
+    plan.banks.push(BankFault {
         controller: 0,
         bank: None,
         kind: BankFaultKind::Offline,
@@ -183,7 +199,7 @@ fn offline_bank_window_degrades_gracefully() {
         },
     });
     let apps = workload(2).apps();
-    let mut sys = System::new(cfg, &apps).expect("valid config");
+    let mut sys = build(cfg, plan, &apps);
     sys.run(30_000);
     let rb = sys.robustness();
     assert_eq!(rb.lost_txns, 0, "an offline window must not lose work");

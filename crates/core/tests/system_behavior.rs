@@ -1,7 +1,7 @@
 //! Behavioral tests of the assembled system: protocol conservation,
 //! determinism, scheme mechanics and metric plumbing.
 
-use noclat::{run_mix, IdleStream, RunLengths, System, SystemConfig};
+use noclat::{run_mix, IdleStream, RunLengths, SimError, Simulation, SystemConfig};
 use noclat_cpu::InstrStream;
 use noclat_workloads::{workload, SpecApp};
 
@@ -54,7 +54,11 @@ fn transactions_drain_when_cores_stop() {
     // Build a system, run it, then starve it of new memory traffic by
     // swapping in idle streams; all in-flight transactions must complete.
     let apps = workload(8).apps();
-    let mut sys = System::new(SystemConfig::baseline_32(), &apps).expect("valid config");
+    let mut sys = Simulation::builder(SystemConfig::baseline_32())
+        .workload(&apps)
+        .build()
+        .expect("valid config")
+        .into_system();
     sys.run(10_000);
     assert!(sys.txns_in_flight() > 0, "expected in-flight transactions");
     // No API to swap streams (by design); instead just keep running: txns
@@ -194,10 +198,13 @@ fn custom_streams_drive_the_system() {
     let streams: Vec<Box<dyn InstrStream>> = (0..cfg.num_cores())
         .map(|_| Box::new(IdleStream) as Box<dyn InstrStream>)
         .collect();
-    let mut sys = System::with_streams(cfg, streams).expect("valid config");
-    sys.run(5_000);
+    let mut sim = Simulation::builder(cfg)
+        .streams(streams)
+        .build()
+        .expect("valid config");
+    sim.run_until(5_000);
     for c in 0..16 {
-        let s = sys.core_stats(c);
+        let s = sim.system().core_stats(c);
         assert!(s.ipc() > 3.0, "idle (compute-only) cores must be fast");
         assert_eq!(s.offchip_ops, 0);
     }
@@ -207,12 +214,15 @@ fn custom_streams_drive_the_system() {
 fn sixteen_core_system_runs() {
     let apps = workload(8).first_half();
     let cfg = SystemConfig::baseline_16();
-    let mut sys = System::new(cfg, &apps).expect("valid config");
-    sys.warm_up(2_000);
-    sys.run(15_000);
-    let committed: u64 = (0..16).map(|c| sys.core_stats(c).committed).sum();
+    let mut sim = Simulation::builder(cfg)
+        .workload(&apps)
+        .build()
+        .expect("valid config");
+    sim.warm_up(2_000);
+    sim.run(15_000);
+    let committed: u64 = (0..16).map(|c| sim.system().core_stats(c).committed).sum();
     assert!(committed > 10_000, "16-core system barely progressed");
-    assert_eq!(sys.num_controllers(), 2);
+    assert_eq!(sim.system().num_controllers(), 2);
 }
 
 #[test]
@@ -224,8 +234,12 @@ fn dirty_writebacks_flow_all_the_way_to_memory() {
     let mut cfg = SystemConfig::baseline_32();
     cfg.l2.bank_size_bytes = 16 * 1024; // 32 x 16 KB = 512 KB total L2
     let apps = workload(8).apps(); // write-heavy intensive apps
-    let mut sys = System::new(cfg, &apps).expect("valid config");
-    sys.run(60_000);
+    let mut sim = Simulation::builder(cfg)
+        .workload(&apps)
+        .build()
+        .expect("valid config");
+    sim.run_until(60_000);
+    let sys = sim.system();
     let writes: u64 = (0..4).map(|m| sys.controller_stats(m).writes.get()).sum();
     assert!(
         writes > 0,
@@ -238,7 +252,11 @@ fn dirty_writebacks_flow_all_the_way_to_memory() {
 #[test]
 fn wrong_app_count_is_rejected() {
     let apps = vec![SpecApp::Milc; 7];
-    assert!(System::new(SystemConfig::baseline_32(), &apps).is_err());
+    let err = Simulation::builder(SystemConfig::baseline_32())
+        .workload(&apps)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, SimError::StreamCountMismatch { .. }));
 }
 
 #[test]
@@ -246,12 +264,15 @@ fn threshold_updates_flow_with_scheme1() {
     let apps = workload(2).apps();
     let cfg = SystemConfig::baseline_32().with_scheme1();
     let update_period = cfg.scheme1.update_period;
-    let mut sys = System::new(cfg, &apps).expect("valid config");
+    let mut sim = Simulation::builder(cfg)
+        .workload(&apps)
+        .build()
+        .expect("valid config");
     // Before the first update period, no high-priority traffic exists
     // beyond (possibly) nothing at all.
-    sys.run(update_period + 2_000);
+    sim.run(update_period + 2_000);
     assert!(
-        sys.network_stats().high_priority_injected.get() > 0,
+        sim.system().network_stats().high_priority_injected.get() > 0,
         "threshold updates must be injected at high priority"
     );
 }

@@ -119,6 +119,39 @@ impl OooCore {
         self.dispatch(now, stream, mem);
     }
 
+    /// The next cycle at which [`OooCore::tick`] could do anything beyond
+    /// stall accounting: `Some(now)` when the core can commit or dispatch
+    /// this cycle, `Some(t)` when the window head completes at a known
+    /// future cycle, and `None` when the head is an outstanding memory
+    /// access — the core sleeps until [`OooCore::complete`] is called.
+    ///
+    /// This is the core's wake-up contract with the event kernel: a cycle
+    /// `t < next_wake` changes nothing but `cycles` (and `mem_stall_cycles`
+    /// when the head is memory), which [`OooCore::account_idle`] replays in
+    /// bulk.
+    #[must_use]
+    pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        let Some(head) = self.window.front() else {
+            // Empty window: dispatch draws instructions immediately.
+            return Some(now);
+        };
+        if self.window.len() < self.cfg.window_size && self.lsq_used < self.cfg.lsq_size {
+            // Dispatch has room: it draws from the stream every cycle.
+            return Some(now);
+        }
+        head.done_at.map(|t| t.max(now))
+    }
+
+    /// Replays `cycles` blocked cycles at once: exactly what per-cycle
+    /// ticking would have recorded for a core whose wake-up lies beyond the
+    /// span (commit blocked, dispatch full).
+    pub fn account_idle(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+        if self.window.front().is_some_and(|h| h.is_mem) {
+            self.stats.mem_stall_cycles += cycles;
+        }
+    }
+
     fn commit(&mut self, now: Cycle) {
         let mut committed = 0;
         while committed < self.cfg.commit_width {
@@ -425,5 +458,55 @@ mod tests {
         let mut core = OooCore::new(cfg());
         core.complete(MemToken(12345), 0); // must not panic
         assert_eq!(core.stats().committed, 0);
+    }
+
+    #[test]
+    fn next_wake_reflects_dispatch_and_head_state() {
+        let mut core = OooCore::new(cfg());
+        // Empty window: busy immediately.
+        assert_eq!(core.next_wake(5), Some(5));
+        // Fill the window with long compute; once full, the wake is the
+        // head's completion cycle.
+        let mut stream = PatternStream::new(vec![Instr::Compute { latency: 1000 }]);
+        let mut mem = FakeMem::hits(3);
+        let mut t = 0;
+        while core.window_len() < cfg().window_size {
+            core.tick(t, &mut stream, &mut mem);
+            t += 1;
+        }
+        assert_eq!(core.next_wake(t), Some(1000), "head dispatched at cycle 0");
+        // A head blocked on memory sleeps until complete().
+        let mut core = OooCore::new(cfg());
+        let mut stream = PatternStream::new(vec![Instr::Load { addr: 0 }]);
+        let mut mem = FakeMem::pending_every(1, 3);
+        for t in 0..100 {
+            core.tick(t, &mut stream, &mut mem);
+        }
+        assert_eq!(core.lsq_used(), cfg().lsq_size, "LSQ full");
+        assert_eq!(core.next_wake(100), None);
+    }
+
+    #[test]
+    fn account_idle_matches_per_cycle_ticking() {
+        // Two identical cores blocked on a pending head: ticking one for N
+        // cycles and bulk-accounting the other must agree bit for bit.
+        let build = || {
+            let mut core = OooCore::new(cfg());
+            let mut stream = PatternStream::new(vec![Instr::Load { addr: 0 }]);
+            let mut mem = FakeMem::pending_every(1, 3);
+            for t in 0..100 {
+                core.tick(t, &mut stream, &mut mem);
+            }
+            (core, stream, mem)
+        };
+        let (mut ticked, mut stream, mut mem) = build();
+        let (mut bulk, _, _) = build();
+        for t in 100..600 {
+            assert_eq!(ticked.next_wake(t), None, "core must stay blocked");
+            ticked.tick(t, &mut stream, &mut mem);
+        }
+        bulk.account_idle(500);
+        assert_eq!(ticked.stats(), bulk.stats());
+        assert_eq!(ticked.window_len(), bulk.window_len());
     }
 }

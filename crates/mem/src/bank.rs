@@ -53,6 +53,13 @@ impl Bank {
         self.busy_until <= now
     }
 
+    /// The cycle at which the current occupancy ends (the bank's wake-up
+    /// for the event kernel; in the past when the bank is ready).
+    #[must_use]
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
     /// Currently open row.
     #[must_use]
     pub fn open_row(&self) -> Option<u64> {

@@ -161,6 +161,37 @@ impl MemoryController {
             + self.pending.len()
     }
 
+    /// The next cycle at which [`MemoryController::tick`] could change any
+    /// state — the controller's wake-up contract with the event kernel. A
+    /// cycle strictly before the returned value is a provable no-op:
+    /// refresh is not due, no front-pipeline request matures, every queued
+    /// bank is still occupied, and no in-service access finishes.
+    ///
+    /// Refresh always schedules a wake-up (it fires even on an idle
+    /// controller and occupies every bank, so skipping past it would
+    /// corrupt row state and the refresh ledger). While bank or ingress
+    /// faults are active the controller reports `now` whenever it holds any
+    /// work, since fault windows open and close on arbitrary cycles.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        if self.faults.is_active() && self.occupancy() > 0 {
+            return now;
+        }
+        let mut wake = self.next_refresh;
+        if let Some(&(ready, _)) = self.front.front() {
+            wake = wake.min(ready);
+        }
+        for bank in &self.banks {
+            if bank.queue_len() > 0 {
+                wake = wake.min(bank.busy_until());
+            }
+        }
+        if let Some(Reverse(p)) = self.pending.peek() {
+            wake = wake.min(p.finished);
+        }
+        wake.max(now)
+    }
+
     /// Hands a request to the controller at cycle `now`.
     ///
     /// # Errors
@@ -734,5 +765,46 @@ mod tests {
         let late = run(&mut mc, 1_500, 6_000);
         assert_eq!(late.len(), 1);
         assert!(late[0].finished >= 1_500);
+    }
+
+    #[test]
+    fn event_driven_drain_matches_per_cycle_drain() {
+        // Jumping between next_event() wake-ups must produce the same
+        // completions (same finish times, same stats) as ticking every
+        // cycle, including across a refresh boundary.
+        let c = cfg();
+        let horizon = 40_000; // covers two refresh periods
+        let feed = |mc: &mut MemoryController| {
+            for (i, row) in [5u64, 5, 9, 9, 5].iter().enumerate() {
+                mc.enqueue(i as u64, i % 4, *row, i % 3 == 0, (i as Cycle) * 7)
+                    .unwrap();
+            }
+        };
+        let mut reference = MemoryController::new(c);
+        feed(&mut reference);
+        let ref_done = run(&mut reference, 0, horizon);
+
+        let mut event = MemoryController::new(c);
+        feed(&mut event);
+        let mut done = Vec::new();
+        let mut now = 0;
+        while now < horizon {
+            done.extend(event.tick(now));
+            now = event.next_event(now + 1).max(now + 1);
+        }
+        let key = |d: &MemCompletion| (d.req.token, d.finished, d.controller_delay, d.row_hit);
+        assert_eq!(
+            ref_done.iter().map(key).collect::<Vec<_>>(),
+            done.iter().map(key).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            reference.stats().refreshes.get(),
+            event.stats().refreshes.get(),
+            "skipping must not miss refreshes"
+        );
+        assert_eq!(
+            reference.stats().row_hits.get(),
+            event.stats().row_hits.get()
+        );
     }
 }

@@ -44,6 +44,27 @@ impl IdlenessMonitor {
         now >= self.next_sample
     }
 
+    /// The cycle of the next scheduled sample (the monitor's wake-up for
+    /// the event kernel: skipping past it would record the sample late and
+    /// shift the whole schedule).
+    #[must_use]
+    pub fn next_sample_at(&self) -> Cycle {
+        self.next_sample
+    }
+
+    /// Replays every sample a per-cycle run would have taken in the span
+    /// `[from, to)` with a frozen `idle` vector. Bank queues cannot change
+    /// across a span the event kernel skips (nothing ticks), so each sample
+    /// lands at its exact scheduled cycle — the first executed cycle at or
+    /// after `next_sample`, which under a skip is `next_sample.max(from)` —
+    /// with the same values per-cycle sampling would have recorded.
+    pub fn replay_idle_span(&mut self, from: Cycle, to: Cycle, idle: &[bool]) {
+        while self.next_sample < to {
+            let at = self.next_sample.max(from);
+            self.sample(at, idle);
+        }
+    }
+
     /// Records one sample: `idle[b]` is whether bank `b`'s queue is empty.
     ///
     /// # Panics
@@ -118,5 +139,29 @@ mod tests {
     fn wrong_width_sample_panics() {
         let mut m = IdlenessMonitor::new(2, 10, 100);
         m.sample(0, &[true]);
+    }
+
+    #[test]
+    fn replayed_span_matches_per_cycle_sampling() {
+        // A per-cycle run samples at every cycle where `due`; replaying the
+        // same span in bulk with the frozen idle vector must leave the
+        // monitor in a bit-identical state.
+        let idle = [true, false];
+        let mut stepped = IdlenessMonitor::new(2, 10, 50);
+        for t in 0..137 {
+            if stepped.due(t) {
+                stepped.sample(t, &idle);
+            }
+        }
+        let mut replayed = IdlenessMonitor::new(2, 10, 50);
+        replayed.replay_idle_span(0, 137, &idle);
+        assert_eq!(stepped.next_sample_at(), replayed.next_sample_at());
+        assert_eq!(stepped.per_bank_idleness(), replayed.per_bank_idleness());
+        assert_eq!(stepped.idleness_over_time(), replayed.idleness_over_time());
+        // A stale schedule (reset mid-run) catches up at `from`, exactly as
+        // the first executed cycle would.
+        let mut m = IdlenessMonitor::new(1, 100, 1_000);
+        m.replay_idle_span(250, 260, &[true]);
+        assert_eq!(m.next_sample_at(), 350, "caught up at from, not at 0");
     }
 }

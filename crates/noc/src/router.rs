@@ -180,6 +180,14 @@ impl Router {
         self.counters
     }
 
+    /// Total flits buffered across all input VCs. Zero means a tick is a
+    /// guaranteed no-op (the fast-path guard [`Router::tick`] uses), which
+    /// is exactly the event kernel's idleness criterion for routers.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
     /// Free buffer slots in a local-input VC (used by the injection logic,
     /// which sits at zero distance and needs no credit wire).
     #[must_use]

@@ -488,6 +488,52 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// Simulation-kernel strategy: how the system advances time.
+///
+/// Both kernels execute the exact same per-cycle semantics; the event
+/// kernel merely skips cycles it can prove are no-ops (every core blocked,
+/// network drained, no controller or scheduler activity due). Results are
+/// bit-identical by construction — the kernel is a speed knob, not a model
+/// knob — which is why it lives in the configuration rather than the API
+/// surface: callers pick it per run (`--kernel cycle|event`) without any
+/// component caring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelKind {
+    /// Classic cycle-driven scanning: every component is polled every
+    /// cycle. The reference kernel, and the default.
+    #[default]
+    Cycle,
+    /// Event-wheel kernel: components report their next wake-up cycle and
+    /// provably idle spans are skipped wholesale.
+    Event,
+}
+
+impl KernelKind {
+    /// Parses a `--kernel` CLI value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown kernel names.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "cycle" => Ok(KernelKind::Cycle),
+            "event" => Ok(KernelKind::Event),
+            _ => Err(format!(
+                "--kernel: unknown kernel {value:?} (known: cycle, event)"
+            )),
+        }
+    }
+
+    /// The CLI name of this kernel.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::Cycle => "cycle",
+            KernelKind::Event => "event",
+        }
+    }
+}
+
 /// Complete system configuration (the union of Table 1 and the scheme
 /// parameters of Section 3).
 #[derive(Debug, Clone, PartialEq)]
@@ -521,6 +567,9 @@ pub struct SystemConfig {
     pub watchdog: WatchdogConfig,
     /// Dropped-message recovery parameters.
     pub recovery: RecoveryConfig,
+    /// Simulation-kernel strategy (cycle-driven scanning vs event wheel).
+    /// Bit-identical results either way; `Event` skips provably idle spans.
+    pub kernel: KernelKind,
 }
 
 impl SystemConfig {
@@ -602,6 +651,7 @@ impl SystemConfig {
             faults: FaultPlan::none(),
             watchdog: WatchdogConfig::default(),
             recovery: RecoveryConfig::default(),
+            kernel: KernelKind::default(),
         }
     }
 

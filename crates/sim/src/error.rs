@@ -40,6 +40,9 @@ pub enum SimError {
         /// Cores configured.
         cores: usize,
     },
+    /// A simulation was built without a workload: neither applications nor
+    /// instruction streams were attached to the builder.
+    MissingWorkload,
     /// A fault-plan entry is inconsistent (empty window, bad probability…).
     Fault(FaultError),
     /// A sweep job panicked on a worker thread; the pool isolated it and
@@ -68,6 +71,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::StreamCountMismatch { streams, cores } => {
                 write!(f, "{streams} instruction streams for {cores} cores")
+            }
+            SimError::MissingWorkload => {
+                write!(
+                    f,
+                    "simulation built without a workload (attach applications or streams)"
+                )
             }
             SimError::Fault(e) => write!(f, "invalid fault plan: {e}"),
             SimError::JobPanicked {

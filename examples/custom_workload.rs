@@ -1,5 +1,5 @@
 //! Driving the simulator with a custom workload: implement [`InstrStream`]
-//! yourself and hand it to [`System::with_streams`].
+//! yourself and hand it to [`SimulationBuilder::streams`].
 //!
 //! Here we build a pointer-chasing microkernel (serialized, latency-bound —
 //! the worst case for in-order commit) and a streaming microkernel
@@ -13,7 +13,7 @@
 
 use noclat_repro::cpu::{Instr, InstrStream, ResidentSet};
 use noclat_repro::sim::rng::splitmix64;
-use noclat_repro::{System, SystemConfig};
+use noclat_repro::{Simulation, SystemConfig};
 
 /// Serialized pointer chase over a large region: one off-chip access at a
 /// time, each "dependent" on the previous (modeled as a long chase period).
@@ -80,7 +80,7 @@ impl InstrStream for Streamer {
     }
 }
 
-fn build(cfg: SystemConfig) -> System {
+fn build(cfg: SystemConfig) -> Simulation {
     let streams: Vec<Box<dyn InstrStream>> = (0..cfg.num_cores())
         .map(|slot| {
             if slot % 2 == 0 {
@@ -90,17 +90,20 @@ fn build(cfg: SystemConfig) -> System {
             }
         })
         .collect();
-    System::with_streams(cfg, streams).expect("valid configuration")
+    Simulation::builder(cfg)
+        .streams(streams)
+        .build()
+        .expect("valid configuration")
 }
 
 fn run(cfg: SystemConfig) -> (f64, f64) {
-    let mut sys = build(cfg);
-    sys.warm_up(5_000);
-    sys.run(50_000);
+    let mut sim = build(cfg);
+    sim.warm_up(5_000);
+    sim.run(50_000);
     let mut chase = 0.0;
     let mut stream = 0.0;
     for core in 0..32 {
-        let ipc = sys.core_stats(core).ipc();
+        let ipc = sim.system().core_stats(core).ipc();
         if core % 2 == 0 {
             chase += ipc / 16.0;
         } else {

@@ -3,7 +3,7 @@
 
 use noclat_repro::workloads::{workload, SpecApp, WorkloadKind};
 use noclat_repro::{
-    run_mix, weighted_speedup, weighted_speedup_of, RunLengths, System, SystemConfig,
+    run_mix, weighted_speedup, weighted_speedup_of, RunLengths, Simulation, SystemConfig,
 };
 
 fn quick() -> RunLengths {
@@ -105,10 +105,13 @@ fn alone_runs_beat_shared_runs() {
 fn all_18_workloads_build_and_step() {
     for i in 1..=18 {
         let apps = workload(i).apps();
-        let mut sys = System::new(SystemConfig::baseline_32(), &apps).expect("valid");
-        sys.run(500);
+        let mut sim = Simulation::builder(SystemConfig::baseline_32())
+            .workload(&apps)
+            .build()
+            .expect("valid");
+        sim.run_until(500);
         assert!(
-            sys.network_stats().packets_injected.get() > 0,
+            sim.system().network_stats().packets_injected.get() > 0,
             "workload-{i} injected nothing"
         );
     }

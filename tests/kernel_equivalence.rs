@@ -1,0 +1,245 @@
+//! Kernel-equivalence matrix: the event-wheel kernel must be *bit-identical*
+//! to the cycle-driven kernel — not statistically close — on every scheme
+//! combination, on both policy-selection paths (scheme flags and registry
+//! names), and under injected faults.
+//!
+//! Each cell runs the same configuration under both kernels and compares a
+//! deep fingerprint: per-core counters for all 32 cores, network and
+//! controller statistics, in-flight populations, the liveness-violation
+//! multiset, and the *complete* probe event stream (every router hop, every
+//! controller dequeue, every retirement, each with its cycle stamp). A
+//! kernel that skips one cycle it should not have — or wakes one cycle late
+//! — moves an event stamp and fails the cell.
+
+use std::sync::{Arc, Mutex};
+
+use noclat_repro::noc::Hop;
+use noclat_repro::sim::faults::{BankFault, BankFaultKind, CycleWindow, FaultPlan, RouterStall};
+use noclat_repro::workloads::workload;
+use noclat_repro::{KernelKind, McDequeue, Probe, Retire, Simulation, SystemConfig};
+
+/// Cycles per run: long enough that Scheme-1's 10k-cycle threshold-update
+/// period elapses (shorter windows never exercise its wake-up source).
+const RUN_CYCLES: u64 = 12_000;
+
+/// Records every probe event as a rendered line, shared out via `Arc` so the
+/// stream survives the probe moving into the system.
+#[derive(Default)]
+struct Recorder {
+    events: Arc<Mutex<Vec<String>>>,
+}
+
+impl Recorder {
+    fn new() -> (Self, Arc<Mutex<Vec<String>>>) {
+        let rec = Recorder::default();
+        let events = Arc::clone(&rec.events);
+        (rec, events)
+    }
+
+    fn push(&self, line: String) {
+        self.events.lock().expect("recorder lock").push(line);
+    }
+}
+
+impl Probe for Recorder {
+    fn on_hop(&mut self, hop: &Hop) {
+        self.push(format!(
+            "hop {:?} {:?} {:?} {:?} age={} @{}",
+            hop.node, hop.out_port, hop.priority, hop.vnet, hop.age, hop.cycle
+        ));
+    }
+
+    fn on_mc_dequeue(&mut self, ev: &McDequeue) {
+        self.push(format!(
+            "mc{} core={} so_far={} queued={} {:?} @{}",
+            ev.mc, ev.core, ev.so_far_delay, ev.queued_for, ev.priority, ev.cycle
+        ));
+    }
+
+    fn on_retire(&mut self, ev: &Retire) {
+        self.push(format!(
+            "retire core={} line={:#x} offchip={} merged={} lat={} @{}",
+            ev.core, ev.line, ev.offchip, ev.merged, ev.total_latency, ev.cycle
+        ));
+    }
+}
+
+/// Everything one run pins. `PartialEq` + `Debug` so a failing cell prints
+/// both sides.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    now: u64,
+    cores: Vec<(u64, u64, u64, u64)>,
+    packets_injected: u64,
+    packets_delivered: u64,
+    high_priority_injected: u64,
+    controller_reads: Vec<u64>,
+    txns_in_flight: usize,
+    packets_in_flight: usize,
+    violations: Vec<String>,
+    events: Vec<String>,
+}
+
+fn run_cell(
+    label: &str,
+    cfg: &SystemConfig,
+    plan: &FaultPlan,
+    warmup: u64,
+    kernel: KernelKind,
+) -> Fingerprint {
+    let (rec, events) = Recorder::new();
+    let mut sim = Simulation::builder(cfg.clone())
+        .kernel(kernel)
+        .fault_plan(plan.clone())
+        .workload(&workload(2).apps())
+        .probe(Box::new(rec))
+        .build()
+        .unwrap_or_else(|e| panic!("{label}: invalid config: {e}"));
+    if warmup > 0 {
+        sim.warm_up(warmup);
+    }
+    sim.run(RUN_CYCLES);
+    let sys = sim.system();
+    // Violation order can differ across runs when several trip in the same
+    // scan (hash-map iteration); the *multiset* is the contract, so sort.
+    let mut violations: Vec<String> = sys.violations().iter().map(|v| format!("{v:?}")).collect();
+    violations.sort();
+    let events = events.lock().expect("recorder lock").clone();
+    Fingerprint {
+        now: sys.now(),
+        cores: (0..cfg.num_cores())
+            .map(|c| {
+                let s = sys.core_stats(c);
+                (s.committed, s.cycles, s.mem_stall_cycles, s.offchip_ops)
+            })
+            .collect(),
+        packets_injected: sys.network_stats().packets_injected.get(),
+        packets_delivered: sys.network_stats().packets_delivered.get(),
+        high_priority_injected: sys.network_stats().high_priority_injected.get(),
+        controller_reads: (0..sys.num_controllers())
+            .map(|m| sys.controller_stats(m).reads.get())
+            .collect(),
+        txns_in_flight: sys.txns_in_flight(),
+        packets_in_flight: sys.packets_in_flight(),
+        violations,
+        events,
+    }
+}
+
+fn assert_kernels_agree(label: &str, cfg: &SystemConfig, plan: &FaultPlan) {
+    assert_kernels_agree_warmed(label, cfg, plan, 0);
+}
+
+fn assert_kernels_agree_warmed(label: &str, cfg: &SystemConfig, plan: &FaultPlan, warmup: u64) {
+    let cycle = run_cell(label, cfg, plan, warmup, KernelKind::Cycle);
+    let event = run_cell(label, cfg, plan, warmup, KernelKind::Event);
+    assert!(
+        !cycle.events.is_empty(),
+        "{label}: cell observed no traffic — the comparison is vacuous"
+    );
+    // Compare the streams first with a usable diff location, then the whole
+    // fingerprint (which re-checks the streams plus all counters).
+    assert_eq!(
+        cycle.events.len(),
+        event.events.len(),
+        "{label}: event counts diverge ({} vs {})",
+        cycle.events.len(),
+        event.events.len()
+    );
+    if let Some((i, (c, e))) = cycle
+        .events
+        .iter()
+        .zip(&event.events)
+        .enumerate()
+        .find(|(_, (c, e))| c != e)
+    {
+        panic!("{label}: first probe divergence at event #{i}:\n  cycle: {c}\n  event: {e}");
+    }
+    assert_eq!(cycle, event, "{label}: kernels diverged");
+}
+
+#[test]
+fn baseline_matches() {
+    let plan = FaultPlan::none();
+    assert_kernels_agree("baseline", &SystemConfig::baseline_32(), &plan);
+}
+
+#[test]
+fn scheme1_matches() {
+    let plan = FaultPlan::none();
+    assert_kernels_agree("s1", &SystemConfig::baseline_32().with_scheme1(), &plan);
+}
+
+#[test]
+fn scheme2_matches() {
+    let plan = FaultPlan::none();
+    assert_kernels_agree("s2", &SystemConfig::baseline_32().with_scheme2(), &plan);
+}
+
+#[test]
+fn both_schemes_match() {
+    let plan = FaultPlan::none();
+    assert_kernels_agree(
+        "both",
+        &SystemConfig::baseline_32().with_both_schemes(),
+        &plan,
+    );
+}
+
+/// The registry path: policies selected by name rather than derived from
+/// the scheme flags (the other half of the policy plumbing).
+#[test]
+fn named_policies_match() {
+    let mut cfg = SystemConfig::baseline_32();
+    cfg.policy.request = Some("oldest-first".to_string());
+    cfg.policy.response = Some("static".to_string());
+    let plan = FaultPlan::none();
+    assert_kernels_agree("named-policies", &cfg, &plan);
+}
+
+/// `warm_up` rebuilds the idleness monitors with a stale (cycle-0) sample
+/// schedule, so the event kernel's bulk replay must *catch up* at the
+/// current cycle exactly as per-cycle stepping does. Scheme 1 reads the
+/// monitors for its threshold broadcasts, so a drifted sample schedule
+/// changes priorities — and with them the probe streams this cell compares.
+#[test]
+fn warmed_up_scheme1_matches() {
+    let plan = FaultPlan::none();
+    assert_kernels_agree_warmed(
+        "warmed-s1",
+        &SystemConfig::baseline_32().with_scheme1(),
+        &plan,
+        1_500,
+    );
+}
+
+/// Faults force the kernel through its busy-now paths: an offline DRAM bank
+/// window defers service (controller wake-ups), and a windowed router stall
+/// wedges flits in place (occupancy holds the network busy while nothing
+/// moves). Watchdog polls and timeout scans must still land on the exact
+/// cycles the per-cycle kernel lands on.
+#[test]
+fn faulted_run_matches() {
+    let mut cfg = SystemConfig::baseline_32();
+    cfg.watchdog.deadlock_cycles = 2_000;
+    let mut plan = FaultPlan::none();
+    plan.banks.push(BankFault {
+        controller: 0,
+        bank: None,
+        kind: BankFaultKind::Offline,
+        window: CycleWindow {
+            start: 3_000,
+            end: 6_000,
+        },
+    });
+    for node in [0usize, 31] {
+        plan.router_stalls.push(RouterStall {
+            node,
+            window: CycleWindow {
+                start: 4_000,
+                end: 7_000,
+            },
+        });
+    }
+    assert_kernels_agree("faulted", &cfg, &plan);
+}
