@@ -14,6 +14,11 @@
 //! transactions — lost must stay zero.
 //!
 //! All 16 cells run as one pool grid.
+//!
+//! Exit codes (shared with every sweep binary, see `sweep::exit_code`):
+//! 0 success, 2 bad arguments/configuration, 3 a cell panicked, 4 a cell
+//! exceeded `--job-timeout`, 5 transactions were lost (watchdog/liveness
+//! regression).
 
 use noclat::{run_mix, FaultPlan, SystemConfig};
 use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
@@ -21,7 +26,7 @@ use noclat_workloads::workload;
 
 const USAGE: &str = "faultsim [--jobs N] [--json PATH] [--workload 1..18] [--warmup N] \
      [--measure N] [--seed N] [--policy req=NAME,resp=NAME,arb=NAME] \
-     [--kernel cycle|event]";
+     [--kernel cycle|event] [--resume PATH] [--job-timeout SECS] [--retries N]";
 
 const DROP_RATES: [f64; 4] = [0.0, 1e-5, 1e-4, 1e-3];
 const SCHEMES: [&str; 4] = ["baseline", "s1", "s2", "both"];
@@ -191,6 +196,8 @@ fn main() {
     );
     sweep::finish(&args, &json);
     if !all_retired {
-        std::process::exit(1);
+        // Distinct from config errors (2) and quarantined jobs (3/4), so CI
+        // can tell a liveness regression apart from a harness failure.
+        std::process::exit(sweep::exit_code::WATCHDOG);
     }
 }

@@ -22,14 +22,37 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use noclat::{
-    alone_ipc, KernelKind, PolicyConfig, PolicyOverride, RunLengths, SimError, SystemConfig,
+    alone_ipc, AppLatency, Journal, KernelKind, LatencyTracker, PolicyConfig, PolicyOverride,
+    RunLengths, SegmentRow, SimError, SystemConfig,
 };
+use noclat_noc::LoadPoint;
+use noclat_sim::journal::{self, fnv1a64};
+use noclat_sim::stats::{Histogram, RunningMean};
 use noclat_workloads::SpecApp;
 
-pub use noclat_sim::pool::{job_rng, job_seed, run_jobs, Job};
+pub use noclat_sim::pool::{
+    job_rng, job_seed, run_jobs, run_jobs_supervised, Job, JobCtx, RetryPolicy,
+};
+
+/// Process exit codes shared by every sweep binary, so CI and scripts can
+/// tell failure classes apart without parsing stderr.
+pub mod exit_code {
+    /// Catch-all failure (IO errors, wedged drains without a watchdog…).
+    pub const GENERIC: i32 = 1;
+    /// Invalid arguments or configuration (also journal-resume mismatches).
+    pub const CONFIG: i32 = 2;
+    /// At least one sweep job panicked after exhausting its retries.
+    pub const JOB_PANIC: i32 = 3;
+    /// At least one sweep job exceeded `--job-timeout` after exhausting its
+    /// retries (and none panicked — panics take precedence).
+    pub const JOB_TIMEOUT: i32 = 4;
+    /// The liveness watchdog reported violations (deadlock/starvation).
+    pub const WATCHDOG: i32 = 5;
+}
 
 /// Number of replicate shards the distribution harnesses (fig04/05/06/09/12)
 /// split their measurement into. Each shard is a full, independently seeded
@@ -59,11 +82,22 @@ pub struct SweepArgs {
     /// by contract (the equivalence suite enforces it), so this only trades
     /// wall-clock time; reports are comparable across kernels.
     pub kernel: KernelKind,
+    /// Journal path for durable checkpoint/resume (`--resume PATH`). Cells
+    /// already present in the journal are restored instead of re-run; cells
+    /// completing during this run are appended as they finish.
+    pub resume: Option<PathBuf>,
+    /// Per-job wall-clock deadline (`--job-timeout SECS`); overrunning jobs
+    /// are cancelled cooperatively and reported as `JobTimeout`.
+    pub job_timeout: Option<Duration>,
+    /// Retries with exponential backoff for panicking/timing-out jobs
+    /// (`--retries N`; default 0 = fail immediately).
+    pub retries: u32,
 }
 
 /// Flags accepted by [`SweepArgs::parse`], for inclusion in usage strings.
 pub const SWEEP_USAGE: &str = "[--jobs N] [--json PATH] [--seed N] [--warmup N] [--measure N] \
-     [--policy req=NAME,resp=NAME,arb=NAME] [--kernel cycle|event] [quick]";
+     [--policy req=NAME,resp=NAME,arb=NAME] [--kernel cycle|event] \
+     [--resume PATH] [--job-timeout SECS] [--retries N] [quick]";
 
 impl SweepArgs {
     fn defaults() -> Self {
@@ -76,6 +110,9 @@ impl SweepArgs {
             lengths: RunLengths::standard(),
             policy: PolicyOverride::default(),
             kernel: KernelKind::default(),
+            resume: None,
+            job_timeout: None,
+            retries: 0,
         }
     }
 
@@ -169,6 +206,24 @@ impl SweepArgs {
                     args.kernel = KernelKind::parse(value()?)?;
                     i += 2;
                 }
+                "--resume" => {
+                    args.resume = Some(PathBuf::from(value()?));
+                    i += 2;
+                }
+                "--job-timeout" => {
+                    let secs: f64 = value()?
+                        .parse()
+                        .map_err(|e| format!("--job-timeout: {e}"))?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err("--job-timeout must be a positive number of seconds".into());
+                    }
+                    args.job_timeout = Some(Duration::from_secs_f64(secs));
+                    i += 2;
+                }
+                "--retries" => {
+                    args.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?;
+                    i += 2;
+                }
                 "quick" | "--quick" => {
                     quick = true;
                     i += 1;
@@ -200,46 +255,198 @@ impl SweepArgs {
         self.policy.apply(cfg);
         cfg.kernel = self.kernel;
     }
+
+    /// The pool deadline/retry budget these arguments request.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            timeout: self.job_timeout,
+            retries: self.retries,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Fingerprint of everything that determines a sweep's *results*: seed,
+/// simulation window, policy overrides and kernel. Arguments that only
+/// affect execution (worker count, output paths, deadlines, retries) are
+/// deliberately excluded — a journal written with `--jobs 8` resumes fine
+/// under `--jobs 1`, and a deadline changes which cells *complete*, never
+/// what a completed cell contains.
+#[must_use]
+pub fn sweep_fingerprint(args: &SweepArgs) -> u64 {
+    let text = format!(
+        "seed={} warmup={} measure={} policy={:?} kernel={}",
+        args.seed,
+        args.lengths.warmup,
+        args.lengths.measure,
+        args.policy,
+        args.kernel.name(),
+    );
+    fnv1a64(text.as_bytes())
+}
+
+/// Content address of one sweep cell: the sweep fingerprint combined with
+/// the cell's label (labels are unique within a harness by construction).
+#[must_use]
+pub fn job_key(fingerprint: u64, label: &str) -> u64 {
+    fnv1a64(format!("{fingerprint:016x}/{label}").as_bytes())
 }
 
 /// Runs a job grid under the sweep's worker budget and returns results in
 /// job order, aborting the process with a per-job diagnostic if any job
 /// failed.
 ///
-/// The abort path reports *every* failing cell (a panicking cell does not
-/// hide its siblings' outcomes) and exits with status 1.
+/// The abort path reports *every* failing cell as a quarantine list (a
+/// panicking cell does not hide its siblings' outcomes) and exits with the
+/// most severe applicable [`exit_code`]: panics beat timeouts beat the
+/// generic failure code. A journal problem (`--resume` mismatch, IO
+/// failure) is a usage error and exits with [`exit_code::CONFIG`].
 #[must_use]
-pub fn run_grid<T: Send>(args: &SweepArgs, jobs: Vec<Job<T>>) -> Vec<T> {
-    let results = try_run_grid(args, jobs);
-    let mut failed = false;
+pub fn run_grid<T: Send + CellCodec>(args: &SweepArgs, jobs: Vec<Job<T>>) -> Vec<T> {
+    let results = match try_run_grid(args, jobs) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(exit_code::CONFIG);
+        }
+    };
+    let mut quarantined = Vec::new();
     let mut out = Vec::with_capacity(results.len());
     for r in results {
         match r {
             Ok(v) => out.push(v),
-            Err(e) => {
-                eprintln!("error: {e}");
-                failed = true;
-            }
+            Err(e) => quarantined.push(e),
         }
     }
-    if failed {
-        std::process::exit(1);
+    if !quarantined.is_empty() {
+        eprintln!("sweep: {} cell(s) quarantined:", quarantined.len());
+        for e in &quarantined {
+            eprintln!("  error: {e}");
+        }
+        let code = if quarantined
+            .iter()
+            .any(|e| matches!(e, SimError::JobPanicked { .. }))
+        {
+            exit_code::JOB_PANIC
+        } else if quarantined
+            .iter()
+            .any(|e| matches!(e, SimError::JobTimeout { .. }))
+        {
+            exit_code::JOB_TIMEOUT
+        } else {
+            exit_code::GENERIC
+        };
+        std::process::exit(code);
     }
     out
 }
 
-/// Like [`run_grid`], but surfaces per-job failures as values instead of
-/// aborting (the library entry point the tests drive).
-#[must_use]
-pub fn try_run_grid<T: Send>(args: &SweepArgs, jobs: Vec<Job<T>>) -> Vec<Result<T, SimError>> {
-    if jobs.len() > 1 {
+/// Like [`run_grid`], but surfaces failures as values instead of aborting
+/// (the library entry point the tests drive): the outer `Err` is a journal
+/// problem that prevented the sweep from running at all, the inner ones are
+/// quarantined cells.
+///
+/// Every job gets a content address (`[config <hash>]` in error reports,
+/// the record key in the journal). With `--resume`, cells whose records are
+/// already journaled are decoded instead of re-run — the codec roundtrip is
+/// exact by construction, so resumed output is byte-identical — and each
+/// cell completing in this run is appended (and flushed) the moment it
+/// finishes, making progress durable against SIGKILL.
+///
+/// # Errors
+///
+/// [`SimError::Journal`] when the `--resume` journal cannot be opened,
+/// belongs to a sweep with different arguments, or is not a journal at all.
+pub fn try_run_grid<T: Send + CellCodec>(
+    args: &SweepArgs,
+    jobs: Vec<Job<T>>,
+) -> Result<Vec<Result<T, SimError>>, SimError> {
+    let fingerprint = sweep_fingerprint(args);
+    let keys: Vec<u64> = jobs
+        .iter()
+        .map(|j| job_key(fingerprint, j.label()))
+        .collect();
+    let jobs: Vec<Job<T>> = jobs
+        .into_iter()
+        .zip(&keys)
+        .map(|(j, key)| j.config_hash(format!("{key:016x}")))
+        .collect();
+    let n = jobs.len();
+    let policy = args.retry_policy();
+
+    let Some(path) = &args.resume else {
+        if n > 1 {
+            eprintln!("sweep: {} jobs on {} worker(s)", n, args.jobs.clamp(1, n));
+        }
+        return Ok(run_jobs_supervised(args.jobs, jobs, &policy, None));
+    };
+
+    let (journal, records) = Journal::open(path, fingerprint)?;
+    let cache = journal::as_map(records);
+    // A record that fails to decode (format drift, hand-edited file) is not
+    // an error: the cell is simply recomputed and its record rewritten.
+    let mut slots: Vec<Option<Result<T, SimError>>> = keys
+        .iter()
+        .map(|key| {
+            let payload = cache.get(key)?;
+            let value = T::decode_cell(&Json::parse(payload).ok()?)?;
+            Some(Some(Ok(value)))
+        })
+        .map(Option::flatten)
+        .collect();
+    let pending: Vec<(usize, Job<T>)> = jobs
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| slots[*i].is_none())
+        .collect();
+    let resumed = n - pending.len();
+    if resumed > 0 {
         eprintln!(
-            "sweep: {} jobs on {} worker(s)",
-            jobs.len(),
-            args.jobs.clamp(1, jobs.len())
+            "sweep: resumed {resumed} of {n} cell(s) from {}",
+            path.display()
         );
     }
-    run_jobs(args.jobs, jobs)
+    if pending.len() > 1 {
+        eprintln!(
+            "sweep: {} jobs on {} worker(s)",
+            pending.len(),
+            args.jobs.clamp(1, pending.len())
+        );
+    }
+    let indices: Vec<usize> = pending.iter().map(|(i, _)| *i).collect();
+    let pending_jobs: Vec<Job<T>> = pending.into_iter().map(|(_, j)| j).collect();
+    let journal = Mutex::new(journal);
+    let observer = |pi: usize, r: &Result<T, SimError>| {
+        if let Ok(v) = r {
+            let payload = v.encode_cell().to_compact_string();
+            let mut journal = journal.lock().expect("journal lock");
+            if let Err(e) = journal.append(keys[indices[pi]], &payload) {
+                // Losing durability degrades resume, not this run's results.
+                eprintln!("warning: {e}");
+            }
+        }
+    };
+    let results = run_jobs_supervised(args.jobs, pending_jobs, &policy, Some(&observer));
+    for (pi, result) in results.into_iter().enumerate() {
+        let i = indices[pi];
+        // Errors report the cell's position in the full grid, not in the
+        // pending subset the pool happened to run.
+        let result = result.map_err(|mut e| {
+            match &mut e {
+                SimError::JobPanicked { index, .. } | SimError::JobTimeout { index, .. } => {
+                    *index = i;
+                }
+                _ => {}
+            }
+            e
+        });
+        slots[i] = Some(result);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every cell is cached or computed"))
+        .collect())
 }
 
 /// Fans `shards` replicate runs of one measurement out to the pool: shard
@@ -249,7 +456,7 @@ pub fn try_run_grid<T: Send>(args: &SweepArgs, jobs: Vec<Job<T>>) -> Vec<Result<
 #[must_use]
 pub fn run_shards<T, F>(args: &SweepArgs, label: &str, shards: u64, make: F) -> Vec<T>
 where
-    T: Send,
+    T: Send + CellCodec,
     F: Fn(u64, u64) -> T + Send + Sync + 'static,
 {
     let make = Arc::new(make);
@@ -308,10 +515,13 @@ impl AloneMap {
         }
         let jobs: Vec<Job<f64>> = pairs
             .iter()
-            .map(|(_, cfg, app)| {
+            .map(|(key, cfg, app)| {
                 let cfg = cfg.clone();
                 let app = *app;
-                Job::new(format!("alone/{}", app.name()), move || {
+                // The hardware key disambiguates the label: the same app on
+                // two hardware points must never share a journal address.
+                let hw = fnv1a64(key.as_bytes());
+                Job::new(format!("alone/{}/{hw:016x}", app.name()), move || {
                     alone_ipc(&cfg, app, lengths)
                 })
             })
@@ -546,11 +756,515 @@ impl Json {
         out.push('\n');
         out
     }
+
+    /// Serializes to a single-line, whitespace-free string (the journal's
+    /// payload format — record payloads must not contain newlines).
+    #[must_use]
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.render_compact(&mut out);
+        out
+    }
+
+    fn render_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Uint(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(out, k);
+                    out.push_str("\":");
+                    v.render_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (the inverse of the serializers, used to
+    /// decode journal payloads).
+    ///
+    /// Unsigned integer literals parse as [`Json::Uint`], negative integers
+    /// as [`Json::Int`], anything fractional or exponential as
+    /// [`Json::Num`] — matching what the serializers emit, so
+    /// `parse(render(x)) == x` for every value the codec produces.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+/// Recursive-descent parser over raw bytes (JSON structure is ASCII; string
+/// contents pass through as UTF-8).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(&b) => Err(format!("unexpected {:?} at byte {}", b as char, self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut chars = std::str::from_utf8(&self.bytes[self.pos..])
+            .map_err(|e| format!("invalid UTF-8 in string: {e}"))?
+            .char_indices();
+        while let Some((off, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos += off + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars
+                                .next()
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            code = code * 16
+                                + h.to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit {h:?} in \\u escape"))?;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid \\u{code:04x} escape"))?,
+                        );
+                    }
+                    other => {
+                        return Err(format!("bad escape {:?}", other.map(|(_, c)| c)));
+                    }
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if fractional {
+            text.parse()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        } else if text.starts_with('-') {
+            text.parse()
+                .map(Json::Int)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        } else {
+            text.parse()
+                .map(Json::Uint)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
 }
 
 impl std::fmt::Display for Json {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.to_json_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell codec: lossless (de)serialization of grid results for the journal
+// ---------------------------------------------------------------------------
+
+/// Lossless serialization of one grid cell's result, used by the `--resume`
+/// journal. The contract is exactness: `decode_cell(encode_cell(x)) == x`
+/// bit-for-bit, so a resumed sweep renders byte-identical reports. Floats
+/// are therefore encoded as their IEEE-754 bit patterns ([`f64::to_bits`]
+/// as [`Json::Uint`]), never as decimal text.
+///
+/// `decode_cell` returns `None` on any shape mismatch — the sweep layer
+/// treats an undecodable record as absent and recomputes the cell.
+pub trait CellCodec: Sized {
+    /// Encodes the cell value as a JSON tree.
+    fn encode_cell(&self) -> Json;
+    /// Decodes a cell value; `None` if `json` does not have the right shape.
+    fn decode_cell(json: &Json) -> Option<Self>;
+}
+
+fn dec_u64(json: &Json) -> Option<u64> {
+    match json {
+        Json::Uint(v) => Some(*v),
+        _ => None,
+    }
+}
+
+impl CellCodec for u64 {
+    fn encode_cell(&self) -> Json {
+        Json::Uint(*self)
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        dec_u64(json)
+    }
+}
+
+impl CellCodec for u32 {
+    fn encode_cell(&self) -> Json {
+        Json::Uint(u64::from(*self))
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        dec_u64(json)?.try_into().ok()
+    }
+}
+
+impl CellCodec for usize {
+    fn encode_cell(&self) -> Json {
+        Json::Uint(*self as u64)
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        dec_u64(json)?.try_into().ok()
+    }
+}
+
+impl CellCodec for i64 {
+    fn encode_cell(&self) -> Json {
+        Json::Int(*self)
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        // Non-negative integers parse back as Uint; accept both renderings.
+        match json {
+            Json::Int(v) => Some(*v),
+            Json::Uint(v) => (*v).try_into().ok(),
+            _ => None,
+        }
+    }
+}
+
+impl CellCodec for bool {
+    fn encode_cell(&self) -> Json {
+        Json::Bool(*self)
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        match json {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl CellCodec for f64 {
+    fn encode_cell(&self) -> Json {
+        Json::Uint(self.to_bits())
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        dec_u64(json).map(f64::from_bits)
+    }
+}
+
+impl CellCodec for String {
+    fn encode_cell(&self) -> Json {
+        Json::Str(self.clone())
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        match json {
+            Json::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl<T: CellCodec> CellCodec for Vec<T> {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(self.iter().map(CellCodec::encode_cell).collect())
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        match json {
+            Json::Arr(items) => items.iter().map(T::decode_cell).collect(),
+            _ => None,
+        }
+    }
+}
+
+impl CellCodec for [u64; 5] {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(self.iter().map(|&v| Json::Uint(v)).collect())
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        Vec::<u64>::decode_cell(json)?.try_into().ok()
+    }
+}
+
+/// Tuples encode positionally as arrays.
+macro_rules! tuple_codec {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: CellCodec),+> CellCodec for ($($name,)+) {
+            fn encode_cell(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.encode_cell()),+])
+            }
+            fn decode_cell(json: &Json) -> Option<Self> {
+                let Json::Arr(items) = json else { return None };
+                let mut it = items.iter();
+                let out = ($($name::decode_cell(it.next()?)?,)+);
+                if it.next().is_some() {
+                    return None;
+                }
+                Some(out)
+            }
+        }
+    };
+}
+
+tuple_codec!(A: 0, B: 1);
+tuple_codec!(A: 0, B: 1, C: 2);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+
+impl CellCodec for Histogram {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(vec![
+            Json::Uint(self.bin_width()),
+            self.bins().to_vec().encode_cell(),
+            Json::Uint(self.count()),
+            Json::Uint(self.sum()),
+            Json::Uint(self.max()),
+        ])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (bin_width, bins, count, sum, max) =
+            <(u64, Vec<u64>, u64, u64, u64)>::decode_cell(json)?;
+        // Guard from_raw_parts' panics: a record failing these is corrupt
+        // and the cell recomputes.
+        if bin_width == 0 || bins.is_empty() {
+            return None;
+        }
+        Some(Histogram::from_raw_parts(bin_width, bins, count, sum, max))
+    }
+}
+
+impl CellCodec for RunningMean {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(vec![Json::Uint(self.count()), self.sum().encode_cell()])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (count, sum) = <(u64, f64)>::decode_cell(json)?;
+        Some(RunningMean::from_parts(count, sum))
+    }
+}
+
+impl CellCodec for SegmentRow {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(vec![
+            Json::Uint(self.count),
+            Json::Arr(self.sums.iter().map(|s| s.encode_cell()).collect()),
+        ])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (count, sums) = <(u64, Vec<f64>)>::decode_cell(json)?;
+        Some(SegmentRow {
+            count,
+            sums: sums.try_into().ok()?,
+        })
+    }
+}
+
+impl CellCodec for AppLatency {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(vec![
+            self.total.encode_cell(),
+            self.so_far.encode_cell(),
+            self.rows().to_vec().encode_cell(),
+        ])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (total, so_far, rows) = <(Histogram, Histogram, Vec<SegmentRow>)>::decode_cell(json)?;
+        // from_parts asserts the standard geometry; pre-check so a corrupt
+        // record recomputes instead of panicking.
+        if rows.len() != AppLatency::empty().rows().len() {
+            return None;
+        }
+        Some(AppLatency::from_parts(total, so_far, rows))
+    }
+}
+
+impl CellCodec for LatencyTracker {
+    fn encode_cell(&self) -> Json {
+        let apps: Vec<AppLatency> = (0..self.num_apps()).map(|c| self.app(c).clone()).collect();
+        let (expedited, normal) = self.return_legs();
+        Json::Arr(vec![
+            apps.encode_cell(),
+            expedited.encode_cell(),
+            normal.encode_cell(),
+        ])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (apps, expedited, normal) =
+            <(Vec<AppLatency>, RunningMean, RunningMean)>::decode_cell(json)?;
+        Some(LatencyTracker::from_parts(apps, expedited, normal))
+    }
+}
+
+impl CellCodec for LoadPoint {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(vec![
+            self.offered_load.encode_cell(),
+            Json::Uint(self.delivered),
+            self.avg_latency.encode_cell(),
+            self.backlog.encode_cell(),
+        ])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (offered_load, delivered, avg_latency, backlog) =
+            <(f64, u64, f64, usize)>::decode_cell(json)?;
+        Some(LoadPoint {
+            offered_load,
+            delivered,
+            avg_latency,
+            backlog,
+        })
     }
 }
 
@@ -696,6 +1410,175 @@ mod tests {
         let mut cfg = SystemConfig::baseline_32();
         args.apply_policy(&mut cfg);
         assert_eq!(cfg, SystemConfig::baseline_32());
+    }
+
+    #[test]
+    fn parse_resilience_flags() {
+        let (args, rest) = SweepArgs::parse_argv(&argv(&[
+            "--resume",
+            "/tmp/run.nj",
+            "--job-timeout",
+            "2.5",
+            "--retries",
+            "3",
+        ]))
+        .unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(args.resume.as_deref(), Some(Path::new("/tmp/run.nj")));
+        assert_eq!(args.job_timeout, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(args.retries, 3);
+        let policy = args.retry_policy();
+        assert_eq!(policy.timeout, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(policy.retries, 3);
+
+        assert!(SweepArgs::parse_argv(&argv(&["--resume"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--job-timeout", "0"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--job-timeout", "-1"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--job-timeout", "inf"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--retries", "-1"])).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_results_not_execution() {
+        let base = SweepArgs::parse_argv(&argv(&[])).unwrap().0;
+        let fp = sweep_fingerprint(&base);
+        assert_eq!(fp, sweep_fingerprint(&base));
+        // Execution-only knobs leave the fingerprint alone.
+        let (exec, _) = SweepArgs::parse_argv(&argv(&[
+            "--jobs",
+            "3",
+            "--json",
+            "/tmp/x.json",
+            "--resume",
+            "/tmp/x.nj",
+            "--job-timeout",
+            "1",
+            "--retries",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(fp, sweep_fingerprint(&exec));
+        // Result-determining knobs change it.
+        let (seeded, _) = SweepArgs::parse_argv(&argv(&["--seed", "999"])).unwrap();
+        assert_ne!(fp, sweep_fingerprint(&seeded));
+        let (windowed, _) = SweepArgs::parse_argv(&argv(&["--measure", "12345"])).unwrap();
+        assert_ne!(fp, sweep_fingerprint(&windowed));
+        let (polic, _) = SweepArgs::parse_argv(&argv(&["--policy", "req=oldest-first"])).unwrap();
+        assert_ne!(fp, sweep_fingerprint(&polic));
+        // Labels split keys under one fingerprint.
+        assert_ne!(job_key(fp, "cell-a"), job_key(fp, "cell-b"));
+        assert_eq!(job_key(fp, "cell-a"), job_key(fp, "cell-a"));
+    }
+
+    #[test]
+    fn json_parse_roundtrips_serializers() {
+        let j = Obj::new()
+            .field("name", "fig\"09\"\n\t\\")
+            .field("count", 3u64)
+            .field("neg", -4i64)
+            .field("bits", std::f64::consts::PI.to_bits())
+            .field("flag", true)
+            .field("nothing", Json::Null)
+            .field("cells", vec![1u64, 2, 3])
+            .field("empty", Json::Arr(vec![]))
+            .field("nested", Obj::new().field("k", "v").build())
+            .build();
+        assert_eq!(Json::parse(&j.to_compact_string()).unwrap(), j);
+        assert_eq!(Json::parse(&j.to_json_string()).unwrap(), j);
+        assert!(!j.to_compact_string().contains('\n'));
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("123 45").is_err());
+        assert!(Json::parse("nulll").is_err());
+    }
+
+    fn roundtrip<T: CellCodec + PartialEq + std::fmt::Debug>(value: &T) {
+        let encoded = value.encode_cell().to_compact_string();
+        let decoded = T::decode_cell(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(&decoded, value, "codec must roundtrip exactly");
+    }
+
+    #[test]
+    fn cell_codec_roundtrips_primitives_exactly() {
+        roundtrip(&42u64);
+        roundtrip(&7u32);
+        roundtrip(&9usize);
+        roundtrip(&-3i64);
+        roundtrip(&true);
+        roundtrip(&"hello\nworld".to_string());
+        roundtrip(&vec![1.5f64, 2.25, f64::MIN_POSITIVE]);
+        roundtrip(&[1u64, 2, 3, 4, 5]);
+        roundtrip(&(1u64, 2.5f64, "x".to_string()));
+        roundtrip(&(1u64, 2.0f64, 3u64, 4u64, 5u64, 6u64, 7u64));
+        // The exactness cases decimal rendering would lose:
+        roundtrip(&0.1f64);
+        roundtrip(&(-0.0f64));
+        let nan = f64::NAN;
+        let bits = nan.encode_cell();
+        assert_eq!(f64::decode_cell(&bits).unwrap().to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn cell_codec_roundtrips_metric_containers_exactly() {
+        let mut h = Histogram::new(25, 4000);
+        for v in [10, 200, 480, 999, 50_000] {
+            h.record(v);
+        }
+        roundtrip(&h);
+        let mut m = RunningMean::new();
+        m.record(0.1);
+        m.record(123.456);
+        roundtrip(&m);
+        roundtrip(&SegmentRow {
+            count: 3,
+            sums: [0.1, 2.0, 3.5, 4.25, 5.0],
+        });
+        roundtrip(&LoadPoint {
+            offered_load: 0.3,
+            delivered: 1234,
+            avg_latency: 56.789,
+            backlog: 42,
+        });
+
+        let mut tracker = LatencyTracker::new(2);
+        tracker.record_so_far(0, 150);
+        tracker.record_return_leg(true, 80);
+        tracker.record_return_leg(false, 33);
+        let encoded = tracker.encode_cell().to_compact_string();
+        let decoded = LatencyTracker::decode_cell(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded.num_apps(), 2);
+        assert_eq!(decoded.return_leg_means(), tracker.return_leg_means());
+        assert_eq!(decoded.app(0).so_far, tracker.app(0).so_far);
+        assert_eq!(decoded.app(1).total, tracker.app(1).total);
+
+        let app = decoded.app(0).clone();
+        let encoded = app.encode_cell().to_compact_string();
+        let decoded = AppLatency::decode_cell(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded.so_far, app.so_far);
+        assert_eq!(decoded.breakdown(), app.breakdown());
+    }
+
+    #[test]
+    fn cell_codec_rejects_shape_mismatches() {
+        assert!(u64::decode_cell(&Json::Str("nope".into())).is_none());
+        assert!(<(u64, u64)>::decode_cell(&Json::Arr(vec![Json::Uint(1)])).is_none());
+        assert!(
+            <(u64, u64)>::decode_cell(&Json::Arr(vec![
+                Json::Uint(1),
+                Json::Uint(2),
+                Json::Uint(3)
+            ]))
+            .is_none(),
+            "extra elements are a shape mismatch"
+        );
+        assert!(Histogram::decode_cell(&Json::parse("[0,[],0,0,0]").unwrap()).is_none());
+        assert!(AppLatency::decode_cell(&Json::parse("[1,2,3]").unwrap()).is_none());
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! End-to-end chaos tests: drive the `chaos` harness binary, which SIGKILLs
+//! a journaled sweep mid-run, damages journal tails, and injects timeouts,
+//! self-validating that recovery converges to the golden (uninterrupted)
+//! output. The binary exits nonzero on any divergence, so these tests just
+//! run it and check the exit status.
+
+use std::process::Command;
+
+fn run_scenario(scenario: &str) {
+    let dir = std::env::temp_dir().join(format!(
+        "noclat-chaos-test-{}-{scenario}",
+        std::process::id()
+    ));
+    let output = Command::new(env!("CARGO_BIN_EXE_chaos"))
+        .args([scenario, "--dir", dir.to_str().expect("utf-8 temp dir")])
+        .output()
+        .expect("run chaos harness");
+    assert!(
+        output.status.success(),
+        "chaos {scenario} failed (exit {:?})\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGKILL mid-sweep, resume from the journal, byte-identical output.
+#[test]
+fn kill_mid_sweep_recovers_byte_identical() {
+    run_scenario("kill");
+}
+
+/// A torn write in the journal tail costs only the damaged cell.
+#[test]
+fn truncated_journal_tail_recovers() {
+    run_scenario("truncate");
+}
+
+/// Bit rot in the journal tail is detected by the checksum and healed.
+#[test]
+fn corrupted_journal_tail_recovers() {
+    run_scenario("corrupt");
+}
+
+/// Deadline enforcement: a hung cell fails the sweep with the JobTimeout
+/// exit code; a transient hang is cleared by `--retries 1` with golden
+/// output.
+#[test]
+fn injected_timeouts_quarantine_and_retry() {
+    run_scenario("timeout");
+}
+
+/// Unknown scenarios and flags are usage errors with the config exit code.
+#[test]
+fn bad_usage_exits_with_config_code() {
+    for bad in [&["frobnicate"][..], &["kill", "--bogus"][..]] {
+        let status = Command::new(env!("CARGO_BIN_EXE_chaos"))
+            .args(bad)
+            .output()
+            .expect("run chaos harness")
+            .status;
+        assert_eq!(status.code(), Some(2), "argv {bad:?}");
+    }
+}

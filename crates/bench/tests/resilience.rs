@@ -1,0 +1,237 @@
+//! Integration tests of the sweep resilience layer at the library level:
+//! journal-backed resume is byte-identical and recomputes only missing
+//! cells, damaged journals heal, mismatched journals are rejected, and
+//! `--job-timeout`/`--retries` wire through `SweepArgs` into the pool.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use noclat::{JournalError, SimError};
+use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
+
+fn args() -> SweepArgs {
+    let (mut args, _) = SweepArgs::parse_argv(&[]).expect("empty argv parses");
+    args.jobs = 2;
+    args
+}
+
+fn temp_journal(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "noclat-resilience-{}-{name}.nj",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A cheap deterministic grid that counts how many cells actually execute;
+/// the cell value mixes the label-derived seed so resume correctness shows
+/// up as a value mismatch, not just a count.
+fn counted_grid(n: u64, base_seed: u64, runs: &Arc<AtomicUsize>) -> Vec<Job<(u64, f64)>> {
+    (0..n)
+        .map(|i| {
+            let runs = Arc::clone(runs);
+            let seed = sweep::job_seed(base_seed, i);
+            Job::new(format!("resilience/cell-{i}"), move || {
+                runs.fetch_add(1, Ordering::SeqCst);
+                (seed.rotate_left(7) ^ i, (seed % 1000) as f64 / 7.0)
+            })
+        })
+        .collect()
+}
+
+fn render(results: &[Result<(u64, f64), SimError>], args: &SweepArgs) -> String {
+    let cells: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            let (a, b) = r.as_ref().expect("cell ok");
+            Obj::new().field("a", *a).field("b", *b).build()
+        })
+        .collect();
+    sweep::report("resilience-test", args, Json::Arr(cells)).to_json_string()
+}
+
+/// The tentpole acceptance property: a sweep interrupted after journaling a
+/// strict subset of its cells and then resumed produces a JSON report
+/// byte-identical to an uninterrupted run, and recomputes only the cells the
+/// interruption lost.
+#[test]
+fn resumed_sweep_is_byte_identical_and_recomputes_only_missing_cells() {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let plain = args();
+    let golden =
+        sweep::try_run_grid(&plain, counted_grid(6, plain.seed, &runs)).expect("no journal");
+    let golden_json = render(&golden, &plain);
+    assert_eq!(runs.swap(0, Ordering::SeqCst), 6);
+
+    // "Interrupted" run: only the first three cells reach the journal.
+    let mut journaled = args();
+    journaled.resume = Some(temp_journal("resume"));
+    let partial =
+        sweep::try_run_grid(&journaled, counted_grid(3, journaled.seed, &runs)).expect("journal");
+    assert!(partial.iter().all(Result::is_ok));
+    assert_eq!(runs.swap(0, Ordering::SeqCst), 3);
+
+    // Resume with the full grid: the journaled half is decoded, not re-run.
+    let resumed =
+        sweep::try_run_grid(&journaled, counted_grid(6, journaled.seed, &runs)).expect("journal");
+    assert_eq!(
+        runs.swap(0, Ordering::SeqCst),
+        3,
+        "cached cells must not execute again"
+    );
+    assert_eq!(render(&resumed, &plain), golden_json);
+
+    // A second resume is a pure replay: zero executions, same bytes.
+    let replay =
+        sweep::try_run_grid(&journaled, counted_grid(6, journaled.seed, &runs)).expect("journal");
+    assert_eq!(runs.load(Ordering::SeqCst), 0);
+    assert_eq!(render(&replay, &plain), golden_json);
+}
+
+/// A journal written under different sweep arguments is rejected with a
+/// typed fingerprint mismatch instead of silently resuming wrong data.
+#[test]
+fn journal_from_a_different_sweep_is_rejected() {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let mut first = args();
+    first.resume = Some(temp_journal("fingerprint"));
+    sweep::try_run_grid(&first, counted_grid(2, first.seed, &runs)).expect("journal");
+
+    let mut other = first.clone();
+    other.seed ^= 0xdead_beef;
+    let err = sweep::try_run_grid(&other, counted_grid(2, other.seed, &runs))
+        .expect_err("mismatched journal must be rejected");
+    match err {
+        SimError::Journal(JournalError::FingerprintMismatch { expected, found }) => {
+            assert_eq!(expected, sweep::sweep_fingerprint(&other));
+            assert_eq!(found, sweep::sweep_fingerprint(&first));
+        }
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+}
+
+/// Torn writes and bit rot in the journal tail cost only the damaged cells:
+/// the resume recomputes them, heals the journal, and the results match an
+/// undamaged run exactly.
+#[test]
+fn damaged_journal_tail_recovers_to_identical_results() {
+    for damage in ["truncate", "corrupt"] {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let mut journaled = args();
+        journaled.jobs = 1; // deterministic record order: cell-3 is the tail
+        journaled.resume = Some(temp_journal(damage));
+        let golden = sweep::try_run_grid(&journaled, counted_grid(4, journaled.seed, &runs))
+            .expect("journal");
+        let golden_json = render(&golden, &journaled);
+        assert_eq!(runs.swap(0, Ordering::SeqCst), 4);
+
+        let path = journaled.resume.as_ref().expect("journal path");
+        let mut bytes = std::fs::read(path).expect("journal bytes");
+        let n = bytes.len();
+        match damage {
+            "truncate" => bytes.truncate(n - 5),
+            "corrupt" => bytes[n - 4] ^= 0x01,
+            other => unreachable!("unknown damage {other}"),
+        }
+        std::fs::write(path, &bytes).expect("write damaged journal");
+
+        let resumed = sweep::try_run_grid(&journaled, counted_grid(4, journaled.seed, &runs))
+            .expect("journal");
+        assert_eq!(
+            runs.swap(0, Ordering::SeqCst),
+            1,
+            "{damage}: only the damaged tail cell recomputes"
+        );
+        assert_eq!(render(&resumed, &journaled), golden_json, "{damage}");
+
+        // The healed journal replays with zero executions.
+        let replay = sweep::try_run_grid(&journaled, counted_grid(4, journaled.seed, &runs))
+            .expect("journal");
+        assert_eq!(runs.load(Ordering::SeqCst), 0, "{damage}: journal healed");
+        assert_eq!(render(&replay, &journaled), golden_json, "{damage}");
+    }
+}
+
+/// `--job-timeout`/`--retries` reach the pool through `SweepArgs`: a cell
+/// that hangs only on its first attempt is cancelled, retried, and succeeds;
+/// errors carry the cell's position in the full grid even under resume.
+#[test]
+fn timeout_and_retry_wire_through_sweep_args() {
+    let mut args = args();
+    args.job_timeout = Some(Duration::from_millis(100));
+    args.retries = 1;
+    args.resume = Some(temp_journal("timeout"));
+
+    let hang_once = |label: &str| {
+        Job::with_ctx(label.to_string(), move |ctx| -> (u64, f64) {
+            if ctx.attempt == 0 {
+                let start = Instant::now();
+                while !ctx.cancel.is_cancelled() {
+                    assert!(
+                        start.elapsed() < Duration::from_secs(30),
+                        "deadline supervisor never fired"
+                    );
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                return (0, 0.0);
+            }
+            (77, 7.5)
+        })
+    };
+    let results = sweep::try_run_grid(
+        &args,
+        vec![
+            Job::new("steady".to_string(), || (1, 1.0)),
+            hang_once("transient"),
+        ],
+    )
+    .expect("journal");
+    assert_eq!(results[0].as_ref().expect("steady cell"), &(1, 1.0));
+    assert_eq!(
+        results[1].as_ref().expect("retry clears the hang"),
+        &(77, 7.5)
+    );
+
+    // Exhausted retries surface as JobTimeout at the cell's full-grid index,
+    // counting every attempt; the steady sibling resumes from the journal.
+    args.retries = 0;
+    let hang_always = Job::with_ctx("always".to_string(), move |ctx| -> (u64, f64) {
+        let start = Instant::now();
+        while !ctx.cancel.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(30),
+                "deadline supervisor never fired"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        (0, 0.0)
+    });
+    let results = sweep::try_run_grid(
+        &args,
+        vec![Job::new("steady".to_string(), || (1, 1.0)), hang_always],
+    )
+    .expect("journal");
+    assert_eq!(results[0].as_ref().expect("steady cell"), &(1, 1.0));
+    match &results[1] {
+        Err(SimError::JobTimeout {
+            job,
+            index,
+            config_hash,
+            timeout_ms,
+            attempts,
+        }) => {
+            assert_eq!(job, "always");
+            assert_eq!(*index, 1, "index names the full-grid position");
+            assert!(
+                config_hash.is_some(),
+                "grid jobs carry their content address"
+            );
+            assert_eq!(*timeout_ms, 100);
+            assert_eq!(*attempts, 1);
+        }
+        other => panic!("expected JobTimeout, got {other:?}"),
+    }
+}

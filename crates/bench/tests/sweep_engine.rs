@@ -52,7 +52,8 @@ fn json_report_is_byte_identical_across_worker_counts() {
     let mut reports = Vec::new();
     for jobs in [1usize, 4, 8] {
         let args = args_with_jobs(jobs);
-        let results = sweep::try_run_grid(&args, sim_grid(args.seed, args.lengths));
+        let results =
+            sweep::try_run_grid(&args, sim_grid(args.seed, args.lengths)).expect("no journal");
         let cells: Vec<Json> = results
             .into_iter()
             .map(|r| {
@@ -92,19 +93,23 @@ fn panicking_cell_is_isolated_and_named() {
     let args = args_with_jobs(4);
     let lengths = args.lengths;
     let solo = sweep::try_run_grid(&args, vec![sim_cell("clean", 99, lengths)])
+        .expect("no journal")
         .remove(0)
         .expect("clean cell runs solo");
 
     let explosive = Job::new("sweep/threshold-9".to_string(), move || -> (u64, f64) {
         panic!("threshold 9 is out of range")
     });
-    let results = sweep::try_run_grid(&args, vec![explosive, sim_cell("clean", 99, lengths)]);
+    let results = sweep::try_run_grid(&args, vec![explosive, sim_cell("clean", 99, lengths)])
+        .expect("no journal");
 
     match &results[0] {
         Err(SimError::JobPanicked {
             job,
             index,
             message,
+            config_hash,
+            attempts,
         }) => {
             assert_eq!(job, "sweep/threshold-9");
             assert_eq!(*index, 0);
@@ -112,6 +117,11 @@ fn panicking_cell_is_isolated_and_named() {
                 message.contains("threshold 9"),
                 "panic payload lost: {message}"
             );
+            assert!(
+                config_hash.is_some(),
+                "grid jobs carry their content address"
+            );
+            assert_eq!(*attempts, 1, "no retries were requested");
         }
         other => panic!("expected JobPanicked, got {other:?}"),
     }
@@ -139,6 +149,7 @@ fn watchdog_violation_in_one_shard_does_not_poison_siblings() {
         }
     };
     let solo = sweep::try_run_grid(&args, vec![Job::new("clean".to_string(), clean_summary(7))])
+        .expect("no journal")
         .remove(0)
         .expect("clean shard runs solo");
     assert_eq!(solo.0, 0, "clean shard must not trip the watchdog");
@@ -170,7 +181,8 @@ fn watchdog_violation_in_one_shard_does_not_poison_siblings() {
     let results = sweep::try_run_grid(
         &args,
         vec![wedged, Job::new("clean".to_string(), clean_summary(7))],
-    );
+    )
+    .expect("no journal");
 
     let wedged_out = results[0].as_ref().expect("wedged shard still completes");
     assert!(

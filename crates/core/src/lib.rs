@@ -60,11 +60,15 @@ pub use trace::{TraceLog, TxnRecord};
 pub use watchdog::{LivenessViolation, Watchdog};
 
 // Re-export the configuration types callers need to drive experiments.
+pub use noclat_sim::cancel::CancelToken;
 pub use noclat_sim::config::{
     ConfigError, KernelKind, MemSchedPolicy, PolicyConfig, PolicyOverride, RouterPipeline,
     Scheme1Config, Scheme2Config, StarvationPolicy, SystemConfig, WatchdogConfig,
 };
-pub use noclat_sim::error::{FaultError, SimError};
+pub use noclat_sim::error::{FaultError, JournalError, SimError};
 pub use noclat_sim::faults::FaultPlan;
-pub use noclat_sim::pool::{job_rng, job_seed, run_jobs, Job};
+pub use noclat_sim::journal::{Journal, JournalRecord};
+pub use noclat_sim::pool::{
+    job_rng, job_seed, run_jobs, run_jobs_supervised, Job, JobCtx, RetryPolicy,
+};
 pub use noclat_sim::Cycle;

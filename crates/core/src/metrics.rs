@@ -119,6 +119,34 @@ impl AppLatency {
         AppLatency::new()
     }
 
+    /// All breakdown rows in bucket order, including empty ones. Together
+    /// with [`AppLatency::from_parts`] this is the lossless serialization
+    /// surface the sweep journal uses.
+    #[must_use]
+    pub fn rows(&self) -> &[SegmentRow] {
+        &self.rows
+    }
+
+    /// Reconstructs an accumulator from its parts (inverse of reading
+    /// `total`/`so_far`/[`AppLatency::rows`] back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` does not have the standard breakdown geometry.
+    #[must_use]
+    pub fn from_parts(total: Histogram, so_far: Histogram, rows: Vec<SegmentRow>) -> Self {
+        assert_eq!(
+            rows.len(),
+            (RANGE / BREAKDOWN_BUCKET) as usize + 1,
+            "breakdown row count must match the standard geometry"
+        );
+        AppLatency {
+            total,
+            so_far,
+            rows,
+        }
+    }
+
     /// Merges another application's statistics into this one (shard
     /// reduction): histograms and breakdown rows add sample-for-sample, so
     /// merging the shards of a sharded sweep yields exactly the aggregate a
@@ -190,6 +218,30 @@ impl LatencyTracker {
     #[must_use]
     pub fn return_leg_means(&self) -> (Option<f64>, Option<f64>) {
         (self.expedited_return.mean(), self.normal_return.mean())
+    }
+
+    /// The raw (expedited, normal) return-leg accumulators, for lossless
+    /// serialization by the sweep journal.
+    #[must_use]
+    pub fn return_legs(&self) -> (&RunningMean, &RunningMean) {
+        (&self.expedited_return, &self.normal_return)
+    }
+
+    /// Reconstructs a tracker from its parts (inverse of reading
+    /// [`LatencyTracker::app`] per core and [`LatencyTracker::return_legs`]
+    /// back). The restored tracker is enabled.
+    #[must_use]
+    pub fn from_parts(
+        apps: Vec<AppLatency>,
+        expedited_return: RunningMean,
+        normal_return: RunningMean,
+    ) -> Self {
+        LatencyTracker {
+            apps,
+            expedited_return,
+            normal_return,
+            enabled: true,
+        }
     }
 
     /// Records the so-far delay of a response at MC injection time.

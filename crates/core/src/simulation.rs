@@ -23,6 +23,7 @@
 //! ```
 
 use noclat_cpu::InstrStream;
+use noclat_sim::cancel::CancelToken;
 use noclat_sim::config::{KernelKind, PolicyOverride, StarvationPolicy, SystemConfig};
 use noclat_sim::error::SimError;
 use noclat_sim::faults::FaultPlan;
@@ -67,6 +68,7 @@ pub struct SimulationBuilder {
     cfg: SystemConfig,
     workload: Workload,
     probes: Vec<Box<dyn Probe>>,
+    cancel: Option<CancelToken>,
 }
 
 impl std::fmt::Debug for SimulationBuilder {
@@ -87,6 +89,7 @@ impl SimulationBuilder {
             cfg,
             workload: Workload::None,
             probes: Vec::new(),
+            cancel: None,
         }
     }
 
@@ -163,6 +166,18 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches a cooperative cancellation token: once it fires, the run
+    /// loop stops at the next iteration boundary and the simulation reports
+    /// [`Simulation::interrupted`]. When no explicit token is attached,
+    /// [`SimulationBuilder::build`] inherits the thread's current token
+    /// (installed by the sweep pool's deadline supervisor) — this is how
+    /// `--job-timeout` reaches every harness without per-binary plumbing.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Validates the collected configuration and assembles the system.
     ///
     /// # Errors
@@ -180,6 +195,9 @@ impl SimulationBuilder {
         };
         for p in self.probes {
             sys.attach_probe(p);
+        }
+        if let Some(token) = self.cancel.or_else(CancelToken::current) {
+            sys.set_cancel_token(token);
         }
         Ok(Simulation { sys })
     }
@@ -239,7 +257,10 @@ impl Simulation {
     pub fn run_to_completion(&mut self) -> bool {
         let mut last = (self.sys.txns_in_flight(), self.sys.packets_in_flight());
         let mut last_change = self.sys.now();
-        while last != (0, 0) {
+        while last != (0, 0) || self.sys.interrupted() {
+            if self.sys.interrupted() {
+                return false;
+            }
             self.sys.run(DRAIN_CHUNK);
             let current = (self.sys.txns_in_flight(), self.sys.packets_in_flight());
             if current != last {
@@ -250,6 +271,14 @@ impl Simulation {
             }
         }
         true
+    }
+
+    /// Whether a run loop stopped early because an attached cancellation
+    /// token fired. An interrupted simulation's state is consistent, but its
+    /// metrics describe a truncated run; the sweep layer discards them.
+    #[must_use]
+    pub fn interrupted(&self) -> bool {
+        self.sys.interrupted()
     }
 
     /// The underlying system, for metric extraction.
@@ -322,6 +351,80 @@ mod tests {
             .expect("valid");
         assert_eq!(sim.system().request_policy_name(), "oldest-first");
         assert_eq!(sim.system().response_policy_name(), "static");
+    }
+
+    #[test]
+    fn pre_fired_token_stops_the_run_immediately() {
+        for kernel in [KernelKind::Cycle, KernelKind::Event] {
+            let token = CancelToken::new();
+            token.cancel();
+            let mut sim = Simulation::builder(SystemConfig::baseline_32())
+                .kernel(kernel)
+                .cancel_token(token)
+                .workload(&apps())
+                .build()
+                .expect("valid");
+            sim.run_until(10_000);
+            assert_eq!(sim.now(), 0, "no cycles advance under a fired token");
+            assert!(sim.interrupted());
+            assert!(!sim.run_to_completion(), "interrupted runs never drain");
+        }
+    }
+
+    #[test]
+    fn firing_mid_run_stops_early_with_state_intact() {
+        let token = CancelToken::new();
+        let mut sim = Simulation::builder(SystemConfig::baseline_32())
+            .cancel_token(token.clone())
+            .workload(&apps())
+            .build()
+            .expect("valid");
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                token.cancel();
+            })
+        };
+        // Far enough out that the canceller fires first on any machine.
+        sim.run_until(2_000_000_000);
+        canceller.join().unwrap();
+        assert!(sim.interrupted());
+        assert!(sim.now() < 2_000_000_000, "run stopped before the target");
+    }
+
+    #[test]
+    fn build_inherits_the_thread_current_token() {
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = token.install_current();
+        let mut sim = Simulation::builder(SystemConfig::baseline_32())
+            .workload(&apps())
+            .build()
+            .expect("valid");
+        drop(guard);
+        sim.run_until(1_000);
+        assert_eq!(sim.now(), 0);
+        assert!(sim.interrupted());
+    }
+
+    #[test]
+    fn unfired_token_leaves_the_run_untouched() {
+        let fingerprint = |token: Option<CancelToken>| {
+            let mut b = Simulation::builder(SystemConfig::baseline_32()).workload(&apps());
+            if let Some(t) = token {
+                b = b.cancel_token(t);
+            }
+            let mut sim = b.build().expect("valid");
+            sim.run(2_000);
+            let sys = sim.system();
+            (
+                sys.now(),
+                sys.network_stats().packets_delivered.get(),
+                sim.interrupted(),
+            )
+        };
+        assert_eq!(fingerprint(None), fingerprint(Some(CancelToken::new())));
     }
 
     #[test]

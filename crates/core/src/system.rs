@@ -25,6 +25,7 @@ use noclat_mem::{AddressMap, IdlenessMonitor, MemoryController};
 use noclat_noc::{
     accumulate_age, flits_for_payload, Mesh, Network, NodeId, Priority, RouterCounters, VNet,
 };
+use noclat_sim::cancel::CancelToken;
 use noclat_sim::config::{KernelKind, SystemConfig};
 use noclat_sim::error::SimError;
 use noclat_sim::rng::SimRng;
@@ -280,6 +281,11 @@ pub struct System {
     retry_attempts: HashMap<RetryKey, u32>,
     timed_out: HashSet<TxnId>,
     robust: RobustnessStats,
+    /// Cooperative cancellation flag, polled at loop boundaries by
+    /// [`System::run`]. `None` when the run is unbounded (no deadline).
+    cancel: Option<CancelToken>,
+    /// Set once a run loop observed the cancel flag and stopped early.
+    interrupted: bool,
 }
 
 impl std::fmt::Debug for System {
@@ -437,6 +443,8 @@ impl System {
             retry_attempts: HashMap::new(),
             timed_out: HashSet::new(),
             robust: RobustnessStats::default(),
+            cancel: None,
+            interrupted: false,
             now: 0,
             cfg,
         };
@@ -612,11 +620,19 @@ impl System {
     /// strategy: the cycle kernel steps every cycle; the event kernel
     /// produces bit-identical results but fast-forwards over spans it can
     /// prove no component will act in.
+    /// Cancellation is cooperative: when a [`CancelToken`] is attached and
+    /// fires mid-run, the loop stops at the next iteration boundary, marks
+    /// the system [`System::interrupted`] and returns early with every data
+    /// structure intact. A run that completes normally is never affected —
+    /// both kernels advance identically whether or not a token is attached.
     pub fn run(&mut self, cycles: Cycle) {
         let end = self.now.saturating_add(cycles);
         match self.cfg.kernel {
             KernelKind::Cycle => {
                 while self.now < end {
+                    if self.cancel_requested() {
+                        return;
+                    }
                     self.step();
                 }
             }
@@ -628,6 +644,9 @@ impl System {
     /// bulk-accounting the provably idle spans in between.
     fn run_event(&mut self, end: Cycle) {
         while self.now < end {
+            if self.cancel_requested() {
+                return;
+            }
             let wake = self.next_wake(self.now).unwrap_or(end).min(end);
             if wake > self.now {
                 self.skip_to(wake);
@@ -635,6 +654,37 @@ impl System {
                 self.step();
             }
         }
+    }
+
+    /// Polls the attached cancellation token (one relaxed atomic load per
+    /// loop iteration when a token is attached, zero work otherwise) and
+    /// latches [`System::interrupted`] on the first observation.
+    fn cancel_requested(&mut self) -> bool {
+        if self.interrupted {
+            return true;
+        }
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => {
+                self.interrupted = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Attaches a cooperative cancellation token; [`System::run`] polls it
+    /// at loop boundaries and winds down cleanly once it fires.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether a run loop stopped early because the attached cancellation
+    /// token fired. Once set, further `run` calls return immediately; the
+    /// system's state is consistent but its metrics describe a truncated
+    /// run and must not be reported as a complete result.
+    #[must_use]
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
     }
 
     /// The earliest cycle at or after `now` at which stepping could have any

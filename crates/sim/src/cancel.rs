@@ -1,0 +1,141 @@
+//! Cooperative cancellation tokens for bounding runaway jobs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between a supervisor
+//! (the sweep pool's deadline watcher, a Ctrl-C handler, a test) and the
+//! code doing the work. Cancellation is *cooperative*: firing the token
+//! never interrupts anything by force — the simulation loop polls
+//! [`CancelToken::is_cancelled`] at cycle-chunk boundaries and winds down
+//! cleanly, so a cancelled run leaves every data structure intact (its
+//! partial results are simply discarded by the caller).
+//!
+//! Because sweep jobs are arbitrary closures that build their simulations
+//! internally, the pool also maintains a per-thread *current* token
+//! ([`CancelToken::current`]): the worker installs its attempt token before
+//! invoking the job, and `SimulationBuilder::build` inherits it
+//! automatically unless the caller attached an explicit token. This is how
+//! `--job-timeout` reaches `Simulation::run_until` inside all the bench
+//! binaries without threading a parameter through every harness closure.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// Stack of tokens installed on this thread (innermost last). A stack —
+    /// not a single slot — so nested scopes (a supervised job spawning its
+    /// own scoped helpers) restore correctly.
+    static CURRENT: RefCell<Vec<CancelToken>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A shared cancellation flag. Clones observe the same flag; once fired it
+/// stays fired for the lifetime of the token.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, unfired token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.fired.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been fired.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    /// Whether two tokens share the same underlying flag.
+    #[must_use]
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.fired, &other.fired)
+    }
+
+    /// The token most recently installed on this thread via
+    /// [`CancelToken::install_current`], if any.
+    #[must_use]
+    pub fn current() -> Option<CancelToken> {
+        CURRENT.with(|c| c.borrow().last().cloned())
+    }
+
+    /// Installs this token as the thread's current token for the lifetime
+    /// of the returned guard (dropping the guard restores the previous
+    /// current token).
+    #[must_use]
+    pub fn install_current(&self) -> CurrentTokenGuard {
+        CURRENT.with(|c| c.borrow_mut().push(self.clone()));
+        CurrentTokenGuard { _private: () }
+    }
+}
+
+/// Scope guard returned by [`CancelToken::install_current`]; restores the
+/// previously current token when dropped.
+#[derive(Debug)]
+pub struct CurrentTokenGuard {
+    _private: (),
+}
+
+impl Drop for CurrentTokenGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_and_stays_fired() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(t.same_token(&c));
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(!t.same_token(&CancelToken::new()));
+    }
+
+    #[test]
+    fn current_token_nests_and_restores() {
+        assert!(CancelToken::current().is_none());
+        let outer = CancelToken::new();
+        let g1 = outer.install_current();
+        assert!(CancelToken::current().unwrap().same_token(&outer));
+        {
+            let inner = CancelToken::new();
+            let _g2 = inner.install_current();
+            assert!(CancelToken::current().unwrap().same_token(&inner));
+        }
+        assert!(CancelToken::current().unwrap().same_token(&outer));
+        drop(g1);
+        assert!(CancelToken::current().is_none());
+    }
+
+    #[test]
+    fn current_token_is_per_thread() {
+        let t = CancelToken::new();
+        let _g = t.install_current();
+        std::thread::spawn(|| assert!(CancelToken::current().is_none()))
+            .join()
+            .unwrap();
+    }
+}

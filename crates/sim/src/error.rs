@@ -54,7 +54,37 @@ pub enum SimError {
         index: usize,
         /// The panic message, when one was attached.
         message: String,
+        /// Content address of the offending configuration (journal key),
+        /// when the sweep layer assigned one.
+        config_hash: Option<String>,
+        /// Attempts made before giving up (1 when retries were disabled).
+        attempts: u32,
     },
+    /// A sweep job exceeded its wall-clock deadline; the supervisor fired
+    /// its cancellation token and the pool quarantined the cell after its
+    /// retry budget ran out.
+    JobTimeout {
+        /// Label of the failing job (the configuration it was running).
+        job: String,
+        /// Index of the job within its grid.
+        index: usize,
+        /// Content address of the offending configuration (journal key),
+        /// when the sweep layer assigned one.
+        config_hash: Option<String>,
+        /// The deadline that was exceeded, in milliseconds.
+        timeout_ms: u64,
+        /// Attempts made before giving up (1 when retries were disabled).
+        attempts: u32,
+    },
+    /// A simulation run was cancelled cooperatively before reaching its
+    /// target cycle (deadline supervisor, Ctrl-C…). Partial state is intact
+    /// but the run's metrics must not be trusted as a complete result.
+    Cancelled {
+        /// Cycle at which the run observed the cancellation.
+        at: Cycle,
+    },
+    /// The resume journal could not be read or does not match this sweep.
+    Journal(JournalError),
 }
 
 impl std::fmt::Display for SimError {
@@ -83,9 +113,38 @@ impl std::fmt::Display for SimError {
                 job,
                 index,
                 message,
+                config_hash,
+                attempts,
             } => {
-                write!(f, "sweep job #{index} ({job}) panicked: {message}")
+                write!(f, "sweep job #{index} ({job}) panicked: {message}")?;
+                if let Some(h) = config_hash {
+                    write!(f, " [config {h}]")?;
+                }
+                if *attempts > 1 {
+                    write!(f, " after {attempts} attempts")?;
+                }
+                Ok(())
             }
+            SimError::JobTimeout {
+                job,
+                index,
+                config_hash,
+                timeout_ms,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "sweep job #{index} ({job}) exceeded its {timeout_ms} ms deadline"
+                )?;
+                if let Some(h) = config_hash {
+                    write!(f, " [config {h}]")?;
+                }
+                write!(f, " after {attempts} attempt(s)")
+            }
+            SimError::Cancelled { at } => {
+                write!(f, "simulation cancelled cooperatively at cycle {at}")
+            }
+            SimError::Journal(e) => write!(f, "resume journal error: {e}"),
         }
     }
 }
@@ -95,6 +154,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Config(e) => Some(e),
             SimError::Fault(e) => Some(e),
+            SimError::Journal(e) => Some(e),
             _ => None,
         }
     }
@@ -111,6 +171,52 @@ impl From<FaultError> for SimError {
         SimError::Fault(e)
     }
 }
+
+impl From<JournalError> for SimError {
+    fn from(e: JournalError) -> Self {
+        SimError::Journal(e)
+    }
+}
+
+/// A problem with a resume journal (see [`crate::journal`]).
+///
+/// IO errors are carried as rendered strings because `SimError` is `Clone +
+/// PartialEq` end-to-end (the pool duplicates errors across result slots and
+/// tests compare them), which `std::io::Error` is not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The file exists but does not start with a valid journal header.
+    MissingHeader,
+    /// The journal was written by a sweep with different arguments; resuming
+    /// would silently mix incompatible records.
+    FingerprintMismatch {
+        /// Fingerprint of the sweep attempting to resume.
+        expected: u64,
+        /// Fingerprint pinned in the journal header.
+        found: u64,
+    },
+    /// A filesystem operation failed (message includes the path).
+    Io(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::MissingHeader => {
+                write!(f, "file is not a noclat run journal (missing header)")
+            }
+            JournalError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different sweep (fingerprint {found:016x}, \
+                 this run is {expected:016x}); pass a fresh --resume path or rerun \
+                 with the original arguments"
+            ),
+            JournalError::Io(msg) => write!(f, "journal IO failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
 
 /// An inconsistency inside a [`FaultPlan`](crate::faults::FaultPlan).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -171,11 +277,71 @@ mod tests {
                 job: "w2/both".into(),
                 index: 3,
                 message: "boom".into(),
+                config_hash: Some("00c0ffee00c0ffee".into()),
+                attempts: 2,
             },
+            SimError::JobTimeout {
+                job: "w2/both".into(),
+                index: 3,
+                config_hash: None,
+                timeout_ms: 1500,
+                attempts: 3,
+            },
+            SimError::Cancelled { at: 1234 },
+            SimError::Journal(JournalError::MissingHeader),
+            SimError::Journal(JournalError::FingerprintMismatch {
+                expected: 1,
+                found: 2,
+            }),
+            SimError::Journal(JournalError::Io("disk on fire".into())),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn source_chains_end_to_end() {
+        use std::error::Error;
+        // Config and fault errors chain one level down.
+        let e: SimError = ConfigError::ZeroBufferDepth.into();
+        assert!(e.source().is_some());
+        let e: SimError = FaultError::BadSlowdown(0).into();
+        assert!(e.source().is_some());
+        // Journal errors chain too, and their Display survives the chain.
+        let e: SimError = JournalError::MissingHeader.into();
+        let src = e.source().expect("journal errors carry a source");
+        assert!(src.to_string().contains("missing header"));
+        // Leaf job-level variants have no deeper cause.
+        let leaf = SimError::JobTimeout {
+            job: "x".into(),
+            index: 0,
+            config_hash: None,
+            timeout_ms: 1,
+            attempts: 1,
+        };
+        assert!(leaf.source().is_none());
+    }
+
+    #[test]
+    fn job_errors_name_the_config_hash() {
+        let e = SimError::JobPanicked {
+            job: "grid/cell".into(),
+            index: 7,
+            message: "boom".into(),
+            config_hash: Some("deadbeefdeadbeef".into()),
+            attempts: 1,
+        };
+        assert!(e.to_string().contains("deadbeefdeadbeef"));
+        let e = SimError::JobTimeout {
+            job: "grid/cell".into(),
+            index: 7,
+            config_hash: Some("deadbeefdeadbeef".into()),
+            timeout_ms: 250,
+            attempts: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadbeefdeadbeef") && s.contains("250"));
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! Durable, content-addressed run journal backing `--resume`.
+//!
+//! A journal is an append-only text file mapping a *config hash* (the
+//! content address of one sweep cell: harness arguments + cell label) to the
+//! cell's serialized metrics record. Each record line carries its own
+//! checksum, so a journal whose tail was truncated or corrupted by a crash
+//! mid-write recovers to the longest valid prefix: the damaged suffix is
+//! discarded and the cells it covered are simply recomputed. Because every
+//! cell is deterministic (seeded only from the sweep arguments), a resumed
+//! sweep produces output bit-identical to an uninterrupted one.
+//!
+//! # Format
+//!
+//! ```text
+//! noclat-journal v1 <fingerprint:016x>
+//! r <key:016x> <checksum:016x> <payload>
+//! r <key:016x> <checksum:016x> <payload>
+//! ```
+//!
+//! * The header pins the sweep *fingerprint* (a hash of the arguments that
+//!   determine results: seed, window, policy, kernel). Resuming with
+//!   different arguments is rejected instead of silently mixing records.
+//! * `key` is the cell's config hash; `checksum` is [`fnv1a64`] over
+//!   `"<key:016x> <payload>"`; `payload` is a single line (the sweep layer
+//!   stores compact JSON) and must not contain `\n`.
+//! * Records are verified in order; the first malformed line ends the valid
+//!   prefix. Opening for append truncates the file back to that prefix.
+//!
+//! The journal doubles as a content-addressed result cache: any future
+//! consumer (e.g. a sweep server) can serve `key → payload` lookups from it
+//! without re-running the simulator.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::JournalError;
+
+/// Magic prefix of the header line (version-bearing).
+const HEADER_MAGIC: &str = "noclat-journal v1";
+
+/// 64-bit FNV-1a hash; the workspace's offline stand-in for a content hash.
+/// Stable across platforms and runs (no randomized state), which is what
+/// makes journal keys durable addresses.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// One validated journal record: config hash plus the serialized metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Content address of the cell (config hash).
+    pub key: u64,
+    /// Serialized metrics record (single line; compact JSON upstream).
+    pub payload: String,
+}
+
+fn record_checksum(key: u64, payload: &str) -> u64 {
+    fnv1a64(format!("{key:016x} {payload}").as_bytes())
+}
+
+fn render_record(key: u64, payload: &str) -> String {
+    format!(
+        "r {key:016x} {:016x} {payload}\n",
+        record_checksum(key, payload)
+    )
+}
+
+/// Result of scanning a journal file: the valid records, the byte length of
+/// the valid prefix, and whether a damaged tail was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalScan {
+    /// Records of the valid prefix, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Fingerprint pinned by the header.
+    pub fingerprint: u64,
+    /// Byte length of the valid prefix (header + valid records).
+    pub valid_bytes: u64,
+    /// True when bytes beyond the valid prefix were present (truncated or
+    /// corrupted tail — the crash-recovery case).
+    pub dropped_tail: bool,
+}
+
+/// Parses journal text into its valid prefix. Pure (testable without IO).
+pub fn scan(text: &str) -> Result<JournalScan, JournalError> {
+    let mut lines = text.split_inclusive('\n');
+    let Some(header) = lines.next() else {
+        return Err(JournalError::MissingHeader);
+    };
+    let header_trimmed = header.strip_suffix('\n').unwrap_or(header);
+    let fingerprint = header_trimmed
+        .strip_prefix(HEADER_MAGIC)
+        .map(str::trim)
+        .and_then(|fp| u64::from_str_radix(fp, 16).ok())
+        .ok_or(JournalError::MissingHeader)?;
+    if !header.ends_with('\n') {
+        // A header without its newline is itself a truncated write.
+        return Err(JournalError::MissingHeader);
+    }
+    let mut records = Vec::new();
+    let mut valid_bytes = header.len() as u64;
+    let mut dropped_tail = false;
+    for line in lines {
+        let Some(complete) = line.strip_suffix('\n') else {
+            dropped_tail = true; // torn final write
+            break;
+        };
+        match parse_record(complete) {
+            Some(rec) => {
+                valid_bytes += line.len() as u64;
+                records.push(rec);
+            }
+            None => {
+                dropped_tail = true;
+                break;
+            }
+        }
+    }
+    Ok(JournalScan {
+        records,
+        fingerprint,
+        valid_bytes,
+        dropped_tail,
+    })
+}
+
+fn parse_record(line: &str) -> Option<JournalRecord> {
+    let rest = line.strip_prefix("r ")?;
+    let (key_hex, rest) = rest.split_once(' ')?;
+    let (sum_hex, payload) = rest.split_once(' ')?;
+    if key_hex.len() != 16 || sum_hex.len() != 16 {
+        return None;
+    }
+    let key = u64::from_str_radix(key_hex, 16).ok()?;
+    let sum = u64::from_str_radix(sum_hex, 16).ok()?;
+    if record_checksum(key, payload) != sum {
+        return None;
+    }
+    Some(JournalRecord {
+        key,
+        payload: payload.to_string(),
+    })
+}
+
+/// An open journal: validated records loaded, file positioned for appends.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for a sweep with the given
+    /// fingerprint, returning the valid records already present.
+    ///
+    /// * A missing or empty file is initialized with a fresh header.
+    /// * A damaged tail is truncated away (crash recovery); the records of
+    ///   the valid prefix survive.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::FingerprintMismatch`] when the file belongs to a
+    /// sweep run with different arguments, [`JournalError::MissingHeader`]
+    /// when the file exists but is not a journal, and [`JournalError::Io`]
+    /// on filesystem failures.
+    pub fn open(
+        path: &Path,
+        fingerprint: u64,
+    ) -> Result<(Journal, Vec<JournalRecord>), JournalError> {
+        let io = |e: std::io::Error| JournalError::Io(format!("{}: {e}", path.display()));
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text).map_err(io)?;
+        if text.is_empty() {
+            let header = format!("{HEADER_MAGIC} {fingerprint:016x}\n");
+            file.write_all(header.as_bytes()).map_err(io)?;
+            file.flush().map_err(io)?;
+            return Ok((
+                Journal {
+                    file,
+                    path: path.to_path_buf(),
+                },
+                Vec::new(),
+            ));
+        }
+        let scanned = scan(&text)?;
+        if scanned.fingerprint != fingerprint {
+            return Err(JournalError::FingerprintMismatch {
+                expected: fingerprint,
+                found: scanned.fingerprint,
+            });
+        }
+        if scanned.dropped_tail {
+            file.set_len(scanned.valid_bytes).map_err(io)?;
+        }
+        file.seek(SeekFrom::Start(scanned.valid_bytes))
+            .map_err(io)?;
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+            },
+            scanned.records,
+        ))
+    }
+
+    /// Appends one record and flushes it to the OS, so a SIGKILL immediately
+    /// after never loses it.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write failures.
+    pub fn append(&mut self, key: u64, payload: &str) -> Result<(), JournalError> {
+        debug_assert!(
+            !payload.contains('\n'),
+            "journal payloads must be single-line"
+        );
+        self.file
+            .write_all(render_record(key, payload).as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| JournalError::Io(format!("{}: {e}", self.path.display())))
+    }
+
+    /// The journal's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Collects records into a `key → payload` map (last write wins, matching
+/// append order: a re-run cell overrides its stale record).
+#[must_use]
+pub fn as_map(records: Vec<JournalRecord>) -> HashMap<u64, String> {
+    records.into_iter().map(|r| (r.key, r.payload)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("noclat-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn fnv_is_stable_and_spread() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+    }
+
+    #[test]
+    fn roundtrip_append_and_reload() {
+        let path = tmp("roundtrip.nj");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, existing) = Journal::open(&path, 7).unwrap();
+            assert!(existing.is_empty());
+            j.append(1, r#"{"ipc":3}"#).unwrap();
+            j.append(2, r#"{"ipc":4}"#).unwrap();
+        }
+        let (mut j, records) = Journal::open(&path, 7).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].key, 1);
+        assert_eq!(records[1].payload, r#"{"ipc":4}"#);
+        // Appending after reload keeps earlier records intact.
+        j.append(3, "x").unwrap();
+        let (_, records) = Journal::open(&path, 7).unwrap();
+        assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let path = tmp("fingerprint.nj");
+        let _ = std::fs::remove_file(&path);
+        drop(Journal::open(&path, 1).unwrap());
+        let err = Journal::open(&path, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            JournalError::FingerprintMismatch {
+                expected: 2,
+                found: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_tail_recovers_valid_prefix() {
+        let path = tmp("truncated.nj");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = Journal::open(&path, 9).unwrap();
+            j.append(10, "first").unwrap();
+            j.append(11, "second").unwrap();
+        }
+        // Chop the file mid-way through the second record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 5]).unwrap();
+        let (mut j, records) = Journal::open(&path, 9).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, "first");
+        // The damaged tail was truncated, so appends go after the prefix.
+        j.append(12, "third").unwrap();
+        let (_, records) = Journal::open(&path, 9).unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.key).collect::<Vec<_>>(),
+            vec![10, 12]
+        );
+    }
+
+    #[test]
+    fn corrupted_tail_checksum_is_dropped() {
+        let path = tmp("corrupt.nj");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = Journal::open(&path, 3).unwrap();
+            j.append(20, "keep").unwrap();
+            j.append(21, "mangle").unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x55; // flip a payload byte of the last record
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, records) = Journal::open(&path, 3).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, "keep");
+    }
+
+    #[test]
+    fn non_journal_file_is_rejected() {
+        let path = tmp("not-a-journal.nj");
+        std::fs::write(&path, "hello world\n").unwrap();
+        assert!(matches!(
+            Journal::open(&path, 0).unwrap_err(),
+            JournalError::MissingHeader
+        ));
+    }
+
+    #[test]
+    fn scan_is_pure_and_flags_tails() {
+        let good = format!(
+            "{HEADER_MAGIC} {:016x}\n{}{}",
+            5u64,
+            render_record(1, "a"),
+            render_record(2, "b")
+        );
+        let s = scan(&good).unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert!(!s.dropped_tail);
+        assert_eq!(s.valid_bytes as usize, good.len());
+
+        let torn = &good[..good.len() - 1]; // missing final newline
+        let s = scan(torn).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert!(s.dropped_tail);
+    }
+
+    #[test]
+    fn as_map_last_write_wins() {
+        let m = as_map(vec![
+            JournalRecord {
+                key: 1,
+                payload: "old".into(),
+            },
+            JournalRecord {
+                key: 1,
+                payload: "new".into(),
+            },
+        ]);
+        assert_eq!(m.get(&1).map(String::as_str), Some("new"));
+    }
+}

@@ -16,8 +16,14 @@
 //! * [`error`] — typed errors ([`error::SimError`]) raised by public APIs
 //!   instead of panicking,
 //! * [`check`] — a dependency-free seeded property-testing harness,
-//! * [`pool`] — a scoped worker pool with deterministic per-job seeding and
-//!   panic isolation, backing the parallel sweep harnesses.
+//! * [`pool`] — a scoped worker pool with deterministic per-job seeding,
+//!   panic isolation, per-job deadlines and bounded retry, backing the
+//!   parallel sweep harnesses,
+//! * [`cancel`] — cooperative cancellation tokens the pool's deadline
+//!   supervisor uses to wind down overrunning simulations cleanly,
+//! * [`journal`] — the durable, content-addressed run journal behind
+//!   `--resume`: append-only, checksummed per record, recoverable after
+//!   truncation or tail corruption.
 //!
 //! # Example
 //!
@@ -29,10 +35,12 @@
 //! assert_eq!(cfg.mem.num_controllers, 4);
 //! ```
 
+pub mod cancel;
 pub mod check;
 pub mod config;
 pub mod error;
 pub mod faults;
+pub mod journal;
 pub mod pool;
 pub mod rng;
 pub mod stats;

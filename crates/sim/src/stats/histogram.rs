@@ -186,6 +186,40 @@ impl Histogram {
         }
     }
 
+    /// Raw per-bin counts (including the trailing overflow bin). Together
+    /// with [`Histogram::from_raw_parts`] this forms the lossless
+    /// serialization surface the sweep journal uses.
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Exact sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Reconstructs a histogram from its raw parts (inverse of reading
+    /// `bin_width`/`bins`/`count`/`sum`/`max` back). The journal decoder
+    /// uses this to restore a checkpointed distribution bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero or `bins` is empty.
+    #[must_use]
+    pub fn from_raw_parts(bin_width: u64, bins: Vec<u64>, count: u64, sum: u64, max: u64) -> Self {
+        assert!(bin_width > 0, "bin width must be positive");
+        assert!(!bins.is_empty(), "histogram needs at least one bin");
+        Histogram {
+            bin_width,
+            bins,
+            count,
+            sum,
+            max,
+        }
+    }
+
     /// Merges another histogram into this one.
     ///
     /// # Panics
@@ -349,5 +383,21 @@ mod tests {
     #[should_panic(expected = "bin width must be positive")]
     fn zero_bin_width_rejected() {
         let _ = Histogram::new(0, 100);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_is_exact() {
+        let mut h = Histogram::new(25, 1000);
+        for v in [10, 200, 480, 5000] {
+            h.record(v);
+        }
+        let r = Histogram::from_raw_parts(
+            h.bin_width(),
+            h.bins().to_vec(),
+            h.count(),
+            h.sum(),
+            h.max(),
+        );
+        assert_eq!(r, h);
     }
 }

@@ -64,6 +64,19 @@ impl RunningMean {
         self.count
     }
 
+    /// Exact running sum (the other half of the `(count, sum)` state; the
+    /// sweep journal serializes both to restore the mean bit-for-bit).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Reconstructs a running mean from its `(count, sum)` state.
+    #[must_use]
+    pub fn from_parts(count: u64, sum: f64) -> Self {
+        RunningMean { count, sum }
+    }
+
     /// Current mean, or `fallback` when no samples have been recorded.
     #[must_use]
     pub fn mean_or(&self, fallback: f64) -> f64 {
@@ -186,6 +199,14 @@ mod tests {
         m.record(4.0);
         assert_eq!(m.mean(), Some(3.0));
         assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn running_mean_parts_roundtrip_is_exact() {
+        let mut m = RunningMean::new();
+        m.record(1.5);
+        m.record(2.25);
+        assert_eq!(RunningMean::from_parts(m.count(), m.sum()), m);
     }
 
     #[test]
