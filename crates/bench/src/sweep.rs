@@ -27,7 +27,7 @@ use std::time::Duration;
 
 use noclat::{
     alone_ipc, AppLatency, Journal, KernelKind, LatencyTracker, PolicyConfig, PolicyOverride,
-    RunLengths, SegmentRow, SimError, SystemConfig,
+    RunLengths, SegmentRow, SimError, SystemConfig, TopologyOverride,
 };
 use noclat_noc::LoadPoint;
 use noclat_sim::journal::{self, fnv1a64};
@@ -82,6 +82,11 @@ pub struct SweepArgs {
     /// by contract (the equivalence suite enforces it), so this only trades
     /// wall-clock time; reports are comparable across kernels.
     pub kernel: KernelKind,
+    /// Fabric override (`--topology NAME[:PARAM=V,...]`), applied to every
+    /// configuration the sweep builds via [`SweepArgs::apply_policy`]. Unlike
+    /// `--kernel`, a topology change *does* change results, so it is part of
+    /// the sweep fingerprint.
+    pub topology: TopologyOverride,
     /// Journal path for durable checkpoint/resume (`--resume PATH`). Cells
     /// already present in the journal are restored instead of re-run; cells
     /// completing during this run are appended as they finish.
@@ -97,6 +102,7 @@ pub struct SweepArgs {
 /// Flags accepted by [`SweepArgs::parse`], for inclusion in usage strings.
 pub const SWEEP_USAGE: &str = "[--jobs N] [--json PATH] [--seed N] [--warmup N] [--measure N] \
      [--policy req=NAME,resp=NAME,arb=NAME] [--kernel cycle|event] \
+     [--topology mesh|torus|cmesh|express[:c=N,skip=N,mc=corner|edge|center]] \
      [--resume PATH] [--job-timeout SECS] [--retries N] [quick]";
 
 impl SweepArgs {
@@ -110,6 +116,7 @@ impl SweepArgs {
             lengths: RunLengths::standard(),
             policy: PolicyOverride::default(),
             kernel: KernelKind::default(),
+            topology: TopologyOverride::default(),
             resume: None,
             job_timeout: None,
             retries: 0,
@@ -206,6 +213,12 @@ impl SweepArgs {
                     args.kernel = KernelKind::parse(value()?)?;
                     i += 2;
                 }
+                "--topology" => {
+                    // TopologyOverride::parse already prefixes its errors
+                    // with "--topology:".
+                    args.topology = TopologyOverride::parse(value()?)?;
+                    i += 2;
+                }
                 "--resume" => {
                     args.resume = Some(PathBuf::from(value()?));
                     i += 2;
@@ -247,13 +260,24 @@ impl SweepArgs {
         Ok((args, rest))
     }
 
-    /// Applies this sweep's `--policy` and `--kernel` overrides to a
-    /// configuration the harness is about to run. Call on every cell of the
-    /// grid so the overrides reach scheme variants and knob sweeps alike; a
-    /// sweep run without either flag is untouched.
+    /// Applies this sweep's `--policy`, `--kernel` and `--topology`
+    /// overrides to a configuration the harness is about to run. Call on
+    /// every cell of the grid so the overrides reach scheme variants and
+    /// knob sweeps alike; a sweep run without any of the flags is untouched.
     pub fn apply_policy(&self, cfg: &mut SystemConfig) {
         self.policy.apply(cfg);
         cfg.kernel = self.kernel;
+        self.topology.apply(cfg);
+        // A `--topology` override can produce a config the grid can't
+        // satisfy (a concentration that doesn't tile it, a torus without
+        // dateline VCs). That's a usage error, not a cell panic — surface
+        // the typed ConfigError and exit before any cell runs.
+        if !self.topology.is_empty() {
+            if let Err(e) = cfg.validate() {
+                eprintln!("error: --topology: {e}");
+                std::process::exit(exit_code::CONFIG);
+            }
+        }
     }
 
     /// The pool deadline/retry budget these arguments request.
@@ -268,20 +292,21 @@ impl SweepArgs {
 }
 
 /// Fingerprint of everything that determines a sweep's *results*: seed,
-/// simulation window, policy overrides and kernel. Arguments that only
-/// affect execution (worker count, output paths, deadlines, retries) are
-/// deliberately excluded — a journal written with `--jobs 8` resumes fine
-/// under `--jobs 1`, and a deadline changes which cells *complete*, never
-/// what a completed cell contains.
+/// simulation window, policy overrides, kernel and topology override.
+/// Arguments that only affect execution (worker count, output paths,
+/// deadlines, retries) are deliberately excluded — a journal written with
+/// `--jobs 8` resumes fine under `--jobs 1`, and a deadline changes which
+/// cells *complete*, never what a completed cell contains.
 #[must_use]
 pub fn sweep_fingerprint(args: &SweepArgs) -> u64 {
     let text = format!(
-        "seed={} warmup={} measure={} policy={:?} kernel={}",
+        "seed={} warmup={} measure={} policy={:?} kernel={} topology={:?}",
         args.seed,
         args.lengths.warmup,
         args.lengths.measure,
         args.policy,
         args.kernel.name(),
+        args.topology,
     );
     fnv1a64(text.as_bytes())
 }
@@ -1465,6 +1490,10 @@ mod tests {
         assert_ne!(fp, sweep_fingerprint(&windowed));
         let (polic, _) = SweepArgs::parse_argv(&argv(&["--policy", "req=oldest-first"])).unwrap();
         assert_ne!(fp, sweep_fingerprint(&polic));
+        let (topo, _) = SweepArgs::parse_argv(&argv(&["--topology", "torus"])).unwrap();
+        assert_ne!(fp, sweep_fingerprint(&topo));
+        let (skipped, _) = SweepArgs::parse_argv(&argv(&["--topology", "express:skip=4"])).unwrap();
+        assert_ne!(sweep_fingerprint(&topo), sweep_fingerprint(&skipped));
         // Labels split keys under one fingerprint.
         assert_ne!(job_key(fp, "cell-a"), job_key(fp, "cell-b"));
         assert_eq!(job_key(fp, "cell-a"), job_key(fp, "cell-a"));

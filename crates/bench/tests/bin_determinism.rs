@@ -60,3 +60,24 @@ fn fig09_rejects_unknown_flags() {
     assert_eq!(help.status.code(), Some(0));
     assert!(String::from_utf8_lossy(&help.stderr).contains("--jobs"));
 }
+
+/// `--topology` mistakes are usage errors (exit 2), never cell panics —
+/// both the parse-time kind (unknown fabric) and the validate-time kind
+/// (a concentration that can't tile the grid, caught only once the
+/// override meets a concrete configuration).
+#[test]
+fn simulate_rejects_invalid_topology_specs_as_usage_errors() {
+    let bad_fabric = Command::new(env!("CARGO_BIN_EXE_simulate"))
+        .args(["--topology", "bogus", "--measure", "100"])
+        .output()
+        .expect("simulate spawns");
+    assert_eq!(bad_fabric.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_fabric.stderr).contains("unknown fabric"));
+
+    let bad_concentration = Command::new(env!("CARGO_BIN_EXE_simulate"))
+        .args(["--topology", "cmesh:c=3", "--measure", "100"])
+        .output()
+        .expect("simulate spawns");
+    assert_eq!(bad_concentration.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_concentration.stderr).contains("error: --topology:"));
+}

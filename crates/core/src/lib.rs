@@ -62,8 +62,9 @@ pub use watchdog::{LivenessViolation, Watchdog};
 // Re-export the configuration types callers need to drive experiments.
 pub use noclat_sim::cancel::CancelToken;
 pub use noclat_sim::config::{
-    ConfigError, KernelKind, MemSchedPolicy, PolicyConfig, PolicyOverride, RouterPipeline,
-    Scheme1Config, Scheme2Config, StarvationPolicy, SystemConfig, WatchdogConfig,
+    ConfigError, KernelKind, McPlacement, MemSchedPolicy, PolicyConfig, PolicyOverride,
+    RouterPipeline, Scheme1Config, Scheme2Config, StarvationPolicy, SystemConfig, TopologyConfig,
+    TopologyKind, TopologyOverride, WatchdogConfig,
 };
 pub use noclat_sim::error::{FaultError, JournalError, SimError};
 pub use noclat_sim::faults::FaultPlan;

@@ -362,14 +362,14 @@ impl System {
                 cores: n,
             });
         }
-        let mesh = Mesh::new(cfg.topology.width, cfg.topology.height);
+        let mesh = Mesh::from_config(&cfg.topology);
         let addr_map = AddressMap::new(
             cfg.l2.line_bytes,
             cfg.mem.num_controllers,
             cfg.mem.banks_per_controller,
             cfg.mem.row_bytes,
         );
-        let mc_nodes = mesh.corner_nodes(cfg.mem.num_controllers);
+        let mc_nodes = mesh.mc_nodes(cfg.topology.mc_placement, cfg.mem.num_controllers);
         let mut mc_at_node = vec![None; n];
         let mcs: Vec<McNode> = mc_nodes
             .iter()

@@ -53,5 +53,5 @@ pub use arbiter::{
 pub use network::{flits_for_payload, Hop, Network, NetworkStats};
 pub use packet::{accumulate_age, Delivered, Flit, FlitKind, PacketId, PacketMeta, Priority, VNet};
 pub use router::{Router, RouterCounters};
-pub use topology::{Coord, Dir, Mesh, NodeId};
+pub use topology::{Coord, Dir, Mesh, NodeId, Topology};
 pub use traffic::{characterize, LoadPoint, TrafficPattern};

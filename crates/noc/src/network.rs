@@ -269,16 +269,24 @@ impl<P> Network<P> {
     /// controllers, not the network).
     #[must_use]
     pub fn with_faults(mesh: Mesh, cfg: NocConfig, plan: &FaultPlan) -> Self {
-        let n = mesh.num_nodes();
-        let ports = Dir::ALL.len();
+        // Tiles and routers coincide except on a concentrated mesh, where
+        // several tiles share one router: router-side state (wires, ports,
+        // clock dividers, injection front-ends) is per router, while
+        // delivery inboxes stay per tile.
+        let tiles = mesh.num_nodes();
+        let n = mesh.num_routers();
+        let ports = mesh.num_ports();
         Network {
             mesh,
             cfg,
-            routers: mesh.nodes().map(|id| Router::new(id, mesh, cfg)).collect(),
+            routers: mesh
+                .routers()
+                .map(|id| Router::new(id, mesh, cfg))
+                .collect(),
             wires: (0..n * ports).map(|_| VecDeque::new()).collect(),
             credit_wires: (0..n * ports).map(|_| VecDeque::new()).collect(),
             injectors: (0..n).map(|_| Injector::new(cfg.vcs_per_port)).collect(),
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            inboxes: (0..tiles).map(|_| Vec::new()).collect(),
             link_flits: vec![0; n * ports],
             periods: vec![1; n],
             packets: PacketStore::new(),
@@ -375,19 +383,20 @@ impl<P> Network<P> {
         wake.map(|t| t.max(now))
     }
 
-    /// Slows router `node` down to arbitrate once every `period` cycles
-    /// (1 = full speed). Flits still arrive and buffer at wire speed; only
-    /// the router pipeline is clock-divided, as in a slower clock domain.
+    /// Slows router `node` (a router-grid id) down to arbitrate once every
+    /// `period` cycles (1 = full speed). Flits still arrive and buffer at
+    /// wire speed; only the router pipeline is clock-divided, as in a
+    /// slower clock domain.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::ZeroClockPeriod`] if `period` is zero and
-    /// [`SimError::NodeOutOfRange`] if `node` is outside the mesh.
+    /// [`SimError::NodeOutOfRange`] if `node` is outside the router grid.
     pub fn set_node_period(&mut self, node: NodeId, period: u32) -> Result<(), SimError> {
         if period == 0 {
             return Err(SimError::ZeroClockPeriod);
         }
-        let nodes = self.mesh.num_nodes();
+        let nodes = self.mesh.num_routers();
         if node.index() >= nodes {
             return Err(SimError::NodeOutOfRange {
                 node: node.index(),
@@ -398,22 +407,26 @@ impl<P> Network<P> {
         Ok(())
     }
 
-    /// Flits carried by the directed link leaving `node` through `port`
-    /// (`Local` counts ejections at that node).
+    /// Flits carried by the directed link leaving router `node` through
+    /// `port` (`Local` counts ejections at that router).
     #[must_use]
     pub fn link_flits(&self, node: NodeId, port: Dir) -> u64 {
-        self.link_flits[node.index() * Dir::ALL.len() + port.index()]
+        self.link_flits[node.index() * self.mesh.num_ports() + port.index()]
     }
 
-    /// Per-node total of flits forwarded onto mesh links (a congestion
-    /// heat-map: hot routers forward the most flits).
+    /// Per-router total of flits forwarded onto links (a congestion
+    /// heat-map: hot routers forward the most flits). Ejections (`Local`)
+    /// are excluded; express channels count like any other link.
     #[must_use]
     pub fn node_forwarding_heat(&self) -> Vec<u64> {
-        let ports = Dir::ALL.len();
+        let ports = self.mesh.num_ports();
         (0..self.routers.len())
             .map(|n| {
-                (0..4) // mesh directions only
-                    .map(|p| self.link_flits[n * ports + p])
+                self.mesh
+                    .ports()
+                    .iter()
+                    .filter(|d| **d != Dir::Local)
+                    .map(|d| self.link_flits[n * ports + d.index()])
                     .sum()
             })
             .collect()
@@ -466,7 +479,7 @@ impl<P> Network<P> {
             },
             payload,
         );
-        let inj = &mut self.injectors[src.index()];
+        let inj = &mut self.injectors[self.mesh.router_of(src).index()];
         inj.queues[Injector::queue_index(vnet, priority)].push_back(PendingPacket { id });
         self.stats.packets_injected.inc();
         if priority == Priority::High {
@@ -508,18 +521,19 @@ impl<P> Network<P> {
 
     /// Moves arrived flits and credits from the wires into the routers.
     fn deliver_wires(&mut self, now: Cycle) {
-        let ports = Dir::ALL.len();
+        let ports = self.mesh.num_ports();
+        let port_dirs = self.mesh.ports();
         for node in 0..self.routers.len() {
-            for port in 0..ports {
+            for (port, &dir) in port_dirs.iter().enumerate() {
                 let w = &mut self.wires[node * ports + port];
                 while w.front().is_some_and(|&(t, _)| t <= now) {
                     let (_, flit) = w.pop_front().expect("checked front");
-                    self.routers[node].accept_flit(Dir::ALL[port], flit, now);
+                    self.routers[node].accept_flit(dir, flit, now);
                 }
                 let cw = &mut self.credit_wires[node * ports + port];
                 while cw.front().is_some_and(|&(t, _)| t <= now) {
                     let (_, vc) = cw.pop_front().expect("checked front");
-                    self.routers[node].apply_credit(Dir::ALL[port], vc);
+                    self.routers[node].apply_credit(dir, vc);
                 }
             }
         }
@@ -631,7 +645,7 @@ impl<P> Network<P> {
 
     /// Ticks every router and routes its outputs onto wires / inboxes.
     fn router_step<F: FnMut(&Hop)>(&mut self, now: Cycle, observer: &mut F) {
-        let ports = Dir::ALL.len();
+        let ports = self.mesh.num_ports();
         for node in 0..self.routers.len() {
             let node_id = NodeId(node as u16);
             // A slowed router only arbitrates on its own clock edges.
@@ -751,7 +765,11 @@ impl<P> Network<P> {
             .packets
             .remove(flit.packet)
             .expect("delivered packet was in flight");
-        debug_assert_eq!(meta.dest, node, "flit ejected at wrong node");
+        debug_assert_eq!(
+            self.mesh.router_of(meta.dest),
+            node,
+            "flit ejected at wrong router"
+        );
         let delivered = Delivered {
             meta,
             final_age,
@@ -764,7 +782,9 @@ impl<P> Network<P> {
             VNet::Request => self.stats.request_latency.record(lat),
             VNet::Response => self.stats.response_latency.record(lat),
         }
-        self.inboxes[node.index()].push(delivered);
+        // Deliver to the destination *tile*: on a concentrated mesh several
+        // tiles share the ejecting router.
+        self.inboxes[meta.dest.index()].push(delivered);
     }
 }
 

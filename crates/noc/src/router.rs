@@ -137,16 +137,19 @@ fn untag(tag: usize, vcs_per_port: usize) -> (usize, usize) {
 }
 
 impl Router {
-    /// Creates a router for `node` in `mesh` with the given NoC parameters.
+    /// Creates the router `node` (a router-grid id) of `mesh` with the
+    /// given NoC parameters. Port arrays are sized per topology (5 ports on
+    /// mesh-like fabrics, 9 on express).
     #[must_use]
     pub fn new(node: NodeId, mesh: Mesh, cfg: NocConfig) -> Self {
         let v = cfg.vcs_per_port;
-        let inputs = (0..Dir::ALL.len())
+        let ports = mesh.num_ports();
+        let inputs = (0..ports)
             .map(|_| InputPort {
                 vcs: (0..v).map(|_| VcState::new(cfg.buffer_depth)).collect(),
             })
             .collect();
-        let outputs = (0..Dir::ALL.len())
+        let outputs = (0..ports)
             .map(|_| OutputPort {
                 credits: vec![cfg.buffer_depth as u32; v],
                 owner: vec![None; v],
@@ -158,9 +161,9 @@ impl Router {
             cfg,
             inputs,
             outputs,
-            va_arb: vec![RoundRobinArbiter::new(); Dir::ALL.len()],
-            sa_in_arb: vec![RoundRobinArbiter::new(); Dir::ALL.len()],
-            sa_out_arb: vec![RoundRobinArbiter::new(); Dir::ALL.len()],
+            va_arb: vec![RoundRobinArbiter::new(); ports],
+            sa_in_arb: vec![RoundRobinArbiter::new(); ports],
+            sa_out_arb: vec![RoundRobinArbiter::new(); ports],
             arb: arbitration_policy(cfg.starvation, cfg.starvation_age_guard),
             counters: RouterCounters::default(),
             occupancy: 0,
@@ -323,19 +326,22 @@ impl Router {
             }
             // Grant free VCs one winner at a time until no grantable
             // requester remains.
+            let out_dir = self.mesh.ports()[out_port];
             while !candidates.is_empty() {
-                // A requester is grantable if a free VC exists in its class.
+                // A requester is grantable if a free VC exists in its class
+                // (on a torus: in its dateline subclass of the class).
                 let grantable: Vec<Candidate> = candidates
                     .iter()
                     .copied()
                     .filter(|c| {
                         let (port, vc) = untag(c.tag, self.cfg.vcs_per_port);
-                        let vnet = self.inputs[port].vcs[vc]
+                        let front = self.inputs[port].vcs[vc]
                             .buf
                             .front()
-                            .expect("candidate has a front flit")
-                            .vnet;
-                        self.free_vc_in_class(out_port, vnet).is_some()
+                            .expect("candidate has a front flit");
+                        let subclass = self.mesh.vc_subclass(self.node, front.dest, out_dir);
+                        self.free_vc_in_class(out_port, front.vnet, subclass)
+                            .is_some()
                     })
                     .collect();
                 if grantable.is_empty() {
@@ -345,13 +351,16 @@ impl Router {
                     .pick_with(&grantable, &*self.arb)
                     .expect("non-empty grantable set");
                 let (port, vc) = untag(winner_tag, self.cfg.vcs_per_port);
-                let vnet = self.inputs[port].vcs[vc]
-                    .buf
-                    .front()
-                    .expect("winner has a front flit")
-                    .vnet;
+                let (vnet, dest) = {
+                    let front = self.inputs[port].vcs[vc]
+                        .buf
+                        .front()
+                        .expect("winner has a front flit");
+                    (front.vnet, front.dest)
+                };
+                let subclass = self.mesh.vc_subclass(self.node, dest, out_dir);
                 let free = self
-                    .free_vc_in_class(out_port, vnet)
+                    .free_vc_in_class(out_port, vnet, subclass)
                     .expect("winner was grantable");
                 self.outputs[out_port].owner[free] = Some((port, vc));
                 self.inputs[port].vcs[vc].out_vc = Some(free as u8);
@@ -360,9 +369,20 @@ impl Router {
         }
     }
 
-    /// First free downstream VC of `out_port` within the class of `vnet`.
-    fn free_vc_in_class(&self, out_port: usize, vnet: VNet) -> Option<usize> {
+    /// First free downstream VC of `out_port` within the class of `vnet`,
+    /// optionally restricted to a dateline subclass (torus deadlock
+    /// avoidance: each vnet half splits into two quarter-ranges, and a hop
+    /// may only use the subclass [`Mesh::vc_subclass`] assigns to it).
+    fn free_vc_in_class(&self, out_port: usize, vnet: VNet, subclass: Option<u8>) -> Option<usize> {
         let (start, end) = self.vnet_range(vnet);
+        let (start, end) = match subclass {
+            None => (start, end),
+            Some(s) => {
+                let quarter = (end - start) / 2;
+                let s = start + usize::from(s) * quarter;
+                (s, s + quarter)
+            }
+        };
         (start..end).find(|&v| self.outputs[out_port].owner[v].is_none())
     }
 
@@ -466,7 +486,7 @@ impl Router {
             self.counters.high_priority_traversed += 1;
         }
         self.out.credits.push(CreditReturn {
-            in_port: Dir::ALL[port],
+            in_port: self.mesh.ports()[port],
             vc: vc as u8,
         });
         self.out.traversals.push(Traversal {

@@ -1,9 +1,28 @@
-//! 2D mesh topology: node identifiers, coordinates, neighbors, and the
-//! corner positions where memory controllers attach.
+//! Network topologies: node identifiers, coordinates, neighbors, routing,
+//! and the positions where memory controllers attach.
+//!
+//! Four fabrics share one [`Topology`] value (see `DESIGN.md` §13):
+//!
+//! * **mesh** — the paper's 2D mesh, bit-identical to the pre-topology
+//!   code (5 ports, dimension-order routing, corner controllers).
+//! * **torus** — mesh plus wraparound links; shortest-direction routing
+//!   per dimension with dateline VC subclasses for deadlock freedom
+//!   (see [`Topology::vc_subclass`]).
+//! * **cmesh** — concentrated mesh: `c` tiles share one router. The tile
+//!   grid (cores, caches, MCs) is unchanged; only the router grid shrinks.
+//! * **express** — mesh plus express ("ruche") channels that skip a fixed
+//!   number of routers per hop in each dimension, the BSG `RUCHE_FACTOR`
+//!   parameterization. Routers grow four extra ports.
+//!
+//! Two coordinate spaces coexist: **tiles** (`num_nodes`, `coord_of`,
+//! `node_at`, MC placement, workload mapping) and **routers**
+//! (`num_routers`, `router_coord`, `neighbor`, `route`). They coincide on
+//! every fabric except the concentrated mesh, where [`Topology::router_of`]
+//! maps a tile to the router serving its block.
 
-use noclat_sim::config::RoutingAlgorithm;
+use noclat_sim::config::{McPlacement, RoutingAlgorithm, TopologyConfig, TopologyKind};
 
-/// Index of a node (router + tile) in the mesh, row-major.
+/// Index of a tile or router, row-major within its grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u16);
 
@@ -21,7 +40,7 @@ impl std::fmt::Display for NodeId {
     }
 }
 
-/// A mesh coordinate: `x` is the column, `y` the row.
+/// A grid coordinate: `x` is the column, `y` the row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
     /// Column (0-based, grows eastward).
@@ -30,8 +49,9 @@ pub struct Coord {
     pub y: u16,
 }
 
-/// One of the five router ports. The first four are mesh directions; `Local`
-/// is the tile's injection/ejection port.
+/// A router port. The first four are the mesh directions and `Local` is
+/// the tile's injection/ejection port; the `Express*` ports (indices 5..9)
+/// exist only on the express fabric and carry the skip channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dir {
     /// Toward row 0.
@@ -44,13 +64,36 @@ pub enum Dir {
     West,
     /// The tile attached to this router.
     Local,
+    /// Express channel toward row 0 (skips `express_skip` routers).
+    ExpressNorth,
+    /// Express channel toward the last row.
+    ExpressSouth,
+    /// Express channel toward the last column.
+    ExpressEast,
+    /// Express channel toward column 0.
+    ExpressWest,
 }
 
 impl Dir {
-    /// All five ports, in port-index order.
+    /// The five mesh ports, in port-index order. Kept at five — the
+    /// express ports only exist on the express fabric; size port arrays
+    /// with [`Topology::num_ports`] and iterate [`Topology::ports`].
     pub const ALL: [Dir; 5] = [Dir::North, Dir::South, Dir::East, Dir::West, Dir::Local];
 
-    /// Port index (0..=4).
+    /// All nine ports of an express router, in port-index order.
+    pub const EXPRESS_ALL: [Dir; 9] = [
+        Dir::North,
+        Dir::South,
+        Dir::East,
+        Dir::West,
+        Dir::Local,
+        Dir::ExpressNorth,
+        Dir::ExpressSouth,
+        Dir::ExpressEast,
+        Dir::ExpressWest,
+    ];
+
+    /// Port index (0..=8; the mesh ports keep their historical 0..=4).
     #[must_use]
     pub fn index(self) -> usize {
         match self {
@@ -59,10 +102,14 @@ impl Dir {
             Dir::East => 2,
             Dir::West => 3,
             Dir::Local => 4,
+            Dir::ExpressNorth => 5,
+            Dir::ExpressSouth => 6,
+            Dir::ExpressEast => 7,
+            Dir::ExpressWest => 8,
         }
     }
 
-    /// The opposite mesh direction. `Local` is its own opposite.
+    /// The opposite direction. `Local` is its own opposite.
     #[must_use]
     pub fn opposite(self) -> Dir {
         match self {
@@ -71,19 +118,35 @@ impl Dir {
             Dir::East => Dir::West,
             Dir::West => Dir::East,
             Dir::Local => Dir::Local,
+            Dir::ExpressNorth => Dir::ExpressSouth,
+            Dir::ExpressSouth => Dir::ExpressNorth,
+            Dir::ExpressEast => Dir::ExpressWest,
+            Dir::ExpressWest => Dir::ExpressEast,
         }
     }
 }
 
-/// A `width × height` 2D mesh.
+/// A `width × height` tile grid wired by one of four fabrics.
+///
+/// Constructed via [`Topology::new`] (plain mesh, the historical
+/// constructor), the per-fabric constructors, or [`Topology::from_config`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Mesh {
+pub struct Topology {
+    kind: TopologyKind,
     width: u16,
     height: u16,
+    /// Tiles per router (1 except on cmesh).
+    concentration: u16,
+    /// Express skip distance (0 except on express).
+    skip: u16,
 }
 
-impl Mesh {
-    /// Creates a mesh.
+/// The historical name: every pre-topology API took a `Mesh`, and a plain
+/// mesh is still what `Mesh::new` builds.
+pub type Mesh = Topology;
+
+impl Topology {
+    /// Creates a plain 2D mesh (the historical constructor).
     ///
     /// # Panics
     ///
@@ -91,43 +154,173 @@ impl Mesh {
     #[must_use]
     pub fn new(width: u16, height: u16) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be positive");
-        Mesh { width, height }
+        Topology {
+            kind: TopologyKind::Mesh,
+            width,
+            height,
+            concentration: 1,
+            skip: 0,
+        }
     }
 
-    /// Number of columns.
+    /// Creates a torus over the same tile grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn torus(width: u16, height: u16) -> Self {
+        Topology {
+            kind: TopologyKind::Torus,
+            ..Self::new(width, height)
+        }
+    }
+
+    /// Creates a concentrated mesh with `concentration` tiles per router
+    /// (1, 2 → 2×1 blocks, or 4 → 2×2 blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is unsupported or the blocks don't tile the
+    /// grid — [`SystemConfig::validate`](noclat_sim::config::SystemConfig::validate)
+    /// reports these as typed errors before construction.
+    #[must_use]
+    pub fn cmesh(width: u16, height: u16, concentration: u16) -> Self {
+        let t = Topology {
+            kind: TopologyKind::CMesh,
+            concentration,
+            ..Self::new(width, height)
+        };
+        let (cx, cy) = t.block_dims();
+        assert!(
+            width.is_multiple_of(cx) && height.is_multiple_of(cy),
+            "concentration {concentration} does not tile a {width}x{height} grid"
+        );
+        t
+    }
+
+    /// Creates a mesh with express channels skipping `skip` routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ skip < min(width, height)` — validated as a
+    /// typed error at the config layer before construction.
+    #[must_use]
+    pub fn express(width: u16, height: u16, skip: u16) -> Self {
+        assert!(
+            skip >= 2 && skip < width.min(height),
+            "express skip {skip} out of range for {width}x{height}"
+        );
+        Topology {
+            kind: TopologyKind::Express,
+            skip,
+            ..Self::new(width, height)
+        }
+    }
+
+    /// Builds the fabric a [`TopologyConfig`] describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter combinations that
+    /// [`SystemConfig::validate`](noclat_sim::config::SystemConfig::validate)
+    /// rejects — validate first to get a typed error instead.
+    #[must_use]
+    pub fn from_config(cfg: &TopologyConfig) -> Self {
+        match cfg.kind {
+            TopologyKind::Mesh => Self::new(cfg.width, cfg.height),
+            TopologyKind::Torus => Self::torus(cfg.width, cfg.height),
+            TopologyKind::CMesh => Self::cmesh(cfg.width, cfg.height, cfg.concentration),
+            TopologyKind::Express => Self::express(cfg.width, cfg.height, cfg.express_skip),
+        }
+    }
+
+    /// Which fabric this is.
+    #[must_use]
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of tile columns.
     #[must_use]
     pub fn width(&self) -> u16 {
         self.width
     }
 
-    /// Number of rows.
+    /// Number of tile rows.
     #[must_use]
     pub fn height(&self) -> u16 {
         self.height
     }
 
-    /// Total node count.
+    /// Tiles per router (1 except on cmesh).
+    #[must_use]
+    pub fn concentration(&self) -> u16 {
+        self.concentration
+    }
+
+    /// Express skip distance (0 except on express).
+    #[must_use]
+    pub fn express_skip(&self) -> u16 {
+        self.skip
+    }
+
+    /// This fabric as a [`TopologyConfig`] (MC placement defaults to
+    /// `Corner` — placement is a system-level concern the fabric itself
+    /// does not carry).
+    #[must_use]
+    pub fn config(&self) -> TopologyConfig {
+        let mut cfg = match self.kind {
+            TopologyKind::Mesh => TopologyConfig::mesh(self.width, self.height),
+            TopologyKind::Torus => TopologyConfig::torus(self.width, self.height),
+            TopologyKind::CMesh => TopologyConfig::cmesh(self.width, self.height, 1),
+            TopologyKind::Express => TopologyConfig::express(self.width, self.height, 2),
+        };
+        cfg.concentration = self.concentration;
+        cfg.express_skip = self.skip;
+        cfg
+    }
+
+    /// Tile-block dimensions per router: (columns, rows).
+    fn block_dims(&self) -> (u16, u16) {
+        match self.concentration {
+            1 => (1, 1),
+            2 => (2, 1),
+            4 => (2, 2),
+            c => panic!("unsupported concentration factor {c}"),
+        }
+    }
+
+    /// Router-grid dimensions: (columns, rows).
+    fn router_dims(&self) -> (u16, u16) {
+        let (cx, cy) = self.block_dims();
+        (self.width / cx, self.height / cy)
+    }
+
+    // -- tile space ------------------------------------------------------
+
+    /// Total tile count (`width × height`) — one core per tile.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
         usize::from(self.width) * usize::from(self.height)
     }
 
-    /// Node at a coordinate (row-major).
+    /// Tile at a coordinate (row-major).
     ///
     /// # Panics
     ///
-    /// Panics if the coordinate is outside the mesh.
+    /// Panics if the coordinate is outside the grid.
     #[must_use]
     pub fn node_at(&self, c: Coord) -> NodeId {
         assert!(c.x < self.width && c.y < self.height, "coord out of mesh");
         NodeId(c.y * self.width + c.x)
     }
 
-    /// Coordinate of a node.
+    /// Coordinate of a tile.
     ///
     /// # Panics
     ///
-    /// Panics if the node id is outside the mesh.
+    /// Panics if the id is outside the grid.
     #[must_use]
     pub fn coord_of(&self, n: NodeId) -> Coord {
         assert!(n.index() < self.num_nodes(), "node out of mesh");
@@ -137,55 +330,229 @@ impl Mesh {
         }
     }
 
-    /// The neighbor in a mesh direction, if it exists.
+    /// Iterator over all tile ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u16).map(NodeId)
+    }
+
+    // -- router space ----------------------------------------------------
+
+    /// Total router count (`num_nodes / concentration`).
+    #[must_use]
+    pub fn num_routers(&self) -> usize {
+        self.num_nodes() / usize::from(self.concentration)
+    }
+
+    /// The router serving a tile. Identity on every fabric except cmesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile id is outside the grid.
+    #[must_use]
+    pub fn router_of(&self, tile: NodeId) -> NodeId {
+        if self.concentration == 1 {
+            assert!(tile.index() < self.num_nodes(), "node out of mesh");
+            return tile;
+        }
+        let c = self.coord_of(tile);
+        let (cx, cy) = self.block_dims();
+        let (rw, _) = self.router_dims();
+        NodeId((c.y / cy) * rw + (c.x / cx))
+    }
+
+    /// Coordinate of a router in the router grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is outside the router grid.
+    #[must_use]
+    pub fn router_coord(&self, r: NodeId) -> Coord {
+        assert!(r.index() < self.num_routers(), "router out of grid");
+        let (rw, _) = self.router_dims();
+        Coord {
+            x: r.0 % rw,
+            y: r.0 / rw,
+        }
+    }
+
+    /// Router at a router-grid coordinate.
+    fn router_at(&self, c: Coord) -> NodeId {
+        let (rw, rh) = self.router_dims();
+        assert!(c.x < rw && c.y < rh, "router coord out of grid");
+        NodeId(c.y * rw + c.x)
+    }
+
+    /// Iterator over all router ids.
+    pub fn routers(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_routers() as u16).map(NodeId)
+    }
+
+    // -- ports and links -------------------------------------------------
+
+    /// Ports per router: 5 on mesh/torus/cmesh, 9 on express.
+    #[must_use]
+    pub fn num_ports(&self) -> usize {
+        match self.kind {
+            TopologyKind::Express => Dir::EXPRESS_ALL.len(),
+            _ => Dir::ALL.len(),
+        }
+    }
+
+    /// The ports of this fabric, in port-index order.
+    #[must_use]
+    pub fn ports(&self) -> &'static [Dir] {
+        match self.kind {
+            TopologyKind::Express => &Dir::EXPRESS_ALL,
+            _ => &Dir::ALL,
+        }
+    }
+
+    /// The neighboring **router** reached through a port, if that link
+    /// exists. Wraparound on torus; `±skip` jumps on the express ports.
     #[must_use]
     pub fn neighbor(&self, n: NodeId, d: Dir) -> Option<NodeId> {
-        let c = self.coord_of(n);
-        let nc = match d {
-            Dir::North => (c.y > 0).then(|| Coord { x: c.x, y: c.y - 1 }),
-            Dir::South => (c.y + 1 < self.height).then(|| Coord { x: c.x, y: c.y + 1 }),
-            Dir::East => (c.x + 1 < self.width).then(|| Coord { x: c.x + 1, y: c.y }),
-            Dir::West => (c.x > 0).then(|| Coord { x: c.x - 1, y: c.y }),
-            Dir::Local => None,
-        };
-        nc.map(|c| self.node_at(c))
+        let (rw, rh) = self.router_dims();
+        let c = self.router_coord(n);
+        let wrap = self.kind == TopologyKind::Torus;
+        let nc =
+            match d {
+                Dir::North => {
+                    if c.y > 0 {
+                        Some(Coord { x: c.x, y: c.y - 1 })
+                    } else if wrap && rh > 1 {
+                        Some(Coord { x: c.x, y: rh - 1 })
+                    } else {
+                        None
+                    }
+                }
+                Dir::South => {
+                    if c.y + 1 < rh {
+                        Some(Coord { x: c.x, y: c.y + 1 })
+                    } else if wrap && rh > 1 {
+                        Some(Coord { x: c.x, y: 0 })
+                    } else {
+                        None
+                    }
+                }
+                Dir::East => {
+                    if c.x + 1 < rw {
+                        Some(Coord { x: c.x + 1, y: c.y })
+                    } else if wrap && rw > 1 {
+                        Some(Coord { x: 0, y: c.y })
+                    } else {
+                        None
+                    }
+                }
+                Dir::West => {
+                    if c.x > 0 {
+                        Some(Coord { x: c.x - 1, y: c.y })
+                    } else if wrap && rw > 1 {
+                        Some(Coord { x: rw - 1, y: c.y })
+                    } else {
+                        None
+                    }
+                }
+                Dir::Local => None,
+                Dir::ExpressNorth => {
+                    (self.kind == TopologyKind::Express && c.y >= self.skip).then(|| Coord {
+                        x: c.x,
+                        y: c.y - self.skip,
+                    })
+                }
+                Dir::ExpressSouth => (self.kind == TopologyKind::Express && c.y + self.skip < rh)
+                    .then(|| Coord {
+                        x: c.x,
+                        y: c.y + self.skip,
+                    }),
+                Dir::ExpressEast => (self.kind == TopologyKind::Express && c.x + self.skip < rw)
+                    .then(|| Coord {
+                        x: c.x + self.skip,
+                        y: c.y,
+                    }),
+                Dir::ExpressWest => {
+                    (self.kind == TopologyKind::Express && c.x >= self.skip).then(|| Coord {
+                        x: c.x - self.skip,
+                        y: c.y,
+                    })
+                }
+            };
+        nc.map(|c| self.router_at(c))
     }
 
-    /// Deterministic dimension-order (X-Y) routing: the output port a packet
-    /// at `here` takes toward `dest`. Returns [`Dir::Local`] on arrival.
+    // -- routing ---------------------------------------------------------
+
+    /// One routing step in a single dimension, mesh-style (no wraparound).
+    fn mesh_step(from: u16, to: u16, pos: Dir, neg: Dir) -> Option<Dir> {
+        match from.cmp(&to) {
+            std::cmp::Ordering::Less => Some(pos),
+            std::cmp::Ordering::Greater => Some(neg),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// One routing step around a ring: shortest direction, ties broken
+    /// toward the positive direction (East/South).
+    fn ring_step(from: u16, to: u16, size: u16, pos: Dir, neg: Dir) -> Option<Dir> {
+        if from == to {
+            return None;
+        }
+        let fwd = (to + size - from) % size;
+        if u32::from(fwd) * 2 <= u32::from(size) {
+            Some(pos)
+        } else {
+            Some(neg)
+        }
+    }
+
+    /// One routing step in a dimension on the express fabric: take the
+    /// skip channel while at least `skip` hops remain, else walk.
+    fn express_step(from: u16, to: u16, skip: u16, pos: Dir, neg: Dir) -> Option<Dir> {
+        match from.cmp(&to) {
+            std::cmp::Ordering::Less if to - from >= skip => Some(match pos {
+                Dir::East => Dir::ExpressEast,
+                _ => Dir::ExpressSouth,
+            }),
+            std::cmp::Ordering::Less => Some(pos),
+            std::cmp::Ordering::Greater if from - to >= skip => Some(match neg {
+                Dir::West => Dir::ExpressWest,
+                _ => Dir::ExpressNorth,
+            }),
+            std::cmp::Ordering::Greater => Some(neg),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// The step to take in one dimension, per fabric.
+    fn dim_step(&self, from: u16, to: u16, size: u16, pos: Dir, neg: Dir) -> Option<Dir> {
+        match self.kind {
+            TopologyKind::Mesh | TopologyKind::CMesh => Self::mesh_step(from, to, pos, neg),
+            TopologyKind::Torus => Self::ring_step(from, to, size, pos, neg),
+            TopologyKind::Express => Self::express_step(from, to, self.skip, pos, neg),
+        }
+    }
+
+    /// Dimension-order (X-Y) routing: the output port a packet at router
+    /// `here` takes toward the **tile** `dest`. Returns [`Dir::Local`] when
+    /// `here` is the router serving `dest`.
     #[must_use]
     pub fn xy_route(&self, here: NodeId, dest: NodeId) -> Dir {
-        let h = self.coord_of(here);
-        let d = self.coord_of(dest);
-        if h.x < d.x {
-            Dir::East
-        } else if h.x > d.x {
-            Dir::West
-        } else if h.y < d.y {
-            Dir::South
-        } else if h.y > d.y {
-            Dir::North
-        } else {
-            Dir::Local
-        }
+        let (rw, rh) = self.router_dims();
+        let h = self.router_coord(here);
+        let d = self.router_coord(self.router_of(dest));
+        self.dim_step(h.x, d.x, rw, Dir::East, Dir::West)
+            .or_else(|| self.dim_step(h.y, d.y, rh, Dir::South, Dir::North))
+            .unwrap_or(Dir::Local)
     }
 
-    /// Y-X dimension-order routing (rows first). Deadlock-free like X-Y.
+    /// Y-X dimension-order routing (rows first).
     #[must_use]
     pub fn yx_route(&self, here: NodeId, dest: NodeId) -> Dir {
-        let h = self.coord_of(here);
-        let d = self.coord_of(dest);
-        if h.y < d.y {
-            Dir::South
-        } else if h.y > d.y {
-            Dir::North
-        } else if h.x < d.x {
-            Dir::East
-        } else if h.x > d.x {
-            Dir::West
-        } else {
-            Dir::Local
-        }
+        let (rw, rh) = self.router_dims();
+        let h = self.router_coord(here);
+        let d = self.router_coord(self.router_of(dest));
+        self.dim_step(h.y, d.y, rh, Dir::South, Dir::North)
+            .or_else(|| self.dim_step(h.x, d.x, rw, Dir::East, Dir::West))
+            .unwrap_or(Dir::Local)
     }
 
     /// Routes by the configured dimension-order algorithm.
@@ -197,17 +564,72 @@ impl Mesh {
         }
     }
 
-    /// Manhattan hop distance between two nodes.
+    /// Router-grid hop distance between the routers serving tiles `a` and
+    /// `b` — exactly the hops the deterministic route takes.
     #[must_use]
     pub fn hop_distance(&self, a: NodeId, b: NodeId) -> u32 {
-        let ca = self.coord_of(a);
-        let cb = self.coord_of(b);
-        u32::from(ca.x.abs_diff(cb.x)) + u32::from(ca.y.abs_diff(cb.y))
+        let (rw, rh) = self.router_dims();
+        let ca = self.router_coord(self.router_of(a));
+        let cb = self.router_coord(self.router_of(b));
+        let dx = u32::from(ca.x.abs_diff(cb.x));
+        let dy = u32::from(ca.y.abs_diff(cb.y));
+        match self.kind {
+            TopologyKind::Mesh | TopologyKind::CMesh => dx + dy,
+            TopologyKind::Torus => dx.min(u32::from(rw) - dx) + dy.min(u32::from(rh) - dy),
+            TopologyKind::Express => {
+                let skip = u32::from(self.skip);
+                (dx / skip + dx % skip) + (dy / skip + dy % skip)
+            }
+        }
     }
 
-    /// Corner nodes where memory controllers attach, in the paper's layout:
-    /// `count` of 1, 2 or 4. Two controllers sit at *opposite* corners
-    /// (Section 4.1, 16-core setup); four occupy all corners.
+    // -- deadlock avoidance ----------------------------------------------
+
+    /// Dateline VC subclass for a hop out of router `here` toward tile
+    /// `dest` through port `d` — `Some(0|1)` on a torus, `None` elsewhere
+    /// (mesh-like fabrics need no dateline discipline).
+    ///
+    /// The discipline is history-free: a hop whose remaining path in the
+    /// traversed dimension still crosses the wraparound edge uses subclass
+    /// 0, and subclass 1 once it no longer does (including the wrap hop
+    /// itself). Within subclass 0 positions move monotonically toward the
+    /// wrap edge and within subclass 1 monotonically toward the
+    /// destination, so channel dependencies only ever go 0 → 1 and the
+    /// dependency graph is acyclic (`DESIGN.md` §13, proven empirically by
+    /// `proptest_network::torus_dateline_dependencies_are_acyclic`).
+    #[must_use]
+    pub fn vc_subclass(&self, here: NodeId, dest: NodeId, d: Dir) -> Option<u8> {
+        if self.kind != TopologyKind::Torus {
+            return None;
+        }
+        let (rw, rh) = self.router_dims();
+        let h = self.router_coord(here);
+        let t = self.router_coord(self.router_of(dest));
+        let (p, target, size, positive) = match d {
+            Dir::East => (h.x, t.x, rw, true),
+            Dir::West => (h.x, t.x, rw, false),
+            Dir::South => (h.y, t.y, rh, true),
+            Dir::North => (h.y, t.y, rh, false),
+            _ => return None,
+        };
+        let after = if positive {
+            (p + 1) % size
+        } else {
+            (p + size - 1) % size
+        };
+        let wrap_remaining = if positive {
+            after > target
+        } else {
+            after < target
+        };
+        Some(u8::from(!wrap_remaining))
+    }
+
+    // -- memory-controller attachment ------------------------------------
+
+    /// Corner tiles where memory controllers attach, in the paper's
+    /// layout: `count` of 1, 2 or 4. Two controllers sit at *opposite*
+    /// corners (Section 4.1, 16-core setup); four occupy all corners.
     ///
     /// # Panics
     ///
@@ -235,9 +657,61 @@ impl Mesh {
         }
     }
 
-    /// Iterator over all node ids.
-    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.num_nodes() as u16).map(NodeId)
+    /// Tiles where memory controllers attach under a placement policy.
+    /// `Corner` reproduces [`Topology::corner_nodes`] exactly (the
+    /// pre-placement behavior); `Edge` uses edge midpoints (top, bottom,
+    /// then left/right); `Center` uses the central 2×2 block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is not 1, 2 or 4.
+    #[must_use]
+    pub fn mc_nodes(&self, placement: McPlacement, count: usize) -> Vec<NodeId> {
+        match placement {
+            McPlacement::Corner => self.corner_nodes(count),
+            McPlacement::Edge => {
+                let top = self.node_at(Coord {
+                    x: self.width / 2,
+                    y: 0,
+                });
+                let bottom = self.node_at(Coord {
+                    x: self.width / 2,
+                    y: self.height - 1,
+                });
+                let left = self.node_at(Coord {
+                    x: 0,
+                    y: self.height / 2,
+                });
+                let right = self.node_at(Coord {
+                    x: self.width - 1,
+                    y: self.height / 2,
+                });
+                match count {
+                    1 => vec![top],
+                    2 => vec![top, bottom],
+                    4 => vec![top, bottom, left, right],
+                    _ => panic!("unsupported controller count {count} (need 1, 2 or 4)"),
+                }
+            }
+            McPlacement::Center => {
+                let (cx, cy) = (self.width / 2, self.height / 2);
+                let block = [
+                    Coord {
+                        x: cx - 1,
+                        y: cy - 1,
+                    },
+                    Coord { x: cx, y: cy },
+                    Coord { x: cx, y: cy - 1 },
+                    Coord { x: cx - 1, y: cy },
+                ];
+                match count {
+                    1 => vec![self.node_at(block[1])],
+                    2 => vec![self.node_at(block[0]), self.node_at(block[1])],
+                    4 => block.iter().map(|&c| self.node_at(c)).collect(),
+                    _ => panic!("unsupported controller count {count} (need 1, 2 or 4)"),
+                }
+            }
+        }
     }
 }
 
@@ -370,7 +844,146 @@ mod tests {
         for (i, d) in Dir::ALL.iter().enumerate() {
             assert_eq!(d.index(), i);
         }
+        for (i, d) in Dir::EXPRESS_ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
         assert_eq!(Dir::East.opposite(), Dir::West);
         assert_eq!(Dir::Local.opposite(), Dir::Local);
+        assert_eq!(Dir::ExpressNorth.opposite(), Dir::ExpressSouth);
+        assert_eq!(Dir::ExpressWest.opposite(), Dir::ExpressEast);
+    }
+
+    #[test]
+    fn torus_wraps_and_routes_shortest() {
+        let t = Topology::torus(8, 4);
+        let nw = t.node_at(Coord { x: 0, y: 0 });
+        // Wraparound links exist at the edges.
+        assert_eq!(t.neighbor(nw, Dir::West), Some(NodeId(7)));
+        assert_eq!(t.neighbor(nw, Dir::North), Some(NodeId(24)));
+        // 0 → x=6 is 2 hops west around the ring, not 6 east.
+        let dst = t.node_at(Coord { x: 6, y: 0 });
+        assert_eq!(t.xy_route(nw, dst), Dir::West);
+        assert_eq!(t.hop_distance(nw, dst), 2);
+        // Ties break toward the positive direction (East/South).
+        let half = t.node_at(Coord { x: 4, y: 0 });
+        assert_eq!(t.xy_route(nw, half), Dir::East);
+        // On 8×4 the farthest tile is 4+2 hops away.
+        let far = t.node_at(Coord { x: 4, y: 2 });
+        assert_eq!(t.hop_distance(nw, far), 6);
+    }
+
+    #[test]
+    fn torus_dateline_subclass_transitions_once() {
+        let t = Topology::torus(8, 4);
+        // Route 6 → 1 goes east across the wrap edge: subclass 0 while the
+        // wrap is still ahead, subclass 1 from the wrap hop onward.
+        let src = t.node_at(Coord { x: 6, y: 0 });
+        let dst = t.node_at(Coord { x: 1, y: 0 });
+        let mut here = src;
+        let mut classes = Vec::new();
+        loop {
+            let d = t.xy_route(here, dst);
+            if d == Dir::Local {
+                break;
+            }
+            classes.push(t.vc_subclass(here, dst, d).expect("torus hop"));
+            here = t.neighbor(here, d).expect("link exists");
+        }
+        assert_eq!(classes, vec![0, 1, 1]);
+        // Mesh-like fabrics never ask for a subclass.
+        assert_eq!(mesh48().vc_subclass(NodeId(0), NodeId(3), Dir::East), None);
+        assert_eq!(t.vc_subclass(src, dst, Dir::Local), None);
+    }
+
+    #[test]
+    fn cmesh_shares_routers_between_tiles() {
+        let t = Topology::cmesh(8, 4, 4);
+        assert_eq!(t.num_nodes(), 32, "tile grid unchanged");
+        assert_eq!(t.num_routers(), 8, "2x2 blocks quarter the routers");
+        // Tiles (0,0), (1,0), (0,1), (1,1) share router 0.
+        for c in [
+            Coord { x: 0, y: 0 },
+            Coord { x: 1, y: 0 },
+            Coord { x: 0, y: 1 },
+            Coord { x: 1, y: 1 },
+        ] {
+            assert_eq!(t.router_of(t.node_at(c)), NodeId(0));
+        }
+        assert_eq!(t.router_of(t.node_at(Coord { x: 7, y: 3 })), NodeId(7));
+        // Routing to a tile in the same block ejects immediately.
+        let dst = t.node_at(Coord { x: 1, y: 1 });
+        assert_eq!(t.xy_route(NodeId(0), dst), Dir::Local);
+        assert_eq!(t.hop_distance(t.node_at(Coord { x: 0, y: 0 }), dst), 0);
+        // c=1 degenerates to the identity mapping.
+        let id = Topology::cmesh(8, 4, 1);
+        assert_eq!(id.num_routers(), 32);
+        for n in id.nodes() {
+            assert_eq!(id.router_of(n), n);
+        }
+    }
+
+    #[test]
+    fn express_channels_skip_routers() {
+        let t = Topology::express(8, 8, 2);
+        assert_eq!(t.num_ports(), 9);
+        assert_eq!(t.ports().len(), 9);
+        let origin = t.node_at(Coord { x: 0, y: 0 });
+        assert_eq!(
+            t.neighbor(origin, Dir::ExpressEast),
+            Some(t.node_at(Coord { x: 2, y: 0 }))
+        );
+        assert_eq!(t.neighbor(origin, Dir::ExpressWest), None);
+        // 5 columns east = 2 express hops + 1 plain hop.
+        let dst = t.node_at(Coord { x: 5, y: 0 });
+        assert_eq!(t.xy_route(origin, dst), Dir::ExpressEast);
+        assert_eq!(t.hop_distance(origin, dst), 3);
+        // Within skip distance the plain port is used.
+        let near = t.node_at(Coord { x: 1, y: 0 });
+        assert_eq!(t.xy_route(origin, near), Dir::East);
+        // Non-express fabrics expose no express links.
+        assert_eq!(mesh48().neighbor(NodeId(0), Dir::ExpressEast), None);
+        assert_eq!(mesh48().num_ports(), 5);
+    }
+
+    #[test]
+    fn mc_placements_are_distinct_tiles() {
+        let t = Topology::new(16, 16);
+        for placement in [McPlacement::Corner, McPlacement::Edge, McPlacement::Center] {
+            for count in [1, 2, 4] {
+                let nodes = t.mc_nodes(placement, count);
+                assert_eq!(nodes.len(), count);
+                let mut dedup = nodes.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                assert_eq!(dedup.len(), count, "{placement:?} produced duplicates");
+            }
+        }
+        // Corner placement is exactly the historical layout.
+        assert_eq!(t.mc_nodes(McPlacement::Corner, 4), t.corner_nodes(4));
+        // Center block on 16×16 surrounds (8,8).
+        let center = t.mc_nodes(McPlacement::Center, 4);
+        for n in center {
+            let c = t.coord_of(n);
+            assert!((7..=8).contains(&c.x) && (7..=8).contains(&c.y));
+        }
+    }
+
+    #[test]
+    fn from_config_builds_every_fabric() {
+        use noclat_sim::config::TopologyConfig;
+        let m = Topology::from_config(&TopologyConfig::mesh(8, 4));
+        assert_eq!(m, Mesh::new(8, 4));
+        assert_eq!(
+            Topology::from_config(&TopologyConfig::torus(8, 4)).kind(),
+            TopologyKind::Torus
+        );
+        assert_eq!(
+            Topology::from_config(&TopologyConfig::cmesh(8, 4, 2)).num_routers(),
+            16
+        );
+        assert_eq!(
+            Topology::from_config(&TopologyConfig::express(8, 8, 3)).express_skip(),
+            3
+        );
     }
 }

@@ -2,9 +2,9 @@
 //! no packet is lost, duplicated, or delivered faster than physics allows,
 //! and the age field never decreases along a path.
 
-use noclat_noc::{flits_for_payload, Mesh, Network, NodeId, Priority, VNet};
+use noclat_noc::{flits_for_payload, Dir, Mesh, Network, NodeId, Priority, Topology, VNet};
 use noclat_sim::check::{self, pick, range_u64};
-use noclat_sim::config::{RouterPipeline, SystemConfig};
+use noclat_sim::config::{RouterPipeline, RoutingAlgorithm, SystemConfig};
 use noclat_sim::rng::SimRng;
 
 /// One injected packet description.
@@ -202,4 +202,196 @@ fn conservation_under_random_drop_faults() {
         let dropped = outcome.iter().filter(|o| **o == Some("dropped")).count() as u64;
         assert_eq!(net.stats().packets_dropped.get(), dropped);
     });
+}
+
+// ---------------------------------------------------------------------------
+// Topology-parametric properties: every fabric the config layer can build is
+// checked for route termination (with an exact per-topology hop bound),
+// link sanity (no self-loops, neighbor symmetry), and — on the torus — the
+// acyclicity of the dateline VC discipline's channel-dependency graph.
+// ---------------------------------------------------------------------------
+
+/// A representative instance of every fabric, including odd torus rings and
+/// both even and non-dividing-adjacent express skips.
+fn all_fabrics() -> Vec<Topology> {
+    vec![
+        Topology::new(8, 4),
+        Topology::new(16, 16),
+        Topology::torus(8, 4),
+        Topology::torus(5, 5),
+        Topology::torus(16, 16),
+        Topology::cmesh(8, 4, 2),
+        Topology::cmesh(8, 8, 4),
+        Topology::cmesh(16, 16, 4),
+        Topology::express(8, 8, 2),
+        Topology::express(16, 16, 2),
+        Topology::express(16, 16, 5),
+    ]
+}
+
+/// Walks the deterministic route from `src` to `dest`, returning the hop
+/// sequence `(router, out_dir)` taken (excluding the final `Local` step).
+/// Panics if the walk exceeds an obviously-broken step budget.
+fn walk_route(
+    topo: &Topology,
+    algo: RoutingAlgorithm,
+    src: NodeId,
+    dest: NodeId,
+) -> Vec<(NodeId, Dir)> {
+    let budget = 2 * (topo.width() + topo.height()) as usize + 4;
+    let mut here = topo.router_of(src);
+    let mut hops = Vec::new();
+    loop {
+        let d = topo.route(algo, here, dest);
+        if d == Dir::Local {
+            return hops;
+        }
+        assert!(
+            hops.len() < budget,
+            "{}: route {src}->{dest} did not terminate within {budget} hops",
+            topo.config().label(),
+        );
+        hops.push((here, d));
+        here = topo
+            .neighbor(here, d)
+            .unwrap_or_else(|| panic!("route stepped off the fabric: {here} {d:?}"));
+    }
+}
+
+#[test]
+fn routes_terminate_with_exact_hop_distance() {
+    for topo in all_fabrics() {
+        let label = topo.config().label();
+        for algo in [RoutingAlgorithm::XY, RoutingAlgorithm::YX] {
+            for src in topo.nodes() {
+                for dest in topo.nodes() {
+                    let hops = walk_route(&topo, algo, src, dest);
+                    let last = hops
+                        .last()
+                        .map_or(topo.router_of(src), |&(r, d)| topo.neighbor(r, d).unwrap());
+                    assert_eq!(
+                        last,
+                        topo.router_of(dest),
+                        "{label}: {algo:?} route {src}->{dest} ended at wrong router"
+                    );
+                    assert_eq!(
+                        hops.len() as u32,
+                        topo.hop_distance(src, dest),
+                        "{label}: {algo:?} route {src}->{dest} hop count != hop_distance"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn no_link_is_a_self_loop() {
+    for topo in all_fabrics() {
+        for r in topo.routers() {
+            for &d in topo.ports() {
+                if d == Dir::Local {
+                    continue;
+                }
+                assert_ne!(
+                    topo.neighbor(r, d),
+                    Some(r),
+                    "{}: router {r} port {d:?} loops back to itself",
+                    topo.config().label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn neighbor_links_are_symmetric() {
+    for topo in all_fabrics() {
+        for r in topo.routers() {
+            for &d in topo.ports() {
+                if d == Dir::Local {
+                    continue;
+                }
+                if let Some(s) = topo.neighbor(r, d) {
+                    assert_eq!(
+                        topo.neighbor(s, d.opposite()),
+                        Some(r),
+                        "{}: link {r} -{d:?}-> {s} has no reverse",
+                        topo.config().label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The deadlock-freedom argument for torus wraparound: collect the channel
+/// dependencies (VC class at one router feeding a VC class at the next) of
+/// *every* deterministic route, then check the dependency graph is acyclic.
+/// Without datelines, any ring of size ≥ 3 makes this fail.
+#[test]
+fn torus_dateline_discipline_never_forms_a_cycle() {
+    use std::collections::{HashMap, HashSet};
+    for topo in [
+        Topology::torus(4, 4),
+        Topology::torus(5, 3),
+        Topology::torus(8, 8),
+    ] {
+        let label = topo.config().label();
+        // Channel = (router, mesh dir, dateline subclass), densely numbered.
+        let chan = |r: NodeId, d: Dir, s: u8| -> u32 {
+            ((r.index() * 4 + d.index()) * 2 + s as usize) as u32
+        };
+        // One graph per routing algorithm: a network runs exactly one, so
+        // only dependencies of the same algorithm can ever coexist.
+        for algo in [RoutingAlgorithm::XY, RoutingAlgorithm::YX] {
+            let mut edges: HashSet<(u32, u32)> = HashSet::new();
+            let mut nodes: HashSet<u32> = HashSet::new();
+            for src in topo.nodes() {
+                for dest in topo.nodes() {
+                    let mut prev: Option<u32> = None;
+                    for (r, d) in walk_route(&topo, algo, src, dest) {
+                        let s = topo
+                            .vc_subclass(r, dest, d)
+                            .expect("torus mesh dirs are classed");
+                        let c = chan(r, d, s);
+                        nodes.insert(c);
+                        if let Some(p) = prev {
+                            edges.insert((p, c));
+                        }
+                        prev = Some(c);
+                    }
+                }
+            }
+            // Kahn's algorithm: a full topological drain proves acyclicity.
+            let mut indeg: HashMap<u32, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+            let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+            for &(a, b) in &edges {
+                *indeg.get_mut(&b).unwrap() += 1;
+                adj.entry(a).or_default().push(b);
+            }
+            let mut queue: Vec<u32> = indeg
+                .iter()
+                .filter(|&(_, &deg)| deg == 0)
+                .map(|(&n, _)| n)
+                .collect();
+            let mut drained = 0usize;
+            while let Some(n) = queue.pop() {
+                drained += 1;
+                for &m in adj.get(&n).into_iter().flatten() {
+                    let deg = indeg.get_mut(&m).unwrap();
+                    *deg -= 1;
+                    if *deg == 0 {
+                        queue.push(m);
+                    }
+                }
+            }
+            assert_eq!(
+                drained,
+                nodes.len(),
+                "{label}/{algo:?}: channel dependency graph has a cycle ({drained} of {} channels drain)",
+                nodes.len()
+            );
+        }
+    }
 }

@@ -10,20 +10,294 @@ use crate::error::FaultError;
 use crate::faults::FaultPlan;
 use crate::Cycle;
 
-/// Mesh dimensions and node count.
+/// Which network fabric connects the tiles.
+///
+/// The tile grid (`width × height`, one core/L1/L2-bank per tile) is the
+/// same for every kind — the kind only changes how routers are wired:
+///
+/// * `Mesh` — the paper's 2D mesh (bit-identical to the pre-topology code).
+/// * `Torus` — mesh plus wraparound links in both dimensions; deadlock
+///   freedom comes from dateline virtual-channel subclasses, which is why a
+///   torus needs `vcs_per_port` divisible by 4 (request/response halves,
+///   each split into two dateline subclasses).
+/// * `CMesh` — concentrated mesh: `concentration` tiles share one router
+///   (2 → 2×1 tile blocks, 4 → 2×2 blocks), quartering router count and
+///   average hop distance at 256+ cores.
+/// * `Express` — mesh plus express (ruche) channels that skip
+///   `express_skip` routers per hop in each dimension, the BSG
+///   `RUCHE_FACTOR` parameterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TopologyKind {
+    /// Plain 2D mesh (the default; the paper's fabric).
+    #[default]
+    Mesh,
+    /// 2D torus with dateline VCs.
+    Torus,
+    /// Concentrated mesh.
+    CMesh,
+    /// Mesh with express/ruche skip channels.
+    Express,
+}
+
+impl TopologyKind {
+    /// Parses a `--topology` fabric name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown names.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "mesh" => Ok(TopologyKind::Mesh),
+            "torus" => Ok(TopologyKind::Torus),
+            "cmesh" => Ok(TopologyKind::CMesh),
+            "express" => Ok(TopologyKind::Express),
+            _ => Err(format!(
+                "--topology: unknown fabric {value:?} (known: mesh, torus, cmesh, express)"
+            )),
+        }
+    }
+
+    /// The CLI name of this fabric.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyKind::Mesh => "mesh",
+            TopologyKind::Torus => "torus",
+            TopologyKind::CMesh => "cmesh",
+            TopologyKind::Express => "express",
+        }
+    }
+}
+
+/// Where memory controllers attach to the tile grid — a swept sub-axis
+/// ("Optimal Placement of Cores, Caches and Memory Controllers in NoC").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum McPlacement {
+    /// The paper's layout: controllers at the grid corners (default).
+    #[default]
+    Corner,
+    /// Controllers at edge midpoints (top/bottom, then left/right).
+    Edge,
+    /// Controllers in the central block of the grid.
+    Center,
+}
+
+impl McPlacement {
+    /// Parses an `mc=` placement name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown names.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "corner" => Ok(McPlacement::Corner),
+            "edge" => Ok(McPlacement::Edge),
+            "center" => Ok(McPlacement::Center),
+            _ => Err(format!(
+                "--topology: unknown MC placement {value:?} (known: corner, edge, center)"
+            )),
+        }
+    }
+
+    /// The CLI name of this placement.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            McPlacement::Corner => "corner",
+            McPlacement::Edge => "edge",
+            McPlacement::Center => "center",
+        }
+    }
+}
+
+/// Tile-grid dimensions and fabric selection.
+///
+/// `width × height` always counts **tiles** (cores); for a concentrated
+/// mesh the router grid is smaller by the concentration factor, but the
+/// cache hierarchy, workload mapping and MC placement are all expressed in
+/// tiles and are untouched by the fabric choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TopologyConfig {
-    /// Number of columns (the paper's 4×8 mesh is 4 rows × 8 columns).
+    /// Number of tile columns (the paper's 4×8 mesh is 4 rows × 8 columns).
     pub width: u16,
-    /// Number of rows.
+    /// Number of tile rows.
     pub height: u16,
+    /// Which fabric wires the routers together.
+    pub kind: TopologyKind,
+    /// Tiles per router (`CMesh` only; 1 elsewhere). 2 → 2×1 tile blocks,
+    /// 4 → 2×2 blocks.
+    pub concentration: u16,
+    /// Routers skipped by one express-channel hop (`Express` only;
+    /// the BSG `RUCHE_FACTOR`). Must satisfy `2 ≤ skip < min(width, height)`.
+    pub express_skip: u16,
+    /// Where memory controllers attach.
+    pub mc_placement: McPlacement,
 }
 
 impl TopologyConfig {
-    /// Total number of nodes (`width × height`).
+    /// A plain mesh — the paper's fabric and the pre-topology default.
+    #[must_use]
+    pub fn mesh(width: u16, height: u16) -> Self {
+        TopologyConfig {
+            width,
+            height,
+            kind: TopologyKind::Mesh,
+            concentration: 1,
+            express_skip: 0,
+            mc_placement: McPlacement::Corner,
+        }
+    }
+
+    /// A torus of the same tile grid.
+    #[must_use]
+    pub fn torus(width: u16, height: u16) -> Self {
+        TopologyConfig {
+            kind: TopologyKind::Torus,
+            ..Self::mesh(width, height)
+        }
+    }
+
+    /// A concentrated mesh with `concentration` tiles per router.
+    #[must_use]
+    pub fn cmesh(width: u16, height: u16, concentration: u16) -> Self {
+        TopologyConfig {
+            kind: TopologyKind::CMesh,
+            concentration,
+            ..Self::mesh(width, height)
+        }
+    }
+
+    /// A mesh with express channels skipping `express_skip` routers.
+    #[must_use]
+    pub fn express(width: u16, height: u16, express_skip: u16) -> Self {
+        TopologyConfig {
+            kind: TopologyKind::Express,
+            express_skip,
+            ..Self::mesh(width, height)
+        }
+    }
+
+    /// Total number of tiles (`width × height`), i.e. cores.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
         usize::from(self.width) * usize::from(self.height)
+    }
+
+    /// Compact `fabric:WxH[,extras]` label for logs and fingerprints.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut s = format!("{}:{}x{}", self.kind.name(), self.width, self.height);
+        if self.kind == TopologyKind::CMesh {
+            s.push_str(&format!(",c={}", self.concentration));
+        }
+        if self.kind == TopologyKind::Express {
+            s.push_str(&format!(",skip={}", self.express_skip));
+        }
+        if self.mc_placement != McPlacement::Corner {
+            s.push_str(&format!(",mc={}", self.mc_placement.name()));
+        }
+        s
+    }
+}
+
+/// A parsed `--topology NAME[:PARAM=V,...]` override from the sweep CLI,
+/// e.g. `torus`, `cmesh:c=4`, `express:skip=2,mc=edge`. Like
+/// [`PolicyOverride`] it composes with each binary's own config sweep:
+/// the tile-grid dimensions are left untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TopologyOverride {
+    /// Fabric to select, if any.
+    pub kind: Option<TopologyKind>,
+    /// Concentration factor (`c=`), if given.
+    pub concentration: Option<u16>,
+    /// Express skip distance (`skip=`), if given.
+    pub express_skip: Option<u16>,
+    /// MC placement (`mc=`), if given.
+    pub mc_placement: Option<McPlacement>,
+}
+
+impl TopologyOverride {
+    /// Whether the override selects anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kind.is_none()
+            && self.concentration.is_none()
+            && self.express_skip.is_none()
+            && self.mc_placement.is_none()
+    }
+
+    /// Parses `NAME[:PARAM=V,...]`, e.g. `torus`, `cmesh:c=4`,
+    /// `express:skip=2,mc=center`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown fabrics, unknown keys,
+    /// or malformed values.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut out = TopologyOverride::default();
+        if spec.is_empty() {
+            return Ok(out);
+        }
+        let (name, params) = match spec.split_once(':') {
+            Some((name, params)) => (name, params),
+            None => (spec, ""),
+        };
+        out.kind = Some(TopologyKind::parse(name)?);
+        for part in params.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("--topology: expected key=value, got {part:?}"))?;
+            match key {
+                "c" | "concentration" => {
+                    let c: u16 = value
+                        .parse()
+                        .map_err(|_| format!("--topology: bad concentration {value:?}"))?;
+                    out.concentration = Some(c);
+                }
+                "skip" | "ruche" => {
+                    let s: u16 = value
+                        .parse()
+                        .map_err(|_| format!("--topology: bad skip distance {value:?}"))?;
+                    out.express_skip = Some(s);
+                }
+                "mc" => {
+                    out.mc_placement = Some(McPlacement::parse(value)?);
+                }
+                _ => {
+                    return Err(format!(
+                        "--topology: unknown key {key:?} (known: c, skip, mc)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the override to a configuration, keeping the tile-grid
+    /// dimensions and filling unspecified parameters with per-fabric
+    /// defaults (`c=4` for cmesh, `skip=2` for express).
+    pub fn apply(&self, cfg: &mut SystemConfig) {
+        if let Some(kind) = self.kind {
+            cfg.topology.kind = kind;
+            cfg.topology.concentration = match kind {
+                TopologyKind::CMesh => self.concentration.unwrap_or(4),
+                _ => 1,
+            };
+            cfg.topology.express_skip = match kind {
+                TopologyKind::Express => self.express_skip.unwrap_or(2),
+                _ => 0,
+            };
+        } else {
+            if let Some(c) = self.concentration {
+                cfg.topology.concentration = c;
+            }
+            if let Some(s) = self.express_skip {
+                cfg.topology.express_skip = s;
+            }
+        }
+        if let Some(mc) = self.mc_placement {
+            cfg.topology.mc_placement = mc;
+        }
     }
 }
 
@@ -578,10 +852,7 @@ impl SystemConfig {
     #[must_use]
     pub fn baseline_32() -> Self {
         SystemConfig {
-            topology: TopologyConfig {
-                width: 8,
-                height: 4,
-            },
+            topology: TopologyConfig::mesh(8, 4),
             cpu: CpuConfig {
                 window_size: 128,
                 lsq_size: 64,
@@ -660,11 +931,27 @@ impl SystemConfig {
     #[must_use]
     pub fn baseline_16() -> Self {
         let mut cfg = Self::baseline_32();
-        cfg.topology = TopologyConfig {
-            width: 4,
-            height: 4,
-        };
+        cfg.topology = TopologyConfig::mesh(4, 4);
         cfg.mem.num_controllers = 2;
+        cfg
+    }
+
+    /// Hundreds-cores scale point: 256 cores on a 16×16 tile grid, 4
+    /// memory controllers. The fabric defaults to mesh; swap it with
+    /// [`TopologyOverride`] or by setting `topology.kind`.
+    #[must_use]
+    pub fn baseline_256() -> Self {
+        let mut cfg = Self::baseline_32();
+        cfg.topology = TopologyConfig::mesh(16, 16);
+        cfg
+    }
+
+    /// Thousand-cores scale point: 1024 cores on a 32×32 tile grid, 4
+    /// memory controllers.
+    #[must_use]
+    pub fn baseline_1024() -> Self {
+        let mut cfg = Self::baseline_32();
+        cfg.topology = TopologyConfig::mesh(32, 32);
         cfg
     }
 
@@ -705,6 +992,66 @@ impl SystemConfig {
                 width: self.topology.width,
                 height: self.topology.height,
             });
+        }
+        match self.topology.kind {
+            TopologyKind::Mesh | TopologyKind::Torus | TopologyKind::Express => {
+                if self.topology.concentration != 1 {
+                    return Err(ConfigError::BadConcentration {
+                        concentration: self.topology.concentration,
+                        kind: self.topology.kind,
+                    });
+                }
+            }
+            TopologyKind::CMesh => {
+                let (cx, cy) = match self.topology.concentration {
+                    // c=1 degenerates to a mesh and is allowed; c=2 packs
+                    // 2×1 tile blocks, c=4 packs 2×2.
+                    1 => (1u16, 1u16),
+                    2 => (2, 1),
+                    4 => (2, 2),
+                    other => {
+                        return Err(ConfigError::BadConcentration {
+                            concentration: other,
+                            kind: self.topology.kind,
+                        })
+                    }
+                };
+                if !self.topology.width.is_multiple_of(cx)
+                    || !self.topology.height.is_multiple_of(cy)
+                    || self.topology.width / cx < 2
+                    || self.topology.height / cy < 2
+                {
+                    return Err(ConfigError::ConcentrationDoesNotDivide {
+                        concentration: self.topology.concentration,
+                        width: self.topology.width,
+                        height: self.topology.height,
+                    });
+                }
+            }
+        }
+        match self.topology.kind {
+            TopologyKind::Express => {
+                let skip = self.topology.express_skip;
+                if skip < 2 || skip >= self.topology.width.min(self.topology.height) {
+                    return Err(ConfigError::BadExpressSkip {
+                        skip,
+                        width: self.topology.width,
+                        height: self.topology.height,
+                    });
+                }
+            }
+            _ => {
+                if self.topology.express_skip != 0 {
+                    return Err(ConfigError::BadExpressSkip {
+                        skip: self.topology.express_skip,
+                        width: self.topology.width,
+                        height: self.topology.height,
+                    });
+                }
+            }
+        }
+        if self.topology.kind == TopologyKind::Torus && !self.noc.vcs_per_port.is_multiple_of(4) {
+            return Err(ConfigError::TorusNeedsDatelineVcs(self.noc.vcs_per_port));
         }
         if self.mem.num_controllers > self.topology.num_nodes() {
             return Err(ConfigError::ControllersExceedNodes {
@@ -848,6 +1195,37 @@ pub enum ConfigError {
     },
     /// The fault plan failed validation.
     InvalidFaultPlan(FaultError),
+    /// Concentration factor invalid for the selected fabric (must be 1 on
+    /// non-concentrated fabrics; 1, 2 or 4 on a concentrated mesh).
+    BadConcentration {
+        /// Configured tiles-per-router factor.
+        concentration: u16,
+        /// The fabric it was configured on.
+        kind: TopologyKind,
+    },
+    /// The concentration blocks don't tile the grid, or the resulting
+    /// router grid is smaller than 2×2.
+    ConcentrationDoesNotDivide {
+        /// Configured tiles-per-router factor.
+        concentration: u16,
+        /// Tile-grid width.
+        width: u16,
+        /// Tile-grid height.
+        height: u16,
+    },
+    /// Express skip distance out of range (needs `2 ≤ skip < min(w, h)` on
+    /// an express fabric, and exactly 0 elsewhere).
+    BadExpressSkip {
+        /// Configured skip distance.
+        skip: u16,
+        /// Tile-grid width.
+        width: u16,
+        /// Tile-grid height.
+        height: u16,
+    },
+    /// Torus dateline deadlock avoidance splits each virtual network into
+    /// two VC subclasses, so the VC count must be divisible by 4.
+    TorusNeedsDatelineVcs(usize),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -897,6 +1275,45 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "unknown {slot} policy {name:?}")
             }
             ConfigError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+            ConfigError::BadConcentration {
+                concentration,
+                kind,
+            } => {
+                write!(
+                    f,
+                    "concentration factor {concentration} invalid on {} \
+                     (cmesh supports 1, 2 or 4; other fabrics need 1)",
+                    kind.name()
+                )
+            }
+            ConfigError::ConcentrationDoesNotDivide {
+                concentration,
+                width,
+                height,
+            } => {
+                write!(
+                    f,
+                    "concentration {concentration} does not tile a \
+                     {width}x{height} grid into a router mesh of at least 2x2"
+                )
+            }
+            ConfigError::BadExpressSkip {
+                skip,
+                width,
+                height,
+            } => {
+                write!(
+                    f,
+                    "express skip {skip} out of range for a {width}x{height} grid \
+                     (need 2 <= skip < min(width, height) on express, 0 elsewhere)"
+                )
+            }
+            ConfigError::TorusNeedsDatelineVcs(n) => {
+                write!(
+                    f,
+                    "torus dateline VCs need a VC count divisible by 4, got {n}"
+                )
+            }
         }
     }
 }
@@ -1031,6 +1448,162 @@ mod tests {
             cfg.validate(),
             Err(ConfigError::InvalidFaultPlan(_))
         ));
+    }
+
+    #[test]
+    fn topology_baselines_are_valid_on_every_fabric() {
+        for base in [
+            SystemConfig::baseline_16(),
+            SystemConfig::baseline_32(),
+            SystemConfig::baseline_256(),
+            SystemConfig::baseline_1024(),
+        ] {
+            let (w, h) = (base.topology.width, base.topology.height);
+            for topo in [
+                TopologyConfig::mesh(w, h),
+                TopologyConfig::torus(w, h),
+                TopologyConfig::cmesh(w, h, 2),
+                TopologyConfig::cmesh(w, h, 4),
+                TopologyConfig::express(w, h, 2),
+            ] {
+                // 4×4 with c=4 gives a 2×2 router grid — still valid.
+                let mut cfg = base.clone();
+                cfg.topology = topo;
+                cfg.validate()
+                    .unwrap_or_else(|e| panic!("{} must validate: {e}", topo.label()));
+            }
+        }
+        assert_eq!(SystemConfig::baseline_256().num_cores(), 256);
+        assert_eq!(SystemConfig::baseline_1024().num_cores(), 1024);
+    }
+
+    #[test]
+    fn validation_rejects_bad_topologies() {
+        // Concentration 0 (and any value outside {1,2,4}) is typed, not a
+        // deep panic in network construction.
+        let mut cfg = SystemConfig::baseline_256();
+        cfg.topology = TopologyConfig::cmesh(16, 16, 0);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadConcentration {
+                concentration: 0,
+                ..
+            })
+        ));
+        cfg.topology = TopologyConfig::cmesh(16, 16, 3);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadConcentration { .. })
+        ));
+
+        // Blocks must tile the grid and leave a router mesh of >= 2x2.
+        cfg.topology = TopologyConfig::cmesh(5, 4, 2);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ConcentrationDoesNotDivide { .. })
+        ));
+        cfg.topology = TopologyConfig::cmesh(2, 2, 4);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ConcentrationDoesNotDivide { .. })
+        ));
+
+        // Concentration on a non-concentrated fabric is rejected.
+        cfg.topology = TopologyConfig::mesh(16, 16);
+        cfg.topology.concentration = 2;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadConcentration { .. })
+        ));
+
+        // Express skip must fit strictly inside both dimensions.
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.topology = TopologyConfig::express(8, 4, 4);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadExpressSkip { skip: 4, .. })
+        ));
+        cfg.topology = TopologyConfig::express(8, 4, 1);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadExpressSkip { skip: 1, .. })
+        ));
+        // ... and a stray skip on a plain mesh is rejected too.
+        cfg.topology = TopologyConfig::mesh(8, 4);
+        cfg.topology.express_skip = 2;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadExpressSkip { skip: 2, .. })
+        ));
+
+        // Torus needs the VC count divisible by 4 for dateline subclasses.
+        let mut cfg = SystemConfig::baseline_32();
+        cfg.topology = TopologyConfig::torus(8, 4);
+        cfg.noc.vcs_per_port = 6;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::TorusNeedsDatelineVcs(6))
+        ));
+        cfg.noc.vcs_per_port = 4;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn topology_override_parses_and_applies() {
+        let ov = TopologyOverride::parse("torus").expect("valid spec");
+        assert_eq!(ov.kind, Some(TopologyKind::Torus));
+        let mut cfg = SystemConfig::baseline_32();
+        ov.apply(&mut cfg);
+        assert_eq!(cfg.topology, TopologyConfig::torus(8, 4));
+
+        let ov = TopologyOverride::parse("cmesh:c=2,mc=edge").expect("valid spec");
+        let mut cfg = SystemConfig::baseline_256();
+        ov.apply(&mut cfg);
+        assert_eq!(cfg.topology.kind, TopologyKind::CMesh);
+        assert_eq!(cfg.topology.concentration, 2);
+        assert_eq!(cfg.topology.mc_placement, McPlacement::Edge);
+        assert_eq!(cfg.topology.width, 16, "grid dimensions are preserved");
+
+        // Per-fabric defaults fill unspecified parameters.
+        let ov = TopologyOverride::parse("cmesh").expect("valid spec");
+        let mut cfg = SystemConfig::baseline_256();
+        ov.apply(&mut cfg);
+        assert_eq!(cfg.topology.concentration, 4);
+        let ov = TopologyOverride::parse("express").expect("valid spec");
+        let mut cfg = SystemConfig::baseline_256();
+        ov.apply(&mut cfg);
+        assert_eq!(cfg.topology.express_skip, 2);
+
+        // Switching back to mesh clears fabric parameters.
+        let ov = TopologyOverride::parse("mesh").expect("valid spec");
+        let mut cfg = SystemConfig::baseline_256();
+        cfg.topology = TopologyConfig::cmesh(16, 16, 4);
+        ov.apply(&mut cfg);
+        assert_eq!(cfg.topology, TopologyConfig::mesh(16, 16));
+
+        // mc-only override keeps the fabric.
+        let ov = TopologyOverride::parse("").expect("empty is fine");
+        assert!(ov.is_empty());
+    }
+
+    #[test]
+    fn topology_override_rejects_bad_specs() {
+        assert!(TopologyOverride::parse("ring").is_err());
+        assert!(TopologyOverride::parse("cmesh:c=x").is_err());
+        assert!(TopologyOverride::parse("express:skip=").is_err());
+        assert!(TopologyOverride::parse("torus:mc=middle").is_err());
+        assert!(TopologyOverride::parse("mesh:speed=9").is_err());
+        assert!(TopologyOverride::parse("mesh:c").is_err());
+    }
+
+    #[test]
+    fn topology_labels_are_compact() {
+        assert_eq!(TopologyConfig::mesh(8, 4).label(), "mesh:8x4");
+        assert_eq!(TopologyConfig::torus(16, 16).label(), "torus:16x16");
+        assert_eq!(TopologyConfig::cmesh(16, 16, 4).label(), "cmesh:16x16,c=4");
+        let mut t = TopologyConfig::express(32, 32, 2);
+        t.mc_placement = McPlacement::Center;
+        assert_eq!(t.label(), "express:32x32,skip=2,mc=center");
     }
 
     #[test]
@@ -1182,6 +1755,21 @@ mod tests {
                 name: "fifo".to_string(),
             },
             ConfigError::InvalidFaultPlan(FaultError::BadProbability(2.0)),
+            ConfigError::BadConcentration {
+                concentration: 0,
+                kind: TopologyKind::CMesh,
+            },
+            ConfigError::ConcentrationDoesNotDivide {
+                concentration: 4,
+                width: 5,
+                height: 5,
+            },
+            ConfigError::BadExpressSkip {
+                skip: 9,
+                width: 8,
+                height: 4,
+            },
+            ConfigError::TorusNeedsDatelineVcs(6),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -54,6 +54,16 @@ impl Workload {
             .collect()
     }
 
+    /// Per-core assignments for an `n`-core system, cycling the 32-app
+    /// Table-2 mix round-robin when `n` exceeds it (the hundreds-cores
+    /// topology configs: 256 cores at 16×16, 1024 at 32×32). For `n <= 32`
+    /// this is a plain prefix of [`Workload::apps`].
+    #[must_use]
+    pub fn apps_for(&self, n: usize) -> Vec<SpecApp> {
+        let base = self.apps();
+        base.iter().copied().cycle().take(n).collect()
+    }
+
     /// The 16-application subset used on the 4×4 system (Figure 15): the
     /// first half of the applications — for mixed workloads, the first half
     /// of the intensive and the first half of the non-intensive apps.
@@ -551,5 +561,18 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_index_panics() {
         let _ = workload(0);
+    }
+
+    #[test]
+    fn apps_for_cycles_table2_round_robin() {
+        let w = workload(2);
+        let base = w.apps();
+        assert_eq!(w.apps_for(16), base[..16].to_vec());
+        assert_eq!(w.apps_for(32), base);
+        let big = w.apps_for(256);
+        assert_eq!(big.len(), 256);
+        assert_eq!(&big[..32], &base[..]);
+        assert_eq!(&big[224..], &base[..]);
+        assert_eq!(big[32], base[0]);
     }
 }

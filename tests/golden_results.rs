@@ -286,3 +286,194 @@ fn perturbed_history_window_escapes_the_bands() {
         "a 4x bank-history window must change the trajectory"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Off-mesh golden rows: the 16x16 torus (256 cores, dateline VCs) under all
+// four scheme combos. No weighted speedup here — 256 alone runs would
+// dominate the suite's budget; the pinned counts and latency shape already
+// lock the fabric's trajectory.
+// ---------------------------------------------------------------------------
+
+use noclat::TopologyOverride;
+
+/// Shorter than the mesh window: a 256-core cycle is ~8x the work, and the
+/// torus rows pin network behaviour (wraparound routing, dateline VC
+/// allocation), which saturates well before Scheme-1's threshold updates.
+fn torus_lengths() -> RunLengths {
+    RunLengths {
+        warmup: 200,
+        measure: 4_000,
+    }
+}
+
+fn torus_config_for(scheme: &str) -> SystemConfig {
+    let mut cfg = match scheme {
+        "baseline" => SystemConfig::baseline_256(),
+        "s1" => SystemConfig::baseline_256().with_scheme1(),
+        "s2" => SystemConfig::baseline_256().with_scheme2(),
+        "both" => SystemConfig::baseline_256().with_both_schemes(),
+        other => unreachable!("unknown scheme {other}"),
+    };
+    TopologyOverride::parse("torus")
+        .expect("valid spec")
+        .apply(&mut cfg);
+    cfg
+}
+
+/// The metrics one torus golden row pins.
+#[derive(Debug, Clone, PartialEq)]
+struct TorusMetrics {
+    scheme: &'static str,
+    /// Total completed off-chip accesses (exact).
+    offchip: u64,
+    /// Per-core off-chip accesses for the first few cores (exact).
+    core_offchip: [u64; PINNED_CORES],
+    /// Sum of per-app IPCs (0.5% band).
+    ipc_sum: f64,
+    /// Mean of the merged round-trip latency histogram (0.5% band).
+    mean_latency: f64,
+    /// 95th percentile of the merged histogram (exact bin center).
+    p95_latency: u64,
+}
+
+fn torus_measure(scheme: &'static str, cfg: &SystemConfig) -> TorusMetrics {
+    let apps = workload(WORKLOAD).apps_for(cfg.num_cores());
+    let r = run_mix(cfg, &apps, torus_lengths());
+    let mut merged = Histogram::new(25, 4000);
+    for c in 0..r.per_app.len() {
+        merged.merge(&r.system.tracker().app(c).total);
+    }
+    let mut core_offchip = [0u64; PINNED_CORES];
+    for (c, slot) in core_offchip.iter_mut().enumerate() {
+        *slot = r.per_app[c].offchip;
+    }
+    TorusMetrics {
+        scheme,
+        offchip: r.per_app.iter().map(|a| a.offchip).sum(),
+        core_offchip,
+        ipc_sum: r.per_app.iter().map(|a| a.ipc).sum(),
+        mean_latency: merged.mean(),
+        p95_latency: merged.percentile(0.95),
+    }
+}
+
+fn torus_check(golden: &TorusMetrics) {
+    let m = torus_measure(golden.scheme, &torus_config_for(golden.scheme));
+    assert_eq!(
+        m.offchip, golden.offchip,
+        "torus/{}/offchip: got {}, golden {}",
+        golden.scheme, m.offchip, golden.offchip
+    );
+    assert_eq!(
+        m.core_offchip, golden.core_offchip,
+        "torus/{}/core_offchip drifted",
+        golden.scheme
+    );
+    assert_close("ipc_sum", golden.scheme, m.ipc_sum, golden.ipc_sum);
+    assert_close(
+        "mean_latency",
+        golden.scheme,
+        m.mean_latency,
+        golden.mean_latency,
+    );
+    assert_eq!(
+        m.p95_latency, golden.p95_latency,
+        "torus/{}/p95_latency: got {}, golden {}",
+        golden.scheme, m.p95_latency, golden.p95_latency
+    );
+}
+
+// Within this window Scheme-1 is inert (its first 10k-cycle threshold
+// update never arrives), so the s1 row equals baseline and the both row
+// equals s2 — the rows still pin that *remaining* equality.
+const TORUS_GOLDEN: [TorusMetrics; 4] = [
+    TorusMetrics {
+        scheme: "baseline",
+        offchip: 742,
+        core_offchip: [9, 7, 4, 19],
+        ipc_sum: 55.616,
+        mean_latency: 2053.9029649595686,
+        p95_latency: 3250,
+    },
+    TorusMetrics {
+        scheme: "s1",
+        offchip: 742,
+        core_offchip: [9, 7, 4, 19],
+        ipc_sum: 55.616,
+        mean_latency: 2053.9029649595686,
+        p95_latency: 3250,
+    },
+    TorusMetrics {
+        scheme: "s2",
+        offchip: 787,
+        core_offchip: [10, 8, 3, 19],
+        ipc_sum: 59.274250000000016,
+        mean_latency: 1872.4269377382466,
+        p95_latency: 3100,
+    },
+    TorusMetrics {
+        scheme: "both",
+        offchip: 787,
+        core_offchip: [10, 8, 3, 19],
+        ipc_sum: 59.274250000000016,
+        mean_latency: 1872.4269377382466,
+        p95_latency: 3100,
+    },
+];
+
+/// Prints the torus golden table in source form when `NOCLAT_REGEN_GOLDEN=1`
+/// (otherwise a no-op), so intended model changes can re-pin it.
+#[test]
+fn regen_torus_golden_table() {
+    if std::env::var("NOCLAT_REGEN_GOLDEN").as_deref() != Ok("1") {
+        return;
+    }
+    println!("const TORUS_GOLDEN: [TorusMetrics; 4] = [");
+    for scheme in ["baseline", "s1", "s2", "both"] {
+        let m = torus_measure(scheme, &torus_config_for(scheme));
+        println!("    TorusMetrics {{");
+        println!("        scheme: \"{}\",", m.scheme);
+        println!("        offchip: {},", m.offchip);
+        println!("        core_offchip: {:?},", m.core_offchip);
+        println!("        ipc_sum: {:?},", m.ipc_sum);
+        println!("        mean_latency: {:?},", m.mean_latency);
+        println!("        p95_latency: {},", m.p95_latency);
+        println!("    }},");
+    }
+    println!("];");
+}
+
+#[test]
+fn torus_golden_baseline() {
+    torus_check(&TORUS_GOLDEN[0]);
+}
+
+#[test]
+fn torus_golden_scheme1() {
+    torus_check(&TORUS_GOLDEN[1]);
+}
+
+#[test]
+fn torus_golden_scheme2() {
+    torus_check(&TORUS_GOLDEN[2]);
+}
+
+#[test]
+fn torus_golden_both_schemes() {
+    torus_check(&TORUS_GOLDEN[3]);
+}
+
+/// The torus bands must catch *fabric-level* drift, not just scheme-constant
+/// drift: doubling the link latency changes every wraparound hop and must
+/// push the run out of the pinned trajectory.
+#[test]
+fn perturbed_link_latency_escapes_the_torus_bands() {
+    let mut cfg = torus_config_for("both");
+    cfg.noc.link_latency = 2;
+    let m = torus_measure("both", &cfg);
+    let golden = &TORUS_GOLDEN[3];
+    assert_ne!(
+        m.offchip, golden.offchip,
+        "doubling link latency must change the torus trajectory"
+    );
+}

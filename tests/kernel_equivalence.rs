@@ -16,11 +16,19 @@ use std::sync::{Arc, Mutex};
 use noclat_repro::noc::Hop;
 use noclat_repro::sim::faults::{BankFault, BankFaultKind, CycleWindow, FaultPlan, RouterStall};
 use noclat_repro::workloads::workload;
-use noclat_repro::{KernelKind, McDequeue, Probe, Retire, Simulation, SystemConfig};
+use noclat_repro::{
+    KernelKind, McDequeue, Probe, Retire, Simulation, SystemConfig, TopologyOverride,
+};
 
 /// Cycles per run: long enough that Scheme-1's 10k-cycle threshold-update
 /// period elapses (shorter windows never exercise its wake-up source).
 const RUN_CYCLES: u64 = 12_000;
+
+/// Cycles per off-mesh topology cell. The 256-core fabrics are ~8x the work
+/// per cycle of the 32-core mesh, and their cells target the *network*
+/// wake-up contracts (wraparound links, shared cmesh routers, express
+/// channels), which a few thousand cycles exercise densely.
+const TOPO_RUN_CYCLES: u64 = 3_000;
 
 /// Records every probe event as a rendered line, shared out via `Arc` so the
 /// stream survives the probe moving into the system.
@@ -85,20 +93,21 @@ fn run_cell(
     cfg: &SystemConfig,
     plan: &FaultPlan,
     warmup: u64,
+    cycles: u64,
     kernel: KernelKind,
 ) -> Fingerprint {
     let (rec, events) = Recorder::new();
     let mut sim = Simulation::builder(cfg.clone())
         .kernel(kernel)
         .fault_plan(plan.clone())
-        .workload(&workload(2).apps())
+        .workload(&workload(2).apps_for(cfg.num_cores()))
         .probe(Box::new(rec))
         .build()
         .unwrap_or_else(|e| panic!("{label}: invalid config: {e}"));
     if warmup > 0 {
         sim.warm_up(warmup);
     }
-    sim.run(RUN_CYCLES);
+    sim.run(cycles);
     let sys = sim.system();
     // Violation order can differ across runs when several trip in the same
     // scan (hash-map iteration); the *multiset* is the contract, so sort.
@@ -127,12 +136,22 @@ fn run_cell(
 }
 
 fn assert_kernels_agree(label: &str, cfg: &SystemConfig, plan: &FaultPlan) {
-    assert_kernels_agree_warmed(label, cfg, plan, 0);
+    assert_kernels_agree_for(label, cfg, plan, 0, RUN_CYCLES);
 }
 
 fn assert_kernels_agree_warmed(label: &str, cfg: &SystemConfig, plan: &FaultPlan, warmup: u64) {
-    let cycle = run_cell(label, cfg, plan, warmup, KernelKind::Cycle);
-    let event = run_cell(label, cfg, plan, warmup, KernelKind::Event);
+    assert_kernels_agree_for(label, cfg, plan, warmup, RUN_CYCLES);
+}
+
+fn assert_kernels_agree_for(
+    label: &str,
+    cfg: &SystemConfig,
+    plan: &FaultPlan,
+    warmup: u64,
+    cycles: u64,
+) {
+    let cycle = run_cell(label, cfg, plan, warmup, cycles, KernelKind::Cycle);
+    let event = run_cell(label, cfg, plan, warmup, cycles, KernelKind::Event);
     assert!(
         !cycle.events.is_empty(),
         "{label}: cell observed no traffic — the comparison is vacuous"
@@ -242,4 +261,55 @@ fn faulted_run_matches() {
         });
     }
     assert_kernels_agree("faulted", &cfg, &plan);
+}
+
+// ---------------------------------------------------------------------------
+// Off-mesh fabrics at 16x16 (256 cores, workload-2 cycled per core): every
+// topology's wake-up contract must hold under the event kernel — wraparound
+// links and dateline VCs (torus), tiles sharing routers (cmesh), and the
+// 9-port express channels.
+// ---------------------------------------------------------------------------
+
+fn topo_config(spec: &str) -> SystemConfig {
+    let mut cfg = SystemConfig::baseline_256().with_both_schemes();
+    TopologyOverride::parse(spec)
+        .unwrap_or_else(|e| panic!("{spec}: {e}"))
+        .apply(&mut cfg);
+    cfg
+}
+
+#[test]
+fn torus_16x16_matches() {
+    let plan = FaultPlan::none();
+    assert_kernels_agree_for(
+        "torus-16x16",
+        &topo_config("torus"),
+        &plan,
+        0,
+        TOPO_RUN_CYCLES,
+    );
+}
+
+#[test]
+fn cmesh_16x16_matches() {
+    let plan = FaultPlan::none();
+    assert_kernels_agree_for(
+        "cmesh-16x16",
+        &topo_config("cmesh:c=4"),
+        &plan,
+        0,
+        TOPO_RUN_CYCLES,
+    );
+}
+
+#[test]
+fn express_16x16_matches() {
+    let plan = FaultPlan::none();
+    assert_kernels_agree_for(
+        "express-16x16",
+        &topo_config("express:skip=2"),
+        &plan,
+        0,
+        TOPO_RUN_CYCLES,
+    );
 }
