@@ -1,0 +1,165 @@
+//! Property-based tests of the analytic latency model: the closed-form
+//! estimator must behave like a queueing model (monotone in load, divergent
+//! at the stability boundary) and its stability verdict must agree with the
+//! cycle simulator's liveness watchdog on real configurations.
+
+use noclat::{run_mix, RunLengths, SystemConfig, TopologyOverride};
+use noclat_analytic::AnalyticModel;
+use noclat_sim::check::{self, pick, range_f64, range_u64};
+use noclat_sim::rng::SimRng;
+use noclat_workloads::workload;
+
+/// A random golden-adjacent model instance: random baseline size, workload,
+/// scheme combo and (for the 16×16 grids) fabric override.
+fn random_model(rng: &mut SimRng) -> AnalyticModel {
+    let size = pick(rng, &[16usize, 32, 256]);
+    let mut cfg = match size {
+        16 => SystemConfig::baseline_16(),
+        32 => SystemConfig::baseline_32(),
+        _ => SystemConfig::baseline_256(),
+    };
+    cfg = match range_u64(rng, 0, 4) {
+        0 => cfg,
+        1 => cfg.with_scheme1(),
+        2 => cfg.with_scheme2(),
+        _ => cfg.with_both_schemes(),
+    };
+    if size == 256 {
+        let spec = pick(rng, &["mesh", "torus", "cmesh:c=4", "express:skip=2"]);
+        TopologyOverride::parse(spec)
+            .expect("static spec parses")
+            .apply(&mut cfg);
+    }
+    let wl = range_u64(rng, 1, 19) as usize;
+    let apps = workload(wl).apps_for(cfg.num_cores());
+    AnalyticModel::new(&cfg, &apps).expect("baseline configs validate")
+}
+
+/// Open-loop latency is monotone non-decreasing in the injection-rate
+/// scale: more offered load can never make the estimated latency drop.
+#[test]
+fn open_loop_latency_is_monotone_in_offered_load() {
+    check::cases(60, |rng| {
+        let model = random_model(rng);
+        let boundary = model.stability_boundary();
+        assert!(
+            boundary.is_finite() && boundary > 0.0,
+            "boundary must be positive and finite, got {boundary}"
+        );
+        let mut a = range_f64(rng, 0.01, 0.99) * boundary;
+        let mut b = range_f64(rng, 0.01, 0.99) * boundary;
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let (la, lb) = (model.open_loop_latency(a), model.open_loop_latency(b));
+        assert!(
+            la <= lb + 1e-9,
+            "latency dropped with load: L({a:.4}) = {la:.3} > L({b:.4}) = {lb:.3}"
+        );
+    });
+}
+
+/// Approaching the stability boundary the open-loop latency diverges, and
+/// at or beyond the boundary it is infinite.
+#[test]
+fn open_loop_latency_diverges_at_the_stability_boundary() {
+    check::cases(40, |rng| {
+        let model = random_model(rng);
+        let boundary = model.stability_boundary();
+        let low = model.open_loop_latency(0.05 * boundary);
+        let near = model.open_loop_latency(0.9999 * boundary);
+        assert!(
+            low.is_finite() && near.is_finite(),
+            "latency below the boundary must stay finite (low {low}, near {near})"
+        );
+        assert!(
+            near > 20.0 * low,
+            "no divergence: L(0.9999b) = {near:.1} vs L(0.05b) = {low:.1}"
+        );
+        let over = range_f64(rng, 1.0, 2.0) * boundary;
+        assert!(
+            model.open_loop_latency(over).is_infinite(),
+            "latency at {over:.4} (>= boundary {boundary:.4}) must be infinite"
+        );
+    });
+}
+
+/// The model's stability verdict must agree with the watchdog: a config the
+/// model calls stable may not deadlock or starve in a short cycle sim. The
+/// sub-grid is sampled small (16/32 cores) so the sim side stays cheap.
+#[test]
+fn model_stable_cells_pass_the_watchdog() {
+    check::cases(6, |rng| {
+        let mut cfg = if rng.chance(0.5) {
+            SystemConfig::baseline_16()
+        } else {
+            SystemConfig::baseline_32()
+        };
+        cfg = match range_u64(rng, 0, 4) {
+            0 => cfg,
+            1 => cfg.with_scheme1(),
+            2 => cfg.with_scheme2(),
+            _ => cfg.with_both_schemes(),
+        };
+        let wl = range_u64(rng, 1, 19) as usize;
+        let apps = workload(wl).apps_for(cfg.num_cores());
+        let lengths = RunLengths {
+            warmup: 200,
+            measure: 2_000,
+        };
+        let report = AnalyticModel::new(&cfg, &apps)
+            .expect("baseline configs validate")
+            .with_lengths(lengths.warmup, lengths.measure)
+            .evaluate();
+        if !report.stability.is_stable() {
+            // The watchdog only refutes *stable* verdicts; an unstable
+            // verdict makes no liveness claim about the short window.
+            return;
+        }
+        let r = run_mix(&cfg, &apps, lengths);
+        let fatal: Vec<_> = r
+            .system
+            .violations()
+            .iter()
+            .filter(|v| {
+                matches!(
+                    v,
+                    noclat::LivenessViolation::Deadlock { .. }
+                        | noclat::LivenessViolation::Starvation { .. }
+                )
+            })
+            .collect();
+        assert!(
+            fatal.is_empty(),
+            "model called workload-{wl} on {} cores stable, watchdog saw {fatal:?}",
+            cfg.num_cores()
+        );
+    });
+}
+
+/// Estimated latency is monotone under the closed-loop evaluation too:
+/// uniformly scaling every core's demand up cannot lower the estimate.
+#[test]
+fn closed_loop_estimate_is_monotone_in_demand() {
+    check::cases(30, |rng| {
+        let model = random_model(rng);
+        let lo = range_f64(rng, 0.2, 0.8);
+        let hi = range_f64(rng, 1.0, 1.5);
+        let la = model
+            .clone()
+            .with_rate_scale(lo)
+            .with_lengths(200, 4_000)
+            .evaluate()
+            .mean_latency;
+        let lb = model
+            .clone()
+            .with_rate_scale(hi)
+            .with_lengths(200, 4_000)
+            .evaluate()
+            .mean_latency;
+        assert!(
+            la <= lb + 1e-6,
+            "estimate dropped with demand: L({lo:.2}x) = {la:.3} > L({hi:.2}x) = {lb:.3}"
+        );
+    });
+}

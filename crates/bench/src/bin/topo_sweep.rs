@@ -11,8 +11,8 @@
 //! grid instead (CI smokes a single torus cell that way). Output is
 //! byte-identical across `--jobs N` by the sweep engine's construction.
 
-use noclat::{run_mix, McPlacement, RunLengths, SystemConfig, TopologyOverride};
-use noclat_bench::sweep::{self, exit_code, Job, Json, Obj, SweepArgs};
+use noclat::{run_mix, McPlacement, RunLengths, SystemConfig, TopologyKind, TopologyOverride};
+use noclat_bench::sweep::{self, exit_code, GridCell, Job, Json, Obj, PruneInfo, SweepArgs};
 use noclat_bench::{banner, merged_latency_histogram, w};
 use noclat_workloads::SpecApp;
 
@@ -127,8 +127,11 @@ fn main() {
     let lengths = args.lengths;
 
     // Build the grid (validated up front so a bad --fabrics spec is a usage
-    // error, not a quarantined cell).
-    let mut jobs: Vec<Job<Cell>> = Vec::new();
+    // error, not a quarantined cell). Every cell carries its model inputs
+    // so `--prune analytic:top=K` can rank it; the pinned 16×16 torus
+    // corner cells (the `tests/golden_results.rs` anchors) are golden and
+    // survive any pruning.
+    let mut cells: Vec<GridCell<Cell>> = Vec::new();
     let mut labels: Vec<(String, String, String, String)> = Vec::new();
     for &size in &grid.sizes {
         let mut base = base_config(size);
@@ -153,21 +156,49 @@ fn main() {
                         mc.name().to_string(),
                         scheme.to_string(),
                     ));
-                    jobs.push(Job::new(label, move || run_cell(&cfg, &apps, lengths)));
+                    let golden = size == 16
+                        && cfg.topology.kind == TopologyKind::Torus
+                        && cfg.topology.concentration <= 1
+                        && mc == McPlacement::Corner;
+                    let prune = Some(PruneInfo {
+                        cfg: cfg.clone(),
+                        apps: apps.clone(),
+                        golden,
+                    });
+                    cells.push(GridCell {
+                        job: Job::new(label, move || run_cell(&cfg, &apps, lengths)),
+                        prune,
+                    });
                 }
             }
         }
     }
-    let cells = sweep::run_grid(&args, jobs);
+    let outcome = sweep::run_pruned_grid(&args, cells);
 
     println!(
         "{:>7} {:>22} {:>7} {:>9} {:>9} {:>9} {:>10} {:>6}",
         "size", "fabric", "mc", "scheme", "offchip", "ipc_sum", "mean_lat", "p95"
     );
     let mut rows = Vec::new();
-    for ((size, fabric, mc, scheme), &(offchip, ipc_sum, mean_lat, p95)) in
-        labels.iter().zip(&cells)
-    {
+    let mut pruned_rows = Vec::new();
+    for (i, ((size, fabric, mc, scheme), cell)) in labels.iter().zip(&outcome.results).enumerate() {
+        let Some(&(offchip, ipc_sum, mean_lat, p95)) = cell.as_ref() else {
+            // Pruned: recorded in the report's prune section, not as a row
+            // (surviving rows stay byte-identical to an unpruned run's).
+            pruned_rows.push(
+                Obj::new()
+                    .field("size", size.as_str())
+                    .field("fabric", fabric.as_str())
+                    .field("mc", mc.as_str())
+                    .field("scheme", scheme.as_str())
+                    .field(
+                        "predicted_latency",
+                        outcome.predicted[i].unwrap_or(f64::NAN),
+                    )
+                    .build(),
+            );
+            continue;
+        };
         println!(
             "{size:>7} {fabric:>22} {mc:>7} {scheme:>9} {offchip:>9} {ipc_sum:>9.3} \
              {mean_lat:>10.1} {p95:>6}"
@@ -186,13 +217,19 @@ fn main() {
         );
     }
 
-    let json = sweep::report(
-        "topo_sweep",
-        &args,
-        Obj::new()
-            .field("workload", format!("workload-{WORKLOAD}"))
-            .field("cells", Json::Arr(rows))
-            .build(),
-    );
+    let mut body = Obj::new()
+        .field("workload", format!("workload-{WORKLOAD}"))
+        .field("cells", Json::Arr(rows));
+    if args.prune.enabled() {
+        body = body.field(
+            "prune",
+            Obj::new()
+                .field("spec", args.prune.to_string())
+                .field("kept", outcome.kept as u64)
+                .field("pruned", Json::Arr(pruned_rows))
+                .build(),
+        );
+    }
+    let json = sweep::report("topo_sweep", &args, body.build());
     sweep::finish(&args, &json);
 }

@@ -29,6 +29,7 @@ use noclat::{
     alone_ipc, AppLatency, Journal, KernelKind, LatencyTracker, PolicyConfig, PolicyOverride,
     RunLengths, SegmentRow, SimError, SystemConfig, TopologyOverride,
 };
+use noclat_analytic::AnalyticModel;
 use noclat_noc::LoadPoint;
 use noclat_sim::journal::{self, fnv1a64};
 use noclat_sim::stats::{Histogram, RunningMean};
@@ -52,6 +53,9 @@ pub mod exit_code {
     pub const JOB_TIMEOUT: i32 = 4;
     /// The liveness watchdog reported violations (deadlock/starvation).
     pub const WATCHDOG: i32 = 5;
+    /// `--prune` eliminated every cell of a non-empty grid: nothing was
+    /// simulated, so a report of "zero cells, success" would be a lie.
+    pub const PRUNED_EMPTY: i32 = 6;
 }
 
 /// Number of replicate shards the distribution harnesses (fig04/05/06/09/12)
@@ -97,13 +101,70 @@ pub struct SweepArgs {
     /// Retries with exponential backoff for panicking/timing-out jobs
     /// (`--retries N`; default 0 = fail immediately).
     pub retries: u32,
+    /// Two-tier search (`--prune off|analytic:top=K`): run the analytic
+    /// latency model over the grid first and submit only the top-K cells
+    /// (plus golden-pinned cells) to the cycle-accurate pool. Changes which
+    /// cells *run*, never what a run cell contains, but is still part of
+    /// the sweep fingerprint so a pruned journal never resumes an unpruned
+    /// sweep (or vice versa).
+    pub prune: PruneSpec,
+}
+
+/// The `--prune` strategy of a two-tier sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneSpec {
+    /// Cycle-simulate every cell (the default).
+    #[default]
+    Off,
+    /// Rank cells by the closed-form estimator (`noclat-analytic`) and
+    /// keep the `top` cells with the lowest predicted mean latency, plus
+    /// every golden-pinned cell and every cell the harness supplied no
+    /// model inputs for.
+    Analytic {
+        /// Non-golden cells to keep.
+        top: usize,
+    },
+}
+
+impl PruneSpec {
+    /// Parses `off` or `analytic:top=K`.
+    pub fn parse(s: &str) -> Result<PruneSpec, String> {
+        if s == "off" {
+            return Ok(PruneSpec::Off);
+        }
+        if let Some(rest) = s.strip_prefix("analytic:top=") {
+            let top = rest
+                .parse()
+                .map_err(|e| format!("--prune: top={rest}: {e}"))?;
+            return Ok(PruneSpec::Analytic { top });
+        }
+        Err(format!(
+            "--prune: unknown spec {s:?} (expected off or analytic:top=K)"
+        ))
+    }
+
+    /// Whether any pruning strategy is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        *self != PruneSpec::Off
+    }
+}
+
+impl std::fmt::Display for PruneSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PruneSpec::Off => f.write_str("off"),
+            PruneSpec::Analytic { top } => write!(f, "analytic:top={top}"),
+        }
+    }
 }
 
 /// Flags accepted by [`SweepArgs::parse`], for inclusion in usage strings.
 pub const SWEEP_USAGE: &str = "[--jobs N] [--json PATH] [--seed N] [--warmup N] [--measure N] \
      [--policy req=NAME,resp=NAME,arb=NAME] [--kernel cycle|event] \
      [--topology mesh|torus|cmesh|express[:c=N,skip=N,mc=corner|edge|center]] \
-     [--resume PATH] [--job-timeout SECS] [--retries N] [quick]";
+     [--resume PATH] [--job-timeout SECS] [--retries N] \
+     [--prune off|analytic:top=K] [quick]";
 
 impl SweepArgs {
     fn defaults() -> Self {
@@ -120,6 +181,7 @@ impl SweepArgs {
             resume: None,
             job_timeout: None,
             retries: 0,
+            prune: PruneSpec::Off,
         }
     }
 
@@ -237,6 +299,12 @@ impl SweepArgs {
                     args.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?;
                     i += 2;
                 }
+                "--prune" => {
+                    // PruneSpec::parse already prefixes its errors with
+                    // "--prune:".
+                    args.prune = PruneSpec::parse(value()?)?;
+                    i += 2;
+                }
                 "quick" | "--quick" => {
                     quick = true;
                     i += 1;
@@ -299,7 +367,7 @@ impl SweepArgs {
 /// cells *complete*, never what a completed cell contains.
 #[must_use]
 pub fn sweep_fingerprint(args: &SweepArgs) -> u64 {
-    let text = format!(
+    let mut text = format!(
         "seed={} warmup={} measure={} policy={:?} kernel={} topology={:?}",
         args.seed,
         args.lengths.warmup,
@@ -308,6 +376,12 @@ pub fn sweep_fingerprint(args: &SweepArgs) -> u64 {
         args.kernel.name(),
         args.topology,
     );
+    // Pruning decides which cells exist, so a pruned journal must never
+    // satisfy an unpruned resume. Appended only when enabled to keep every
+    // pre-pruning journal's fingerprint valid.
+    if args.prune.enabled() {
+        text.push_str(&format!(" prune={}", args.prune));
+    }
     fnv1a64(text.as_bytes())
 }
 
@@ -329,6 +403,12 @@ pub fn job_key(fingerprint: u64, label: &str) -> u64 {
 /// failure) is a usage error and exits with [`exit_code::CONFIG`].
 #[must_use]
 pub fn run_grid<T: Send + CellCodec>(args: &SweepArgs, jobs: Vec<Job<T>>) -> Vec<T> {
+    // A harness that fans out through this entry point has no model inputs
+    // per cell; accepting `--prune` here would silently run everything.
+    if args.prune.enabled() {
+        eprintln!("error: this binary does not support --prune");
+        std::process::exit(exit_code::CONFIG);
+    }
     let results = match try_run_grid(args, jobs) {
         Ok(results) => results,
         Err(e) => {
@@ -472,6 +552,215 @@ pub fn try_run_grid<T: Send + CellCodec>(
         .into_iter()
         .map(|s| s.expect("every cell is cached or computed"))
         .collect())
+}
+
+/// Model inputs the analytic pruning pre-pass needs for one cell: the
+/// exact configuration the job will simulate and the per-tile application
+/// placement. `golden` pins the cell past any pruning (regression anchors
+/// must always run).
+#[derive(Debug, Clone)]
+pub struct PruneInfo {
+    /// The cell's full configuration (after every override is applied —
+    /// the same value the job's closure captured).
+    pub cfg: SystemConfig,
+    /// Per-tile application placement, exactly as `run_mix` assigns it.
+    pub apps: Vec<SpecApp>,
+    /// Never prune this cell (golden-pinned regression anchor).
+    pub golden: bool,
+}
+
+/// One cell of a pruned grid: the cycle-accurate job plus (optionally) the
+/// model inputs that let the pre-pass rank it. Cells without `prune`
+/// metadata are never pruned — the estimator cannot rank what it cannot
+/// model.
+pub struct GridCell<T> {
+    /// The cycle-accurate job.
+    pub job: Job<T>,
+    /// Model inputs for the pruning pre-pass.
+    pub prune: Option<PruneInfo>,
+}
+
+/// What a pruned grid produced, aligned with the input cells.
+pub struct PruneOutcome<T> {
+    /// Per-cell outcome: `None` when the pre-pass pruned the cell,
+    /// otherwise the cycle-accurate result (or its quarantined error).
+    pub results: Vec<Option<Result<T, SimError>>>,
+    /// The estimator's predicted mean latency per cell (`None` for cells
+    /// without model inputs, or when pruning is off).
+    pub predicted: Vec<Option<f64>>,
+    /// How many cells were submitted to the cycle-accurate pool.
+    pub kept: usize,
+}
+
+/// Two-tier grid execution: with `--prune analytic:top=K`, the closed-form
+/// estimator ranks every cell that supplied [`PruneInfo`] and only the K
+/// lowest-predicted-latency cells — plus all golden-pinned cells and all
+/// cells without model inputs — reach the cycle-accurate pool. Surviving
+/// cells run through [`try_run_grid`] with their original jobs untouched,
+/// so their results are byte-identical to an unpruned run's; the pruning
+/// spec is part of the sweep fingerprint, so `--resume` journals of pruned
+/// and unpruned sweeps never mix.
+///
+/// With `--prune off` every cell runs and no prediction is computed.
+///
+/// # Errors
+///
+/// [`SimError::Journal`] exactly as [`try_run_grid`].
+pub fn try_run_pruned_grid<T: Send + CellCodec>(
+    args: &SweepArgs,
+    cells: Vec<GridCell<T>>,
+) -> Result<PruneOutcome<T>, SimError> {
+    let n = cells.len();
+    let PruneSpec::Analytic { top } = args.prune else {
+        let jobs: Vec<Job<T>> = cells.into_iter().map(|c| c.job).collect();
+        let results = try_run_grid(args, jobs)?;
+        return Ok(PruneOutcome {
+            results: results.into_iter().map(Some).collect(),
+            predicted: vec![None; n],
+            kept: n,
+        });
+    };
+
+    // Tier 1: rank by the analytic estimator. A cell whose configuration
+    // the model rejects is kept conservatively (the cycle pool will report
+    // the config error properly).
+    let mut predicted: Vec<Option<f64>> = Vec::with_capacity(n);
+    for cell in &cells {
+        let p = cell.prune.as_ref().and_then(|info| {
+            let model = AnalyticModel::new(&info.cfg, &info.apps).ok()?;
+            let report = model
+                .with_lengths(args.lengths.warmup, args.lengths.measure)
+                .evaluate();
+            Some(report.mean_latency)
+        });
+        predicted.push(p);
+    }
+    let mut ranked: Vec<(usize, f64)> = predicted
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| cells[*i].prune.as_ref().is_some_and(|info| !info.golden))
+        .filter_map(|(i, p)| p.map(|p| (i, p)))
+        .collect();
+    // Ascending predicted latency; grid order breaks ties, so the
+    // selection is deterministic.
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut keep = vec![false; n];
+    for (i, cell) in cells.iter().enumerate() {
+        match &cell.prune {
+            None => keep[i] = true,
+            Some(info) if info.golden => keep[i] = true,
+            Some(_) => {}
+        }
+    }
+    for &(i, _) in ranked.iter().take(top) {
+        keep[i] = true;
+    }
+    let kept = keep.iter().filter(|k| **k).count();
+    eprintln!("sweep: analytic pre-pass kept {kept} of {n} cell(s) (top={top} plus pinned)");
+
+    // Tier 2: the surviving jobs, bit-identical to an unpruned run.
+    let mut survivors: Vec<Job<T>> = Vec::with_capacity(kept);
+    let mut indices = Vec::with_capacity(kept);
+    for (i, cell) in cells.into_iter().enumerate() {
+        if keep[i] {
+            indices.push(i);
+            survivors.push(cell.job);
+        }
+    }
+    let sub = try_run_grid(args, survivors)?;
+    let mut results: Vec<Option<Result<T, SimError>>> = (0..n).map(|_| None).collect();
+    for (si, r) in sub.into_iter().enumerate() {
+        let i = indices[si];
+        // Errors report the cell's position in the full grid.
+        let r = r.map_err(|mut e| {
+            match &mut e {
+                SimError::JobPanicked { index, .. } | SimError::JobTimeout { index, .. } => {
+                    *index = i;
+                }
+                _ => {}
+            }
+            e
+        });
+        results[i] = Some(r);
+    }
+    Ok(PruneOutcome {
+        results,
+        predicted,
+        kept,
+    })
+}
+
+/// A pruned grid after quarantine handling: every surviving cell's value,
+/// aligned with the input cells (`None` = pruned away).
+pub struct PrunedResults<T> {
+    /// Per-cell value; `None` when the pre-pass pruned the cell.
+    pub results: Vec<Option<T>>,
+    /// The estimator's predicted mean latency per cell.
+    pub predicted: Vec<Option<f64>>,
+    /// How many cells ran cycle-accurately.
+    pub kept: usize,
+}
+
+/// Like [`run_grid`] for pruned grids: aborts on journal problems and
+/// quarantined cells with the same exit codes, and exits with
+/// [`exit_code::PRUNED_EMPTY`] when the pre-pass eliminated every cell of
+/// a non-empty grid (a sweep that simulated nothing must not look like a
+/// success).
+#[must_use]
+pub fn run_pruned_grid<T: Send + CellCodec>(
+    args: &SweepArgs,
+    cells: Vec<GridCell<T>>,
+) -> PrunedResults<T> {
+    let n = cells.len();
+    let outcome = match try_run_pruned_grid(args, cells) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(exit_code::CONFIG);
+        }
+    };
+    if outcome.kept == 0 && n > 0 {
+        eprintln!(
+            "error: --prune {} eliminated all {n} cell(s); nothing was simulated",
+            args.prune
+        );
+        std::process::exit(exit_code::PRUNED_EMPTY);
+    }
+    let quarantined: Vec<&SimError> = outcome
+        .results
+        .iter()
+        .flatten()
+        .filter_map(|r| r.as_ref().err())
+        .collect();
+    if !quarantined.is_empty() {
+        eprintln!("sweep: {} cell(s) quarantined:", quarantined.len());
+        for e in &quarantined {
+            eprintln!("  error: {e}");
+        }
+        let code = if quarantined
+            .iter()
+            .any(|e| matches!(e, SimError::JobPanicked { .. }))
+        {
+            exit_code::JOB_PANIC
+        } else if quarantined
+            .iter()
+            .any(|e| matches!(e, SimError::JobTimeout { .. }))
+        {
+            exit_code::JOB_TIMEOUT
+        } else {
+            exit_code::GENERIC
+        };
+        std::process::exit(code);
+    }
+    PrunedResults {
+        results: outcome
+            .results
+            .into_iter()
+            .map(|r| r.map(|v| v.expect("quarantine exit handled errors")))
+            .collect(),
+        predicted: outcome.predicted,
+        kept: outcome.kept,
+    }
 }
 
 /// Fans `shards` replicate runs of one measurement out to the pool: shard

@@ -8,8 +8,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use noclat::{JournalError, SimError};
-use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
+use noclat::{JournalError, SimError, SystemConfig};
+use noclat_bench::sweep::{
+    self, exit_code, GridCell, Job, Json, Obj, PruneInfo, PruneSpec, SweepArgs,
+};
+use noclat_workloads::workload;
 
 fn args() -> SweepArgs {
     let (mut args, _) = SweepArgs::parse_argv(&[]).expect("empty argv parses");
@@ -234,4 +237,293 @@ fn timeout_and_retry_wire_through_sweep_args() {
         }
         other => panic!("expected JobTimeout, got {other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Two-tier (analytically pruned) sweeps.
+// ---------------------------------------------------------------------------
+
+/// A small real-config grid for the pruning pre-pass: the four scheme
+/// combos on `baseline_16`, each carrying its model inputs. The jobs
+/// themselves are cheap counted stand-ins — pruning must not care what the
+/// cycle-accurate closure computes, only whether it runs.
+fn prune_cells(runs: &Arc<AtomicUsize>, pin_baseline: bool) -> Vec<GridCell<(u64, f64)>> {
+    let base = SystemConfig::baseline_16();
+    let apps = workload(2).apps_for(base.num_cores());
+    ["baseline", "s1", "s2", "both"]
+        .iter()
+        .enumerate()
+        .map(|(i, scheme)| {
+            let cfg = match *scheme {
+                "baseline" => base.clone(),
+                "s1" => base.clone().with_scheme1(),
+                "s2" => base.clone().with_scheme2(),
+                _ => base.clone().with_both_schemes(),
+            };
+            let runs = Arc::clone(runs);
+            GridCell {
+                job: Job::new(format!("prune/{scheme}"), move || {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    ((i as u64).rotate_left(11) ^ 0x5eed, i as f64 / 3.0)
+                }),
+                prune: Some(PruneInfo {
+                    cfg,
+                    apps: apps.clone(),
+                    golden: pin_baseline && i == 0,
+                }),
+            }
+        })
+        .collect()
+}
+
+fn render_pruned(outcome: &sweep::PruneOutcome<(u64, f64)>, args: &SweepArgs) -> String {
+    let cells: Vec<Json> = outcome
+        .results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            let (a, b) = r.as_ref()?.as_ref().expect("cell ok");
+            Some(
+                Obj::new()
+                    .field("i", i as u64)
+                    .field("a", *a)
+                    .field("b", *b)
+                    .build(),
+            )
+        })
+        .collect();
+    sweep::report("prune-test", args, Json::Arr(cells)).to_json_string()
+}
+
+/// The two-tier acceptance property: cells surviving `--prune
+/// analytic:top=K` produce output byte-identical to the same cells of an
+/// unpruned run, at any worker count, and golden-pinned cells always
+/// survive.
+#[test]
+fn pruned_survivors_are_byte_identical_to_the_unpruned_run() {
+    let runs = Arc::new(AtomicUsize::new(0));
+
+    // Reference: the full (unpruned) grid.
+    let plain = args();
+    let full = sweep::try_run_pruned_grid(&plain, prune_cells(&runs, true)).expect("no journal");
+    assert_eq!(full.kept, 4);
+    assert!(
+        full.predicted.iter().all(Option::is_none),
+        "prune off: no estimates"
+    );
+    assert_eq!(runs.swap(0, Ordering::SeqCst), 4);
+
+    let mut pruned_args = args();
+    pruned_args.prune = PruneSpec::Analytic { top: 1 };
+    for jobs in [1, 2] {
+        pruned_args.jobs = jobs;
+        let runs = Arc::new(AtomicUsize::new(0));
+        let pruned =
+            sweep::try_run_pruned_grid(&pruned_args, prune_cells(&runs, true)).expect("no journal");
+        assert_eq!(pruned.kept, 2, "golden baseline + top-1 survive");
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            2,
+            "pruned cells must not execute"
+        );
+        assert!(
+            pruned.predicted.iter().all(Option::is_some),
+            "every modelled cell gets an estimate"
+        );
+        assert!(
+            pruned.results[0].is_some(),
+            "golden-pinned cell survives any pruning"
+        );
+        // Survivors carry exactly the values the unpruned run computed.
+        for (cell, reference) in pruned.results.iter().zip(&full.results) {
+            if let Some(r) = cell {
+                let got = r.as_ref().expect("cell ok");
+                let want = reference
+                    .as_ref()
+                    .expect("ran unpruned")
+                    .as_ref()
+                    .expect("cell ok");
+                assert_eq!(got, want, "survivor diverged from the unpruned run");
+            }
+        }
+        // And the rendered report bytes match the jobs=1 rendering exactly.
+        if jobs == 2 {
+            let runs1 = Arc::new(AtomicUsize::new(0));
+            let mut one = pruned_args.clone();
+            one.jobs = 1;
+            let again =
+                sweep::try_run_pruned_grid(&one, prune_cells(&runs1, true)).expect("no journal");
+            assert_eq!(
+                render_pruned(&pruned, &plain),
+                render_pruned(&again, &plain),
+                "survivor bytes must not depend on worker count"
+            );
+        }
+    }
+}
+
+/// The estimator must rank a *prioritized* config below the baseline: with
+/// no golden pins and `top=1`, the surviving cell is one of the scheme
+/// cells, never plain baseline (the schemes only lower estimated latency).
+#[test]
+fn pruning_keeps_the_best_predicted_cell() {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let mut pruned_args = args();
+    pruned_args.prune = PruneSpec::Analytic { top: 1 };
+    let outcome =
+        sweep::try_run_pruned_grid(&pruned_args, prune_cells(&runs, false)).expect("no journal");
+    assert_eq!(outcome.kept, 1);
+    let survivor = outcome
+        .results
+        .iter()
+        .position(Option::is_some)
+        .expect("one survivor");
+    let best = outcome
+        .predicted
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.unwrap()
+                .partial_cmp(&b.1.unwrap())
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        })
+        .map(|(i, _)| i)
+        .expect("estimates exist");
+    assert_eq!(
+        survivor, best,
+        "the survivor must be the lowest-predicted-latency cell"
+    );
+}
+
+/// A killed pruned sweep resumed from its journal converges to the
+/// uninterrupted pruned run byte-for-byte, recomputing only the lost cells
+/// — the resilience guarantee holds through the pruning pre-pass.
+#[test]
+fn resumed_pruned_sweep_converges_to_golden() {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let mut pruned_args = args();
+    pruned_args.prune = PruneSpec::Analytic { top: 2 };
+    pruned_args.jobs = 1; // deterministic journal record order
+    pruned_args.resume = Some(temp_journal("prune-resume"));
+    let golden =
+        sweep::try_run_pruned_grid(&pruned_args, prune_cells(&runs, true)).expect("journal");
+    assert_eq!(golden.kept, 3, "golden baseline + top-2");
+    let golden_json = render_pruned(&golden, &pruned_args);
+    assert_eq!(runs.swap(0, Ordering::SeqCst), 3);
+
+    // "Kill" the sweep: drop the journal's tail record.
+    let path = pruned_args.resume.as_ref().expect("journal path");
+    let mut bytes = std::fs::read(path).expect("journal bytes");
+    let n = bytes.len();
+    bytes.truncate(n - 5);
+    std::fs::write(path, &bytes).expect("write truncated journal");
+
+    let resumed =
+        sweep::try_run_pruned_grid(&pruned_args, prune_cells(&runs, true)).expect("journal");
+    assert_eq!(
+        runs.swap(0, Ordering::SeqCst),
+        1,
+        "only the truncated tail cell recomputes"
+    );
+    assert_eq!(render_pruned(&resumed, &pruned_args), golden_json);
+
+    // The healed journal replays with zero executions.
+    let replay =
+        sweep::try_run_pruned_grid(&pruned_args, prune_cells(&runs, true)).expect("journal");
+    assert_eq!(runs.load(Ordering::SeqCst), 0, "journal healed");
+    assert_eq!(render_pruned(&replay, &pruned_args), golden_json);
+}
+
+/// Pruning decides which cells exist, so a pruned journal must never
+/// satisfy an unpruned resume (and vice versa); with pruning off the
+/// fingerprint is unchanged from the pre-pruning format.
+#[test]
+fn prune_spec_is_part_of_the_sweep_fingerprint() {
+    let off = args();
+    let mut pruned = args();
+    pruned.prune = PruneSpec::Analytic { top: 3 };
+    let mut wider = args();
+    wider.prune = PruneSpec::Analytic { top: 4 };
+    assert_ne!(
+        sweep::sweep_fingerprint(&off),
+        sweep::sweep_fingerprint(&pruned)
+    );
+    assert_ne!(
+        sweep::sweep_fingerprint(&pruned),
+        sweep::sweep_fingerprint(&wider),
+        "a different top-K selects different cells"
+    );
+
+    // End to end: a pruned journal rejects an unpruned resume.
+    let runs = Arc::new(AtomicUsize::new(0));
+    let mut journaled = args();
+    journaled.prune = PruneSpec::Analytic { top: 2 };
+    journaled.resume = Some(temp_journal("prune-fingerprint"));
+    sweep::try_run_pruned_grid(&journaled, prune_cells(&runs, true)).expect("journal");
+    let mut unpruned = journaled.clone();
+    unpruned.prune = PruneSpec::Off;
+    let err = match sweep::try_run_pruned_grid(&unpruned, prune_cells(&runs, true)) {
+        Err(e) => e,
+        Ok(_) => panic!("pruned journal must not satisfy an unpruned resume"),
+    };
+    assert!(
+        matches!(
+            err,
+            SimError::Journal(JournalError::FingerprintMismatch { .. })
+        ),
+        "expected FingerprintMismatch, got {err:?}"
+    );
+}
+
+#[test]
+fn prune_spec_parses_and_round_trips() {
+    assert_eq!(PruneSpec::parse("off").expect("parses"), PruneSpec::Off);
+    assert_eq!(
+        PruneSpec::parse("analytic:top=8").expect("parses"),
+        PruneSpec::Analytic { top: 8 }
+    );
+    for spec in [PruneSpec::Off, PruneSpec::Analytic { top: 12 }] {
+        assert_eq!(PruneSpec::parse(&spec.to_string()).expect("parses"), spec);
+    }
+    for bad in ["analytic", "analytic:top=", "analytic:top=x", "top=3", ""] {
+        let err = PruneSpec::parse(bad).expect_err("must reject");
+        assert!(err.starts_with("--prune:"), "error {err:?} names the flag");
+    }
+}
+
+/// A pre-pass that eliminates every cell exits with the dedicated
+/// `PRUNED_EMPTY` code — distinct from config errors and job failures — so
+/// callers never mistake an empty sweep for a successful one. Regression
+/// test for the exit-code collapse where this exited 0 with an empty
+/// report.
+#[test]
+fn pruning_everything_exits_with_the_dedicated_code() {
+    let exe = env!("CARGO_BIN_EXE_topo_sweep");
+    // A mesh-only grid has no golden cells, so top=0 prunes everything.
+    let out = std::process::Command::new(exe)
+        .args([
+            "--prune",
+            "analytic:top=0",
+            "--fabrics",
+            "mesh",
+            "--mc",
+            "corner",
+            "--size",
+            "16",
+            "--jobs",
+            "1",
+        ])
+        .output()
+        .expect("spawn topo_sweep");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(exit_code::PRUNED_EMPTY),
+        "expected PRUNED_EMPTY exit; stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("eliminated all"),
+        "diagnostic names the cause; stderr:\n{stderr}"
+    );
 }

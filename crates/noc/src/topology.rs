@@ -583,6 +583,44 @@ impl Topology {
         }
     }
 
+    /// Every `(router, out-port)` channel a packet from tile `src` to tile
+    /// `dest` crosses under the deterministic route, in traversal order,
+    /// ending with the ejection channel `(dest_router, Dir::Local)`. This
+    /// is the contention footprint the analytic latency model charges a
+    /// packet for: each entry is one switch/link the packet must win.
+    ///
+    /// The walk follows [`Topology::route`]/[`Topology::neighbor`] exactly,
+    /// so its length (minus the ejection entry) equals
+    /// [`Topology::hop_distance`] on every fabric.
+    #[must_use]
+    pub fn route_channels(
+        &self,
+        algo: RoutingAlgorithm,
+        src: NodeId,
+        dest: NodeId,
+    ) -> Vec<(NodeId, Dir)> {
+        let target = self.router_of(dest);
+        let mut here = self.router_of(src);
+        let mut out = Vec::new();
+        // Deterministic dimension-order routes are loop-free and strictly
+        // shorter than the router count; the bound only guards corruption.
+        let bound = self.num_routers() + 1;
+        while here != target {
+            assert!(
+                out.len() < bound,
+                "route from {src:?} to {dest:?} exceeded {bound} hops"
+            );
+            let d = self.route(algo, here, dest);
+            debug_assert!(d != Dir::Local, "route stalled before reaching {dest:?}");
+            out.push((here, d));
+            here = self
+                .neighbor(here, d)
+                .expect("deterministic routes only traverse existing links");
+        }
+        out.push((target, Dir::Local));
+        out
+    }
+
     // -- deadlock avoidance ----------------------------------------------
 
     /// Dateline VC subclass for a hop out of router `here` toward tile
@@ -965,6 +1003,42 @@ mod tests {
         for n in center {
             let c = t.coord_of(n);
             assert!((7..=8).contains(&c.x) && (7..=8).contains(&c.y));
+        }
+    }
+
+    #[test]
+    fn route_channels_matches_hop_distance_on_every_fabric() {
+        let fabrics = [
+            Topology::new(8, 4),
+            Topology::torus(8, 8),
+            Topology::cmesh(8, 8, 4),
+            Topology::express(8, 8, 2),
+        ];
+        for t in fabrics {
+            for algo in [RoutingAlgorithm::XY, RoutingAlgorithm::YX] {
+                for src in t.nodes() {
+                    for dest in t.nodes() {
+                        let path = t.route_channels(algo, src, dest);
+                        // Ejection channel is always last.
+                        assert_eq!(
+                            *path.last().unwrap(),
+                            (t.router_of(dest), Dir::Local),
+                            "{:?} {src:?}->{dest:?}",
+                            t.kind()
+                        );
+                        assert_eq!(
+                            path.len() as u32 - 1,
+                            t.hop_distance(src, dest),
+                            "{:?} {algo:?} {src:?}->{dest:?}",
+                            t.kind()
+                        );
+                        // Consecutive channels are link-connected.
+                        for w in path.windows(2) {
+                            assert_eq!(t.neighbor(w[0].0, w[0].1), Some(w[1].0));
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -28,4 +28,4 @@ pub mod spec;
 
 pub use generator::SyntheticStream;
 pub use mixes::{all_workloads, indices_of, workload, Workload, WorkloadKind};
-pub use spec::{AppProfile, MemClass, SpecApp};
+pub use spec::{AppProfile, MemClass, SpecApp, TrafficRate};

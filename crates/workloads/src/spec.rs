@@ -57,6 +57,43 @@ pub struct AppProfile {
     pub hot_window_lines: u64,
 }
 
+/// Open-loop traffic descriptor derived from a profile: the per-instruction
+/// off-chip demand an application places on the memory system, independent
+/// of how fast the system lets it run. This is the injection-rate input of
+/// the analytic latency model (`noclat-analytic`); the cycle simulator
+/// never reads it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficRate {
+    /// Expected off-chip (L2-miss) accesses per committed instruction,
+    /// phase-weighted.
+    pub offchip_per_instr: f64,
+    /// Memory-level parallelism: off-chip accesses in flight per stall
+    /// (mean burst length, at least 1).
+    pub mlp: f64,
+    /// Fraction of off-chip traffic that is write-back (data-carrying
+    /// request packets rather than single-flit read requests).
+    pub write_fraction: f64,
+}
+
+impl AppProfile {
+    /// The open-loop traffic descriptor for this profile.
+    ///
+    /// `l2_mpki` is the long-run per-kilo-instruction miss target; hot
+    /// phases (`phase_boost` over `phase_hot_frac` of instructions)
+    /// redistribute those misses in time but the generator holds the
+    /// long-run mean, so no boost term appears here. Burstiness shows up
+    /// instead as `mlp` (how many of those misses overlap) and in the
+    /// analytic model's batch-arrival correction.
+    #[must_use]
+    pub fn traffic_rate(&self) -> TrafficRate {
+        TrafficRate {
+            offchip_per_instr: self.l2_mpki / 1000.0,
+            mlp: self.burst_mean.max(1.0),
+            write_fraction: self.write_fraction,
+        }
+    }
+}
+
 macro_rules! profiles {
     ($(($variant:ident, $name:literal, $class:ident, $mpki:literal, $memf:literal,
         $wrf:literal, $rowloc:literal, $burst:literal, $warmf:literal, $boost:literal)),+ $(,)?) => {
@@ -217,6 +254,32 @@ mod tests {
             assert!(p.hot_lines > 0 && p.warm_lines > p.hot_lines);
             assert!(p.footprint_lines > p.warm_lines);
         }
+    }
+
+    #[test]
+    fn traffic_rates_are_sane_and_ordered_by_class() {
+        for app in SpecApp::ALL {
+            let p = app.profile();
+            let r = p.traffic_rate();
+            assert!(
+                r.offchip_per_instr > 0.0 && r.offchip_per_instr < 0.1,
+                "{app}"
+            );
+            assert!(r.mlp >= 1.0, "{app}");
+            assert_eq!(r.write_fraction, p.write_fraction, "{app}");
+        }
+        // Demand ordering follows the Table-2 intensity split.
+        let min_intensive = SpecApp::ALL
+            .iter()
+            .filter(|a| a.profile().class == MemClass::Intensive)
+            .map(|a| a.profile().traffic_rate().offchip_per_instr)
+            .fold(f64::INFINITY, f64::min);
+        let max_non = SpecApp::ALL
+            .iter()
+            .filter(|a| a.profile().class == MemClass::NonIntensive)
+            .map(|a| a.profile().traffic_rate().offchip_per_instr)
+            .fold(0.0, f64::max);
+        assert!(min_intensive > max_non);
     }
 
     #[test]
