@@ -9,8 +9,8 @@
 //! 2 × 2 cell grid.
 
 use noclat::{run_mix, weighted_speedup_of, MemSchedPolicy, SystemConfig};
-use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_bench::{banner, pct, w};
+use noclat_engine::{self as sweep, AloneMap, Job, Json, Obj, SweepArgs};
 
 const SCHEDS: [MemSchedPolicy; 2] = [MemSchedPolicy::FrFcfs, MemSchedPolicy::Fcfs];
 

@@ -8,8 +8,8 @@
 //! Two parallel phases: alone-IPC denominators, then the six-variant grid.
 
 use noclat::SystemConfig;
-use noclat_bench::sweep::{self, AloneMap, Job, Obj, SweepArgs};
 use noclat_bench::{banner, pct, run_with_ws, w};
+use noclat_engine::{self as sweep, AloneMap, Job, Obj, SweepArgs};
 
 fn main() {
     let args = SweepArgs::parse(&format!("ablation_priority {}", sweep::SWEEP_USAGE));

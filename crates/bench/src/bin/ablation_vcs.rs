@@ -7,8 +7,8 @@
 //! the full hardware configuration), then the 3 × 2 cell grid.
 
 use noclat::SystemConfig;
-use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_bench::{banner, pct, run_with_ws, w};
+use noclat_engine::{self as sweep, AloneMap, Job, Json, Obj, SweepArgs};
 
 const VCS: [usize; 3] = [2, 4, 8];
 

@@ -15,8 +15,8 @@
 
 use noclat::{run_mix, RunLengths, SystemConfig, TopologyOverride};
 use noclat_analytic::AnalyticModel;
-use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
 use noclat_bench::{banner, merged_latency_histogram, w};
+use noclat_engine::{self as sweep, Job, Json, Obj, SweepArgs};
 use noclat_workloads::SpecApp;
 
 /// Workload driving every golden cell.

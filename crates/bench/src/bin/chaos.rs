@@ -30,7 +30,7 @@ use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 use noclat::{run_mix, RunLengths, SystemConfig};
-use noclat_bench::sweep::{self, exit_code, Job, Json, Obj, SweepArgs};
+use noclat_engine::{self as sweep, exit_code, Job, Json, Obj, SweepArgs};
 use noclat_workloads::workload;
 
 const USAGE: &str = "chaos kill|truncate|corrupt|timeout|all [--dir PATH]";

@@ -21,7 +21,7 @@
 //! regression).
 
 use noclat::{run_mix, FaultPlan, SystemConfig};
-use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
+use noclat_engine::{self as sweep, Job, Json, Obj, SweepArgs};
 use noclat_workloads::workload;
 
 const USAGE: &str = "faultsim [--jobs N] [--json PATH] [--workload 1..18] [--warmup N] \

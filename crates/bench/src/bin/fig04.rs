@@ -12,8 +12,8 @@
 //! every `--jobs` value.
 
 use noclat::{run_mix, AppLatency, SystemConfig};
-use noclat_bench::sweep::{self, Json, Obj, SweepArgs, DEFAULT_SHARDS};
 use noclat_bench::{banner, core_of};
+use noclat_engine::{self as sweep, Json, Obj, SweepArgs, DEFAULT_SHARDS};
 use noclat_workloads::{workload, SpecApp};
 
 fn main() {

@@ -11,7 +11,7 @@
 
 use noclat::{run_mix, SystemConfig};
 use noclat_bench::banner;
-use noclat_bench::sweep::{self, Json, Obj, SweepArgs, DEFAULT_SHARDS};
+use noclat_engine::{self as sweep, Json, Obj, SweepArgs, DEFAULT_SHARDS};
 use noclat_workloads::workload;
 
 fn main() {

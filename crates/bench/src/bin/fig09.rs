@@ -13,8 +13,8 @@
 //! reports.
 
 use noclat::{run_mix, AppLatency, SystemConfig};
-use noclat_bench::sweep::{self, histogram_json, Obj, SweepArgs, DEFAULT_SHARDS};
 use noclat_bench::{banner, core_of};
+use noclat_engine::{self as sweep, histogram_json, Obj, SweepArgs, DEFAULT_SHARDS};
 use noclat_workloads::{workload, SpecApp};
 
 fn main() {

@@ -11,8 +11,8 @@
 //! and the 18 × 3 workload × scheme mix grid.
 
 use noclat::SystemConfig;
-use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_bench::{banner, pct, run_with_ws, w};
+use noclat_engine::{self as sweep, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_sim::stats::geomean;
 use noclat_workloads::{indices_of, WorkloadKind};
 

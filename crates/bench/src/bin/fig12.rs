@@ -12,7 +12,7 @@
 
 use noclat::{run_mix, LatencyTracker, SystemConfig};
 use noclat_bench::banner;
-use noclat_bench::sweep::{self, histogram_json, job_seed, Job, Obj, SweepArgs, DEFAULT_SHARDS};
+use noclat_engine::{self as sweep, histogram_json, job_seed, Job, Obj, SweepArgs, DEFAULT_SHARDS};
 use noclat_workloads::{workload, SpecApp};
 
 fn cdf_row(t: &LatencyTracker, cores: &[usize], x: u64) -> Vec<f64> {

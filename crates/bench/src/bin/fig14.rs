@@ -9,7 +9,7 @@
 
 use noclat::{run_mix, SystemConfig};
 use noclat_bench::banner;
-use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
+use noclat_engine::{self as sweep, Job, Json, Obj, SweepArgs};
 use noclat_workloads::workload;
 
 const WORKLOADS: [usize; 2] = [1, 8];

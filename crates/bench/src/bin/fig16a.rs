@@ -8,8 +8,8 @@
 //! (baseline plus three thresholds per workload).
 
 use noclat::SystemConfig;
-use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_bench::{banner, run_with_ws, w};
+use noclat_engine::{self as sweep, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_sim::stats::geomean;
 
 const FACTORS: [f64; 3] = [1.0, 1.2, 1.4];

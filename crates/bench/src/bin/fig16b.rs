@@ -8,8 +8,8 @@
 //! (baseline plus three window lengths per workload).
 
 use noclat::SystemConfig;
-use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_bench::{banner, run_with_ws, w};
+use noclat_engine::{self as sweep, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_sim::stats::geomean;
 
 const WINDOWS: [u64; 3] = [100, 200, 400];

@@ -10,8 +10,8 @@
 //! 6 × 2 × 2 cell grid.
 
 use noclat::SystemConfig;
-use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_bench::{banner, run_with_ws, w};
+use noclat_engine::{self as sweep, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_sim::stats::geomean;
 
 const MCS: [usize; 2] = [4, 2];

@@ -9,8 +9,8 @@
 //! pipeline depth), then the 6 × 2 × 2 cell grid.
 
 use noclat::{RouterPipeline, SystemConfig};
-use noclat_bench::sweep::{self, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_bench::{banner, run_with_ws, w};
+use noclat_engine::{self as sweep, AloneMap, Job, Json, Obj, SweepArgs};
 use noclat_sim::stats::geomean;
 
 const PIPES: [RouterPipeline; 2] = [RouterPipeline::FiveStage, RouterPipeline::TwoStage];

@@ -16,8 +16,8 @@ use std::time::Instant;
 
 use noclat::{KernelKind, Simulation, SystemConfig};
 use noclat_bench::banner;
-use noclat_bench::sweep::{self, Json, Obj, SweepArgs};
 use noclat_cpu::{Instr, InstrStream};
+use noclat_engine::{self as sweep, Json, Obj, SweepArgs};
 
 /// Cycle-accurate idle-heavy traffic: a period-128 instruction pattern of
 /// one 8000-cycle serializing burst, single-cycle fillers, and — every

@@ -8,7 +8,7 @@
 //! parallel.
 
 use noclat_bench::banner;
-use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
+use noclat_engine::{self as sweep, Job, Json, Obj, SweepArgs};
 use noclat_noc::{characterize, LoadPoint, Mesh, Network, TrafficPattern};
 use noclat_sim::config::SystemConfig;
 

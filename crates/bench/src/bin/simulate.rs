@@ -14,7 +14,7 @@
 //! structured report.
 
 use noclat::{run_mix, MemSchedPolicy, SystemConfig, SystemReport};
-use noclat_bench::sweep::{self, Job, Json, Obj, SweepArgs};
+use noclat_engine::{self as sweep, Job, Json, Obj, SweepArgs};
 use noclat_sim::config::RoutingAlgorithm;
 use noclat_workloads::workload;
 

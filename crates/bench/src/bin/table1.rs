@@ -7,7 +7,7 @@
 
 use noclat::SystemConfig;
 use noclat_bench::banner;
-use noclat_bench::sweep::{self, Json, Obj, SweepArgs};
+use noclat_engine::{self as sweep, Json, Obj, SweepArgs};
 
 fn main() {
     let args = SweepArgs::parse(&format!("table1 {}", sweep::SWEEP_USAGE));

@@ -3,7 +3,7 @@
 //! listing as a structured report.
 
 use noclat_bench::banner;
-use noclat_bench::sweep::{self, Json, Obj, SweepArgs};
+use noclat_engine::{self as sweep, Json, Obj, SweepArgs};
 use noclat_workloads::{all_workloads, WorkloadKind};
 
 fn main() {

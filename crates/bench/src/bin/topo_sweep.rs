@@ -12,8 +12,8 @@
 //! byte-identical across `--jobs N` by the sweep engine's construction.
 
 use noclat::{run_mix, McPlacement, RunLengths, SystemConfig, TopologyKind, TopologyOverride};
-use noclat_bench::sweep::{self, exit_code, GridCell, Job, Json, Obj, PruneInfo, SweepArgs};
 use noclat_bench::{banner, merged_latency_histogram, w};
+use noclat_engine::{self as sweep, exit_code, GridCell, Job, Json, Obj, PruneInfo, SweepArgs};
 use noclat_workloads::SpecApp;
 
 /// Workload driving every cell (the paper's milc-bearing mixed workload).

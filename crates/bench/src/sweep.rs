@@ -1,1948 +1,10 @@
-//! Parallel sweep engine for the figure/table harnesses.
+//! Compatibility re-export of the sweep engine.
 //!
-//! Every binary in `src/bin/` describes its experiment as a *grid* of
-//! independent jobs (one per workload × scheme × knob cell, or one per
-//! replicate shard of a distribution measurement) and hands the grid to
-//! [`run_grid`], which fans it out over `--jobs N` worker threads via
-//! [`noclat_sim::pool`]. Determinism is preserved by construction:
-//!
-//! * each job is self-contained and seeded only from
-//!   `(base seed, job index)` via [`job_seed`],
-//! * results come back in job-index order regardless of scheduling,
-//! * all rendering (text and JSON) happens after the grid completes, from
-//!   the ordered results.
-//!
-//! Running the same sweep with `--jobs 1` and `--jobs 8` therefore produces
-//! byte-identical reports; only the wall-clock time changes. Progress notes
-//! go to stderr so stdout stays comparable across worker counts.
-//!
-//! The `--json PATH` flag writes a structured report through the in-tree
-//! [`Json`] value type (field order is explicit, so serialization is
-//! deterministic; no external serialization crates are involved).
-
-use std::collections::{HashMap, HashSet};
-use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
-
-use noclat::{
-    alone_ipc, AppLatency, Journal, KernelKind, LatencyTracker, PolicyConfig, PolicyOverride,
-    RunLengths, SegmentRow, SimError, SystemConfig, TopologyOverride,
-};
-use noclat_analytic::AnalyticModel;
-use noclat_noc::LoadPoint;
-use noclat_sim::journal::{self, fnv1a64};
-use noclat_sim::stats::{Histogram, RunningMean};
-use noclat_workloads::SpecApp;
-
-pub use noclat_sim::pool::{
-    job_rng, job_seed, run_jobs, run_jobs_supervised, Job, JobCtx, RetryPolicy,
-};
-
-/// Process exit codes shared by every sweep binary, so CI and scripts can
-/// tell failure classes apart without parsing stderr.
-pub mod exit_code {
-    /// Catch-all failure (IO errors, wedged drains without a watchdog…).
-    pub const GENERIC: i32 = 1;
-    /// Invalid arguments or configuration (also journal-resume mismatches).
-    pub const CONFIG: i32 = 2;
-    /// At least one sweep job panicked after exhausting its retries.
-    pub const JOB_PANIC: i32 = 3;
-    /// At least one sweep job exceeded `--job-timeout` after exhausting its
-    /// retries (and none panicked — panics take precedence).
-    pub const JOB_TIMEOUT: i32 = 4;
-    /// The liveness watchdog reported violations (deadlock/starvation).
-    pub const WATCHDOG: i32 = 5;
-    /// `--prune` eliminated every cell of a non-empty grid: nothing was
-    /// simulated, so a report of "zero cells, success" would be a lie.
-    pub const PRUNED_EMPTY: i32 = 6;
-}
-
-/// Number of replicate shards the distribution harnesses (fig04/05/06/09/12)
-/// split their measurement into. Each shard is a full, independently seeded
-/// run; shard statistics merge exactly, so more shards mean both more
-/// parallelism and more samples.
-pub const DEFAULT_SHARDS: u64 = 8;
-
-/// Command-line arguments shared by every sweep binary.
-#[derive(Debug, Clone)]
-pub struct SweepArgs {
-    /// Worker threads for the job grid (`--jobs N`; defaults to the
-    /// machine's available parallelism).
-    pub jobs: usize,
-    /// Where to write the JSON report (`--json PATH`), if anywhere.
-    pub json: Option<PathBuf>,
-    /// Base RNG seed for the sweep (`--seed N`); per-job seeds derive from
-    /// it via [`job_seed`].
-    pub seed: u64,
-    /// Simulation window (`quick`/`--quick` shrink it; `--warmup N` and
-    /// `--measure N` override individual components).
-    pub lengths: RunLengths,
-    /// Prioritization-policy overrides
-    /// (`--policy req=<name>,resp=<name>,arb=<name>`), applied to every
-    /// configuration the sweep builds via [`SweepArgs::apply_policy`].
-    pub policy: PolicyOverride,
-    /// Simulation kernel (`--kernel cycle|event`). Kernels are bit-identical
-    /// by contract (the equivalence suite enforces it), so this only trades
-    /// wall-clock time; reports are comparable across kernels.
-    pub kernel: KernelKind,
-    /// Fabric override (`--topology NAME[:PARAM=V,...]`), applied to every
-    /// configuration the sweep builds via [`SweepArgs::apply_policy`]. Unlike
-    /// `--kernel`, a topology change *does* change results, so it is part of
-    /// the sweep fingerprint.
-    pub topology: TopologyOverride,
-    /// Journal path for durable checkpoint/resume (`--resume PATH`). Cells
-    /// already present in the journal are restored instead of re-run; cells
-    /// completing during this run are appended as they finish.
-    pub resume: Option<PathBuf>,
-    /// Per-job wall-clock deadline (`--job-timeout SECS`); overrunning jobs
-    /// are cancelled cooperatively and reported as `JobTimeout`.
-    pub job_timeout: Option<Duration>,
-    /// Retries with exponential backoff for panicking/timing-out jobs
-    /// (`--retries N`; default 0 = fail immediately).
-    pub retries: u32,
-    /// Two-tier search (`--prune off|analytic:top=K`): run the analytic
-    /// latency model over the grid first and submit only the top-K cells
-    /// (plus golden-pinned cells) to the cycle-accurate pool. Changes which
-    /// cells *run*, never what a run cell contains, but is still part of
-    /// the sweep fingerprint so a pruned journal never resumes an unpruned
-    /// sweep (or vice versa).
-    pub prune: PruneSpec,
-}
-
-/// The `--prune` strategy of a two-tier sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum PruneSpec {
-    /// Cycle-simulate every cell (the default).
-    #[default]
-    Off,
-    /// Rank cells by the closed-form estimator (`noclat-analytic`) and
-    /// keep the `top` cells with the lowest predicted mean latency, plus
-    /// every golden-pinned cell and every cell the harness supplied no
-    /// model inputs for.
-    Analytic {
-        /// Non-golden cells to keep.
-        top: usize,
-    },
-}
-
-impl PruneSpec {
-    /// Parses `off` or `analytic:top=K`.
-    pub fn parse(s: &str) -> Result<PruneSpec, String> {
-        if s == "off" {
-            return Ok(PruneSpec::Off);
-        }
-        if let Some(rest) = s.strip_prefix("analytic:top=") {
-            let top = rest
-                .parse()
-                .map_err(|e| format!("--prune: top={rest}: {e}"))?;
-            return Ok(PruneSpec::Analytic { top });
-        }
-        Err(format!(
-            "--prune: unknown spec {s:?} (expected off or analytic:top=K)"
-        ))
-    }
-
-    /// Whether any pruning strategy is active.
-    #[must_use]
-    pub fn enabled(&self) -> bool {
-        *self != PruneSpec::Off
-    }
-}
-
-impl std::fmt::Display for PruneSpec {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PruneSpec::Off => f.write_str("off"),
-            PruneSpec::Analytic { top } => write!(f, "analytic:top={top}"),
-        }
-    }
-}
-
-/// Flags accepted by [`SweepArgs::parse`], for inclusion in usage strings.
-pub const SWEEP_USAGE: &str = "[--jobs N] [--json PATH] [--seed N] [--warmup N] [--measure N] \
-     [--policy req=NAME,resp=NAME,arb=NAME] [--kernel cycle|event] \
-     [--topology mesh|torus|cmesh|express[:c=N,skip=N,mc=corner|edge|center]] \
-     [--resume PATH] [--job-timeout SECS] [--retries N] \
-     [--prune off|analytic:top=K] [quick]";
-
-impl SweepArgs {
-    fn defaults() -> Self {
-        SweepArgs {
-            jobs: std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-            json: None,
-            seed: SystemConfig::baseline_32().seed,
-            lengths: RunLengths::standard(),
-            policy: PolicyOverride::default(),
-            kernel: KernelKind::default(),
-            topology: TopologyOverride::default(),
-            resume: None,
-            job_timeout: None,
-            retries: 0,
-            prune: PruneSpec::Off,
-        }
-    }
-
-    /// Parses `std::env::args`, accepting only the shared sweep flags.
-    ///
-    /// Exits with status 2 (printing `usage`) on an unknown argument, and
-    /// with status 0 on `--help`.
-    #[must_use]
-    pub fn parse(usage: &str) -> SweepArgs {
-        let (args, rest) = Self::parse_with_rest(usage);
-        if let Some(unknown) = rest.first() {
-            eprintln!("error: unknown argument {unknown}");
-            eprintln!("usage: {usage}");
-            std::process::exit(2);
-        }
-        args
-    }
-
-    /// Parses `std::env::args`, returning unrecognized arguments for the
-    /// binary to interpret (used by `faultsim`/`simulate`, which add their
-    /// own flags on top of the shared set).
-    #[must_use]
-    pub fn parse_with_rest(usage: &str) -> (SweepArgs, Vec<String>) {
-        let argv: Vec<String> = std::env::args().skip(1).collect();
-        match Self::parse_argv(&argv) {
-            Ok(pair) => pair,
-            Err(e) => {
-                let help = e == "help";
-                if !help {
-                    eprintln!("error: {e}");
-                }
-                eprintln!("usage: {usage}");
-                std::process::exit(if help { 0 } else { 2 });
-            }
-        }
-    }
-
-    /// Pure parsing core (testable without process state).
-    pub fn parse_argv(argv: &[String]) -> Result<(SweepArgs, Vec<String>), String> {
-        let mut args = Self::defaults();
-        let mut quick = std::env::var("NOCLAT_QUICK")
-            .map(|v| v == "1")
-            .unwrap_or(false);
-        let mut warmup_override = None;
-        let mut measure_override = None;
-        let mut rest = Vec::new();
-        let mut i = 0;
-        while i < argv.len() {
-            let key = argv[i].as_str();
-            let value = || -> Result<&String, String> {
-                argv.get(i + 1)
-                    .ok_or_else(|| format!("{key} needs a value"))
-            };
-            match key {
-                "--jobs" => {
-                    args.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?;
-                    if args.jobs == 0 {
-                        return Err("--jobs must be at least 1".into());
-                    }
-                    i += 2;
-                }
-                "--json" => {
-                    args.json = Some(PathBuf::from(value()?));
-                    i += 2;
-                }
-                "--seed" => {
-                    args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
-                    i += 2;
-                }
-                "--warmup" => {
-                    warmup_override = Some(value()?.parse().map_err(|e| format!("--warmup: {e}"))?);
-                    i += 2;
-                }
-                "--measure" => {
-                    let m: u64 = value()?.parse().map_err(|e| format!("--measure: {e}"))?;
-                    if m == 0 {
-                        return Err("--measure must be at least 1 cycle".into());
-                    }
-                    measure_override = Some(m);
-                    i += 2;
-                }
-                "--policy" => {
-                    // PolicyOverride::parse already prefixes its errors
-                    // with "--policy:".
-                    args.policy = PolicyOverride::parse(value()?)?;
-                    i += 2;
-                }
-                "--kernel" => {
-                    // KernelKind::parse already prefixes its errors with
-                    // "--kernel:".
-                    args.kernel = KernelKind::parse(value()?)?;
-                    i += 2;
-                }
-                "--topology" => {
-                    // TopologyOverride::parse already prefixes its errors
-                    // with "--topology:".
-                    args.topology = TopologyOverride::parse(value()?)?;
-                    i += 2;
-                }
-                "--resume" => {
-                    args.resume = Some(PathBuf::from(value()?));
-                    i += 2;
-                }
-                "--job-timeout" => {
-                    let secs: f64 = value()?
-                        .parse()
-                        .map_err(|e| format!("--job-timeout: {e}"))?;
-                    if !(secs > 0.0 && secs.is_finite()) {
-                        return Err("--job-timeout must be a positive number of seconds".into());
-                    }
-                    args.job_timeout = Some(Duration::from_secs_f64(secs));
-                    i += 2;
-                }
-                "--retries" => {
-                    args.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?;
-                    i += 2;
-                }
-                "--prune" => {
-                    // PruneSpec::parse already prefixes its errors with
-                    // "--prune:".
-                    args.prune = PruneSpec::parse(value()?)?;
-                    i += 2;
-                }
-                "quick" | "--quick" => {
-                    quick = true;
-                    i += 1;
-                }
-                "--help" | "-h" => return Err("help".into()),
-                _ => {
-                    rest.push(argv[i].clone());
-                    i += 1;
-                }
-            }
-        }
-        if quick {
-            args.lengths = RunLengths::quick();
-        }
-        if let Some(w) = warmup_override {
-            args.lengths.warmup = w;
-        }
-        if let Some(m) = measure_override {
-            args.lengths.measure = m;
-        }
-        Ok((args, rest))
-    }
-
-    /// Applies this sweep's `--policy`, `--kernel` and `--topology`
-    /// overrides to a configuration the harness is about to run. Call on
-    /// every cell of the grid so the overrides reach scheme variants and
-    /// knob sweeps alike; a sweep run without any of the flags is untouched.
-    pub fn apply_policy(&self, cfg: &mut SystemConfig) {
-        self.policy.apply(cfg);
-        cfg.kernel = self.kernel;
-        self.topology.apply(cfg);
-        // A `--topology` override can produce a config the grid can't
-        // satisfy (a concentration that doesn't tile it, a torus without
-        // dateline VCs). That's a usage error, not a cell panic — surface
-        // the typed ConfigError and exit before any cell runs.
-        if !self.topology.is_empty() {
-            if let Err(e) = cfg.validate() {
-                eprintln!("error: --topology: {e}");
-                std::process::exit(exit_code::CONFIG);
-            }
-        }
-    }
-
-    /// The pool deadline/retry budget these arguments request.
-    #[must_use]
-    pub fn retry_policy(&self) -> RetryPolicy {
-        RetryPolicy {
-            timeout: self.job_timeout,
-            retries: self.retries,
-            ..RetryPolicy::default()
-        }
-    }
-}
-
-/// Fingerprint of everything that determines a sweep's *results*: seed,
-/// simulation window, policy overrides, kernel and topology override.
-/// Arguments that only affect execution (worker count, output paths,
-/// deadlines, retries) are deliberately excluded — a journal written with
-/// `--jobs 8` resumes fine under `--jobs 1`, and a deadline changes which
-/// cells *complete*, never what a completed cell contains.
-#[must_use]
-pub fn sweep_fingerprint(args: &SweepArgs) -> u64 {
-    let mut text = format!(
-        "seed={} warmup={} measure={} policy={:?} kernel={} topology={:?}",
-        args.seed,
-        args.lengths.warmup,
-        args.lengths.measure,
-        args.policy,
-        args.kernel.name(),
-        args.topology,
-    );
-    // Pruning decides which cells exist, so a pruned journal must never
-    // satisfy an unpruned resume. Appended only when enabled to keep every
-    // pre-pruning journal's fingerprint valid.
-    if args.prune.enabled() {
-        text.push_str(&format!(" prune={}", args.prune));
-    }
-    fnv1a64(text.as_bytes())
-}
-
-/// Content address of one sweep cell: the sweep fingerprint combined with
-/// the cell's label (labels are unique within a harness by construction).
-#[must_use]
-pub fn job_key(fingerprint: u64, label: &str) -> u64 {
-    fnv1a64(format!("{fingerprint:016x}/{label}").as_bytes())
-}
-
-/// Runs a job grid under the sweep's worker budget and returns results in
-/// job order, aborting the process with a per-job diagnostic if any job
-/// failed.
-///
-/// The abort path reports *every* failing cell as a quarantine list (a
-/// panicking cell does not hide its siblings' outcomes) and exits with the
-/// most severe applicable [`exit_code`]: panics beat timeouts beat the
-/// generic failure code. A journal problem (`--resume` mismatch, IO
-/// failure) is a usage error and exits with [`exit_code::CONFIG`].
-#[must_use]
-pub fn run_grid<T: Send + CellCodec>(args: &SweepArgs, jobs: Vec<Job<T>>) -> Vec<T> {
-    // A harness that fans out through this entry point has no model inputs
-    // per cell; accepting `--prune` here would silently run everything.
-    if args.prune.enabled() {
-        eprintln!("error: this binary does not support --prune");
-        std::process::exit(exit_code::CONFIG);
-    }
-    let results = match try_run_grid(args, jobs) {
-        Ok(results) => results,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(exit_code::CONFIG);
-        }
-    };
-    let mut quarantined = Vec::new();
-    let mut out = Vec::with_capacity(results.len());
-    for r in results {
-        match r {
-            Ok(v) => out.push(v),
-            Err(e) => quarantined.push(e),
-        }
-    }
-    if !quarantined.is_empty() {
-        eprintln!("sweep: {} cell(s) quarantined:", quarantined.len());
-        for e in &quarantined {
-            eprintln!("  error: {e}");
-        }
-        let code = if quarantined
-            .iter()
-            .any(|e| matches!(e, SimError::JobPanicked { .. }))
-        {
-            exit_code::JOB_PANIC
-        } else if quarantined
-            .iter()
-            .any(|e| matches!(e, SimError::JobTimeout { .. }))
-        {
-            exit_code::JOB_TIMEOUT
-        } else {
-            exit_code::GENERIC
-        };
-        std::process::exit(code);
-    }
-    out
-}
-
-/// Like [`run_grid`], but surfaces failures as values instead of aborting
-/// (the library entry point the tests drive): the outer `Err` is a journal
-/// problem that prevented the sweep from running at all, the inner ones are
-/// quarantined cells.
-///
-/// Every job gets a content address (`[config <hash>]` in error reports,
-/// the record key in the journal). With `--resume`, cells whose records are
-/// already journaled are decoded instead of re-run — the codec roundtrip is
-/// exact by construction, so resumed output is byte-identical — and each
-/// cell completing in this run is appended (and flushed) the moment it
-/// finishes, making progress durable against SIGKILL.
-///
-/// # Errors
-///
-/// [`SimError::Journal`] when the `--resume` journal cannot be opened,
-/// belongs to a sweep with different arguments, or is not a journal at all.
-pub fn try_run_grid<T: Send + CellCodec>(
-    args: &SweepArgs,
-    jobs: Vec<Job<T>>,
-) -> Result<Vec<Result<T, SimError>>, SimError> {
-    let fingerprint = sweep_fingerprint(args);
-    let keys: Vec<u64> = jobs
-        .iter()
-        .map(|j| job_key(fingerprint, j.label()))
-        .collect();
-    let jobs: Vec<Job<T>> = jobs
-        .into_iter()
-        .zip(&keys)
-        .map(|(j, key)| j.config_hash(format!("{key:016x}")))
-        .collect();
-    let n = jobs.len();
-    let policy = args.retry_policy();
-
-    let Some(path) = &args.resume else {
-        if n > 1 {
-            eprintln!("sweep: {} jobs on {} worker(s)", n, args.jobs.clamp(1, n));
-        }
-        return Ok(run_jobs_supervised(args.jobs, jobs, &policy, None));
-    };
-
-    let (journal, records) = Journal::open(path, fingerprint)?;
-    let cache = journal::as_map(records);
-    // A record that fails to decode (format drift, hand-edited file) is not
-    // an error: the cell is simply recomputed and its record rewritten.
-    let mut slots: Vec<Option<Result<T, SimError>>> = keys
-        .iter()
-        .map(|key| {
-            let payload = cache.get(key)?;
-            let value = T::decode_cell(&Json::parse(payload).ok()?)?;
-            Some(Some(Ok(value)))
-        })
-        .map(Option::flatten)
-        .collect();
-    let pending: Vec<(usize, Job<T>)> = jobs
-        .into_iter()
-        .enumerate()
-        .filter(|(i, _)| slots[*i].is_none())
-        .collect();
-    let resumed = n - pending.len();
-    if resumed > 0 {
-        eprintln!(
-            "sweep: resumed {resumed} of {n} cell(s) from {}",
-            path.display()
-        );
-    }
-    if pending.len() > 1 {
-        eprintln!(
-            "sweep: {} jobs on {} worker(s)",
-            pending.len(),
-            args.jobs.clamp(1, pending.len())
-        );
-    }
-    let indices: Vec<usize> = pending.iter().map(|(i, _)| *i).collect();
-    let pending_jobs: Vec<Job<T>> = pending.into_iter().map(|(_, j)| j).collect();
-    let journal = Mutex::new(journal);
-    let observer = |pi: usize, r: &Result<T, SimError>| {
-        if let Ok(v) = r {
-            let payload = v.encode_cell().to_compact_string();
-            let mut journal = journal.lock().expect("journal lock");
-            if let Err(e) = journal.append(keys[indices[pi]], &payload) {
-                // Losing durability degrades resume, not this run's results.
-                eprintln!("warning: {e}");
-            }
-        }
-    };
-    let results = run_jobs_supervised(args.jobs, pending_jobs, &policy, Some(&observer));
-    for (pi, result) in results.into_iter().enumerate() {
-        let i = indices[pi];
-        // Errors report the cell's position in the full grid, not in the
-        // pending subset the pool happened to run.
-        let result = result.map_err(|mut e| {
-            match &mut e {
-                SimError::JobPanicked { index, .. } | SimError::JobTimeout { index, .. } => {
-                    *index = i;
-                }
-                _ => {}
-            }
-            e
-        });
-        slots[i] = Some(result);
-    }
-    Ok(slots
-        .into_iter()
-        .map(|s| s.expect("every cell is cached or computed"))
-        .collect())
-}
-
-/// Model inputs the analytic pruning pre-pass needs for one cell: the
-/// exact configuration the job will simulate and the per-tile application
-/// placement. `golden` pins the cell past any pruning (regression anchors
-/// must always run).
-#[derive(Debug, Clone)]
-pub struct PruneInfo {
-    /// The cell's full configuration (after every override is applied —
-    /// the same value the job's closure captured).
-    pub cfg: SystemConfig,
-    /// Per-tile application placement, exactly as `run_mix` assigns it.
-    pub apps: Vec<SpecApp>,
-    /// Never prune this cell (golden-pinned regression anchor).
-    pub golden: bool,
-}
-
-/// One cell of a pruned grid: the cycle-accurate job plus (optionally) the
-/// model inputs that let the pre-pass rank it. Cells without `prune`
-/// metadata are never pruned — the estimator cannot rank what it cannot
-/// model.
-pub struct GridCell<T> {
-    /// The cycle-accurate job.
-    pub job: Job<T>,
-    /// Model inputs for the pruning pre-pass.
-    pub prune: Option<PruneInfo>,
-}
-
-/// What a pruned grid produced, aligned with the input cells.
-pub struct PruneOutcome<T> {
-    /// Per-cell outcome: `None` when the pre-pass pruned the cell,
-    /// otherwise the cycle-accurate result (or its quarantined error).
-    pub results: Vec<Option<Result<T, SimError>>>,
-    /// The estimator's predicted mean latency per cell (`None` for cells
-    /// without model inputs, or when pruning is off).
-    pub predicted: Vec<Option<f64>>,
-    /// How many cells were submitted to the cycle-accurate pool.
-    pub kept: usize,
-}
-
-/// Two-tier grid execution: with `--prune analytic:top=K`, the closed-form
-/// estimator ranks every cell that supplied [`PruneInfo`] and only the K
-/// lowest-predicted-latency cells — plus all golden-pinned cells and all
-/// cells without model inputs — reach the cycle-accurate pool. Surviving
-/// cells run through [`try_run_grid`] with their original jobs untouched,
-/// so their results are byte-identical to an unpruned run's; the pruning
-/// spec is part of the sweep fingerprint, so `--resume` journals of pruned
-/// and unpruned sweeps never mix.
-///
-/// With `--prune off` every cell runs and no prediction is computed.
-///
-/// # Errors
-///
-/// [`SimError::Journal`] exactly as [`try_run_grid`].
-pub fn try_run_pruned_grid<T: Send + CellCodec>(
-    args: &SweepArgs,
-    cells: Vec<GridCell<T>>,
-) -> Result<PruneOutcome<T>, SimError> {
-    let n = cells.len();
-    let PruneSpec::Analytic { top } = args.prune else {
-        let jobs: Vec<Job<T>> = cells.into_iter().map(|c| c.job).collect();
-        let results = try_run_grid(args, jobs)?;
-        return Ok(PruneOutcome {
-            results: results.into_iter().map(Some).collect(),
-            predicted: vec![None; n],
-            kept: n,
-        });
-    };
-
-    // Tier 1: rank by the analytic estimator. A cell whose configuration
-    // the model rejects is kept conservatively (the cycle pool will report
-    // the config error properly).
-    let mut predicted: Vec<Option<f64>> = Vec::with_capacity(n);
-    for cell in &cells {
-        let p = cell.prune.as_ref().and_then(|info| {
-            let model = AnalyticModel::new(&info.cfg, &info.apps).ok()?;
-            let report = model
-                .with_lengths(args.lengths.warmup, args.lengths.measure)
-                .evaluate();
-            Some(report.mean_latency)
-        });
-        predicted.push(p);
-    }
-    let mut ranked: Vec<(usize, f64)> = predicted
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| cells[*i].prune.as_ref().is_some_and(|info| !info.golden))
-        .filter_map(|(i, p)| p.map(|p| (i, p)))
-        .collect();
-    // Ascending predicted latency; grid order breaks ties, so the
-    // selection is deterministic.
-    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
-    let mut keep = vec![false; n];
-    for (i, cell) in cells.iter().enumerate() {
-        match &cell.prune {
-            None => keep[i] = true,
-            Some(info) if info.golden => keep[i] = true,
-            Some(_) => {}
-        }
-    }
-    for &(i, _) in ranked.iter().take(top) {
-        keep[i] = true;
-    }
-    let kept = keep.iter().filter(|k| **k).count();
-    eprintln!("sweep: analytic pre-pass kept {kept} of {n} cell(s) (top={top} plus pinned)");
-
-    // Tier 2: the surviving jobs, bit-identical to an unpruned run.
-    let mut survivors: Vec<Job<T>> = Vec::with_capacity(kept);
-    let mut indices = Vec::with_capacity(kept);
-    for (i, cell) in cells.into_iter().enumerate() {
-        if keep[i] {
-            indices.push(i);
-            survivors.push(cell.job);
-        }
-    }
-    let sub = try_run_grid(args, survivors)?;
-    let mut results: Vec<Option<Result<T, SimError>>> = (0..n).map(|_| None).collect();
-    for (si, r) in sub.into_iter().enumerate() {
-        let i = indices[si];
-        // Errors report the cell's position in the full grid.
-        let r = r.map_err(|mut e| {
-            match &mut e {
-                SimError::JobPanicked { index, .. } | SimError::JobTimeout { index, .. } => {
-                    *index = i;
-                }
-                _ => {}
-            }
-            e
-        });
-        results[i] = Some(r);
-    }
-    Ok(PruneOutcome {
-        results,
-        predicted,
-        kept,
-    })
-}
-
-/// A pruned grid after quarantine handling: every surviving cell's value,
-/// aligned with the input cells (`None` = pruned away).
-pub struct PrunedResults<T> {
-    /// Per-cell value; `None` when the pre-pass pruned the cell.
-    pub results: Vec<Option<T>>,
-    /// The estimator's predicted mean latency per cell.
-    pub predicted: Vec<Option<f64>>,
-    /// How many cells ran cycle-accurately.
-    pub kept: usize,
-}
-
-/// Like [`run_grid`] for pruned grids: aborts on journal problems and
-/// quarantined cells with the same exit codes, and exits with
-/// [`exit_code::PRUNED_EMPTY`] when the pre-pass eliminated every cell of
-/// a non-empty grid (a sweep that simulated nothing must not look like a
-/// success).
-#[must_use]
-pub fn run_pruned_grid<T: Send + CellCodec>(
-    args: &SweepArgs,
-    cells: Vec<GridCell<T>>,
-) -> PrunedResults<T> {
-    let n = cells.len();
-    let outcome = match try_run_pruned_grid(args, cells) {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(exit_code::CONFIG);
-        }
-    };
-    if outcome.kept == 0 && n > 0 {
-        eprintln!(
-            "error: --prune {} eliminated all {n} cell(s); nothing was simulated",
-            args.prune
-        );
-        std::process::exit(exit_code::PRUNED_EMPTY);
-    }
-    let quarantined: Vec<&SimError> = outcome
-        .results
-        .iter()
-        .flatten()
-        .filter_map(|r| r.as_ref().err())
-        .collect();
-    if !quarantined.is_empty() {
-        eprintln!("sweep: {} cell(s) quarantined:", quarantined.len());
-        for e in &quarantined {
-            eprintln!("  error: {e}");
-        }
-        let code = if quarantined
-            .iter()
-            .any(|e| matches!(e, SimError::JobPanicked { .. }))
-        {
-            exit_code::JOB_PANIC
-        } else if quarantined
-            .iter()
-            .any(|e| matches!(e, SimError::JobTimeout { .. }))
-        {
-            exit_code::JOB_TIMEOUT
-        } else {
-            exit_code::GENERIC
-        };
-        std::process::exit(code);
-    }
-    PrunedResults {
-        results: outcome
-            .results
-            .into_iter()
-            .map(|r| r.map(|v| v.expect("quarantine exit handled errors")))
-            .collect(),
-        predicted: outcome.predicted,
-        kept: outcome.kept,
-    }
-}
-
-/// Fans `shards` replicate runs of one measurement out to the pool: shard
-/// `s` calls `make(s, job_seed(args.seed, s))` and the results come back in
-/// shard order, ready to be merged. `make` must be deterministic in its
-/// arguments.
-#[must_use]
-pub fn run_shards<T, F>(args: &SweepArgs, label: &str, shards: u64, make: F) -> Vec<T>
-where
-    T: Send + CellCodec,
-    F: Fn(u64, u64) -> T + Send + Sync + 'static,
-{
-    let make = Arc::new(make);
-    let jobs: Vec<Job<T>> = (0..shards)
-        .map(|s| {
-            let make = Arc::clone(&make);
-            let seed = job_seed(args.seed, s);
-            Job::new(format!("{label}/shard-{s}"), move || make(s, seed))
-        })
-        .collect();
-    run_grid(args, jobs)
-}
-
-/// A table of alone-run IPCs (the weighted-speedup denominators), computed
-/// as its own parallel phase so the mix-run grid never recomputes them.
-///
-/// Entries are keyed by the *full* hardware configuration (schemes
-/// stripped, since alone runs never contend) plus the application, so
-/// distinct hardware points — different meshes, VC counts, schedulers,
-/// pipelines — never alias each other's denominators.
-#[derive(Debug, Default)]
-pub struct AloneMap {
-    map: HashMap<(String, SpecApp), f64>,
-}
-
-/// Cache key of a hardware configuration for alone-run purposes: the Debug
-/// rendering of the config with both schemes disabled (alone runs are
-/// scheme-independent by construction — there is nothing to contend with).
-#[must_use]
-pub fn alone_key(cfg: &SystemConfig) -> String {
-    let mut base = cfg.clone();
-    base.scheme1.enabled = false;
-    base.scheme2.enabled = false;
-    base.policy = PolicyConfig::default();
-    // Kernels are bit-identical, so cycle- and event-kernel sweeps share
-    // their alone denominators (alone_ipc pins the default kernel too).
-    base.kernel = KernelKind::default();
-    format!("{base:?}")
-}
-
-impl AloneMap {
-    /// Computes alone IPCs for every distinct `(hardware, app)` pair in
-    /// `requests`, one pool job per pair.
-    #[must_use]
-    pub fn compute(args: &SweepArgs, requests: &[(SystemConfig, Vec<SpecApp>)]) -> AloneMap {
-        let lengths = args.lengths;
-        let mut pairs: Vec<(String, SystemConfig, SpecApp)> = Vec::new();
-        let mut seen: HashSet<(String, SpecApp)> = HashSet::new();
-        for (cfg, apps) in requests {
-            let key = alone_key(cfg);
-            for &app in apps {
-                if seen.insert((key.clone(), app)) {
-                    pairs.push((key.clone(), cfg.clone(), app));
-                }
-            }
-        }
-        let jobs: Vec<Job<f64>> = pairs
-            .iter()
-            .map(|(key, cfg, app)| {
-                let cfg = cfg.clone();
-                let app = *app;
-                // The hardware key disambiguates the label: the same app on
-                // two hardware points must never share a journal address.
-                let hw = fnv1a64(key.as_bytes());
-                Job::new(format!("alone/{}/{hw:016x}", app.name()), move || {
-                    alone_ipc(&cfg, app, lengths)
-                })
-            })
-            .collect();
-        let ipcs = run_grid(args, jobs);
-        let map = pairs
-            .into_iter()
-            .zip(ipcs)
-            .map(|((key, _, app), ipc)| ((key, app), ipc))
-            .collect();
-        AloneMap { map }
-    }
-
-    /// The alone IPC of `app` on `cfg`'s hardware.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the pair was not part of [`AloneMap::compute`].
-    #[must_use]
-    pub fn ipc(&self, cfg: &SystemConfig, app: SpecApp) -> f64 {
-        *self
-            .map
-            .get(&(alone_key(cfg), app))
-            .unwrap_or_else(|| panic!("alone IPC of {} not precomputed", app.name()))
-    }
-
-    /// Alone IPCs for every distinct app of a workload, in the shape
-    /// [`noclat::weighted_speedup_of`] consumes.
-    #[must_use]
-    pub fn table(&self, cfg: &SystemConfig, apps: &[SpecApp]) -> HashMap<SpecApp, f64> {
-        apps.iter().map(|&a| (a, self.ipc(cfg, a))).collect()
-    }
-
-    /// Number of distinct `(hardware, app)` entries.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// True when no entries have been computed.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// JSON output
-// ---------------------------------------------------------------------------
-
-/// An ordered, dependency-free JSON value.
-///
-/// Object fields keep their insertion order, and all numeric formatting is
-/// the standard library's deterministic shortest-roundtrip rendering, so
-/// serializing the same value always yields the same bytes — the property
-/// the `--jobs N` equivalence checks pin.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null` (also produced for non-finite floats).
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An unsigned integer.
-    Uint(u64),
-    /// A signed integer.
-    Int(i64),
-    /// A floating-point number.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with explicit field order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Self {
-        Json::Bool(v)
-    }
-}
-impl From<u64> for Json {
-    fn from(v: u64) -> Self {
-        Json::Uint(v)
-    }
-}
-impl From<u32> for Json {
-    fn from(v: u32) -> Self {
-        Json::Uint(u64::from(v))
-    }
-}
-impl From<usize> for Json {
-    fn from(v: usize) -> Self {
-        Json::Uint(v as u64)
-    }
-}
-impl From<i64> for Json {
-    fn from(v: i64) -> Self {
-        Json::Int(v)
-    }
-}
-impl From<f64> for Json {
-    fn from(v: f64) -> Self {
-        Json::Num(v)
-    }
-}
-impl From<&str> for Json {
-    fn from(v: &str) -> Self {
-        Json::Str(v.to_string())
-    }
-}
-impl From<String> for Json {
-    fn from(v: String) -> Self {
-        Json::Str(v)
-    }
-}
-impl<T: Into<Json>> From<Vec<T>> for Json {
-    fn from(v: Vec<T>) -> Self {
-        Json::Arr(v.into_iter().map(Into::into).collect())
-    }
-}
-
-/// Builder for [`Json::Obj`] with ergonomic field chaining.
-#[derive(Debug, Default)]
-pub struct Obj(Vec<(String, Json)>);
-
-impl Obj {
-    /// Starts an empty object.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Appends a field.
-    #[must_use]
-    pub fn field(mut self, key: impl Into<String>, value: impl Into<Json>) -> Self {
-        self.0.push((key.into(), value.into()));
-        self
-    }
-
-    /// Finishes the object.
-    #[must_use]
-    pub fn build(self) -> Json {
-        Json::Obj(self.0)
-    }
-}
-
-fn escape_into(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-}
-
-impl Json {
-    fn render(&self, out: &mut String, indent: usize) {
-        const PAD: &str = "  ";
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Uint(v) => out.push_str(&v.to_string()),
-            Json::Int(v) => out.push_str(&v.to_string()),
-            Json::Num(v) => {
-                if v.is_finite() {
-                    out.push_str(&v.to_string());
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                escape_into(out, s);
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&PAD.repeat(indent + 1));
-                    item.render(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&PAD.repeat(indent));
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&PAD.repeat(indent + 1));
-                    out.push('"');
-                    escape_into(out, k);
-                    out.push_str("\": ");
-                    v.render(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&PAD.repeat(indent));
-                out.push('}');
-            }
-        }
-    }
-
-    /// Serializes to a pretty-printed, deterministic JSON string (trailing
-    /// newline included, as written to report files).
-    #[must_use]
-    pub fn to_json_string(&self) -> String {
-        let mut out = String::new();
-        self.render(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    /// Serializes to a single-line, whitespace-free string (the journal's
-    /// payload format — record payloads must not contain newlines).
-    #[must_use]
-    pub fn to_compact_string(&self) -> String {
-        let mut out = String::new();
-        self.render_compact(&mut out);
-        out
-    }
-
-    fn render_compact(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Uint(v) => out.push_str(&v.to_string()),
-            Json::Int(v) => out.push_str(&v.to_string()),
-            Json::Num(v) => {
-                if v.is_finite() {
-                    out.push_str(&v.to_string());
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                escape_into(out, s);
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.render_compact(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('"');
-                    escape_into(out, k);
-                    out.push_str("\":");
-                    v.render_compact(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parses a JSON document (the inverse of the serializers, used to
-    /// decode journal payloads).
-    ///
-    /// Unsigned integer literals parse as [`Json::Uint`], negative integers
-    /// as [`Json::Int`], anything fractional or exponential as
-    /// [`Json::Num`] — matching what the serializers emit, so
-    /// `parse(render(x)) == x` for every value the codec produces.
-    ///
-    /// # Errors
-    ///
-    /// A human-readable description of the first syntax error.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = JsonParser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-}
-
-/// Recursive-descent parser over raw bytes (JSON structure is ASCII; string
-/// contents pass through as UTF-8).
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl JsonParser<'_> {
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn eat_literal(&mut self, lit: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.bytes.get(self.pos) {
-            None => Err("unexpected end of input".into()),
-            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
-            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
-            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(&b) => Err(format!("unexpected {:?} at byte {}", b as char, self.pos)),
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            fields.push((key, self.value()?));
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        let mut chars = std::str::from_utf8(&self.bytes[self.pos..])
-            .map_err(|e| format!("invalid UTF-8 in string: {e}"))?
-            .char_indices();
-        while let Some((off, c)) = chars.next() {
-            match c {
-                '"' => {
-                    self.pos += off + 1;
-                    return Ok(out);
-                }
-                '\\' => match chars.next() {
-                    Some((_, '"')) => out.push('"'),
-                    Some((_, '\\')) => out.push('\\'),
-                    Some((_, '/')) => out.push('/'),
-                    Some((_, 'n')) => out.push('\n'),
-                    Some((_, 'r')) => out.push('\r'),
-                    Some((_, 't')) => out.push('\t'),
-                    Some((_, 'u')) => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let (_, h) = chars
-                                .next()
-                                .ok_or_else(|| "truncated \\u escape".to_string())?;
-                            code = code * 16
-                                + h.to_digit(16)
-                                    .ok_or_else(|| format!("bad hex digit {h:?} in \\u escape"))?;
-                        }
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| format!("invalid \\u{code:04x} escape"))?,
-                        );
-                    }
-                    other => {
-                        return Err(format!("bad escape {:?}", other.map(|(_, c)| c)));
-                    }
-                },
-                c => out.push(c),
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.bytes.get(self.pos) == Some(&b'-') {
-            self.pos += 1;
-        }
-        let mut fractional = false;
-        while let Some(&b) = self.bytes.get(self.pos) {
-            match b {
-                b'0'..=b'9' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    fractional = true;
-                    self.pos += 1;
-                }
-                _ => break,
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
-        if fractional {
-            text.parse()
-                .map(Json::Num)
-                .map_err(|e| format!("bad number {text:?}: {e}"))
-        } else if text.starts_with('-') {
-            text.parse()
-                .map(Json::Int)
-                .map_err(|e| format!("bad number {text:?}: {e}"))
-        } else {
-            text.parse()
-                .map(Json::Uint)
-                .map_err(|e| format!("bad number {text:?}: {e}"))
-        }
-    }
-}
-
-impl std::fmt::Display for Json {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.to_json_string())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Cell codec: lossless (de)serialization of grid results for the journal
-// ---------------------------------------------------------------------------
-
-/// Lossless serialization of one grid cell's result, used by the `--resume`
-/// journal. The contract is exactness: `decode_cell(encode_cell(x)) == x`
-/// bit-for-bit, so a resumed sweep renders byte-identical reports. Floats
-/// are therefore encoded as their IEEE-754 bit patterns ([`f64::to_bits`]
-/// as [`Json::Uint`]), never as decimal text.
-///
-/// `decode_cell` returns `None` on any shape mismatch — the sweep layer
-/// treats an undecodable record as absent and recomputes the cell.
-pub trait CellCodec: Sized {
-    /// Encodes the cell value as a JSON tree.
-    fn encode_cell(&self) -> Json;
-    /// Decodes a cell value; `None` if `json` does not have the right shape.
-    fn decode_cell(json: &Json) -> Option<Self>;
-}
-
-fn dec_u64(json: &Json) -> Option<u64> {
-    match json {
-        Json::Uint(v) => Some(*v),
-        _ => None,
-    }
-}
-
-impl CellCodec for u64 {
-    fn encode_cell(&self) -> Json {
-        Json::Uint(*self)
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        dec_u64(json)
-    }
-}
-
-impl CellCodec for u32 {
-    fn encode_cell(&self) -> Json {
-        Json::Uint(u64::from(*self))
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        dec_u64(json)?.try_into().ok()
-    }
-}
-
-impl CellCodec for usize {
-    fn encode_cell(&self) -> Json {
-        Json::Uint(*self as u64)
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        dec_u64(json)?.try_into().ok()
-    }
-}
-
-impl CellCodec for i64 {
-    fn encode_cell(&self) -> Json {
-        Json::Int(*self)
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        // Non-negative integers parse back as Uint; accept both renderings.
-        match json {
-            Json::Int(v) => Some(*v),
-            Json::Uint(v) => (*v).try_into().ok(),
-            _ => None,
-        }
-    }
-}
-
-impl CellCodec for bool {
-    fn encode_cell(&self) -> Json {
-        Json::Bool(*self)
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        match json {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-}
-
-impl CellCodec for f64 {
-    fn encode_cell(&self) -> Json {
-        Json::Uint(self.to_bits())
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        dec_u64(json).map(f64::from_bits)
-    }
-}
-
-impl CellCodec for String {
-    fn encode_cell(&self) -> Json {
-        Json::Str(self.clone())
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        match json {
-            Json::Str(s) => Some(s.clone()),
-            _ => None,
-        }
-    }
-}
-
-impl<T: CellCodec> CellCodec for Vec<T> {
-    fn encode_cell(&self) -> Json {
-        Json::Arr(self.iter().map(CellCodec::encode_cell).collect())
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        match json {
-            Json::Arr(items) => items.iter().map(T::decode_cell).collect(),
-            _ => None,
-        }
-    }
-}
-
-impl CellCodec for [u64; 5] {
-    fn encode_cell(&self) -> Json {
-        Json::Arr(self.iter().map(|&v| Json::Uint(v)).collect())
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        Vec::<u64>::decode_cell(json)?.try_into().ok()
-    }
-}
-
-/// Tuples encode positionally as arrays.
-macro_rules! tuple_codec {
-    ($($name:ident : $idx:tt),+) => {
-        impl<$($name: CellCodec),+> CellCodec for ($($name,)+) {
-            fn encode_cell(&self) -> Json {
-                Json::Arr(vec![$(self.$idx.encode_cell()),+])
-            }
-            fn decode_cell(json: &Json) -> Option<Self> {
-                let Json::Arr(items) = json else { return None };
-                let mut it = items.iter();
-                let out = ($($name::decode_cell(it.next()?)?,)+);
-                if it.next().is_some() {
-                    return None;
-                }
-                Some(out)
-            }
-        }
-    };
-}
-
-tuple_codec!(A: 0, B: 1);
-tuple_codec!(A: 0, B: 1, C: 2);
-tuple_codec!(A: 0, B: 1, C: 2, D: 3);
-tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4);
-tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
-tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
-
-impl CellCodec for Histogram {
-    fn encode_cell(&self) -> Json {
-        Json::Arr(vec![
-            Json::Uint(self.bin_width()),
-            self.bins().to_vec().encode_cell(),
-            Json::Uint(self.count()),
-            Json::Uint(self.sum()),
-            Json::Uint(self.max()),
-        ])
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        let (bin_width, bins, count, sum, max) =
-            <(u64, Vec<u64>, u64, u64, u64)>::decode_cell(json)?;
-        // Guard from_raw_parts' panics: a record failing these is corrupt
-        // and the cell recomputes.
-        if bin_width == 0 || bins.is_empty() {
-            return None;
-        }
-        Some(Histogram::from_raw_parts(bin_width, bins, count, sum, max))
-    }
-}
-
-impl CellCodec for RunningMean {
-    fn encode_cell(&self) -> Json {
-        Json::Arr(vec![Json::Uint(self.count()), self.sum().encode_cell()])
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        let (count, sum) = <(u64, f64)>::decode_cell(json)?;
-        Some(RunningMean::from_parts(count, sum))
-    }
-}
-
-impl CellCodec for SegmentRow {
-    fn encode_cell(&self) -> Json {
-        Json::Arr(vec![
-            Json::Uint(self.count),
-            Json::Arr(self.sums.iter().map(|s| s.encode_cell()).collect()),
-        ])
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        let (count, sums) = <(u64, Vec<f64>)>::decode_cell(json)?;
-        Some(SegmentRow {
-            count,
-            sums: sums.try_into().ok()?,
-        })
-    }
-}
-
-impl CellCodec for AppLatency {
-    fn encode_cell(&self) -> Json {
-        Json::Arr(vec![
-            self.total.encode_cell(),
-            self.so_far.encode_cell(),
-            self.rows().to_vec().encode_cell(),
-        ])
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        let (total, so_far, rows) = <(Histogram, Histogram, Vec<SegmentRow>)>::decode_cell(json)?;
-        // from_parts asserts the standard geometry; pre-check so a corrupt
-        // record recomputes instead of panicking.
-        if rows.len() != AppLatency::empty().rows().len() {
-            return None;
-        }
-        Some(AppLatency::from_parts(total, so_far, rows))
-    }
-}
-
-impl CellCodec for LatencyTracker {
-    fn encode_cell(&self) -> Json {
-        let apps: Vec<AppLatency> = (0..self.num_apps()).map(|c| self.app(c).clone()).collect();
-        let (expedited, normal) = self.return_legs();
-        Json::Arr(vec![
-            apps.encode_cell(),
-            expedited.encode_cell(),
-            normal.encode_cell(),
-        ])
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        let (apps, expedited, normal) =
-            <(Vec<AppLatency>, RunningMean, RunningMean)>::decode_cell(json)?;
-        Some(LatencyTracker::from_parts(apps, expedited, normal))
-    }
-}
-
-impl CellCodec for LoadPoint {
-    fn encode_cell(&self) -> Json {
-        Json::Arr(vec![
-            self.offered_load.encode_cell(),
-            Json::Uint(self.delivered),
-            self.avg_latency.encode_cell(),
-            self.backlog.encode_cell(),
-        ])
-    }
-    fn decode_cell(json: &Json) -> Option<Self> {
-        let (offered_load, delivered, avg_latency, backlog) =
-            <(f64, u64, f64, usize)>::decode_cell(json)?;
-        Some(LoadPoint {
-            offered_load,
-            delivered,
-            avg_latency,
-            backlog,
-        })
-    }
-}
-
-/// JSON rendering of a latency histogram: the five-number summary plus the
-/// non-empty PDF bins (center → fraction), in bin order.
-#[must_use]
-pub fn histogram_json(h: &noclat_sim::stats::Histogram) -> Json {
-    let s = h.summary();
-    let pdf: Vec<Json> = h
-        .pdf_points()
-        .iter()
-        .filter(|(_, f)| *f > 0.0)
-        .map(|&(center, frac)| {
-            Obj::new()
-                .field("center", center)
-                .field("frac", frac)
-                .build()
-        })
-        .collect();
-    Obj::new()
-        .field("count", s.count)
-        .field("mean", s.mean)
-        .field("p50", s.p50)
-        .field("p90", s.p90)
-        .field("p99", s.p99)
-        .field("max", s.max)
-        .field("pdf", Json::Arr(pdf))
-        .build()
-}
-
-/// Standard envelope for a sweep's JSON report: the harness name, the seed
-/// and simulation window it ran with, and the harness-specific body. Worker
-/// count is deliberately excluded so reports are comparable across `--jobs`.
-#[must_use]
-pub fn report(name: &str, args: &SweepArgs, body: Json) -> Json {
-    Obj::new()
-        .field("harness", name)
-        .field("seed", args.seed)
-        .field("warmup", args.lengths.warmup)
-        .field("measure", args.lengths.measure)
-        .field("kernel", args.kernel.name())
-        .field("results", body)
-        .build()
-}
-
-/// Writes the report to `--json PATH` when requested (noting it on stderr).
-/// Call at the end of every sweep binary.
-pub fn finish(args: &SweepArgs, report: &Json) {
-    if let Some(path) = &args.json {
-        if let Err(e) = write_json_file(path, report) {
-            eprintln!("error: failed to write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        eprintln!("wrote JSON report to {}", path.display());
-    }
-}
-
-/// Writes a JSON value to a file.
-pub fn write_json_file(path: &Path, json: &Json) -> std::io::Result<()> {
-    std::fs::write(path, json.to_json_string())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn argv(s: &[&str]) -> Vec<String> {
-        s.iter().map(|a| a.to_string()).collect()
-    }
-
-    #[test]
-    fn parse_defaults_and_flags() {
-        let (args, rest) = SweepArgs::parse_argv(&argv(&[])).unwrap();
-        assert!(args.jobs >= 1);
-        assert!(args.json.is_none());
-        assert_eq!(args.lengths, RunLengths::standard());
-        assert!(rest.is_empty());
-
-        let (args, rest) = SweepArgs::parse_argv(&argv(&[
-            "--jobs",
-            "4",
-            "--json",
-            "/tmp/x.json",
-            "--seed",
-            "7",
-            "quick",
-            "--measure",
-            "123",
-            "--extra",
-        ]))
-        .unwrap();
-        assert_eq!(args.jobs, 4);
-        assert_eq!(args.json.as_deref(), Some(Path::new("/tmp/x.json")));
-        assert_eq!(args.seed, 7);
-        assert_eq!(args.lengths.warmup, RunLengths::quick().warmup);
-        assert_eq!(args.lengths.measure, 123);
-        assert_eq!(rest, vec!["--extra".to_string()]);
-    }
-
-    #[test]
-    fn parse_rejects_bad_values() {
-        assert!(SweepArgs::parse_argv(&argv(&["--jobs", "0"])).is_err());
-        assert!(SweepArgs::parse_argv(&argv(&["--jobs"])).is_err());
-        assert!(SweepArgs::parse_argv(&argv(&["--measure", "0"])).is_err());
-        assert!(SweepArgs::parse_argv(&argv(&["--seed", "donkey"])).is_err());
-        assert!(SweepArgs::parse_argv(&argv(&["--policy", "req=donkey"])).is_err());
-        assert!(SweepArgs::parse_argv(&argv(&["--policy"])).is_err());
-        assert!(SweepArgs::parse_argv(&argv(&["--kernel", "donkey"])).is_err());
-        assert!(SweepArgs::parse_argv(&argv(&["--kernel"])).is_err());
-        assert_eq!(
-            SweepArgs::parse_argv(&argv(&["--help"])).unwrap_err(),
-            "help"
-        );
-    }
-
-    #[test]
-    fn parse_policy_override_and_apply() {
-        let (args, rest) =
-            SweepArgs::parse_argv(&argv(&["--policy", "req=oldest-first,resp=static"])).unwrap();
-        assert!(rest.is_empty());
-        let mut cfg = SystemConfig::baseline_32();
-        args.apply_policy(&mut cfg);
-        assert_eq!(cfg.policy.request.as_deref(), Some("oldest-first"));
-        assert_eq!(cfg.policy.response.as_deref(), Some("static"));
-        cfg.validate().expect("override produces a valid config");
-        // No --policy: configurations pass through untouched.
-        let (args, _) = SweepArgs::parse_argv(&argv(&[])).unwrap();
-        let mut cfg = SystemConfig::baseline_32();
-        args.apply_policy(&mut cfg);
-        assert_eq!(cfg, SystemConfig::baseline_32());
-    }
-
-    #[test]
-    fn parse_kernel_override_and_apply() {
-        let (args, rest) = SweepArgs::parse_argv(&argv(&["--kernel", "event"])).unwrap();
-        assert!(rest.is_empty());
-        assert_eq!(args.kernel, KernelKind::Event);
-        let mut cfg = SystemConfig::baseline_32();
-        args.apply_policy(&mut cfg);
-        assert_eq!(cfg.kernel, KernelKind::Event);
-        // No --kernel: configurations pass through untouched.
-        let (args, _) = SweepArgs::parse_argv(&argv(&[])).unwrap();
-        let mut cfg = SystemConfig::baseline_32();
-        args.apply_policy(&mut cfg);
-        assert_eq!(cfg, SystemConfig::baseline_32());
-    }
-
-    #[test]
-    fn parse_resilience_flags() {
-        let (args, rest) = SweepArgs::parse_argv(&argv(&[
-            "--resume",
-            "/tmp/run.nj",
-            "--job-timeout",
-            "2.5",
-            "--retries",
-            "3",
-        ]))
-        .unwrap();
-        assert!(rest.is_empty());
-        assert_eq!(args.resume.as_deref(), Some(Path::new("/tmp/run.nj")));
-        assert_eq!(args.job_timeout, Some(Duration::from_secs_f64(2.5)));
-        assert_eq!(args.retries, 3);
-        let policy = args.retry_policy();
-        assert_eq!(policy.timeout, Some(Duration::from_secs_f64(2.5)));
-        assert_eq!(policy.retries, 3);
-
-        assert!(SweepArgs::parse_argv(&argv(&["--resume"])).is_err());
-        assert!(SweepArgs::parse_argv(&argv(&["--job-timeout", "0"])).is_err());
-        assert!(SweepArgs::parse_argv(&argv(&["--job-timeout", "-1"])).is_err());
-        assert!(SweepArgs::parse_argv(&argv(&["--job-timeout", "inf"])).is_err());
-        assert!(SweepArgs::parse_argv(&argv(&["--retries", "-1"])).is_err());
-    }
-
-    #[test]
-    fn fingerprint_tracks_results_not_execution() {
-        let base = SweepArgs::parse_argv(&argv(&[])).unwrap().0;
-        let fp = sweep_fingerprint(&base);
-        assert_eq!(fp, sweep_fingerprint(&base));
-        // Execution-only knobs leave the fingerprint alone.
-        let (exec, _) = SweepArgs::parse_argv(&argv(&[
-            "--jobs",
-            "3",
-            "--json",
-            "/tmp/x.json",
-            "--resume",
-            "/tmp/x.nj",
-            "--job-timeout",
-            "1",
-            "--retries",
-            "2",
-        ]))
-        .unwrap();
-        assert_eq!(fp, sweep_fingerprint(&exec));
-        // Result-determining knobs change it.
-        let (seeded, _) = SweepArgs::parse_argv(&argv(&["--seed", "999"])).unwrap();
-        assert_ne!(fp, sweep_fingerprint(&seeded));
-        let (windowed, _) = SweepArgs::parse_argv(&argv(&["--measure", "12345"])).unwrap();
-        assert_ne!(fp, sweep_fingerprint(&windowed));
-        let (polic, _) = SweepArgs::parse_argv(&argv(&["--policy", "req=oldest-first"])).unwrap();
-        assert_ne!(fp, sweep_fingerprint(&polic));
-        let (topo, _) = SweepArgs::parse_argv(&argv(&["--topology", "torus"])).unwrap();
-        assert_ne!(fp, sweep_fingerprint(&topo));
-        let (skipped, _) = SweepArgs::parse_argv(&argv(&["--topology", "express:skip=4"])).unwrap();
-        assert_ne!(sweep_fingerprint(&topo), sweep_fingerprint(&skipped));
-        // Labels split keys under one fingerprint.
-        assert_ne!(job_key(fp, "cell-a"), job_key(fp, "cell-b"));
-        assert_eq!(job_key(fp, "cell-a"), job_key(fp, "cell-a"));
-    }
-
-    #[test]
-    fn json_parse_roundtrips_serializers() {
-        let j = Obj::new()
-            .field("name", "fig\"09\"\n\t\\")
-            .field("count", 3u64)
-            .field("neg", -4i64)
-            .field("bits", std::f64::consts::PI.to_bits())
-            .field("flag", true)
-            .field("nothing", Json::Null)
-            .field("cells", vec![1u64, 2, 3])
-            .field("empty", Json::Arr(vec![]))
-            .field("nested", Obj::new().field("k", "v").build())
-            .build();
-        assert_eq!(Json::parse(&j.to_compact_string()).unwrap(), j);
-        assert_eq!(Json::parse(&j.to_json_string()).unwrap(), j);
-        assert!(!j.to_compact_string().contains('\n'));
-    }
-
-    #[test]
-    fn json_parse_rejects_garbage() {
-        assert!(Json::parse("").is_err());
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("\"unterminated").is_err());
-        assert!(Json::parse("123 45").is_err());
-        assert!(Json::parse("nulll").is_err());
-    }
-
-    fn roundtrip<T: CellCodec + PartialEq + std::fmt::Debug>(value: &T) {
-        let encoded = value.encode_cell().to_compact_string();
-        let decoded = T::decode_cell(&Json::parse(&encoded).unwrap()).unwrap();
-        assert_eq!(&decoded, value, "codec must roundtrip exactly");
-    }
-
-    #[test]
-    fn cell_codec_roundtrips_primitives_exactly() {
-        roundtrip(&42u64);
-        roundtrip(&7u32);
-        roundtrip(&9usize);
-        roundtrip(&-3i64);
-        roundtrip(&true);
-        roundtrip(&"hello\nworld".to_string());
-        roundtrip(&vec![1.5f64, 2.25, f64::MIN_POSITIVE]);
-        roundtrip(&[1u64, 2, 3, 4, 5]);
-        roundtrip(&(1u64, 2.5f64, "x".to_string()));
-        roundtrip(&(1u64, 2.0f64, 3u64, 4u64, 5u64, 6u64, 7u64));
-        // The exactness cases decimal rendering would lose:
-        roundtrip(&0.1f64);
-        roundtrip(&(-0.0f64));
-        let nan = f64::NAN;
-        let bits = nan.encode_cell();
-        assert_eq!(f64::decode_cell(&bits).unwrap().to_bits(), nan.to_bits());
-    }
-
-    #[test]
-    fn cell_codec_roundtrips_metric_containers_exactly() {
-        let mut h = Histogram::new(25, 4000);
-        for v in [10, 200, 480, 999, 50_000] {
-            h.record(v);
-        }
-        roundtrip(&h);
-        let mut m = RunningMean::new();
-        m.record(0.1);
-        m.record(123.456);
-        roundtrip(&m);
-        roundtrip(&SegmentRow {
-            count: 3,
-            sums: [0.1, 2.0, 3.5, 4.25, 5.0],
-        });
-        roundtrip(&LoadPoint {
-            offered_load: 0.3,
-            delivered: 1234,
-            avg_latency: 56.789,
-            backlog: 42,
-        });
-
-        let mut tracker = LatencyTracker::new(2);
-        tracker.record_so_far(0, 150);
-        tracker.record_return_leg(true, 80);
-        tracker.record_return_leg(false, 33);
-        let encoded = tracker.encode_cell().to_compact_string();
-        let decoded = LatencyTracker::decode_cell(&Json::parse(&encoded).unwrap()).unwrap();
-        assert_eq!(decoded.num_apps(), 2);
-        assert_eq!(decoded.return_leg_means(), tracker.return_leg_means());
-        assert_eq!(decoded.app(0).so_far, tracker.app(0).so_far);
-        assert_eq!(decoded.app(1).total, tracker.app(1).total);
-
-        let app = decoded.app(0).clone();
-        let encoded = app.encode_cell().to_compact_string();
-        let decoded = AppLatency::decode_cell(&Json::parse(&encoded).unwrap()).unwrap();
-        assert_eq!(decoded.so_far, app.so_far);
-        assert_eq!(decoded.breakdown(), app.breakdown());
-    }
-
-    #[test]
-    fn cell_codec_rejects_shape_mismatches() {
-        assert!(u64::decode_cell(&Json::Str("nope".into())).is_none());
-        assert!(<(u64, u64)>::decode_cell(&Json::Arr(vec![Json::Uint(1)])).is_none());
-        assert!(
-            <(u64, u64)>::decode_cell(&Json::Arr(vec![
-                Json::Uint(1),
-                Json::Uint(2),
-                Json::Uint(3)
-            ]))
-            .is_none(),
-            "extra elements are a shape mismatch"
-        );
-        assert!(Histogram::decode_cell(&Json::parse("[0,[],0,0,0]").unwrap()).is_none());
-        assert!(AppLatency::decode_cell(&Json::parse("[1,2,3]").unwrap()).is_none());
-    }
-
-    #[test]
-    fn json_serialization_is_deterministic_and_escaped() {
-        let j = Obj::new()
-            .field("name", "fig\"09\"\n")
-            .field("count", 3u64)
-            .field("mean", 282.5)
-            .field("whole", 2.0)
-            .field("nan", f64::NAN)
-            .field("flag", true)
-            .field("cells", vec![1u64, 2, 3])
-            .field("empty", Json::Arr(vec![]))
-            .build();
-        let a = j.to_json_string();
-        assert_eq!(a, j.to_json_string());
-        assert!(a.contains("\"fig\\\"09\\\"\\n\""));
-        assert!(a.contains("\"mean\": 282.5"));
-        assert!(a.contains("\"whole\": 2"));
-        assert!(a.contains("\"nan\": null"));
-        assert!(a.ends_with("}\n"));
-        // Field order is insertion order, not alphabetical.
-        assert!(a.find("name").unwrap() < a.find("count").unwrap());
-    }
-
-    #[test]
-    fn alone_key_strips_schemes_but_keeps_hardware() {
-        let base = SystemConfig::baseline_32();
-        assert_eq!(
-            alone_key(&base),
-            alone_key(&base.clone().with_both_schemes())
-        );
-        // Policy selection is also contention-only: alone runs share a key.
-        let mut with_policy = base.clone();
-        with_policy.policy.request = Some("oldest-first".to_string());
-        with_policy.policy.response = Some("static".to_string());
-        assert_eq!(alone_key(&base), alone_key(&with_policy));
-        let mut more_vcs = base.clone();
-        more_vcs.noc.vcs_per_port = 8;
-        assert_ne!(alone_key(&base), alone_key(&more_vcs));
-        let mut other_seed = base.clone();
-        other_seed.seed ^= 1;
-        assert_ne!(alone_key(&base), alone_key(&other_seed));
-        // Kernel selection never changes results, so it never splits keys.
-        let mut event = base.clone();
-        event.kernel = KernelKind::Event;
-        assert_eq!(alone_key(&base), alone_key(&event));
-    }
-}
+//! The whole sweep orchestration layer — `SweepArgs`, the grid runners,
+//! `AloneMap`, the `Json`/`CellCodec` serialization, exit codes, report
+//! helpers — moved to the `noclat-engine` crate so the `sweepd` daemon and
+//! future frontends can drive the same engine. Every path that used to
+//! live here (`noclat_bench::sweep::X`) keeps working through this
+//! re-export; new code should import `noclat_engine` directly.
+
+pub use noclat_engine::*;

@@ -302,38 +302,10 @@ impl std::fmt::Debug for System {
 }
 
 impl System {
-    /// Builds a system running `apps[i]` on core `i` (one application per
-    /// core, as in the paper).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`SimError`] if the configuration is inconsistent or
-    /// `apps.len()` differs from the core count.
-    #[deprecated(note = "construct through the Simulation API: \
-                `Simulation::builder(cfg).workload(&apps).build()`")]
-    pub fn new(cfg: SystemConfig, apps: &[SpecApp]) -> Result<System, SimError> {
-        Self::assemble_apps(cfg, apps)
-    }
-
-    /// Builds a system from caller-supplied instruction streams (one per
-    /// core). Use this to run custom workloads through the public API.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`SimError`] if the configuration is inconsistent or
-    /// the stream count differs from the core count.
-    #[deprecated(note = "construct through the Simulation API: \
-                `Simulation::builder(cfg).streams(streams).build()`")]
-    pub fn with_streams(
-        cfg: SystemConfig,
-        streams: Vec<Box<dyn InstrStream>>,
-    ) -> Result<System, SimError> {
-        Self::assemble(cfg, streams)
-    }
-
-    /// [`System::new`]'s implementation, reachable without the deprecation
-    /// shim: synthesizes one stream per application and records the app
-    /// assignment for [`System::app`].
+    /// Builds a system running `apps[i]` on core `i` (the
+    /// `Simulation::builder(cfg).workload(&apps).build()` path): synthesizes
+    /// one stream per application and records the app assignment for
+    /// [`System::app`].
     pub(crate) fn assemble_apps(cfg: SystemConfig, apps: &[SpecApp]) -> Result<System, SimError> {
         let rng = SimRng::new(cfg.seed);
         let streams: Vec<Box<dyn InstrStream>> = apps
@@ -348,8 +320,8 @@ impl System {
         Ok(sys)
     }
 
-    /// [`System::with_streams`]'s implementation, reachable without the
-    /// deprecation shim (the [`crate::simulation::SimulationBuilder`] path).
+    /// Builds a system from caller-supplied instruction streams, one per
+    /// core (the [`crate::simulation::SimulationBuilder`] `streams` path).
     pub(crate) fn assemble(
         cfg: SystemConfig,
         streams: Vec<Box<dyn InstrStream>>,
@@ -484,7 +456,8 @@ impl System {
         self.now
     }
 
-    /// The application assigned to `core`, if built from [`System::new`].
+    /// The application assigned to `core`, if built from a workload
+    /// (`Simulation::builder(cfg).workload(&apps)`).
     #[must_use]
     pub fn app(&self, core: usize) -> Option<SpecApp> {
         self.apps[core]

@@ -1,0 +1,494 @@
+//! Shared command-line surface of every sweep binary, and the fingerprint
+//! that content-addresses a sweep's results.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use noclat::{KernelKind, PolicyOverride, RunLengths, SystemConfig, TopologyOverride};
+use noclat_sim::journal::fnv1a64;
+use noclat_sim::pool::RetryPolicy;
+
+use crate::exit::exit_code;
+
+/// Number of replicate shards the distribution harnesses (fig04/05/06/09/12)
+/// split their measurement into. Each shard is a full, independently seeded
+/// run; shard statistics merge exactly, so more shards mean both more
+/// parallelism and more samples.
+pub const DEFAULT_SHARDS: u64 = 8;
+
+/// Command-line arguments shared by every sweep binary.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Worker threads for the job grid (`--jobs N`; defaults to the
+    /// machine's available parallelism).
+    pub jobs: usize,
+    /// Where to write the JSON report (`--json PATH`), if anywhere.
+    pub json: Option<PathBuf>,
+    /// Base RNG seed for the sweep (`--seed N`); per-job seeds derive from
+    /// it via [`crate::job_seed`].
+    pub seed: u64,
+    /// Simulation window (`quick`/`--quick` shrink it; `--warmup N` and
+    /// `--measure N` override individual components).
+    pub lengths: RunLengths,
+    /// Prioritization-policy overrides
+    /// (`--policy req=<name>,resp=<name>,arb=<name>`), applied to every
+    /// configuration the sweep builds via [`SweepArgs::apply_policy`].
+    pub policy: PolicyOverride,
+    /// Simulation kernel (`--kernel cycle|event`). Kernels are bit-identical
+    /// by contract (the equivalence suite enforces it), so this only trades
+    /// wall-clock time; reports are comparable across kernels.
+    pub kernel: KernelKind,
+    /// Fabric override (`--topology NAME[:PARAM=V,...]`), applied to every
+    /// configuration the sweep builds via [`SweepArgs::apply_policy`]. Unlike
+    /// `--kernel`, a topology change *does* change results, so it is part of
+    /// the sweep fingerprint.
+    pub topology: TopologyOverride,
+    /// Journal path for durable checkpoint/resume (`--resume PATH`). Cells
+    /// already present in the journal are restored instead of re-run; cells
+    /// completing during this run are appended as they finish.
+    pub resume: Option<PathBuf>,
+    /// Per-job wall-clock deadline (`--job-timeout SECS`); overrunning jobs
+    /// are cancelled cooperatively and reported as `JobTimeout`.
+    pub job_timeout: Option<Duration>,
+    /// Retries with exponential backoff for panicking/timing-out jobs
+    /// (`--retries N`; default 0 = fail immediately).
+    pub retries: u32,
+    /// Two-tier search (`--prune off|analytic:top=K`): run the analytic
+    /// latency model over the grid first and submit only the top-K cells
+    /// (plus golden-pinned cells) to the cycle-accurate pool. Changes which
+    /// cells *run*, never what a run cell contains, but is still part of
+    /// the sweep fingerprint so a pruned journal never resumes an unpruned
+    /// sweep (or vice versa).
+    pub prune: PruneSpec,
+}
+
+/// The `--prune` strategy of a two-tier sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneSpec {
+    /// Cycle-simulate every cell (the default).
+    #[default]
+    Off,
+    /// Rank cells by the closed-form estimator (`noclat-analytic`) and
+    /// keep the `top` cells with the lowest predicted mean latency, plus
+    /// every golden-pinned cell and every cell the harness supplied no
+    /// model inputs for.
+    Analytic {
+        /// Non-golden cells to keep.
+        top: usize,
+    },
+}
+
+impl PruneSpec {
+    /// Parses `off` or `analytic:top=K`.
+    pub fn parse(s: &str) -> Result<PruneSpec, String> {
+        if s == "off" {
+            return Ok(PruneSpec::Off);
+        }
+        if let Some(rest) = s.strip_prefix("analytic:top=") {
+            let top = rest
+                .parse()
+                .map_err(|e| format!("--prune: top={rest}: {e}"))?;
+            return Ok(PruneSpec::Analytic { top });
+        }
+        Err(format!(
+            "--prune: unknown spec {s:?} (expected off or analytic:top=K)"
+        ))
+    }
+
+    /// Whether any pruning strategy is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        *self != PruneSpec::Off
+    }
+}
+
+impl std::fmt::Display for PruneSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PruneSpec::Off => f.write_str("off"),
+            PruneSpec::Analytic { top } => write!(f, "analytic:top={top}"),
+        }
+    }
+}
+
+/// Flags accepted by [`SweepArgs::parse`], for inclusion in usage strings.
+pub const SWEEP_USAGE: &str = "[--jobs N] [--json PATH] [--seed N] [--warmup N] [--measure N] \
+     [--policy req=NAME,resp=NAME,arb=NAME] [--kernel cycle|event] \
+     [--topology mesh|torus|cmesh|express[:c=N,skip=N,mc=corner|edge|center]] \
+     [--resume PATH] [--job-timeout SECS] [--retries N] \
+     [--prune off|analytic:top=K] [quick]";
+
+impl SweepArgs {
+    fn defaults() -> Self {
+        SweepArgs {
+            jobs: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            json: None,
+            seed: SystemConfig::baseline_32().seed,
+            lengths: RunLengths::standard(),
+            policy: PolicyOverride::default(),
+            kernel: KernelKind::default(),
+            topology: TopologyOverride::default(),
+            resume: None,
+            job_timeout: None,
+            retries: 0,
+            prune: PruneSpec::Off,
+        }
+    }
+
+    /// Parses `std::env::args`, accepting only the shared sweep flags.
+    ///
+    /// Exits with status 2 (printing `usage`) on an unknown argument, and
+    /// with status 0 on `--help`.
+    #[must_use]
+    pub fn parse(usage: &str) -> SweepArgs {
+        let (args, rest) = Self::parse_with_rest(usage);
+        if let Some(unknown) = rest.first() {
+            eprintln!("error: unknown argument {unknown}");
+            eprintln!("usage: {usage}");
+            std::process::exit(2);
+        }
+        args
+    }
+
+    /// Parses `std::env::args`, returning unrecognized arguments for the
+    /// binary to interpret (used by `faultsim`/`simulate`, which add their
+    /// own flags on top of the shared set).
+    #[must_use]
+    pub fn parse_with_rest(usage: &str) -> (SweepArgs, Vec<String>) {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse_argv(&argv) {
+            Ok(pair) => pair,
+            Err(e) => {
+                let help = e == "help";
+                if !help {
+                    eprintln!("error: {e}");
+                }
+                eprintln!("usage: {usage}");
+                std::process::exit(if help { 0 } else { 2 });
+            }
+        }
+    }
+
+    /// Pure parsing core (testable without process state).
+    pub fn parse_argv(argv: &[String]) -> Result<(SweepArgs, Vec<String>), String> {
+        let mut args = Self::defaults();
+        let mut quick = std::env::var("NOCLAT_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let mut warmup_override = None;
+        let mut measure_override = None;
+        let mut rest = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i].as_str();
+            let value = || -> Result<&String, String> {
+                argv.get(i + 1)
+                    .ok_or_else(|| format!("{key} needs a value"))
+            };
+            match key {
+                "--jobs" => {
+                    args.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                    if args.jobs == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    i += 2;
+                }
+                "--json" => {
+                    args.json = Some(PathBuf::from(value()?));
+                    i += 2;
+                }
+                "--seed" => {
+                    args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+                    i += 2;
+                }
+                "--warmup" => {
+                    warmup_override = Some(value()?.parse().map_err(|e| format!("--warmup: {e}"))?);
+                    i += 2;
+                }
+                "--measure" => {
+                    let m: u64 = value()?.parse().map_err(|e| format!("--measure: {e}"))?;
+                    if m == 0 {
+                        return Err("--measure must be at least 1 cycle".into());
+                    }
+                    measure_override = Some(m);
+                    i += 2;
+                }
+                "--policy" => {
+                    // PolicyOverride::parse already prefixes its errors
+                    // with "--policy:".
+                    args.policy = PolicyOverride::parse(value()?)?;
+                    i += 2;
+                }
+                "--kernel" => {
+                    // KernelKind::parse already prefixes its errors with
+                    // "--kernel:".
+                    args.kernel = KernelKind::parse(value()?)?;
+                    i += 2;
+                }
+                "--topology" => {
+                    // TopologyOverride::parse already prefixes its errors
+                    // with "--topology:".
+                    args.topology = TopologyOverride::parse(value()?)?;
+                    i += 2;
+                }
+                "--resume" => {
+                    args.resume = Some(PathBuf::from(value()?));
+                    i += 2;
+                }
+                "--job-timeout" => {
+                    let secs: f64 = value()?
+                        .parse()
+                        .map_err(|e| format!("--job-timeout: {e}"))?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err("--job-timeout must be a positive number of seconds".into());
+                    }
+                    args.job_timeout = Some(Duration::from_secs_f64(secs));
+                    i += 2;
+                }
+                "--retries" => {
+                    args.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?;
+                    i += 2;
+                }
+                "--prune" => {
+                    // PruneSpec::parse already prefixes its errors with
+                    // "--prune:".
+                    args.prune = PruneSpec::parse(value()?)?;
+                    i += 2;
+                }
+                "quick" | "--quick" => {
+                    quick = true;
+                    i += 1;
+                }
+                "--help" | "-h" => return Err("help".into()),
+                _ => {
+                    rest.push(argv[i].clone());
+                    i += 1;
+                }
+            }
+        }
+        if quick {
+            args.lengths = RunLengths::quick();
+        }
+        if let Some(w) = warmup_override {
+            args.lengths.warmup = w;
+        }
+        if let Some(m) = measure_override {
+            args.lengths.measure = m;
+        }
+        Ok((args, rest))
+    }
+
+    /// Applies this sweep's `--policy`, `--kernel` and `--topology`
+    /// overrides to a configuration the harness is about to run. Call on
+    /// every cell of the grid so the overrides reach scheme variants and
+    /// knob sweeps alike; a sweep run without any of the flags is untouched.
+    pub fn apply_policy(&self, cfg: &mut SystemConfig) {
+        self.policy.apply(cfg);
+        cfg.kernel = self.kernel;
+        self.topology.apply(cfg);
+        // A `--topology` override can produce a config the grid can't
+        // satisfy (a concentration that doesn't tile it, a torus without
+        // dateline VCs). That's a usage error, not a cell panic — surface
+        // the typed ConfigError and exit before any cell runs.
+        if !self.topology.is_empty() {
+            if let Err(e) = cfg.validate() {
+                eprintln!("error: --topology: {e}");
+                std::process::exit(exit_code::CONFIG);
+            }
+        }
+    }
+
+    /// The pool deadline/retry budget these arguments request.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            timeout: self.job_timeout,
+            retries: self.retries,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Fingerprint of everything that determines a sweep's *results*: seed,
+/// simulation window, policy overrides, kernel and topology override.
+/// Arguments that only affect execution (worker count, output paths,
+/// deadlines, retries) are deliberately excluded — a journal written with
+/// `--jobs 8` resumes fine under `--jobs 1`, and a deadline changes which
+/// cells *complete*, never what a completed cell contains.
+#[must_use]
+pub fn sweep_fingerprint(args: &SweepArgs) -> u64 {
+    let mut text = format!(
+        "seed={} warmup={} measure={} policy={:?} kernel={} topology={:?}",
+        args.seed,
+        args.lengths.warmup,
+        args.lengths.measure,
+        args.policy,
+        args.kernel.name(),
+        args.topology,
+    );
+    // Pruning decides which cells exist, so a pruned journal must never
+    // satisfy an unpruned resume. Appended only when enabled to keep every
+    // pre-pruning journal's fingerprint valid.
+    if args.prune.enabled() {
+        text.push_str(&format!(" prune={}", args.prune));
+    }
+    fnv1a64(text.as_bytes())
+}
+
+/// Content address of one sweep cell: the sweep fingerprint combined with
+/// the cell's label (labels are unique within a harness by construction).
+#[must_use]
+pub fn job_key(fingerprint: u64, label: &str) -> u64 {
+    fnv1a64(format!("{fingerprint:016x}/{label}").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let (args, rest) = SweepArgs::parse_argv(&argv(&[])).unwrap();
+        assert!(args.jobs >= 1);
+        assert!(args.json.is_none());
+        assert_eq!(args.lengths, RunLengths::standard());
+        assert!(rest.is_empty());
+
+        let (args, rest) = SweepArgs::parse_argv(&argv(&[
+            "--jobs",
+            "4",
+            "--json",
+            "/tmp/x.json",
+            "--seed",
+            "7",
+            "quick",
+            "--measure",
+            "123",
+            "--extra",
+        ]))
+        .unwrap();
+        assert_eq!(args.jobs, 4);
+        assert_eq!(args.json.as_deref(), Some(Path::new("/tmp/x.json")));
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.lengths.warmup, RunLengths::quick().warmup);
+        assert_eq!(args.lengths.measure, 123);
+        assert_eq!(rest, vec!["--extra".to_string()]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_values() {
+        assert!(SweepArgs::parse_argv(&argv(&["--jobs", "0"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--jobs"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--measure", "0"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--seed", "donkey"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--policy", "req=donkey"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--policy"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--kernel", "donkey"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--kernel"])).is_err());
+        assert_eq!(
+            SweepArgs::parse_argv(&argv(&["--help"])).unwrap_err(),
+            "help"
+        );
+    }
+
+    #[test]
+    fn parse_policy_override_and_apply() {
+        let (args, rest) =
+            SweepArgs::parse_argv(&argv(&["--policy", "req=oldest-first,resp=static"])).unwrap();
+        assert!(rest.is_empty());
+        let mut cfg = SystemConfig::baseline_32();
+        args.apply_policy(&mut cfg);
+        assert_eq!(cfg.policy.request.as_deref(), Some("oldest-first"));
+        assert_eq!(cfg.policy.response.as_deref(), Some("static"));
+        cfg.validate().expect("override produces a valid config");
+        // No --policy: configurations pass through untouched.
+        let (args, _) = SweepArgs::parse_argv(&argv(&[])).unwrap();
+        let mut cfg = SystemConfig::baseline_32();
+        args.apply_policy(&mut cfg);
+        assert_eq!(cfg, SystemConfig::baseline_32());
+    }
+
+    #[test]
+    fn parse_kernel_override_and_apply() {
+        let (args, rest) = SweepArgs::parse_argv(&argv(&["--kernel", "event"])).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(args.kernel, KernelKind::Event);
+        let mut cfg = SystemConfig::baseline_32();
+        args.apply_policy(&mut cfg);
+        assert_eq!(cfg.kernel, KernelKind::Event);
+        // No --kernel: configurations pass through untouched.
+        let (args, _) = SweepArgs::parse_argv(&argv(&[])).unwrap();
+        let mut cfg = SystemConfig::baseline_32();
+        args.apply_policy(&mut cfg);
+        assert_eq!(cfg, SystemConfig::baseline_32());
+    }
+
+    #[test]
+    fn parse_resilience_flags() {
+        let (args, rest) = SweepArgs::parse_argv(&argv(&[
+            "--resume",
+            "/tmp/run.nj",
+            "--job-timeout",
+            "2.5",
+            "--retries",
+            "3",
+        ]))
+        .unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(args.resume.as_deref(), Some(Path::new("/tmp/run.nj")));
+        assert_eq!(args.job_timeout, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(args.retries, 3);
+        let policy = args.retry_policy();
+        assert_eq!(policy.timeout, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(policy.retries, 3);
+
+        assert!(SweepArgs::parse_argv(&argv(&["--resume"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--job-timeout", "0"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--job-timeout", "-1"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--job-timeout", "inf"])).is_err());
+        assert!(SweepArgs::parse_argv(&argv(&["--retries", "-1"])).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_results_not_execution() {
+        let base = SweepArgs::parse_argv(&argv(&[])).unwrap().0;
+        let fp = sweep_fingerprint(&base);
+        assert_eq!(fp, sweep_fingerprint(&base));
+        // Execution-only knobs leave the fingerprint alone.
+        let (exec, _) = SweepArgs::parse_argv(&argv(&[
+            "--jobs",
+            "3",
+            "--json",
+            "/tmp/x.json",
+            "--resume",
+            "/tmp/x.nj",
+            "--job-timeout",
+            "1",
+            "--retries",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(fp, sweep_fingerprint(&exec));
+        // Result-determining knobs change it.
+        let (seeded, _) = SweepArgs::parse_argv(&argv(&["--seed", "999"])).unwrap();
+        assert_ne!(fp, sweep_fingerprint(&seeded));
+        let (windowed, _) = SweepArgs::parse_argv(&argv(&["--measure", "12345"])).unwrap();
+        assert_ne!(fp, sweep_fingerprint(&windowed));
+        let (polic, _) = SweepArgs::parse_argv(&argv(&["--policy", "req=oldest-first"])).unwrap();
+        assert_ne!(fp, sweep_fingerprint(&polic));
+        let (topo, _) = SweepArgs::parse_argv(&argv(&["--topology", "torus"])).unwrap();
+        assert_ne!(fp, sweep_fingerprint(&topo));
+        let (skipped, _) = SweepArgs::parse_argv(&argv(&["--topology", "express:skip=4"])).unwrap();
+        assert_ne!(sweep_fingerprint(&topo), sweep_fingerprint(&skipped));
+        // Labels split keys under one fingerprint.
+        assert_ne!(job_key(fp, "cell-a"), job_key(fp, "cell-b"));
+        assert_eq!(job_key(fp, "cell-a"), job_key(fp, "cell-a"));
+    }
+}

@@ -1,0 +1,117 @@
+//! `sweepd` — the persistent sweep daemon.
+//!
+//! Serves simulation cells over a line-delimited JSON protocol (see
+//! `noclat_engine::server` for the schema), deduplicating identical
+//! in-flight requests and answering repeats from the content-addressed
+//! result cache without recompute.
+//!
+//! ```text
+//! sweepd --listen 127.0.0.1:0 --cache /tmp/sweepd.nj --jobs 4
+//! ```
+//!
+//! The bound address is printed to stdout (`sweepd: listening on …`) so
+//! scripts using port 0 can discover the port; everything else goes to
+//! stderr.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use noclat_engine::{ExitCode, ServerConfig, SweepServer};
+
+const USAGE: &str =
+    "sweepd [--listen ADDR:PORT] [--cache PATH] [--jobs N] [--job-timeout SECS] [--retries N]";
+
+struct Args {
+    listen: String,
+    cache: PathBuf,
+    config: ServerConfig,
+}
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {USAGE}");
+    ExitCode::Config.exit();
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:7777".to_string(),
+        cache: PathBuf::from("sweepd-cache.nj"),
+        config: ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            ..ServerConfig::default()
+        },
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        if matches!(key, "--help" | "-h") {
+            eprintln!("usage: {USAGE}");
+            std::process::exit(0);
+        }
+        let Some(value) = argv.get(i + 1) else {
+            fail_usage(&format!("{key} needs a value"));
+        };
+        match key {
+            "--listen" => args.listen = value.clone(),
+            "--cache" => args.cache = PathBuf::from(value),
+            "--jobs" => {
+                args.config.workers = value
+                    .parse()
+                    .unwrap_or_else(|e| fail_usage(&format!("--jobs: {e}")));
+                if args.config.workers == 0 {
+                    fail_usage("--jobs must be at least 1");
+                }
+            }
+            "--job-timeout" => {
+                let secs: f64 = value
+                    .parse()
+                    .unwrap_or_else(|e| fail_usage(&format!("--job-timeout: {e}")));
+                if !(secs > 0.0 && secs.is_finite()) {
+                    fail_usage("--job-timeout must be a positive number of seconds");
+                }
+                args.config.retry.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--retries" => {
+                args.config.retry.retries = value
+                    .parse()
+                    .unwrap_or_else(|e| fail_usage(&format!("--retries: {e}")));
+            }
+            other => fail_usage(&format!("unknown argument {other}")),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let server = match SweepServer::bind(&args.listen, &args.cache, &args.config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::Config.exit();
+        }
+    };
+    // Stdout, single line, parse-friendly: scripts binding port 0 read the
+    // actual address from here. Flushed explicitly — stdout is block-
+    // buffered under a pipe, and the whole point is that a script reads
+    // this line before the daemon blocks in accept.
+    println!("sweepd: listening on {}", server.local_addr());
+    {
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    }
+    eprintln!(
+        "sweepd: cache {} with {} worker(s)",
+        args.cache.display(),
+        args.config.workers
+    );
+    if let Err(e) = server.serve() {
+        eprintln!("error: {e}");
+        ExitCode::Generic.exit();
+    }
+}

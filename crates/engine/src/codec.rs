@@ -1,0 +1,346 @@
+//! Cell codec: lossless (de)serialization of grid results for the journal
+//! and the result cache.
+
+use noclat::{AppLatency, LatencyTracker, SegmentRow};
+use noclat_noc::LoadPoint;
+use noclat_sim::stats::{Histogram, RunningMean};
+
+use crate::json::Json;
+
+/// Lossless serialization of one grid cell's result, used by the `--resume`
+/// journal and the `sweepd` result cache. The contract is exactness:
+/// `decode_cell(encode_cell(x)) == x` bit-for-bit, so a resumed sweep
+/// renders byte-identical reports. Floats are therefore encoded as their
+/// IEEE-754 bit patterns ([`f64::to_bits`] as [`Json::Uint`]), never as
+/// decimal text.
+///
+/// `decode_cell` returns `None` on any shape mismatch — the sweep layer
+/// treats an undecodable record as absent and recomputes the cell.
+pub trait CellCodec: Sized {
+    /// Encodes the cell value as a JSON tree.
+    fn encode_cell(&self) -> Json;
+    /// Decodes a cell value; `None` if `json` does not have the right shape.
+    fn decode_cell(json: &Json) -> Option<Self>;
+}
+
+fn dec_u64(json: &Json) -> Option<u64> {
+    match json {
+        Json::Uint(v) => Some(*v),
+        _ => None,
+    }
+}
+
+impl CellCodec for u64 {
+    fn encode_cell(&self) -> Json {
+        Json::Uint(*self)
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        dec_u64(json)
+    }
+}
+
+impl CellCodec for u32 {
+    fn encode_cell(&self) -> Json {
+        Json::Uint(u64::from(*self))
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        dec_u64(json)?.try_into().ok()
+    }
+}
+
+impl CellCodec for usize {
+    fn encode_cell(&self) -> Json {
+        Json::Uint(*self as u64)
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        dec_u64(json)?.try_into().ok()
+    }
+}
+
+impl CellCodec for i64 {
+    fn encode_cell(&self) -> Json {
+        Json::Int(*self)
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        // Non-negative integers parse back as Uint; accept both renderings.
+        match json {
+            Json::Int(v) => Some(*v),
+            Json::Uint(v) => (*v).try_into().ok(),
+            _ => None,
+        }
+    }
+}
+
+impl CellCodec for bool {
+    fn encode_cell(&self) -> Json {
+        Json::Bool(*self)
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        match json {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl CellCodec for f64 {
+    fn encode_cell(&self) -> Json {
+        Json::Uint(self.to_bits())
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        dec_u64(json).map(f64::from_bits)
+    }
+}
+
+impl CellCodec for String {
+    fn encode_cell(&self) -> Json {
+        Json::Str(self.clone())
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        match json {
+            Json::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl<T: CellCodec> CellCodec for Vec<T> {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(self.iter().map(CellCodec::encode_cell).collect())
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        match json {
+            Json::Arr(items) => items.iter().map(T::decode_cell).collect(),
+            _ => None,
+        }
+    }
+}
+
+impl CellCodec for [u64; 5] {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(self.iter().map(|&v| Json::Uint(v)).collect())
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        Vec::<u64>::decode_cell(json)?.try_into().ok()
+    }
+}
+
+/// Tuples encode positionally as arrays.
+macro_rules! tuple_codec {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: CellCodec),+> CellCodec for ($($name,)+) {
+            fn encode_cell(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.encode_cell()),+])
+            }
+            fn decode_cell(json: &Json) -> Option<Self> {
+                let Json::Arr(items) = json else { return None };
+                let mut it = items.iter();
+                let out = ($($name::decode_cell(it.next()?)?,)+);
+                if it.next().is_some() {
+                    return None;
+                }
+                Some(out)
+            }
+        }
+    };
+}
+
+tuple_codec!(A: 0, B: 1);
+tuple_codec!(A: 0, B: 1, C: 2);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+
+impl CellCodec for Histogram {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(vec![
+            Json::Uint(self.bin_width()),
+            self.bins().to_vec().encode_cell(),
+            Json::Uint(self.count()),
+            Json::Uint(self.sum()),
+            Json::Uint(self.max()),
+        ])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (bin_width, bins, count, sum, max) =
+            <(u64, Vec<u64>, u64, u64, u64)>::decode_cell(json)?;
+        // Guard from_raw_parts' panics: a record failing these is corrupt
+        // and the cell recomputes.
+        if bin_width == 0 || bins.is_empty() {
+            return None;
+        }
+        Some(Histogram::from_raw_parts(bin_width, bins, count, sum, max))
+    }
+}
+
+impl CellCodec for RunningMean {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(vec![Json::Uint(self.count()), self.sum().encode_cell()])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (count, sum) = <(u64, f64)>::decode_cell(json)?;
+        Some(RunningMean::from_parts(count, sum))
+    }
+}
+
+impl CellCodec for SegmentRow {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(vec![
+            Json::Uint(self.count),
+            Json::Arr(self.sums.iter().map(|s| s.encode_cell()).collect()),
+        ])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (count, sums) = <(u64, Vec<f64>)>::decode_cell(json)?;
+        Some(SegmentRow {
+            count,
+            sums: sums.try_into().ok()?,
+        })
+    }
+}
+
+impl CellCodec for AppLatency {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(vec![
+            self.total.encode_cell(),
+            self.so_far.encode_cell(),
+            self.rows().to_vec().encode_cell(),
+        ])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (total, so_far, rows) = <(Histogram, Histogram, Vec<SegmentRow>)>::decode_cell(json)?;
+        // from_parts asserts the standard geometry; pre-check so a corrupt
+        // record recomputes instead of panicking.
+        if rows.len() != AppLatency::empty().rows().len() {
+            return None;
+        }
+        Some(AppLatency::from_parts(total, so_far, rows))
+    }
+}
+
+impl CellCodec for LatencyTracker {
+    fn encode_cell(&self) -> Json {
+        let apps: Vec<AppLatency> = (0..self.num_apps()).map(|c| self.app(c).clone()).collect();
+        let (expedited, normal) = self.return_legs();
+        Json::Arr(vec![
+            apps.encode_cell(),
+            expedited.encode_cell(),
+            normal.encode_cell(),
+        ])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (apps, expedited, normal) =
+            <(Vec<AppLatency>, RunningMean, RunningMean)>::decode_cell(json)?;
+        Some(LatencyTracker::from_parts(apps, expedited, normal))
+    }
+}
+
+impl CellCodec for LoadPoint {
+    fn encode_cell(&self) -> Json {
+        Json::Arr(vec![
+            self.offered_load.encode_cell(),
+            Json::Uint(self.delivered),
+            self.avg_latency.encode_cell(),
+            self.backlog.encode_cell(),
+        ])
+    }
+    fn decode_cell(json: &Json) -> Option<Self> {
+        let (offered_load, delivered, avg_latency, backlog) =
+            <(f64, u64, f64, usize)>::decode_cell(json)?;
+        Some(LoadPoint {
+            offered_load,
+            delivered,
+            avg_latency,
+            backlog,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: CellCodec + PartialEq + std::fmt::Debug>(value: &T) {
+        let encoded = value.encode_cell().to_compact_string();
+        let decoded = T::decode_cell(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(&decoded, value, "codec must roundtrip exactly");
+    }
+
+    #[test]
+    fn cell_codec_roundtrips_primitives_exactly() {
+        roundtrip(&42u64);
+        roundtrip(&7u32);
+        roundtrip(&9usize);
+        roundtrip(&-3i64);
+        roundtrip(&true);
+        roundtrip(&"hello\nworld".to_string());
+        roundtrip(&vec![1.5f64, 2.25, f64::MIN_POSITIVE]);
+        roundtrip(&[1u64, 2, 3, 4, 5]);
+        roundtrip(&(1u64, 2.5f64, "x".to_string()));
+        roundtrip(&(1u64, 2.0f64, 3u64, 4u64, 5u64, 6u64, 7u64));
+        // The exactness cases decimal rendering would lose:
+        roundtrip(&0.1f64);
+        roundtrip(&(-0.0f64));
+        let nan = f64::NAN;
+        let bits = nan.encode_cell();
+        assert_eq!(f64::decode_cell(&bits).unwrap().to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn cell_codec_roundtrips_metric_containers_exactly() {
+        let mut h = Histogram::new(25, 4000);
+        for v in [10, 200, 480, 999, 50_000] {
+            h.record(v);
+        }
+        roundtrip(&h);
+        let mut m = RunningMean::new();
+        m.record(0.1);
+        m.record(123.456);
+        roundtrip(&m);
+        roundtrip(&SegmentRow {
+            count: 3,
+            sums: [0.1, 2.0, 3.5, 4.25, 5.0],
+        });
+        roundtrip(&LoadPoint {
+            offered_load: 0.3,
+            delivered: 1234,
+            avg_latency: 56.789,
+            backlog: 42,
+        });
+
+        let mut tracker = LatencyTracker::new(2);
+        tracker.record_so_far(0, 150);
+        tracker.record_return_leg(true, 80);
+        tracker.record_return_leg(false, 33);
+        let encoded = tracker.encode_cell().to_compact_string();
+        let decoded = LatencyTracker::decode_cell(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded.num_apps(), 2);
+        assert_eq!(decoded.return_leg_means(), tracker.return_leg_means());
+        assert_eq!(decoded.app(0).so_far, tracker.app(0).so_far);
+        assert_eq!(decoded.app(1).total, tracker.app(1).total);
+
+        let app = decoded.app(0).clone();
+        let encoded = app.encode_cell().to_compact_string();
+        let decoded = AppLatency::decode_cell(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded.so_far, app.so_far);
+        assert_eq!(decoded.breakdown(), app.breakdown());
+    }
+
+    #[test]
+    fn cell_codec_rejects_shape_mismatches() {
+        assert!(u64::decode_cell(&Json::Str("nope".into())).is_none());
+        assert!(<(u64, u64)>::decode_cell(&Json::Arr(vec![Json::Uint(1)])).is_none());
+        assert!(
+            <(u64, u64)>::decode_cell(&Json::Arr(vec![
+                Json::Uint(1),
+                Json::Uint(2),
+                Json::Uint(3)
+            ]))
+            .is_none(),
+            "extra elements are a shape mismatch"
+        );
+        assert!(Histogram::decode_cell(&Json::parse("[0,[],0,0,0]").unwrap()).is_none());
+        assert!(AppLatency::decode_cell(&Json::parse("[1,2,3]").unwrap()).is_none());
+    }
+}

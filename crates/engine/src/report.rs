@@ -1,0 +1,65 @@
+//! Shared JSON-report helpers for the sweep binaries.
+
+use std::path::Path;
+
+use crate::args::SweepArgs;
+use crate::json::{Json, Obj};
+
+/// JSON rendering of a latency histogram: the five-number summary plus the
+/// non-empty PDF bins (center → fraction), in bin order.
+#[must_use]
+pub fn histogram_json(h: &noclat_sim::stats::Histogram) -> Json {
+    let s = h.summary();
+    let pdf: Vec<Json> = h
+        .pdf_points()
+        .iter()
+        .filter(|(_, f)| *f > 0.0)
+        .map(|&(center, frac)| {
+            Obj::new()
+                .field("center", center)
+                .field("frac", frac)
+                .build()
+        })
+        .collect();
+    Obj::new()
+        .field("count", s.count)
+        .field("mean", s.mean)
+        .field("p50", s.p50)
+        .field("p90", s.p90)
+        .field("p99", s.p99)
+        .field("max", s.max)
+        .field("pdf", Json::Arr(pdf))
+        .build()
+}
+
+/// Standard envelope for a sweep's JSON report: the harness name, the seed
+/// and simulation window it ran with, and the harness-specific body. Worker
+/// count is deliberately excluded so reports are comparable across `--jobs`.
+#[must_use]
+pub fn report(name: &str, args: &SweepArgs, body: Json) -> Json {
+    Obj::new()
+        .field("harness", name)
+        .field("seed", args.seed)
+        .field("warmup", args.lengths.warmup)
+        .field("measure", args.lengths.measure)
+        .field("kernel", args.kernel.name())
+        .field("results", body)
+        .build()
+}
+
+/// Writes the report to `--json PATH` when requested (noting it on stderr).
+/// Call at the end of every sweep binary.
+pub fn finish(args: &SweepArgs, report: &Json) {
+    if let Some(path) = &args.json {
+        if let Err(e) = write_json_file(path, report) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote JSON report to {}", path.display());
+    }
+}
+
+/// Writes a JSON value to a file.
+pub fn write_json_file(path: &Path, json: &Json) -> std::io::Result<()> {
+    std::fs::write(path, json.to_json_string())
+}

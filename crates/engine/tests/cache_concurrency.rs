@@ -1,0 +1,126 @@
+//! Concurrent access contracts of the content-addressed result cache:
+//! a single writer appends while N lock-free readers snapshot the same
+//! file, and every snapshot is a checksummed-valid prefix of the write
+//! history — never a torn record, never an invented one. Meanwhile the
+//! single-writer guard turns a second writer into the typed
+//! [`CacheError::Busy`], not silent interleaving.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use noclat_engine::{read_snapshot, sweepd_cache_fingerprint, CacheError, ResultCache};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("noclat-cache-conc-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The payload written for key `k` — deterministic, so readers can verify
+/// any record they observe against the key alone.
+fn payload(k: u64) -> String {
+    format!(r#"{{"cell":{k},"mean":{}.5}}"#, k * 3)
+}
+
+#[test]
+fn readers_see_only_valid_prefixes_while_writer_appends() {
+    const CELLS: u64 = 400;
+    const READERS: usize = 4;
+    let path = tmp_dir("prefix").join("cache.nj");
+    let fp = sweepd_cache_fingerprint();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Open the writer before the readers start so the header is durably on
+    // disk; mid-write snapshots then always parse (possibly as empty).
+    let mut cache = ResultCache::open(&path, fp).unwrap();
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let path = path.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut snapshots = 0u64;
+                let mut max_seen = 0usize;
+                loop {
+                    // Snapshot before checking `done`, so even a reader that
+                    // loses the startup race verifies the final state once.
+                    let finished = done.load(Ordering::Acquire);
+                    let map = read_snapshot(&path, fp).expect("snapshot always parses");
+                    // Prefix property: the writer inserts keys in order, so a
+                    // valid snapshot is exactly {0..len}, each with the
+                    // payload its key determines.
+                    assert!(map.len() <= CELLS as usize);
+                    assert!(
+                        map.len() >= max_seen,
+                        "snapshot shrank: {} then {}",
+                        max_seen,
+                        map.len()
+                    );
+                    max_seen = map.len();
+                    for k in 0..map.len() as u64 {
+                        assert_eq!(
+                            map.get(&k).map(String::as_str),
+                            Some(payload(k).as_str()),
+                            "record {k} torn or reordered in a {}-record snapshot",
+                            map.len()
+                        );
+                    }
+                    snapshots += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                snapshots
+            })
+        })
+        .collect();
+
+    for k in 0..CELLS {
+        cache.insert(k, &payload(k)).unwrap();
+    }
+    drop(cache);
+    done.store(true, Ordering::Release);
+    for reader in readers {
+        let snapshots = reader.join().expect("reader panicked");
+        assert!(snapshots > 0, "reader never snapshotted");
+    }
+
+    // Quiescent state: everything is visible.
+    let map = read_snapshot(&path, fp).unwrap();
+    assert_eq!(map.len(), CELLS as usize);
+}
+
+#[test]
+fn second_writer_is_rejected_while_first_holds_the_lock() {
+    let path = tmp_dir("guard").join("cache.nj");
+    let fp = sweepd_cache_fingerprint();
+    let mut first = ResultCache::open(&path, fp).unwrap();
+    first.insert(1, r#"{"v":1}"#).unwrap();
+
+    // Contending writers all get the typed error, concurrently.
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let path = path.clone();
+            std::thread::spawn(move || ResultCache::open(&path, fp))
+        })
+        .collect();
+    for h in handles {
+        match h.join().expect("contender panicked") {
+            Err(CacheError::Busy { holder, .. }) => {
+                assert_eq!(holder, Some(std::process::id()), "lock names the holder");
+            }
+            other => panic!("expected CacheError::Busy, got {other:?}"),
+        }
+    }
+
+    // Readers are never blocked by the writer lock.
+    let map = read_snapshot(&path, fp).unwrap();
+    assert_eq!(map.get(&1).map(String::as_str), Some(r#"{"v":1}"#));
+
+    // Releasing the lock (drop) lets the next writer in, with the data.
+    drop(first);
+    let second = ResultCache::open(&path, fp).expect("lock released on drop");
+    assert_eq!(second.get(1), Some(r#"{"v":1}"#));
+}

@@ -1,0 +1,164 @@
+//! Property coverage for the engine's JSON layer: over randomly generated
+//! values, parsing a serialization yields the original value exactly —
+//! `parse(to_compact_string(v)) == v` and `parse(to_json_string(v)) == v`.
+//!
+//! The generator stays inside the serializers' image, because the rendering
+//! is intentionally lossy outside it: a whole-valued `Json::Num(2.0)`
+//! renders as `2` (reparsed as `Json::Uint`), a non-negative `Json::Int`
+//! renders like a `Uint`, and non-finite floats render as `null`. Those are
+//! exactly the normalizations [`noclat_engine::CellCodec`] is built to
+//! avoid (it stores float *bits*), so the roundtrip property is pinned on
+//! the values the engine actually serializes.
+//!
+//! Alongside the property, this file pins the parser's hardening: truncated
+//! documents, nesting beyond [`MAX_PARSE_DEPTH`], and duplicate object keys
+//! are typed errors, never hangs, stack overflows, or silent acceptance.
+
+use noclat_engine::{Json, MAX_PARSE_DEPTH};
+use noclat_sim::check::{cases, pick, range_u64};
+use noclat_sim::rng::SimRng;
+
+/// A random string mixing ASCII, escapes, control characters and non-ASCII
+/// code points — every class the escaper and the `\u` decoder handle.
+fn gen_string(rng: &mut SimRng) -> String {
+    let alphabet: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'é', '→', '💾',
+    ];
+    let len = range_u64(rng, 0, 12) as usize;
+    (0..len).map(|_| pick(rng, alphabet)).collect()
+}
+
+/// A random value from the serializers' image, with bounded nesting.
+fn gen_value(rng: &mut SimRng, depth: usize) -> Json {
+    // Leaves only at the bottom; containers get rarer with depth.
+    let max_kind = if depth == 0 { 5 } else { 7 };
+    match range_u64(rng, 0, max_kind) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_u64().is_multiple_of(2)),
+        2 => Json::Uint(rng.next_u64()),
+        // Negative only: a non-negative Int renders identically to a Uint.
+        3 => Json::Int(-i64::try_from(range_u64(rng, 1, 1 << 60)).unwrap()),
+        4 => Json::Str(gen_string(rng)),
+        5 => {
+            let n = range_u64(rng, 0, 4) as usize;
+            Json::Arr((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = range_u64(rng, 0, 4) as usize;
+            // Keys made unique by index: the parser rejects duplicates.
+            Json::Obj(
+                (0..n)
+                    .map(|i| {
+                        (
+                            format!("k{i}_{}", gen_string(rng).len()),
+                            gen_value(rng, depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// A fractional f64 that survives `to_string` → `parse` exactly: shortest
+/// roundtrip rendering guarantees the bits, we only have to avoid whole
+/// values (rendered without a '.', hence reparsed as integers).
+fn gen_fractional(rng: &mut SimRng) -> f64 {
+    let mantissa = range_u64(rng, 1, 1 << 52) as f64;
+    let v = mantissa / 1024.0 + 0.5;
+    if v.fract() == 0.0 {
+        v + 0.25
+    } else {
+        v
+    }
+}
+
+#[test]
+fn parse_roundtrips_generated_values() {
+    cases(300, |rng| {
+        let v = gen_value(rng, 4);
+        let compact = v.to_compact_string();
+        assert_eq!(
+            Json::parse(&compact).expect(&compact),
+            v,
+            "compact: {compact}"
+        );
+        assert!(!compact.contains('\n'), "compact must be single-line");
+        let pretty = v.to_json_string();
+        assert_eq!(Json::parse(&pretty).expect(&pretty), v, "pretty: {pretty}");
+    });
+}
+
+#[test]
+fn parse_roundtrips_fractional_numbers() {
+    cases(300, |rng| {
+        let sign = if rng.next_u64().is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
+        let v = Json::Num(sign * gen_fractional(rng));
+        let s = v.to_compact_string();
+        assert_eq!(Json::parse(&s).expect(&s), v, "{s}");
+    });
+}
+
+/// Every proper prefix of a valid document is an error (or, for a prefix
+/// that happens to be a complete value, parses to something — it must never
+/// panic). This is the "torn network frame" case the daemon sees.
+#[test]
+fn truncated_documents_are_typed_errors() {
+    cases(60, |rng| {
+        let v = gen_value(rng, 3);
+        let s = v.to_compact_string();
+        for cut in 0..s.len() {
+            if !s.is_char_boundary(cut) {
+                continue;
+            }
+            // Must return, not panic; prefixes of containers/strings error.
+            let _ = Json::parse(&s[..cut]);
+        }
+        // The empty prefix is always an error.
+        assert!(Json::parse("").is_err());
+    });
+    // Pinned truncations of a representative protocol frame.
+    let frame = r#"{"op":"submit","cell":{"size":8,"fabric":"torus"},"wait":true}"#;
+    assert!(Json::parse(frame).is_ok());
+    for cut in [1, 5, frame.len() - 1] {
+        assert!(Json::parse(&frame[..cut]).is_err(), "cut at {cut}");
+    }
+}
+
+#[test]
+fn hostile_nesting_is_rejected_without_overflow() {
+    for n in [MAX_PARSE_DEPTH + 1, 1000, 100_000] {
+        let arrays = format!("{}{}", "[".repeat(n), "]".repeat(n));
+        let err = Json::parse(&arrays).unwrap_err();
+        assert!(err.contains("nesting"), "{n} arrays: {err}");
+        let objects = format!("{}1{}", "{\"k\":".repeat(n), "}".repeat(n));
+        let err = Json::parse(&objects).unwrap_err();
+        assert!(err.contains("nesting"), "{n} objects: {err}");
+    }
+    // The bound is exact: MAX_PARSE_DEPTH itself parses.
+    let at_limit = format!(
+        "{}{}",
+        "[".repeat(MAX_PARSE_DEPTH),
+        "]".repeat(MAX_PARSE_DEPTH)
+    );
+    assert!(Json::parse(&at_limit).is_ok());
+}
+
+#[test]
+fn duplicate_keys_are_rejected_at_any_depth() {
+    for doc in [
+        r#"{"a":1,"a":2}"#,
+        r#"{"a":1,"b":2,"a":3}"#,
+        r#"{"outer":{"x":1,"x":2}}"#,
+        r#"[{"k":null,"k":null}]"#,
+    ] {
+        let err = Json::parse(doc).unwrap_err();
+        assert!(err.contains("duplicate key"), "{doc}: {err}");
+    }
+    // Same key at different levels is legal.
+    assert!(Json::parse(r#"{"k":{"k":{"k":1}}}"#).is_ok());
+}

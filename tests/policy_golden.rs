@@ -9,7 +9,9 @@
 //! end-to-end, and check that attaching probes observes traffic without
 //! perturbing it.
 
-use noclat::{run_mix, CountingProbe, PolicyOverride, RunLengths, System, SystemConfig};
+use noclat::{
+    run_mix, CountingProbe, PolicyOverride, RunLengths, Simulation, System, SystemConfig,
+};
 use noclat_sim::config::StarvationPolicy;
 use noclat_workloads::workload;
 
@@ -33,6 +35,14 @@ fn fingerprint(cfg: &SystemConfig, lengths: RunLengths) -> Vec<u64> {
         fp.push(a.ipc.to_bits());
     }
     fp
+}
+
+fn build_system(cfg: SystemConfig, apps: &[noclat_workloads::SpecApp]) -> System {
+    Simulation::builder(cfg)
+        .workload(apps)
+        .build()
+        .unwrap()
+        .into_system()
 }
 
 fn with_policy(mut cfg: SystemConfig, request: &str, response: &str) -> SystemConfig {
@@ -146,14 +156,14 @@ fn oldest_first_and_static_policies_run_end_to_end() {
 #[test]
 fn system_reports_resolved_policy_names() {
     let apps = workload(WORKLOAD).apps();
-    let sys = System::new(SystemConfig::baseline_32().with_both_schemes(), &apps).unwrap();
+    let sys = build_system(SystemConfig::baseline_32().with_both_schemes(), &apps);
     assert_eq!(sys.request_policy_name(), "scheme2");
     assert_eq!(sys.response_policy_name(), "scheme1");
     let dbg = format!("{sys:?}");
     assert!(dbg.contains("scheme2") && dbg.contains("scheme1"), "{dbg}");
 
     let cfg = with_policy(SystemConfig::baseline_32(), "oldest-first", "static");
-    let sys = System::new(cfg, &apps).unwrap();
+    let sys = build_system(cfg, &apps);
     assert_eq!(sys.request_policy_name(), "oldest-first");
     assert_eq!(sys.response_policy_name(), "static");
 }
@@ -163,8 +173,8 @@ fn system_reports_resolved_policy_names() {
 fn counting_probe_observes_without_perturbing() {
     let cfg = SystemConfig::baseline_32().with_both_schemes();
     let apps = workload(WORKLOAD).apps();
-    let mut plain = System::new(cfg.clone(), &apps).unwrap();
-    let mut probed = System::new(cfg, &apps).unwrap();
+    let mut plain = build_system(cfg.clone(), &apps);
+    let mut probed = build_system(cfg, &apps);
     let (probe, counters) = CountingProbe::new();
     probed.attach_probe(Box::new(probe));
 
